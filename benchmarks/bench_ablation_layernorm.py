@@ -1,0 +1,40 @@
+"""Ablation: warp-per-row vs thread-per-row Layernorm decompositions.
+
+Both decompositions are numerically correct (verified in tests/); they
+differ in how reductions are parallelised — warp butterflies
+(``shfl.sync``) vs sequential per-thread chains.  The warp version is
+the one that matches Apex in Figure 13.
+"""
+
+from repro.arch import AMPERE
+from repro.kernels.layernorm import build_layernorm
+from repro.perfmodel.counts import count_kernel
+from repro.perfmodel.model import PerfModel
+
+
+def test_warp_per_row_decomposition_wins(run_once):
+    rows, hidden = 12288, 1024
+
+    def build_both():
+        warp = build_layernorm(rows, hidden, warps_per_block=4,
+                               warp_per_row=True)
+        thread = build_layernorm(rows, hidden, warps_per_block=4,
+                                 warp_per_row=False)
+        return warp, thread
+
+    warp, thread = run_once(build_both)
+    model = PerfModel(AMPERE)
+    t_warp = model.estimate_kernel(warp)
+    t_thread = model.estimate_kernel(thread)
+    print(f"\nwarp-per-row:   {t_warp.total_seconds * 1e6:.1f}us "
+          f"({t_warp.counts.blocks} blocks)")
+    print(f"thread-per-row: {t_thread.total_seconds * 1e6:.1f}us "
+          f"({t_thread.counts.blocks} blocks)")
+    # Same essential traffic...
+    cw = count_kernel(warp, AMPERE)
+    ct = count_kernel(thread, AMPERE)
+    assert cw.unique_read_bytes == ct.unique_read_bytes
+    # ...but the thread-per-row version launches 32x fewer, much fatter
+    # blocks (worse latency hiding / occupancy at row granularity).
+    assert cw.blocks == 32 * ct.blocks
+    assert t_warp.total_seconds <= t_thread.total_seconds * 1.05

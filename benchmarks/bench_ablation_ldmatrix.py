@@ -1,0 +1,42 @@
+"""Ablation: ldmatrix vs scalar per-thread shared-memory fragment loads.
+
+Paper Section 2: "replacing [ldmatrix] with equivalent but simpler data
+movements in GEMM kernels causes performance drops by as much as 17%."
+Both variants are numerically identical (the simulator verifies this in
+tests/); this bench compares their modelled instruction pressure and
+shared-memory behaviour.
+"""
+
+from repro.arch import AMPERE
+from repro.eval.figures import GEMM_SIZES
+from repro.kernels.gemm_optimized import build_ampere_tc_gemm
+from repro.perfmodel.counts import count_kernel
+from repro.perfmodel.model import LIBRARY_CLASS, PerfModel, SCALAR_FRAGMENT
+
+
+def test_ablation_ldmatrix_vs_scalar_loads(run_once):
+    m, n, k = GEMM_SIZES["ampere"]
+
+    def build_both():
+        fast = build_ampere_tc_gemm(m, n, k, block_tile=(128, 128, 32),
+                                    warp_grid=(2, 2), use_ldmatrix=True)
+        slow = build_ampere_tc_gemm(m, n, k, block_tile=(128, 128, 32),
+                                    warp_grid=(2, 2), use_ldmatrix=False)
+        return fast, slow
+
+    fast, slow = run_once(build_both)
+    model = PerfModel(AMPERE)
+    t_fast = model.estimate_kernel(fast, efficiency=LIBRARY_CLASS)
+    t_slow = model.estimate_kernel(slow, efficiency=SCALAR_FRAGMENT)
+    drop = t_slow.total_seconds / t_fast.total_seconds - 1.0
+    print(f"\nldmatrix: {t_fast.total_seconds * 1e6:.0f}us   "
+          f"scalar loads: {t_slow.total_seconds * 1e6:.0f}us   "
+          f"slowdown: {100 * drop:.1f}% (paper: up to 17%)")
+    assert 0.05 <= drop <= 0.40, (
+        f"scalar fragment loads should cost roughly the paper's ~17%, "
+        f"got {100 * drop:.1f}%"
+    )
+    # The scalar variant issues far more shared-memory instructions.
+    cf = count_kernel(fast, AMPERE)
+    cs = count_kernel(slow, AMPERE)
+    assert cs.instructions > 2 * cf.instructions

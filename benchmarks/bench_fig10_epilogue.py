@@ -1,0 +1,22 @@
+"""Figure 10: fused GEMM+pointwise epilogues vs cuBLASLt.
+
+Paper claim: Graphene exactly matches cuBLASLt's fused bias/activation
+GEMM kernels on both architectures.
+"""
+
+from repro.eval.figures import figure_10
+
+
+def test_fig10_epilogues_match_cublaslt(run_once):
+    report = run_once(figure_10)
+    print()
+    print(report.format_table())
+    for speedup in report.column("speedup"):
+        assert 0.9 <= speedup <= 1.1, (
+            f"fused epilogue should match cuBLASLt, got {speedup:.3f}"
+        )
+    # All four epilogue variants appear for both architectures.
+    assert len(report.rows) == 8
+    assert set(report.column("epilogue")) == {
+        "bias", "relu", "bias+relu", "bias+gelu",
+    }

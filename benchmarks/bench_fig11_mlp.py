@@ -1,0 +1,29 @@
+"""Figure 11: multi-layer MLP fusion vs cumulative cuBLASLt launches.
+
+Paper claim: when all activations fit in shared memory (N = K <= 128),
+fusing every layer into one kernel beats per-layer cuBLASLt calls by up
+to 2.39x, and the advantage grows with depth.
+"""
+
+from repro.eval.figures import figure_11
+
+
+def test_fig11_fused_mlp_beats_cublaslt(run_once):
+    report = run_once(figure_11)
+    print()
+    print(report.format_table())
+    speedup_col = report.columns.index("speedup")
+    layer_col = report.columns.index("layers")
+    for arch in ("V100", "RTX A6000"):
+        rows = [r for r in report.rows if r[0] == arch]
+        speedups = [r[speedup_col] for r in rows]
+        layers = [r[layer_col] for r in rows]
+        # Fusion wins at depth and the advantage grows monotonically.
+        assert speedups[-1] > 2.0, (
+            f"deep fused MLP should win by ~2.4x, got {speedups[-1]:.2f}"
+        )
+        assert speedups[-1] < 3.5
+        assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:])), (
+            f"speedup should grow with layer count on {arch}: {speedups}"
+        )
+        assert layers == sorted(layers)

@@ -1,0 +1,23 @@
+"""Figure 14: fused multi-head attention (MLPerf BERT configuration).
+
+Paper claim: Graphene's fused FMHA kernel massively outperforms the
+unfused cuBLAS+softmax baseline and achieves a small speedup over
+NVIDIA's handwritten TensorRT MLPerf kernels.
+"""
+
+from repro.eval.figures import figure_14
+
+
+def test_fig14_fmha(run_once):
+    report = run_once(figure_14)
+    print()
+    print(report.format_table())
+    times = dict(zip(report.column("impl"), report.column("time_us")))
+    unfused = times["cuBLAS + softmax (unfused)"]
+    trt = times["TensorRT MLPerf fused"]
+    graphene = times["Graphene fused"]
+    assert unfused / graphene > 3.0, "fusion must win big over unfused"
+    assert graphene < trt, "paper: small speedup over the MLPerf kernel"
+    assert graphene > trt * 0.80, (
+        "the win over the MLPerf kernel should be small"
+    )

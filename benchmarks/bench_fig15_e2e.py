@@ -1,0 +1,26 @@
+"""Figure 15: end-to-end Transformer inference with injected FMHA.
+
+Paper claim: replacing PyTorch attention with Graphene's fused Ampere
+FMHA kernel speeds up Huggingface Transformer inference by up to 59%,
+and the speedup correlates with each network's FMHA time fraction.
+"""
+
+from repro.eval.figures import figure_15
+
+
+def test_fig15_end_to_end(run_once):
+    report = run_once(figure_15)
+    print()
+    print(report.format_table())
+    speedups = report.column("speedup_pct")
+    fractions = report.column("fmha_fraction_pct")
+    assert max(speedups) > 40.0, "paper reports speedups up to 59%"
+    assert max(speedups) < 80.0
+    assert all(s > 0 for s in speedups)
+    # Correlation claim: higher FMHA fraction -> higher speedup.
+    order_by_fraction = sorted(range(len(speedups)),
+                               key=lambda i: fractions[i])
+    ordered = [speedups[i] for i in order_by_fraction]
+    assert all(a <= b + 1e-9 for a, b in zip(ordered, ordered[1:])), (
+        f"speedup should increase with FMHA fraction: {ordered}"
+    )

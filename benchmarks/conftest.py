@@ -1,0 +1,25 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_fig*.py`` regenerates one table/figure of the paper's
+evaluation section: it builds the Graphene kernels at paper scale,
+analyses their IR with the performance model, times the library
+baselines, prints the paper-vs-measured table, and asserts the paper's
+*shape* claims (who wins, by roughly what factor).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a figure generator exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return runner

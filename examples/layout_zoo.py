@@ -1,0 +1,61 @@
+"""A tour of Graphene's shapes, layouts and tiles (paper Figures 3-4).
+
+Shows hierarchical dimensions (multiple strides per dimension),
+contiguous and non-contiguous tiling, swizzled shared-memory layouts and
+their bank behaviour — the expressiveness that flat shape/stride lists
+cannot capture.
+
+Run:  python examples/layout_zoo.py
+"""
+
+from repro import FP16, SH, Layout, Swizzle, Tensor, row_major, tensor
+from repro.layout import logical_divide
+from repro.sim.banks import column_access_degree
+
+
+def show(title, layout):
+    offsets = [layout(0, j) for j in range(8)] if layout.rank == 2 else None
+    print(f"{title:55} {layout!r}")
+    if offsets is not None:
+        print(f"{'':55}   row 0 offsets: {offsets}")
+
+
+def main():
+    print("-- memory layouts (Figure 3) --")
+    show("a) column-major", Layout((4, 8), (1, 4)))
+    show("b) row-major", Layout((4, 8), (8, 1)))
+    show("c) hierarchical dim: pairs of columns, rows-first",
+         Layout((4, (2, 4)), (2, (1, 8))))
+    show("d) hierarchical dims twice",
+         Layout(((2, 2), (2, 4)), ((1, 8), (2, 16))))
+    print()
+
+    print("-- tiling (Figure 4) --")
+    a = tensor("A", (4, 8), FP16)
+    print("A:", a)
+    print("b) contiguous 2x4 tiles:      ", a.tile((2, 4)))
+    print("c) interleaved rows [2:2]:    ", a.tile((Layout(2, 2), 4)))
+    print("d) non-contiguous both dims:  ",
+          a.tile((Layout(2, 2), Layout((2, 2), (1, 4)))))
+    print()
+
+    print("-- the algebra underneath --")
+    divided = logical_divide(Layout(32, 1), Layout((4, 2), (1, 16)))
+    print("warp divided into quad-pairs:", divided)
+    print("quad-pair 0 thread ids:",
+          [divided.mode(0)(i) for i in range(8)])
+    print()
+
+    print("-- swizzles and bank conflicts (Section 3.2) --")
+    naive = Tensor("smem", row_major(32, 8), FP16, SH)
+    # XOR the row-group bits into the bank bits: every one of the
+    # 32 rows lands in its own bank.
+    swizzled = naive.with_swizzle(Swizzle(2, 1, 5))
+    print(f"column read, row-major layout:   "
+          f"{column_access_degree(naive)}-way conflict")
+    print(f"column read, swizzled layout:    "
+          f"{column_access_degree(swizzled)}-way conflict")
+
+
+if __name__ == "__main__":
+    main()

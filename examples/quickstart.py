@@ -1,0 +1,44 @@
+"""Quickstart: the paper's Figure 8 GEMM, start to finish.
+
+Builds the simplest complete matrix-multiplication kernel in Graphene
+IR, prints the generated CUDA C++, then verifies the kernel's numerics
+by executing the *same IR* on the functional GPU simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AMPERE, CudaGenerator, Simulator
+from repro.kernels.gemm import build_naive_gemm
+
+
+def main():
+    # 1. Build the Figure 8 kernel at paper scale and print its CUDA.
+    kernel = build_naive_gemm(1024, 1024, 1024, grid=(8, 8),
+                              threads=(16, 16))
+    source = CudaGenerator(AMPERE).generate(kernel)
+    print("=" * 72)
+    print(f"Generated CUDA for {source.name} "
+          f"<<<{source.grid_dim}, {source.block_dim}>>>")
+    print("=" * 72)
+    print(source.code)
+
+    # 2. Execute the same IR functionally at a simulation-friendly size.
+    m = n = k = 32
+    small = build_naive_gemm(m, n, k, grid=(2, 2), threads=(4, 4))
+    rng = np.random.default_rng(0)
+    a = (rng.random((m, k)) * 0.1).astype(np.float16)
+    b = (rng.random((k, n)) * 0.1).astype(np.float16)
+    c = np.zeros((m, n), dtype=np.float16)
+    Simulator(AMPERE).run(small, {"A": a, "B": b, "C": c})
+
+    reference = a.astype(np.float32) @ b.astype(np.float32)
+    error = np.abs(c.astype(np.float32) - reference).max()
+    print(f"simulated {m}x{n}x{k} GEMM max error vs numpy: {error:.2e}")
+    assert error < 0.05
+    print("OK: the decomposition computes a correct matrix multiply.")
+
+
+if __name__ == "__main__":
+    main()

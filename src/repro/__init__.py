@@ -1,0 +1,37 @@
+"""Graphene: an IR for optimized tensor computations on GPUs.
+
+A reproduction of Hagedorn et al., ASPLOS 2023.  The public API:
+
+* :mod:`repro.layout` — shapes, layouts, tiles (the CuTe-style algebra);
+* :mod:`repro.tensor` — first-class data tensors with hierarchical tiles;
+* :mod:`repro.threads` — logical thread groups;
+* :mod:`repro.specs` — specifications and decompositions;
+* :mod:`repro.frontend` — the Python kernel-authoring API;
+* :mod:`repro.codegen` — CUDA C++ generation;
+* :mod:`repro.sim` — the functional GPU simulator;
+* :mod:`repro.arch` — SM70/SM86 atomic-spec tables;
+* :mod:`repro.perfmodel` — the analytical performance model;
+* :mod:`repro.kernels` — the paper's evaluation kernels;
+* :mod:`repro.eval` — figure-by-figure evaluation harness.
+"""
+
+from .arch import AMPERE, ARCHITECTURES, VOLTA, Architecture
+from .codegen import CudaGenerator, KernelSource
+from .frontend.builder import KernelBuilder
+from .layout import Layout, Swizzle, col_major, row_major
+from .sim import Machine, SimulationError, Simulator
+from .specs import Kernel
+from .tensor import FP16, FP32, GL, INT32, RF, SH, Tensor, tensor
+from .threads import ThreadGroup, blocks, threads, warp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMPERE", "ARCHITECTURES", "VOLTA", "Architecture",
+    "CudaGenerator", "KernelSource", "KernelBuilder",
+    "Layout", "Swizzle", "col_major", "row_major",
+    "Machine", "SimulationError", "Simulator", "Kernel",
+    "FP16", "FP32", "GL", "INT32", "RF", "SH", "Tensor", "tensor",
+    "ThreadGroup", "blocks", "threads", "warp",
+    "__version__",
+]

@@ -1,0 +1,9 @@
+"""GPU architectures: atomic-spec tables and hardware parameters."""
+
+from .ampere import AMPERE
+from .gpu import Architecture
+from .volta import VOLTA
+
+ARCHITECTURES = {"volta": VOLTA, "ampere": AMPERE}
+
+__all__ = ["AMPERE", "VOLTA", "Architecture", "ARCHITECTURES"]

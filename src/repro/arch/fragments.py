@@ -1,0 +1,89 @@
+"""Register-fragment mappings of GPU tensor instructions.
+
+Tensor Core mma and ldmatrix instructions prescribe exactly which logical
+matrix element each lane holds in which register (paper Figures 1a/1b and
+Section 4).  These mappings are the ground truth the functional simulator
+executes; a kernel whose decomposition disagrees with them produces wrong
+numerics, mirroring real hardware.
+
+Lane indices ``li`` below are positions *within the cooperating group*
+(0..31 for warp-wide instructions, 0..7 within a Volta quad-pair), and
+register indices ``r`` enumerate the lane's fragment tensor in
+(tile-major, colexicographic) order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+# -- ldmatrix (m8n8.b16) -------------------------------------------------------
+def ldmatrix_dst_coords(li: int, q: int, j: int) -> Tuple[int, int]:
+    """Element of 8x8 matrix ``q`` that lane ``li`` receives in value ``j``.
+
+    Each lane receives two adjacent 16-bit values per 8x8 matrix:
+    row ``li/4``, columns ``2*(li%4)`` and ``+1`` (paper Figure 1b).
+    """
+    return li // 4, 2 * (li % 4) + j
+
+
+def ldmatrix_src_lane(q: int, row: int) -> int:
+    """The lane that must supply the address of ``row`` of matrix ``q``
+    (paper Figure 1a): lanes 8q..8q+7 point at rows 0..7 of matrix q."""
+    return 8 * q + row
+
+
+# -- Ampere mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 -------------------
+# D(16x8) = A(16x16) @ B(16x8) + C(16x8); 32 lanes.
+def mma_16816_a_coord(li: int, r: int) -> Tuple[int, int]:
+    """A-fragment: 8 fp16 per lane, laid out as [2,2].[1,2]."""
+    group, tig = li // 4, li % 4
+    q, j = r // 2, r % 2
+    row = group + 8 * (q % 2)
+    col = 2 * tig + j + 8 * (q // 2)
+    return row, col
+
+
+def mma_16816_b_coord(li: int, r: int) -> Tuple[int, int]:
+    """B-fragment: 4 fp16 per lane, laid out as [2,1].[2,1]; returns (k, n)."""
+    group, tig = li // 4, li % 4
+    q, j = r // 2, r % 2
+    return 2 * tig + j + 8 * q, group
+
+
+def mma_16816_c_coord(li: int, r: int) -> Tuple[int, int]:
+    """C/D-fragment: 4 fp32 per lane, laid out as [2,1].[1,2]; (m, n)."""
+    group, tig = li // 4, li % 4
+    q, j = r // 2, r % 2
+    return group + 8 * q, 2 * tig + j
+
+
+MMA_16816_SHAPE = (16, 8, 16)  # (m, n, k)
+
+
+# -- Volta mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 ----------------------
+# Executed by a quad-pair (8 lanes); D(8x8) = A(8x4) @ B(4x8) + C(8x8).
+#
+# NOTE: real Volta hardware uses a more intricate lane->element map; the
+# mapping below preserves the fragment shapes of paper Table 2
+# ([4,1]/[1,4] fp16 in, [2,4] fp32 out) and the quad-pair execution
+# group, and is self-consistent between the instruction and any
+# decomposition targeting it (see DESIGN.md substitutions).
+def mma_884_a_coord(li: int, r: int) -> Tuple[int, int]:
+    """A-fragment: lane ``li`` holds the 4 k-values of row ``li``; (m, k)."""
+    return li, r
+
+
+def mma_884_b_coord(li: int, r: int) -> Tuple[int, int]:
+    """B-fragment: lane ``li`` holds the 4 k-values of column ``li``; (k, n)."""
+    return r, li
+
+
+def mma_884_c_coord(li: int, r: int) -> Tuple[int, int]:
+    """C/D-fragment: [2,4] fp32 per lane; (m, n)."""
+    quad, pos = li // 4, li % 4
+    j, col = r % 2, r // 2
+    return 2 * pos + j, 4 * quad + col
+
+
+MMA_884_SHAPE = (8, 8, 4)  # (m, n, k)

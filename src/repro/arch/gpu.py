@@ -1,0 +1,69 @@
+"""GPU architecture descriptions.
+
+An :class:`Architecture` bundles the atomic-spec table used for matching,
+simulation and code generation with the hardware parameters the
+analytical performance model needs (peak throughputs, memory bandwidth,
+launch overhead).  The two paper targets are SM70 (Volta V100) and SM86
+(Ampere RTX A6000).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..specs.atomic import AtomicSpec
+
+
+class Architecture:
+    """One GPU target: atomic specs + performance-model parameters."""
+
+    __slots__ = (
+        "name", "sm", "atomics",
+        "num_sms", "tensor_fp16_tflops", "fp32_tflops", "fp16_tflops",
+        "dram_gbps", "smem_bytes_per_sm", "smem_gbps",
+        "launch_overhead_us", "max_threads_per_sm",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        sm: int,
+        atomics: Sequence[AtomicSpec],
+        *,
+        num_sms: int,
+        tensor_fp16_tflops: float,
+        fp32_tflops: float,
+        fp16_tflops: float,
+        dram_gbps: float,
+        smem_bytes_per_sm: int,
+        smem_gbps: float,
+        launch_overhead_us: float = 5.0,
+        max_threads_per_sm: int = 2048,
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "sm", sm)
+        object.__setattr__(self, "atomics", tuple(atomics))
+        object.__setattr__(self, "num_sms", num_sms)
+        object.__setattr__(self, "tensor_fp16_tflops", tensor_fp16_tflops)
+        object.__setattr__(self, "fp32_tflops", fp32_tflops)
+        object.__setattr__(self, "fp16_tflops", fp16_tflops)
+        object.__setattr__(self, "dram_gbps", dram_gbps)
+        object.__setattr__(self, "smem_bytes_per_sm", smem_bytes_per_sm)
+        object.__setattr__(self, "smem_gbps", smem_gbps)
+        object.__setattr__(self, "launch_overhead_us", launch_overhead_us)
+        object.__setattr__(self, "max_threads_per_sm", max_threads_per_sm)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Architecture is immutable")
+
+    def supports(self, atomic_name: str) -> bool:
+        return any(a.name == atomic_name for a in self.atomics)
+
+    def atomic(self, name: str) -> AtomicSpec:
+        for a in self.atomics:
+            if a.name == name:
+                return a
+        raise KeyError(f"{self.name} has no atomic spec {name!r}")
+
+    def __repr__(self):
+        return f"Architecture({self.name}, sm{self.sm})"

@@ -1,0 +1,219 @@
+"""Simulator semantics for every atomic specification.
+
+Each ``exec_*`` function implements one GPU instruction's behaviour on the
+simulated machine: per-thread loads/stores, warp-collective ldmatrix data
+movements, Tensor Core mma fragments, warp shuffles, and thread-local
+compute.  The atomic tables in :mod:`repro.arch.volta` and
+:mod:`repro.arch.ampere` bind these to the patterns of paper Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..layout import inttuple as it
+from ..sim.context import ExecCtx
+from ..specs.base import (
+    BinaryPointwise, Init, MatMul, Move, Reduction, Shfl, Spec,
+    UnaryPointwise,
+)
+from . import fragments as frag
+
+
+# -- per-thread data movement ----------------------------------------------------
+def exec_thread_move(spec: Move, ctx: ExecCtx) -> None:
+    """Per-thread load/store/copy of the view's elements."""
+    src, dst = spec.src, spec.dst
+    for lane in ctx.lanes:
+        env = ctx.lane_env(lane)
+        if not ctx.active(env):
+            continue
+        ctx.write(dst, env, lane, ctx.read(src, env, lane))
+
+
+# -- collective ldmatrix ------------------------------------------------------------
+def make_exec_ldmatrix(num_matrices: int, trans: bool = False) -> Callable:
+    """Build the executor for ``ldmatrix .x1/.x2/.x4`` (optionally .trans).
+
+    Lanes ``8q..8q+7`` supply the addresses of rows ``0..7`` of matrix
+    ``q`` (their src views must point at 8 contiguous fp16 values); every
+    lane then receives two adjacent values per matrix into its
+    destination tile ``q`` (paper Figures 1a/1b).  The ``.trans`` form
+    distributes the transposed matrices, as used for B operands.
+    """
+
+    def execute(spec: Move, ctx: ExecCtx) -> None:
+        from ..sim.access import tile_views
+
+        src, dst = spec.src, spec.dst
+        lanes = ctx.lanes
+        if len(lanes) != 32:
+            raise ValueError("ldmatrix requires a full 32-lane warp")
+        matrices = []
+        for q in range(num_matrices):
+            rows = []
+            for row in range(8):
+                lane = lanes[frag.ldmatrix_src_lane(q, row)]
+                env = ctx.lane_env(lane)
+                rows.append(ctx.read(src, env, lane))
+            matrices.append(np.stack([r.reshape(8) for r in rows]))
+        dst_tiles = tile_views(dst)
+        if len(dst_tiles) != num_matrices:
+            raise ValueError(
+                f"ldmatrix.x{num_matrices} destination must have "
+                f"{num_matrices} tiles, got {len(dst_tiles)}"
+            )
+        for li, lane in enumerate(lanes):
+            env = ctx.lane_env(lane)
+            for q, tile in enumerate(dst_tiles):
+                coords = [frag.ldmatrix_dst_coords(li, q, j) for j in (0, 1)]
+                if trans:
+                    coords = [(c, r) for r, c in coords]
+                vals = [matrices[q][rc] for rc in coords]
+                ctx.write(tile, env, lane, vals)
+
+    return execute
+
+
+# -- Tensor Core mma -------------------------------------------------------------------
+def exec_mma_16816(spec: MatMul, ctx: ExecCtx) -> None:
+    """Ampere ``mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32``."""
+    _exec_mma(
+        spec, ctx,
+        shape=frag.MMA_16816_SHAPE,
+        a_coord=frag.mma_16816_a_coord,
+        b_coord=frag.mma_16816_b_coord,
+        c_coord=frag.mma_16816_c_coord,
+        lanes_expected=32,
+    )
+
+
+def exec_mma_884(spec: MatMul, ctx: ExecCtx) -> None:
+    """Volta quad-pair ``mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32``."""
+    _exec_mma(
+        spec, ctx,
+        shape=frag.MMA_884_SHAPE,
+        a_coord=frag.mma_884_a_coord,
+        b_coord=frag.mma_884_b_coord,
+        c_coord=frag.mma_884_c_coord,
+        lanes_expected=8,
+    )
+
+
+def _exec_mma(spec, ctx, *, shape, a_coord, b_coord, c_coord, lanes_expected):
+    m, n, k = shape
+    lanes = ctx.lanes
+    if len(lanes) != lanes_expected:
+        raise ValueError(
+            f"mma expects {lanes_expected} cooperating lanes, got {len(lanes)}"
+        )
+    a = np.zeros((m, k), dtype=np.float32)
+    b = np.zeros((k, n), dtype=np.float32)
+    c = np.zeros((m, n), dtype=np.float32)
+    a_frags, b_frags, c_frags = [], [], []
+    for li, lane in enumerate(lanes):
+        env = ctx.lane_env(lane)
+        a_frags.append(ctx.read_frag(spec.a, env, lane))
+        b_frags.append(ctx.read_frag(spec.b, env, lane))
+        c_frags.append(ctx.read_frag(spec.c, env, lane))
+    for li in range(len(lanes)):
+        for r, val in enumerate(a_frags[li]):
+            a[a_coord(li, r)] = val
+        for r, val in enumerate(b_frags[li]):
+            b[b_coord(li, r)] = val
+        for r, val in enumerate(c_frags[li]):
+            c[c_coord(li, r)] = val
+    d = a @ b + c
+    for li, lane in enumerate(lanes):
+        env = ctx.lane_env(lane)
+        out = [d[c_coord(li, r)] for r in range(len(c_frags[li]))]
+        ctx.write_frag(spec.c, env, lane, out)
+
+
+# -- thread-local compute ------------------------------------------------------------
+def exec_thread_matmul(spec: MatMul, ctx: ExecCtx) -> None:
+    """Scalar/vector FMA: ``c[i] += a[i] * b[i]`` in fp32 math."""
+    for lane in ctx.lanes:
+        env = ctx.lane_env(lane)
+        if not ctx.active(env):
+            continue
+        a = ctx.read(spec.a, env, lane).astype(np.float32)
+        b = ctx.read(spec.b, env, lane).astype(np.float32)
+        c = ctx.read(spec.c, env, lane).astype(np.float32)
+        ctx.write(spec.c, env, lane, c + a * b)
+
+
+def exec_thread_unary(spec: UnaryPointwise, ctx: ExecCtx) -> None:
+    for lane in ctx.lanes:
+        env = ctx.lane_env(lane)
+        if not ctx.active(env):
+            continue
+        x = ctx.read(spec.inputs[0], env, lane).astype(np.float32)
+        ctx.write(spec.outputs[0], env, lane, spec.op(x))
+
+
+def exec_thread_binary(spec: BinaryPointwise, ctx: ExecCtx) -> None:
+    for lane in ctx.lanes:
+        env = ctx.lane_env(lane)
+        if not ctx.active(env):
+            continue
+        x = ctx.read(spec.inputs[0], env, lane).astype(np.float32)
+        y = ctx.read(spec.inputs[1], env, lane).astype(np.float32)
+        ctx.write(spec.outputs[0], env, lane, spec.op(x, y))
+
+
+def exec_thread_reduction(spec: Reduction, ctx: ExecCtx) -> None:
+    """Sequentially reduce a register tensor along the spec's axes."""
+    src = spec.inputs[0]
+    shape = src.layout.shape
+    dims = tuple(it.flatten(shape)) if shape != () else (1,)
+    for lane in ctx.lanes:
+        env = ctx.lane_env(lane)
+        if not ctx.active(env):
+            continue
+        vals = ctx.read(src, env, lane).astype(np.float32)
+        grid = vals.reshape(dims, order="F")
+        reduced = spec.op.np_fn.reduce(grid, axis=spec.axes) \
+            if hasattr(spec.op.np_fn, "reduce") \
+            else _fold(spec, grid)
+        ctx.write(spec.outputs[0], env, lane, np.ravel(reduced, order="F"))
+
+
+def _fold(spec: Reduction, grid: np.ndarray) -> np.ndarray:
+    out = None
+    flattened = np.moveaxis(
+        grid, spec.axes, tuple(range(len(spec.axes)))
+    ).reshape(-1, *[s for i, s in enumerate(grid.shape) if i not in spec.axes])
+    for slice_ in flattened:
+        out = slice_ if out is None else spec.op(out, slice_)
+    return out if out is not None else grid
+
+
+def exec_thread_init(spec: Init, ctx: ExecCtx) -> None:
+    out = spec.outputs[0]
+    size = out.layout.size() if out.rank else 1
+    for lane in ctx.lanes:
+        env = ctx.lane_env(lane)
+        if not ctx.active(env):
+            continue
+        ctx.write(out, env, lane, np.full(size, spec.value))
+
+
+# -- warp shuffle -----------------------------------------------------------------------
+def exec_shfl_bfly(spec: Shfl, ctx: ExecCtx) -> None:
+    """``shfl.sync.bfly``: lane ``li`` receives from lane ``li ^ mask``."""
+    src, dst = spec.inputs[0], spec.outputs[0]
+    lanes = ctx.lanes
+    values = []
+    for lane in lanes:
+        env = ctx.lane_env(lane)
+        values.append(ctx.read(src, env, lane))
+    mask = spec.xor_mask
+    for li, lane in enumerate(lanes):
+        peer = li ^ mask
+        if peer >= len(lanes):
+            peer = li
+        env = ctx.lane_env(lane)
+        ctx.write(dst, env, lane, values[peer])

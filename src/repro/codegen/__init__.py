@@ -1,0 +1,5 @@
+"""CUDA C++ code generation (paper Section 5.5)."""
+
+from .cuda import CudaGenerator, KernelSource
+
+__all__ = ["CudaGenerator", "KernelSource"]

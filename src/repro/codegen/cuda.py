@@ -1,0 +1,180 @@
+"""CUDA C++ code generation (paper Section 5.5).
+
+"Since Graphene IR precisely describes the implementation of tensor
+computations, generating CUDA C++ code boils down to printing the IR as
+valid CUDA C++."  Decomposed specs print recursively; leaf specs match
+the architecture's atomic table and emit either plain CUDA or inline PTX
+(ldmatrix, mma, cp.async); tensor accesses compile into simplified scalar
+index expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ir.expr import Const, IntExpr
+from ..ir.stmt import (
+    Block, Comment, ForLoop, If, SpecStmt, Stmt, SyncThreads, SyncWarp,
+)
+from ..layout import inttuple as it
+from ..specs.atomic import AtomicSpec, match_atomic
+from ..specs.base import Allocate, Spec
+from ..specs.kernel import Kernel
+from ..tensor.dtypes import FP16, FP32, DType
+from ..tensor.memspace import GL, RF, SH
+from ..tensor.tensor import Tensor, Tile
+from .emitters import EMITTERS, EmitterContext
+
+_PRELUDE = """\
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+"""
+
+
+class KernelSource:
+    """Generated CUDA for one kernel plus its launch configuration."""
+
+    __slots__ = ("name", "code", "grid_dim", "block_dim", "smem_bytes")
+
+    def __init__(self, name, code, grid_dim, block_dim, smem_bytes):
+        self.name = name
+        self.code = code
+        self.grid_dim = grid_dim
+        self.block_dim = block_dim
+        self.smem_bytes = smem_bytes
+
+    def __repr__(self):
+        return (
+            f"KernelSource({self.name}, <<<{self.grid_dim}, "
+            f"{self.block_dim}, {self.smem_bytes}B>>>)"
+        )
+
+
+class CudaGenerator:
+    """Prints Graphene kernels as CUDA C++ for one architecture."""
+
+    def __init__(self, arch):
+        self.arch = arch
+
+    # -- public API -------------------------------------------------------------
+    def generate(self, kernel: Kernel) -> KernelSource:
+        lines: List[str] = [_PRELUDE]
+        lines.append(self._signature(kernel) + " {")
+        body: List[str] = []
+        smem_bytes = 0
+        for alloc in kernel.allocations():
+            decl, nbytes = self._declaration(alloc)
+            body.append("    " + decl)
+            smem_bytes += nbytes
+        self._emit_block(kernel.body, body, indent=1)
+        lines.extend(body)
+        lines.append("}")
+        return KernelSource(
+            kernel.name,
+            "\n".join(lines) + "\n",
+            kernel.grid_size(),
+            kernel.block_size(),
+            smem_bytes,
+        )
+
+    # -- declarations ---------------------------------------------------------------
+    def _signature(self, kernel: Kernel) -> str:
+        params = []
+        for p in kernel.params:
+            const = "const " if p.name not in self._written_names(kernel) else ""
+            params.append(f"{const}{p.dtype.c_name} *__restrict__ {p.name}")
+        for sym in kernel.symbols:
+            params.append(f"int {sym.name}")
+        joined = ", ".join(params)
+        return f"__global__ void {kernel.name}({joined})"
+
+    @staticmethod
+    def _written_names(kernel: Kernel) -> set:
+        written = set()
+        for spec in kernel.specs():
+            for out in spec.outputs:
+                written.add(out.buffer)
+        return written
+
+    def _declaration(self, tensor: Tensor) -> Tuple[str, int]:
+        cosize = tensor.layout.cosize()
+        if not isinstance(cosize, int):
+            raise ValueError(f"cannot allocate symbolic tensor {tensor!r}")
+        if not tensor.swizzle.is_identity():
+            window = 1
+            while window < cosize:
+                window <<= 1
+            cosize = window
+        ctype = tensor.dtype.c_name
+        if tensor.mem == SH:
+            return (
+                f"__shared__ {ctype} {tensor.buffer}[{cosize}];",
+                cosize * tensor.dtype.bytes,
+            )
+        if tensor.mem == RF:
+            return f"{ctype} {tensor.buffer}[{cosize}];", 0
+        raise ValueError(f"cannot declare {tensor!r}")
+
+    # -- statements -------------------------------------------------------------------
+    def _emit_block(self, block: Block, out: List[str], indent: int) -> None:
+        for stmt in block:
+            self._emit_stmt(stmt, out, indent)
+
+    def _emit_stmt(self, stmt: Stmt, out: List[str], indent: int) -> None:
+        pad = "    " * indent
+        if isinstance(stmt, Block):
+            self._emit_block(stmt, out, indent)
+        elif isinstance(stmt, Comment):
+            out.append(f"{pad}// {stmt.text}")
+        elif isinstance(stmt, SyncThreads):
+            out.append(f"{pad}__syncthreads();")
+        elif isinstance(stmt, SyncWarp):
+            out.append(f"{pad}__syncwarp();")
+        elif isinstance(stmt, ForLoop):
+            if stmt.unroll:
+                out.append(f"{pad}#pragma unroll")
+            var = stmt.var.name
+            cond = f"{var} < {stmt.stop.to_c()}"
+            step = stmt.step.to_c()
+            out.append(
+                f"{pad}for (int {var} = {stmt.start.to_c()}; {cond}; "
+                f"{var} += {step}) {{"
+            )
+            self._emit_block(stmt.body, out, indent + 1)
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, If):
+            cond = " && ".join(
+                f"{a.to_c()} < {b.to_c()}" for a, b in stmt.predicates
+            ) or "true"
+            out.append(f"{pad}if ({cond}) {{")
+            self._emit_block(stmt.then, out, indent + 1)
+            if stmt.orelse is not None:
+                out.append(f"{pad}}} else {{")
+                self._emit_block(stmt.orelse, out, indent + 1)
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, SpecStmt):
+            self._emit_spec(stmt.spec, out, indent)
+        else:
+            raise ValueError(f"cannot generate code for {stmt!r}")
+
+    # -- specs -----------------------------------------------------------------------------
+    def _emit_spec(self, spec: Spec, out: List[str], indent: int) -> None:
+        pad = "    " * indent
+        if isinstance(spec, Allocate):
+            return  # hoisted
+        if spec.body is not None:
+            out.append(f"{pad}// {spec.kind} {spec.label}".rstrip())
+            self._emit_block(spec.body, out, indent)
+            return
+        atomic = match_atomic(spec, self.arch.atomics)
+        emitter = EMITTERS.get(atomic.name) or EMITTERS.get(atomic.kind)
+        if emitter is None:
+            raise ValueError(
+                f"no CUDA emitter for atomic spec {atomic.name!r}"
+            )
+        ctx = EmitterContext(pad=pad)
+        for line in emitter(spec, atomic, ctx):
+            out.append(pad + line)

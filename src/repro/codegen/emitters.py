@@ -1,0 +1,297 @@
+"""CUDA emitters for atomic specifications.
+
+Each emitter turns one matched leaf spec into CUDA C++ lines — plain
+assignments for scalar instructions, ``reinterpret_cast`` copies for
+vectorized moves, and inline PTX for tensor instructions (ldmatrix, mma,
+cp.async), mirroring the paper's Figure 1c output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Tuple
+
+from ..ir.expr import Const, IntExpr
+from ..layout import inttuple as it
+from ..specs.base import Spec
+from ..tensor.dtypes import FP16, FP32, DType
+from ..tensor.memspace import GL, RF, SH
+from ..tensor.tensor import Tensor, Tile
+
+_tmp_counter = itertools.count()
+
+
+class EmitterContext:
+    """Per-emission state (currently only indentation bookkeeping)."""
+
+    def __init__(self, pad: str = ""):
+        self.pad = pad
+
+
+def _fresh(prefix: str) -> str:
+    return f"__{prefix}{next(_tmp_counter)}"
+
+
+# -- element addressing -------------------------------------------------------------
+def _swizzled(tensor: Tensor, offset_str: str) -> str:
+    sw = tensor.swizzle
+    if sw.is_identity():
+        return offset_str
+    mask = (1 << sw.bits) - 1
+    o = f"({offset_str})"
+    return f"({o} ^ ((({o} >> {sw.base + sw.shift}) & {mask}) << {sw.base}))"
+
+
+def element_offsets(tensor: Tensor) -> List[Tuple[IntExpr, List[str]]]:
+    """Per-element (offset expression, predicate strings), colex order."""
+    shape = tensor.layout.shape
+    if shape == ():
+        coords = [()]
+    else:
+        coords = list(it.iter_coords(shape))
+    out = []
+    for coord in coords:
+        wrapped = coord if isinstance(coord, tuple) else (coord,)
+        offset = tensor.offset + Const(tensor.layout(coord))
+        preds: List[str] = []
+        if tensor.guards is not None:
+            for d, guard in enumerate(tensor.guards):
+                if guard is None:
+                    continue
+                cd = wrapped[d] if d < len(wrapped) else 0
+                lhs = guard.origin + Const(cd) if isinstance(cd, int) else \
+                    guard.origin + cd
+                preds.append(f"{lhs.to_c()} < {guard.extent.to_c()}")
+        out.append((offset, preds))
+    return out
+
+
+def element_refs(tensor: Tensor) -> List[Tuple[str, List[str]]]:
+    """Per-element ``buffer[index]`` strings with their predicates."""
+    return [
+        (f"{tensor.buffer}[{_swizzled(tensor, off.to_c())}]", preds)
+        for off, preds in element_offsets(tensor)
+    ]
+
+
+def frag_refs(tensor: Tensor) -> List[str]:
+    """Element refs of a (possibly one-level-tiled) register fragment,
+    in register order (tile-major, colex)."""
+    if not isinstance(tensor.element, Tile):
+        return [r for r, _ in element_refs(tensor)]
+    refs: List[str] = []
+    for crd in it.iter_coords(tensor.layout.shape):
+        tile = tensor[crd]
+        refs.extend(r for r, _ in element_refs(tile))
+    return refs
+
+
+def frag_b32_regs(tensor: Tensor) -> List[str]:
+    """The fragment reinterpreted as packed 32-bit registers.
+
+    fp16 pairs pack into one b32; fp32 values are one register each.
+    Requires the fragment's pairs to be contiguous, which the atomic
+    patterns guarantee.
+    """
+    offsets: List[IntExpr] = []
+    if isinstance(tensor.element, Tile):
+        for crd in it.iter_coords(tensor.layout.shape):
+            offsets.extend(o for o, _ in element_offsets(tensor[crd]))
+    else:
+        offsets = [o for o, _ in element_offsets(tensor)]
+    if tensor.dtype == FP16:
+        regs = []
+        for i in range(0, len(offsets), 2):
+            off = offsets[i]
+            if isinstance(off, Const):
+                index = str(off.value // 2)
+            else:
+                index = f"({off.to_c()}) / 2"
+            regs.append(f"((unsigned *)({tensor.buffer}))[{index}]")
+        return regs
+    return [f"{tensor.buffer}[{o.to_c()}]" for o in offsets]
+
+
+def _guarded(lines: List[str], preds: List[str]) -> List[str]:
+    if not preds:
+        return lines
+    cond = " && ".join(dict.fromkeys(preds))
+    if len(lines) == 1:
+        return [f"if ({cond}) {lines[0]}"]
+    return [f"if ({cond}) {{"] + ["    " + l for l in lines] + ["}"]
+
+
+def _cast(value: str, src: DType, dst: DType) -> str:
+    if src == dst:
+        return value
+    if src == FP16 and dst != FP16:
+        return f"__half2float({value})"
+    if dst == FP16 and src != FP16:
+        return f"__float2half({value})"
+    return f"({dst.c_name})({value})"
+
+
+# -- moves ------------------------------------------------------------------------------
+_VECTOR_CASTS = {16: "float4", 8: "float2", 4: "float"}
+
+
+def emit_move(spec, atomic, ctx) -> List[str]:
+    """Per-thread moves: vectorized when possible, elementwise otherwise."""
+    src, dst = spec.src, spec.dst
+    src_refs = element_refs(src)
+    dst_refs = element_refs(dst)
+    nbytes = len(src_refs) * src.dtype.bytes
+    vector_ok = (
+        src.dtype == dst.dtype
+        and len(src_refs) > 1
+        and nbytes in _VECTOR_CASTS
+        and atomic.name != "move.thread.generic"
+    )
+    if vector_ok:
+        vec = _VECTOR_CASTS[nbytes]
+        s = src_refs[0][0]
+        d = dst_refs[0][0]
+        preds = src_refs[0][1] + dst_refs[0][1]
+        line = (
+            f"*reinterpret_cast<{vec} *>(&{d}) = "
+            f"*reinterpret_cast<const {vec} *>(&{s});"
+        )
+        if atomic.name.startswith("cp.async"):
+            line = (
+                f"__pipeline_memcpy_async(&{d}, &{s}, {nbytes}); "
+                f"// {atomic.instruction}"
+            )
+        return _guarded([line], preds)
+    lines: List[str] = []
+    for (s, sp), (d, dp) in zip(src_refs, dst_refs):
+        value = _cast(s, src.dtype, dst.dtype)
+        lines.extend(_guarded([f"{d} = {value};"], sp + dp))
+    return lines
+
+
+def emit_ldmatrix(spec, atomic, ctx) -> List[str]:
+    """Inline-PTX ldmatrix, as in paper Figure 1c."""
+    src, dst = spec.src, spec.dst
+    num = len(frag_b32_regs(dst))
+    regs = frag_b32_regs(dst)
+    outs = ", ".join(f"%{i}" for i in range(num))
+    constraints = ", ".join(f'"=r"({r})' for r in regs)
+    addr = _fresh("smem_addr")
+    src_off = element_offsets(src)[0][0].to_c()
+    ptr = f"&{src.buffer}[{_swizzled(src, src_off)}]"
+    return [
+        "{",
+        f"    unsigned {addr} = (unsigned)__cvta_generic_to_shared({ptr});",
+        f'    asm volatile("{atomic.instruction} {{{outs}}}, [%{num}];\\n"',
+        f"        : {constraints}",
+        f'        : "r"({addr}));',
+        "}",
+    ]
+
+
+def emit_mma(spec, atomic, ctx) -> List[str]:
+    """Inline-PTX Tensor Core mma with packed fragment registers."""
+    a_regs = frag_b32_regs(spec.a)
+    b_regs = frag_b32_regs(spec.b)
+    c_regs = frag_b32_regs(spec.c)
+    nc, na, nb = len(c_regs), len(a_regs), len(b_regs)
+    d_ph = ", ".join(f"%{i}" for i in range(nc))
+    a_ph = ", ".join(f"%{i}" for i in range(nc, nc + na))
+    b_ph = ", ".join(f"%{i}" for i in range(nc + na, nc + na + nb))
+    asm = (
+        f"{atomic.instruction} {{{d_ph}}}, {{{a_ph}}}, {{{b_ph}}}, "
+        f"{{{d_ph}}};"
+    )
+    c_constraints = ", ".join(f'"+f"({r})' for r in c_regs)
+    ab_constraints = ", ".join(f'"r"({r})' for r in a_regs + b_regs)
+    return [
+        f'asm volatile("{asm}\\n"',
+        f"    : {c_constraints}",
+        f"    : {ab_constraints});",
+    ]
+
+
+# -- thread-local compute ------------------------------------------------------------------
+def emit_thread_matmul(spec, atomic, ctx) -> List[str]:
+    lines = []
+    a_refs = element_refs(spec.a)
+    b_refs = element_refs(spec.b)
+    c_refs = element_refs(spec.c)
+    for (a, ap), (b, bp), (c, cp) in zip(a_refs, b_refs, c_refs):
+        lines.extend(_guarded([f"{c} += {a} * {b};"], ap + bp + cp))
+    return lines
+
+
+def emit_pointwise(spec, atomic, ctx) -> List[str]:
+    out = spec.outputs[0]
+    in_refs = [element_refs(t) for t in spec.inputs]
+    out_refs = element_refs(out)
+    lines = []
+    for i, (o, op_preds) in enumerate(out_refs):
+        args = []
+        preds = list(op_preds)
+        for t, refs in zip(spec.inputs, in_refs):
+            r, p = refs[i if len(refs) > 1 else 0]
+            args.append(_cast(r, t.dtype, FP32))
+            preds.extend(p)
+        value = spec.op.c_expr(*args)
+        lines.extend(
+            _guarded([f"{o} = {_cast(value, FP32, out.dtype)};"], preds)
+        )
+    return lines
+
+
+def emit_reduction(spec, atomic, ctx) -> List[str]:
+    src = spec.inputs[0]
+    dst = spec.outputs[0]
+    acc = _fresh("red")
+    refs = [r for r, _ in element_refs(src)]
+    lines = [f"float {acc} = {_cast(refs[0], src.dtype, FP32)};"]
+    for r in refs[1:]:
+        lines.append(
+            f"{acc} = {spec.op.c_expr(acc, _cast(r, src.dtype, FP32))};"
+        )
+    for o, preds in element_refs(dst):
+        lines.extend(_guarded([f"{o} = {_cast(acc, FP32, dst.dtype)};"], preds))
+    return lines
+
+
+def emit_init(spec, atomic, ctx) -> List[str]:
+    out = spec.outputs[0]
+    value = f"{float(spec.value)}f"
+    lines = []
+    for o, preds in element_refs(out):
+        lines.extend(_guarded([f"{o} = {_cast(value, FP32, out.dtype)};"], preds))
+    return lines
+
+
+def emit_shfl(spec, atomic, ctx) -> List[str]:
+    src = spec.inputs[0]
+    dst = spec.outputs[0]
+    lines = []
+    for (s, sp), (d, dp) in zip(element_refs(src), element_refs(dst)):
+        lines.extend(
+            _guarded(
+                [f"{d} = __shfl_xor_sync(0xffffffffu, {s}, "
+                 f"{spec.xor_mask});"],
+                sp + dp,
+            )
+        )
+    return lines
+
+
+#: Emitters keyed by atomic name, falling back to the spec kind.
+EMITTERS: Dict[str, Callable] = {
+    "Move": emit_move,
+    "MatMul": emit_thread_matmul,
+    "UnaryPointwise": emit_pointwise,
+    "BinaryPointwise": emit_pointwise,
+    "Reduction": emit_reduction,
+    "Init": emit_init,
+    "Shfl": emit_shfl,
+    "mma.16816": emit_mma,
+    "mma.884": emit_mma,
+}
+for _n in ("ldmatrix.x4", "ldmatrix.x2", "ldmatrix.x1",
+           "ldmatrix.x4.trans", "ldmatrix.x2.trans", "ldmatrix.x1.trans"):
+    EMITTERS[_n] = emit_ldmatrix

@@ -1,0 +1,10 @@
+"""Evaluation harness: one generator per paper figure."""
+
+from .figures import ALL_FIGURES, run_all
+from .networks import NETWORKS, InferenceModel, TransformerConfig
+from .report import FigureReport
+
+__all__ = [
+    "ALL_FIGURES", "run_all", "NETWORKS", "InferenceModel",
+    "TransformerConfig", "FigureReport",
+]

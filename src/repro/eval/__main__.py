@@ -1,0 +1,29 @@
+"""Regenerate the paper's evaluation from the command line.
+
+Usage::
+
+    python -m repro.eval            # all figures
+    python -m repro.eval fig11 fig14
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .figures import ALL_FIGURES
+
+
+def main(argv) -> int:
+    names = argv or sorted(ALL_FIGURES)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}; available: {sorted(ALL_FIGURES)}")
+        return 2
+    for name in names:
+        print(ALL_FIGURES[name]().format_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

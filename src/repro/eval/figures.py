@@ -1,0 +1,311 @@
+"""Generators for every table/figure of the paper's evaluation.
+
+Each ``figure_*`` function builds the Graphene kernels of that
+experiment at paper scale, analyses their IR with the performance model,
+times the library baselines with their cost models, and returns a
+:class:`FigureReport` with paper-claimed vs model-measured rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..arch import AMPERE, VOLTA
+from ..arch.gpu import Architecture
+from ..kernels.fmha import build_fused_fmha
+from ..kernels.gemm_optimized import build_ampere_tc_gemm, build_volta_tc_gemm
+from ..kernels.epilogue import build_gemm_epilogue
+from ..kernels.layernorm import build_layernorm
+from ..kernels.lstm import build_fused_lstm_cell
+from ..kernels.mlp import build_fused_mlp
+from ..library.cublas import CuBLAS, CuBLASLt
+from ..library.cudnn import CuDNN
+from ..library.torchref import PyTorchRef, TensorRTFMHA
+from ..perfmodel.counts import count_kernel
+from ..perfmodel.model import Efficiency, PerfModel
+from .networks import NETWORKS, InferenceModel
+from .report import FigureReport
+
+#: Fused attention pipelines sustain a lower fraction of Tensor Core
+#: peak than bulk GEMMs (small tiles, softmax on the critical path).
+ATTENTION_CLASS = Efficiency(tensor=0.58, fma=0.85, dram=0.82, smem=0.85)
+
+#: The paper's Figure 9 problem sizes (footnote 1).
+GEMM_SIZES = {
+    "volta": (5120, 5120, 2048),
+    "ampere": (5376, 5376, 2048),
+}
+
+_ARCHES = {"volta": VOLTA, "ampere": AMPERE}
+
+
+def _gemm_kernel(arch_name: str, m: int, n: int, k: int, **kw):
+    if arch_name == "ampere":
+        return build_ampere_tc_gemm(m, n, k, block_tile=(128, 128, 32),
+                                    warp_grid=(2, 2), **kw)
+    return build_volta_tc_gemm(m, n, k, block_tile=(128, 128, 32),
+                               warp_grid=(4, 4), qp_tile=(2, 2), **kw)
+
+
+def figure_9(arch_names=("volta", "ampere")) -> FigureReport:
+    """GEMM vs cuBLAS: speedup and % of theoretical peak."""
+    report = FigureReport(
+        "Figure 9", "Graphene GEMM vs cuBLAS",
+        ["arch", "graphene_us", "cublas_us", "speedup",
+         "compute_pct", "memory_pct", "paper_speedup"],
+    )
+    for arch_name in arch_names:
+        arch = _ARCHES[arch_name]
+        m, n, k = GEMM_SIZES[arch_name]
+        kernel = _gemm_kernel(arch_name, m, n, k)
+        model = PerfModel(arch)
+        graphene = model.estimate_kernel(kernel)
+        cublas = CuBLAS(arch).gemm_estimate(m, n, k)
+        report.add_row(
+            arch.name,
+            graphene.total_seconds * 1e6,
+            cublas.total_seconds * 1e6,
+            cublas.total_seconds / graphene.total_seconds,
+            100 * graphene.compute_fraction,
+            100 * graphene.memory_fraction,
+            1.0,
+        )
+    report.note("paper: Graphene exactly matches cuBLAS on both GPUs; "
+                "kernels are compute-bound")
+    return report
+
+
+def figure_10(arch_names=("volta", "ampere")) -> FigureReport:
+    """GEMM + pointwise epilogues vs cuBLASLt."""
+    report = FigureReport(
+        "Figure 10", "Fused GEMM+pointwise vs cuBLASLt",
+        ["arch", "epilogue", "graphene_us", "cublaslt_us", "speedup",
+         "paper_speedup"],
+    )
+    variants = [
+        ("bias", True, None),
+        ("relu", False, "relu"),
+        ("bias+relu", True, "relu"),
+        ("bias+gelu", True, "gelu"),
+    ]
+    for arch_name in arch_names:
+        arch = _ARCHES[arch_name]
+        m, n, k = GEMM_SIZES[arch_name]
+        model = PerfModel(arch)
+        lt = CuBLASLt(arch)
+        for label, bias, act in variants:
+            kernel = build_gemm_epilogue(
+                m, n, k, arch_name, bias=bias, activation=act,
+                block_tile=(128, 128, 32),
+                warp_grid=(2, 2) if arch_name == "ampere" else (4, 4),
+            )
+            graphene = model.estimate_kernel(kernel)
+            baseline = lt.gemm_epilogue_estimate(m, n, k, bias, act)
+            report.add_row(
+                arch.name, label,
+                graphene.total_seconds * 1e6,
+                baseline.total_seconds * 1e6,
+                baseline.total_seconds / graphene.total_seconds,
+                1.0,
+            )
+    report.note("paper: Graphene exactly matches cuBLASLt fused epilogues")
+    return report
+
+
+def figure_11(
+    m: int = 4096,
+    hidden: int = 128,
+    layer_counts=(1, 2, 4, 8, 12, 16, 20),
+    arch_names=("volta", "ampere"),
+) -> FigureReport:
+    """Multi-layer MLP fusion vs cumulative cuBLASLt launches."""
+    report = FigureReport(
+        "Figure 11", "Fused MLP vs per-layer cuBLASLt",
+        ["arch", "layers", "graphene_us", "cublaslt_us", "speedup",
+         "paper_max_speedup"],
+    )
+    for arch_name in arch_names:
+        arch = _ARCHES[arch_name]
+        model = PerfModel(arch)
+        lt = CuBLASLt(arch)
+        for layers in layer_counts:
+            kernel = build_fused_mlp(m, hidden, layers, block_rows=128,
+                                     warp_grid=(2, 2))
+            counts = count_kernel(kernel, AMPERE)
+            graphene = model.estimate_counts(counts, kernel.name)
+            baseline = layers * lt.mlp_layer_seconds(m, hidden)
+            report.add_row(
+                arch.name, layers,
+                graphene.total_seconds * 1e6,
+                baseline * 1e6,
+                baseline / graphene.total_seconds,
+                2.39,
+            )
+    report.note("paper: fusing all layers wins by up to 2.39x because "
+                "activations never leave shared memory")
+    report.note("fused-MLP work is counted from the SM86 kernel IR and "
+                "costed on each architecture's roofline")
+    return report
+
+
+def figure_12(
+    m: int = 4096,
+    n: int = 4096,
+    k: int = 768,
+    arch_names=("volta", "ampere"),
+) -> FigureReport:
+    """Fused LSTM cell vs 5-kernel and 2-kernel library lowerings."""
+    report = FigureReport(
+        "Figure 12", "Fused LSTM cell vs CUDA libraries",
+        ["arch", "graphene_us", "five_kernel_us", "two_kernel_us",
+         "speedup_vs_5k", "paper_speedup"],
+    )
+    paper = {"volta": 1.75, "ampere": 1.82}
+    for arch_name in arch_names:
+        arch = _ARCHES[arch_name]
+        model = PerfModel(arch)
+        blas = CuBLAS(arch)
+        lt = CuBLASLt(arch)
+        dnn = CuDNN(arch)
+        kernel = build_fused_lstm_cell(m, n, k, block_tile=(128, 128, 32),
+                                       warp_grid=(2, 2))
+        counts = count_kernel(kernel, AMPERE)
+        graphene = model.estimate_counts(counts, kernel.name)
+        five = (
+            2 * blas.gemm_seconds(m, n, k)
+            + dnn.pointwise_seconds(m * n, num_inputs=2)  # add
+            + dnn.bias_activation_seconds(m, n)           # bias
+            + dnn.pointwise_seconds(m * n, num_inputs=1)  # activation
+        )
+        two = lt.lstm_two_kernel_seconds(m, n, k)
+        report.add_row(
+            arch.name,
+            graphene.total_seconds * 1e6,
+            five * 1e6,
+            two * 1e6,
+            five / graphene.total_seconds,
+            paper[arch_name],
+        )
+    report.note("paper: 1.75x (Volta) / 1.82x (Ampere) over the unfused "
+                "5-kernel lowering")
+    return report
+
+
+def figure_13(
+    rows: int = 12288,
+    hiddens=(256, 512, 1024, 2048),
+    arch_name: str = "ampere",
+) -> FigureReport:
+    """Layernorm vs PyTorch Eager/JIT/fused and NVIDIA Apex."""
+    arch = _ARCHES[arch_name]
+    model = PerfModel(arch)
+    torch = PyTorchRef(arch)
+    report = FigureReport(
+        "Figure 13", "Layernorm vs PyTorch reference implementations",
+        ["hidden", "graphene_us", "eager_us", "jit_us", "fused_us",
+         "apex_us", "speedup_vs_eager"],
+    )
+    for hidden in hiddens:
+        kernel = build_layernorm(rows, hidden, warps_per_block=4)
+        graphene = model.estimate_kernel(
+            kernel, efficiency=Efficiency(dram=0.86)
+        )
+        impls = {
+            impl: torch.layernorm_seconds(rows, hidden, impl)
+            for impl in ("eager", "jit", "fused", "apex")
+        }
+        report.add_row(
+            hidden,
+            graphene.total_seconds * 1e6,
+            impls["eager"] * 1e6,
+            impls["jit"] * 1e6,
+            impls["fused"] * 1e6,
+            impls["apex"] * 1e6,
+            impls["eager"] / graphene.total_seconds,
+        )
+    report.note("paper: Graphene matches the best implementation "
+                "(Apex / built-in fused) for every size")
+    return report
+
+
+def figure_14(
+    heads: int = 16,
+    batch: int = 32,
+    seq: int = 384,
+    head_dim: int = 64,
+    arch_name: str = "ampere",
+) -> FigureReport:
+    """Fused multi-head attention vs unfused baseline and MLPerf kernel."""
+    arch = _ARCHES[arch_name]
+    model = PerfModel(arch)
+    report = FigureReport(
+        "Figure 14", "FMHA (MLPerf BERT configuration)",
+        ["impl", "time_us", "speedup_vs_unfused", "paper_claim"],
+    )
+    kernel = build_fused_fmha(heads * batch, seq, head_dim, kv_chunk=64)
+    graphene = model.estimate_kernel(kernel, efficiency=ATTENTION_CLASS)
+    unfused = PyTorchRef(arch).unfused_attention_seconds(
+        heads, batch, seq, head_dim, softmax_fused=False
+    )
+    trt = TensorRTFMHA(arch).fmha_seconds(heads, batch, seq, head_dim)
+    report.add_row("cuBLAS + softmax (unfused)", unfused * 1e6, 1.0,
+                   "baseline")
+    report.add_row("TensorRT MLPerf fused", trt * 1e6, unfused / trt,
+                   "fast, fused")
+    report.add_row(
+        "Graphene fused", graphene.total_seconds * 1e6,
+        unfused / graphene.total_seconds,
+        "small speedup over MLPerf",
+    )
+    report.note("paper: Graphene slightly outperforms the MLPerf kernels "
+                "thanks to optimized shared-memory layouts")
+    return report
+
+
+def figure_15(arch_name: str = "ampere") -> FigureReport:
+    """End-to-end transformer inference with injected FMHA kernels."""
+    arch = _ARCHES[arch_name]
+    model = PerfModel(arch)
+    inference = InferenceModel(arch)
+    report = FigureReport(
+        "Figure 15", "Transformer inference with Graphene FMHA injected",
+        ["network", "pytorch_ms", "graphene_ms", "speedup_pct",
+         "fmha_fraction_pct", "paper_max_pct"],
+    )
+    for name, cfg in NETWORKS.items():
+        head_dim = cfg.hidden // cfg.heads
+        kernel = build_fused_fmha(
+            cfg.heads * cfg.batch, cfg.seq, head_dim, kv_chunk=64
+        )
+        fmha = model.estimate_kernel(
+            kernel, efficiency=ATTENTION_CLASS
+        ).total_seconds
+        base = inference.network_time(cfg)
+        fused = inference.network_time(cfg, fmha_seconds=fmha)
+        report.add_row(
+            name,
+            base * 1e3,
+            fused * 1e3,
+            100 * (base / fused - 1.0),
+            100 * inference.attention_fraction(cfg),
+            59.0,
+        )
+    report.note("paper: up to 59% end-to-end speedup; speedup correlates "
+                "with each network's FMHA time fraction")
+    return report
+
+
+ALL_FIGURES = {
+    "fig9": figure_9,
+    "fig10": figure_10,
+    "fig11": figure_11,
+    "fig12": figure_12,
+    "fig13": figure_13,
+    "fig14": figure_14,
+    "fig15": figure_15,
+}
+
+
+def run_all() -> Dict[str, FigureReport]:
+    """Regenerate every evaluation figure."""
+    return {name: fn() for name, fn in ALL_FIGURES.items()}

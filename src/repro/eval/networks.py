@@ -1,0 +1,78 @@
+"""Transformer-network op graphs for end-to-end inference (Figure 15).
+
+Each network is modelled as its per-layer operator mix; times come from
+the library cost models (regular PyTorch inference) with Graphene's
+fused FMHA kernel optionally swapped in for the attention block —
+exactly the paper's custom-operator injection experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+from ..arch.gpu import Architecture
+from ..library.cublas import CuBLAS
+from ..library.cudnn import CuDNN
+from ..library.torchref import PyTorchRef
+
+
+class TransformerConfig(NamedTuple):
+    name: str
+    layers: int
+    hidden: int
+    heads: int
+    seq: int
+    batch: int
+    ff_mult: int = 4
+
+
+#: The five Huggingface networks of paper Figure 15.
+NETWORKS = {
+    "DistilBERT": TransformerConfig("DistilBERT", 6, 768, 12, 128, 32),
+    "BERT-base": TransformerConfig("BERT-base", 12, 768, 12, 384, 32),
+    "BERT-large": TransformerConfig("BERT-large", 24, 1024, 16, 384, 32),
+    "RoBERTa": TransformerConfig("RoBERTa", 12, 768, 12, 512, 32),
+    "GPT-2": TransformerConfig("GPT-2", 12, 768, 12, 768, 32),
+}
+
+
+class InferenceModel:
+    """Per-layer operator timing for transformer inference."""
+
+    def __init__(self, arch: Architecture):
+        self.arch = arch
+        self.blas = CuBLAS(arch)
+        self.torch = PyTorchRef(arch)
+        self.dnn = CuDNN(arch)
+
+    def layer_times(self, cfg: TransformerConfig) -> Dict[str, float]:
+        tokens = cfg.batch * cfg.seq
+        h = cfg.hidden
+        head_dim = h // cfg.heads
+        times = {
+            "qkv_proj": self.blas.gemm_seconds(tokens, 3 * h, h),
+            "attention": self.torch.unfused_attention_seconds(
+                cfg.heads, cfg.batch, cfg.seq, head_dim
+            ),
+            "out_proj": self.blas.gemm_seconds(tokens, h, h),
+            "ffn_up": self.blas.gemm_seconds(tokens, cfg.ff_mult * h, h),
+            "ffn_down": self.blas.gemm_seconds(tokens, h, cfg.ff_mult * h),
+            "layernorms": 2 * self.torch.layernorm_seconds(
+                tokens, h, impl="fused"
+            ),
+            "residuals": 2 * self.dnn.pointwise_seconds(tokens * h),
+        }
+        return times
+
+    def network_time(self, cfg: TransformerConfig,
+                     fmha_seconds: float = None) -> float:
+        """End-to-end inference time; ``fmha_seconds`` (per full
+        attention block, all heads) replaces the PyTorch attention."""
+        times = self.layer_times(cfg)
+        if fmha_seconds is not None:
+            times["attention"] = fmha_seconds
+        return cfg.layers * sum(times.values())
+
+    def attention_fraction(self, cfg: TransformerConfig) -> float:
+        times = self.layer_times(cfg)
+        return times["attention"] / sum(times.values())

@@ -1,0 +1,54 @@
+"""Reporting helpers: paper-claimed vs model-measured tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class FigureReport:
+    """One reproduced table/figure: rows of labelled measurements."""
+
+    def __init__(self, figure: str, title: str, columns: Sequence[str]):
+        self.figure = figure
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[list] = []
+        self.notes: List[str] = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def format_table(self) -> str:
+        def fmt(v):
+            if isinstance(v, float):
+                return f"{v:.3g}"
+            return str(v)
+
+        table = [self.columns] + [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(row[i]) for row in table) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.figure}: {self.title} =="]
+        for r, row in enumerate(table):
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+            if r == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return self.format_table()

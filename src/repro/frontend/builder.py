@@ -1,0 +1,191 @@
+"""The Python API for authoring Graphene IR (paper Section 5.4).
+
+Graphene IR "is not meant to be written directly, due to its verbosity";
+the paper generates it from a Python API.  :class:`KernelBuilder`
+assembles a kernel's statement tree: parameters, allocations, loops,
+conditionals, barriers, and specs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional, Sequence, Union
+
+from ..ir.expr import Const, IntExpr, Var, as_expr
+from ..ir.stmt import (
+    Block, Comment, ForLoop, If, SpecStmt, SyncThreads, SyncWarp,
+)
+from ..layout.layout import Layout, row_major
+from ..layout.swizzle import IDENTITY_SWIZZLE, Swizzle
+from ..specs.base import (
+    Allocate, BinaryPointwise, GenericSpec, Init, MatMul, Move, Reduction,
+    Shfl, Spec, UnaryPointwise,
+)
+from ..specs.kernel import Kernel
+from ..specs.ops import ScalarOp, scalar_op
+from ..tensor.dtypes import DType
+from ..tensor.memspace import GL, RF, SH, MemSpace
+from ..tensor.tensor import Tensor
+from ..threads.threadgroup import BLOCK, THREAD, ThreadGroup
+
+
+class KernelBuilder:
+    """Builds one kernel's IR imperatively."""
+
+    def __init__(self, name: str, grid, block):
+        if not isinstance(grid, ThreadGroup):
+            grid = ThreadGroup("grid", Layout(grid), BLOCK)
+        if not isinstance(block, ThreadGroup):
+            block = ThreadGroup("threads", Layout(block), THREAD)
+        self.name = name
+        self.grid = grid
+        self.block = block
+        self._params: List[Tensor] = []
+        self._symbols: List[Var] = []
+        self._stack: List[List] = [[]]
+        self._alloc_names: set = set()
+
+    # -- declarations -----------------------------------------------------------
+    def param(
+        self,
+        name: str,
+        shape,
+        dtype: DType,
+        stride=None,
+    ) -> Tensor:
+        """Declare a global-memory kernel parameter tensor."""
+        if stride is None:
+            layout = row_major(tuple(shape) if isinstance(shape, (tuple, list))
+                               else shape)
+        else:
+            layout = Layout(shape, stride)
+        tensor = Tensor(name, layout, dtype, GL)
+        self._params.append(tensor)
+        return tensor
+
+    def symbol(self, name: str, hi: Optional[int] = None) -> Var:
+        """Declare a parametric-shape variable (extra kernel parameter)."""
+        var = Var(name, 0, hi)
+        self._symbols.append(var)
+        return var
+
+    def alloc(
+        self,
+        name: str,
+        shape,
+        dtype: DType,
+        mem: MemSpace,
+        stride=None,
+        swizzle: Swizzle = IDENTITY_SWIZZLE,
+    ) -> Tensor:
+        """Allocate a temporary tensor in shared memory or registers."""
+        if mem == GL:
+            raise ValueError("temporaries must live in SH or RF")
+        if name in self._alloc_names:
+            raise ValueError(f"duplicate allocation name {name!r}")
+        self._alloc_names.add(name)
+        if stride is None:
+            layout = row_major(tuple(shape) if isinstance(shape, (tuple, list))
+                               else shape)
+        else:
+            layout = Layout(shape, stride)
+        tensor = Tensor(name, layout, dtype, mem, swizzle=swizzle)
+        self._emit(SpecStmt(Allocate([], [tensor], self._exec())))
+        return tensor
+
+    # -- structured statements -----------------------------------------------------
+    @contextmanager
+    def loop(self, name: str, stop, start=0, step=1, unroll: bool = True):
+        """``for name in range(start, stop, step)``; yields the loop Var."""
+        hi = None
+        if isinstance(stop, int) and isinstance(step, int) and step > 0:
+            hi = stop - 1
+        var = Var(name, start if isinstance(start, int) else 0, hi)
+        self._stack.append([])
+        try:
+            yield var
+        finally:
+            body = Block(self._stack.pop())
+            self._emit(ForLoop(var, stop, body, start=start, step=step,
+                               unroll=unroll))
+
+    @contextmanager
+    def when(self, predicates):
+        """Guard the nested statements with ``all(lhs < rhs)`` pairs."""
+        self._stack.append([])
+        try:
+            yield
+        finally:
+            body = Block(self._stack.pop())
+            self._emit(If(list(predicates), body))
+
+    def sync(self) -> None:
+        self._emit(SyncThreads())
+
+    def sync_warp(self) -> None:
+        self._emit(SyncWarp())
+
+    def comment(self, text: str) -> None:
+        self._emit(Comment(text))
+
+    # -- specs --------------------------------------------------------------------
+    def move(self, src: Tensor, dst: Tensor, threads=None, label: str = "") -> Move:
+        return self._spec(Move([src], [dst], self._exec(threads), label=label))
+
+    def matmul(self, a: Tensor, b: Tensor, c: Tensor, threads=None,
+               label: str = "") -> MatMul:
+        return self._spec(MatMul([a, b], [c], self._exec(threads), label=label))
+
+    def unary(self, op, x: Tensor, y: Tensor, threads=None) -> UnaryPointwise:
+        op = scalar_op(op) if isinstance(op, str) else op
+        return self._spec(UnaryPointwise([x], [y], self._exec(threads), op=op))
+
+    def binary(self, op, x: Tensor, y: Tensor, z: Tensor, threads=None
+               ) -> BinaryPointwise:
+        op = scalar_op(op) if isinstance(op, str) else op
+        return self._spec(
+            BinaryPointwise([x, y], [z], self._exec(threads), op=op)
+        )
+
+    def reduce(self, op, x: Tensor, y: Tensor, axes=(0,), threads=None
+               ) -> Reduction:
+        op = scalar_op(op) if isinstance(op, str) else op
+        return self._spec(
+            Reduction([x], [y], self._exec(threads), op=op, axes=axes)
+        )
+
+    def init(self, tensor: Tensor, value: float = 0.0, threads=None) -> Init:
+        return self._spec(Init([], [tensor], self._exec(threads), value=value))
+
+    def shfl(self, src: Tensor, dst: Tensor, xor_mask: int, threads=None
+             ) -> Shfl:
+        return self._spec(
+            Shfl([src], [dst], self._exec(threads), xor_mask=xor_mask)
+        )
+
+    def spec(self, spec: Spec) -> Spec:
+        """Emit a pre-built (possibly decomposed) spec."""
+        return self._spec(spec)
+
+    def _spec(self, spec: Spec) -> Spec:
+        self._emit(SpecStmt(spec))
+        return spec
+
+    def _exec(self, threads=None):
+        if threads is None:
+            threads = self.block.scalar()
+        if isinstance(threads, ThreadGroup):
+            threads = (threads,)
+        return (self.grid.scalar(),) + tuple(threads)
+
+    def _emit(self, stmt) -> None:
+        self._stack[-1].append(stmt)
+
+    # -- finalisation -----------------------------------------------------------------
+    def build(self) -> Kernel:
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed loop or when() block")
+        return Kernel(
+            self.name, self.grid, self.block, self._params,
+            Block(self._stack[0]), self._symbols,
+        )

@@ -1,0 +1,8 @@
+"""Graphene IR building blocks: expressions and statements."""
+
+from .expr import IntExpr, Const, Var, add, sub, mul, div, mod, as_expr, is_const
+
+__all__ = [
+    "IntExpr", "Const", "Var", "add", "sub", "mul", "div", "mod",
+    "as_expr", "is_const",
+]

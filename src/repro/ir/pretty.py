@@ -1,0 +1,113 @@
+"""Pretty-printing kernels as textual Graphene IR.
+
+The paper's listings (Figures 1d and 8) show Graphene IR as text:
+tensor declarations with ``%``/``#`` prefixes and full shape
+annotations, specs with ``<<<exec>>>`` configurations, and plain control
+flow.  ``format_kernel`` reproduces that presentation for any kernel —
+useful for debugging decompositions and for documentation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..specs.base import Allocate, Spec
+from ..specs.kernel import Kernel
+from .stmt import (
+    Block, Comment, ForLoop, If, SpecStmt, Stmt, SyncThreads, SyncWarp,
+)
+
+
+def format_kernel(kernel: Kernel) -> str:
+    """Render a kernel as a Graphene IR listing (paper Figure 8 style)."""
+    lines: List[str] = []
+    for param in kernel.params:
+        lines.append(f"{param!r}")
+    for sym in kernel.symbols:
+        lines.append(f"{sym.name}: i32 (parametric)")
+    lines.append(f"#grid:{kernel.grid.type_str()}")
+    lines.append(f"#threads:{kernel.block.type_str()}")
+    lines.append(
+        f"Spec {kernel.name} <<<#grid, #threads>>> "
+        f"({', '.join('%' + p.name for p in kernel.params)}) {{"
+    )
+    _format_block(kernel.body, lines, indent=1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_spec(spec: Spec, indent: int = 0) -> str:
+    lines: List[str] = []
+    _format_spec(spec, lines, indent)
+    return "\n".join(lines)
+
+
+def _pad(indent: int) -> str:
+    return "  " * indent
+
+
+def _format_block(block: Block, lines: List[str], indent: int) -> None:
+    for stmt in block:
+        _format_stmt(stmt, lines, indent)
+
+
+def _format_stmt(stmt: Stmt, lines: List[str], indent: int) -> None:
+    pad = _pad(indent)
+    if isinstance(stmt, Block):
+        _format_block(stmt, lines, indent)
+    elif isinstance(stmt, Comment):
+        lines.append(f"{pad}// {stmt.text}")
+    elif isinstance(stmt, SyncThreads):
+        lines.append(f"{pad}sync.threads")
+    elif isinstance(stmt, SyncWarp):
+        lines.append(f"{pad}sync.warp")
+    elif isinstance(stmt, ForLoop):
+        lines.append(
+            f"{pad}for({stmt.var.name} = {stmt.start.to_c()}; "
+            f"{stmt.var.name} < {stmt.stop.to_c()}; "
+            f"{stmt.var.name} += {stmt.step.to_c()}) {{"
+        )
+        _format_block(stmt.body, lines, indent + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, If):
+        cond = " && ".join(
+            f"{a.to_c()} < {b.to_c()}" for a, b in stmt.predicates
+        )
+        lines.append(f"{pad}if ({cond}) {{")
+        _format_block(stmt.then, lines, indent + 1)
+        if stmt.orelse is not None:
+            lines.append(f"{pad}}} else {{")
+            _format_block(stmt.orelse, lines, indent + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, SpecStmt):
+        _format_spec(stmt.spec, lines, indent)
+    else:
+        lines.append(f"{pad}<{type(stmt).__name__}>")
+
+
+def _format_spec(spec: Spec, lines: List[str], indent: int) -> None:
+    pad = _pad(indent)
+    if isinstance(spec, Allocate):
+        lines.append(f"{pad}Allocate {spec.tensor!r}")
+        return
+    execs = ", ".join(f"#{g.name}:{g.type_str()}" for g in spec.exec_config)
+    ins = ", ".join(_operand(t) for t in spec.inputs)
+    outs = ", ".join(_operand(t) for t in spec.outputs)
+    head = spec.kind
+    op = getattr(spec, "op", None)
+    if op is not None:
+        head = f"{spec.kind}<{op.name}>"
+    label = f"  // {spec.label}" if spec.label else ""
+    signature = f"{pad}{head} <<<{execs}>>> ({ins}) -> ({outs}){label}"
+    if spec.body is None:
+        lines.append(signature)
+    else:
+        lines.append(signature + " {")
+        _format_block(spec.body, lines, indent + 1)
+        lines.append(f"{pad}}}")
+
+
+def _operand(tensor) -> str:
+    offset = tensor.offset.to_c()
+    at = "" if offset == "0" else f" @ {offset}"
+    return f"%{tensor.name}:{tensor.type_str()}{at}"

@@ -1,0 +1,151 @@
+"""Statements forming the bodies of spec decompositions.
+
+Graphene provides "basic control flow statements, including loops and
+if-statements, and other expressions not operating on tensors like
+synchronizations or barriers" (paper Section 5.4).  A decomposition body
+is a :class:`Block` of statements; nested specs appear via
+:class:`SpecStmt`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .expr import IntExpr, Var, as_expr
+
+
+class Stmt:
+    """Base class for body statements."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Stmt", ...]:
+        return ()
+
+
+class Block(Stmt):
+    """An ordered sequence of statements."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt] = ()):
+        object.__setattr__(self, "stmts", tuple(stmts))
+
+    def __setattr__(self, *a):
+        raise AttributeError("Block is immutable")
+
+    def children(self):
+        return self.stmts
+
+    def __iter__(self):
+        return iter(self.stmts)
+
+    def __len__(self):
+        return len(self.stmts)
+
+
+class ForLoop(Stmt):
+    """``for (var = start; var < stop; var += step)`` over the body.
+
+    ``unroll`` requests ``#pragma unroll`` in generated CUDA.
+    """
+
+    __slots__ = ("var", "start", "stop", "step", "body", "unroll")
+
+    def __init__(
+        self,
+        var: Var,
+        stop,
+        body: Block,
+        start=0,
+        step=1,
+        unroll: bool = True,
+    ):
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "start", as_expr(start))
+        object.__setattr__(self, "stop", as_expr(stop))
+        object.__setattr__(self, "step", as_expr(step))
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "unroll", unroll)
+
+    def __setattr__(self, *a):
+        raise AttributeError("ForLoop is immutable")
+
+    def children(self):
+        return (self.body,)
+
+
+class If(Stmt):
+    """Conditional execution guarded by ``all(lhs < rhs)`` predicates.
+
+    Predicates are the pairs produced by tensor predication
+    (paper Section 3.4); an empty predicate list is always true.
+    """
+
+    __slots__ = ("predicates", "then", "orelse")
+
+    def __init__(
+        self,
+        predicates: Sequence[Tuple[IntExpr, IntExpr]],
+        then: Block,
+        orelse: Optional[Block] = None,
+    ):
+        object.__setattr__(
+            self, "predicates",
+            tuple((as_expr(a), as_expr(b)) for a, b in predicates),
+        )
+        object.__setattr__(self, "then", then)
+        object.__setattr__(self, "orelse", orelse)
+
+    def __setattr__(self, *a):
+        raise AttributeError("If is immutable")
+
+    def children(self):
+        if self.orelse is not None:
+            return (self.then, self.orelse)
+        return (self.then,)
+
+
+class SyncThreads(Stmt):
+    """A block-wide barrier (``__syncthreads()``)."""
+
+    __slots__ = ()
+
+
+class SyncWarp(Stmt):
+    """A warp-wide barrier (``__syncwarp()``)."""
+
+    __slots__ = ()
+
+
+class SpecStmt(Stmt):
+    """A nested spec occurrence inside a decomposition body."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec):
+        object.__setattr__(self, "spec", spec)
+
+    def __setattr__(self, *a):
+        raise AttributeError("SpecStmt is immutable")
+
+
+class Comment(Stmt):
+    """A comment carried through to the generated CUDA."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        object.__setattr__(self, "text", text)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Comment is immutable")
+
+
+def walk(stmt: Stmt):
+    """Yield ``stmt`` and every transitively nested statement."""
+    yield stmt
+    for child in stmt.children():
+        yield from walk(child)
+    if isinstance(stmt, SpecStmt) and stmt.spec.body is not None:
+        yield from walk(stmt.spec.body)

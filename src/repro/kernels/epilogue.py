@@ -1,0 +1,64 @@
+"""Fused GEMM + pointwise epilogues (paper Figure 10).
+
+cuBLASLt provides GEMM kernels with fused bias addition and activation
+functions; Graphene expresses the same fusion by applying pointwise
+specs to the accumulator register views before the epilogue stores them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..specs.kernel import Kernel
+from ..tensor.dtypes import FP16
+from .gemm_optimized import build_ampere_tc_gemm, build_volta_tc_gemm
+
+
+def pointwise_epilogue(bias: bool = True, activation: Optional[str] = "relu"):
+    """An epilogue callback adding ``+ bias`` and/or an activation.
+
+    The bias tensor (one value per output column) is declared as an
+    extra kernel parameter the first time the callback runs.
+    """
+
+    def apply(site):
+        kb = site.kb
+        n = site.c.dim(1)
+        bias_t = kb.param("bias", (n,), FP16) if bias else None
+        for view, row, col in site.pairs():
+            if bias_t is not None:
+                bias_vec = bias_t.tile((site.vec,))[col // site.vec]
+                kb.binary("add", view, bias_vec, view)
+            if activation is not None:
+                kb.unary(activation, view, view)
+
+    return apply
+
+
+def build_gemm_epilogue(
+    m: int,
+    n: int,
+    k: int,
+    arch: str = "ampere",
+    bias: bool = True,
+    activation: Optional[str] = "relu",
+    block_tile: Tuple[int, int, int] = (128, 128, 32),
+    warp_grid: Tuple[int, int] = (2, 2),
+    name: Optional[str] = None,
+) -> Kernel:
+    """A fused ``C = act(A @ B + bias)`` kernel (paper Figure 10)."""
+    if name is None:
+        suffix = ("bias_" if bias else "") + (activation or "identity")
+        name = f"graphene_gemm_{suffix}_{arch}"
+    epilogue = pointwise_epilogue(bias, activation)
+    if arch == "ampere":
+        return build_ampere_tc_gemm(
+            m, n, k, block_tile=block_tile, warp_grid=warp_grid,
+            name=name, epilogue=epilogue,
+        )
+    if arch == "volta":
+        return build_volta_tc_gemm(
+            m, n, k, block_tile=block_tile, warp_grid=warp_grid,
+            name=name, epilogue=epilogue,
+        )
+    raise ValueError(f"unknown arch {arch!r}")

@@ -1,0 +1,193 @@
+"""Shared Tensor Core machinery for SM86 fused kernels.
+
+:class:`WarpMmaEngine` packages the fragment thread-groups, register
+allocations, ldmatrix loads and mma issue loop that every Ampere kernel
+in this repo uses (GEMM, fused MLP/LSTM, FMHA).  A kernel instantiates
+one engine per logical GEMM and runs :meth:`mma_pass` over
+shared-memory operand tiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..frontend.builder import KernelBuilder
+from ..ir.expr import IntExpr, Var
+from ..tensor.dtypes import FP16, FP32
+from ..tensor.memspace import RF
+from ..tensor.tensor import Tensor
+from ..threads.threadgroup import warp as make_warp
+
+
+class WarpMmaEngine:
+    """Warp-level m16n8k16 Tensor Core pipeline for one logical GEMM.
+
+    The engine's warps tile an ``(mi_count*16) x (ni_count*8)`` output
+    per warp; ``warp_grid`` arranges warps over the block tile
+    column-major (warp w covers warp-tile ``(w % wm, w // wm)``).
+    """
+
+    def __init__(
+        self,
+        kb: KernelBuilder,
+        warp_grid: Tuple[int, int],
+        mi_count: int,
+        ni_count: int,
+        prefix: str = "",
+    ):
+        self.kb = kb
+        self.wm_count, self.wn_count = warp_grid
+        self.mi_count = mi_count
+        self.ni_count = ni_count
+        self.prefix = prefix
+
+        t = Var("threadIdx.x")
+        self.t = t
+        self.warps = kb.block.tile([32])
+        wid = self.warps.indices()[0]
+        self.wm = wid % self.wm_count
+        self.wn = wid // self.wm_count
+
+        w = make_warp()
+        grp_a = w.tile([8]).reshape((2, 2), order="col")
+        self.gma, self.gna = grp_a.indices()
+        self.local_a = grp_a.local_index()
+        grp_b = w.tile([8]).reshape((2, 2))
+        _, self.gnb = grp_b.indices()
+        self.local_b = grp_b.local_index()
+        lane = t % 32
+        self.group = lane // 4
+        self.tig = lane % 4
+
+        self.a_frags = [
+            kb.alloc(f"{prefix}a_frag_{mi}", (2, 4), FP16, RF)
+            for mi in range(mi_count)
+        ]
+        self.b_frags = [
+            kb.alloc(f"{prefix}b_frag_{ni}", (4,), FP16, RF)
+            for ni in range(ni_count)
+        ]
+
+    # -- accumulators --------------------------------------------------------
+    def make_accumulators(self, init: Optional[float] = 0.0
+                          ) -> Dict[Tuple[int, int], Tensor]:
+        accs = {}
+        for mi in range(self.mi_count):
+            for ni in range(self.ni_count):
+                acc = self.kb.alloc(
+                    f"{self.prefix}acc_{mi}_{ni}", (2, 2), FP32, RF
+                )
+                accs[(mi, ni)] = acc
+                if init is not None:
+                    self.kb.init(acc, init)
+        return accs
+
+    def init_accumulators(self, accs, value: float = 0.0) -> None:
+        for acc in accs.values():
+            self.kb.init(acc, value)
+
+    # -- the fragment-load + mma loop ---------------------------------------------
+    def mma_pass(
+        self,
+        smem_a: Tensor,
+        smem_b: Tensor,
+        accs: Dict[Tuple[int, int], Tensor],
+        ki_count: int,
+        use_ldmatrix: bool = True,
+        a_row_tile_offset: int = 0,
+        b_col_tile_offset: int = 0,
+        k_tile_offset: int = 0,
+        b_k_tile_offset: Optional[int] = None,
+        b_layout: str = "kn",
+    ) -> None:
+        """Issue all mma for one staged (A, B) shared-memory slice pair.
+
+        ``smem_a`` is ``[*, >=ki_count*16]`` fp16.  With the default
+        ``b_layout="kn"`` the B operand is stored ``[k, n]`` and loaded
+        with ``ldmatrix.trans``; ``b_layout="nk"`` reads a row-major
+        ``[n, k]`` operand (e.g. the K matrix of attention's Q @ K^T)
+        with plain ldmatrix.  Offsets select sub-ranges of larger
+        staging buffers in units of 8-wide tiles.
+        """
+        kb = self.kb
+        if b_k_tile_offset is None:
+            b_k_tile_offset = k_tile_offset
+        sm_a_tiles = smem_a.tile((8, 8))
+        sm_b_tiles = smem_b.tile((8, 8))
+        for kk in range(ki_count):
+            kts = (k_tile_offset + kk) * 2
+            kts_b = (b_k_tile_offset + kk) * 2
+            for mi in range(self.mi_count):
+                a_tile_row = (self.wm * self.mi_count + mi) * 2 \
+                    + a_row_tile_offset
+                if use_ldmatrix:
+                    row = sm_a_tiles[
+                        a_tile_row + self.gma, kts + self.gna
+                    ].tile((1, None))[self.local_a, 0]
+                    kb.move(row, self.a_frags[mi].tile((1, 2)),
+                            threads=self.warps, label="ldmatrix A")
+                else:
+                    self._scalar_a_frag(sm_a_tiles, kts, a_tile_row, mi)
+            for ni in range(self.ni_count):
+                b_tile_col = self.wn * self.ni_count + ni + b_col_tile_offset
+                if b_layout == "nk":
+                    rowb = sm_b_tiles[
+                        b_tile_col, kts_b + self.gnb
+                    ].tile((1, None))[self.local_b, 0]
+                    kb.move(rowb, self.b_frags[ni].tile((2,)),
+                            threads=self.warps, label="ldmatrix B")
+                elif use_ldmatrix:
+                    rowb = sm_b_tiles[
+                        kts_b + self.gnb, b_tile_col
+                    ].tile((1, None))[self.local_b, 0]
+                    kb.move(rowb, self.b_frags[ni].tile((2,)),
+                            threads=self.warps, label="ldmatrix B trans")
+                else:
+                    self._scalar_b_frag(sm_b_tiles, kts_b, b_tile_col, ni)
+            for mi in range(self.mi_count):
+                for ni in range(self.ni_count):
+                    kb.matmul(
+                        self.a_frags[mi].tile((1, 2)),
+                        self.b_frags[ni].tile((2,)),
+                        accs[(mi, ni)].tile((1, 2)),
+                        threads=self.warps,
+                    )
+
+    def _scalar_a_frag(self, sm_a_tiles, kts, a_tile_row, mi) -> None:
+        frag_tiles = self.a_frags[mi].tile((1, 2))
+        for q in range(4):
+            tile = sm_a_tiles[a_tile_row + (q % 2), kts + q // 2]
+            pair = tile.tile((1, 2))[self.group, self.tig]
+            self.kb.move(pair, frag_tiles[q % 2, q // 2])
+
+    def _scalar_b_frag(self, sm_b_tiles, kts, b_tile_col, ni) -> None:
+        frag_tiles = self.b_frags[ni].tile((2,))
+        for q in range(2):
+            tile = sm_b_tiles[kts + q, b_tile_col]
+            for j in range(2):
+                self.kb.move(
+                    tile[2 * self.tig + j, self.group], frag_tiles[q][j]
+                )
+
+    # -- accumulator views for epilogues/write-back ------------------------------------
+    def acc_entries(
+        self,
+        accs: Dict[Tuple[int, int], Tensor],
+        row_base,
+        col_base,
+    ) -> List[Tuple[Tensor, IntExpr, IntExpr]]:
+        """(fp32 pair view, row, col) for every accumulator pair.
+
+        Rows/cols are relative to ``row_base``/``col_base`` plus the
+        warp-tile and fragment coordinates of the calling thread.
+        """
+        entries = []
+        wtm = self.mi_count * 16
+        wtn = self.ni_count * 8
+        for (mi, ni), acc in accs.items():
+            acc_tiles = acc.tile((1, 2))
+            for q in (0, 1):
+                row = row_base + self.wm * wtm + mi * 16 + self.group + 8 * q
+                col = col_base + self.wn * wtn + ni * 8 + 2 * self.tig
+                entries.append((acc_tiles[q, 0], row, col))
+        return entries

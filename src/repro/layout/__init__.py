@@ -1,0 +1,21 @@
+"""Shapes, layouts, and the CuTe-style layout algebra."""
+
+from .inttuple import (
+    IntTuple, flatten, product, congruent, crd2idx, idx2crd,
+    compact_col_major, compact_row_major, format_int_tuple,
+)
+from .layout import Layout, make_layout, row_major, col_major
+from .algebra import (
+    LayoutAlgebraError, composition, complement, logical_divide,
+    divide_mode, logical_product, right_inverse, factor_offsets,
+)
+from .swizzle import Swizzle, SwizzledLayout, IDENTITY_SWIZZLE
+
+__all__ = [
+    "IntTuple", "flatten", "product", "congruent", "crd2idx", "idx2crd",
+    "compact_col_major", "compact_row_major", "format_int_tuple",
+    "Layout", "make_layout", "row_major", "col_major",
+    "LayoutAlgebraError", "composition", "complement", "logical_divide",
+    "divide_mode", "logical_product", "right_inverse", "factor_offsets",
+    "Swizzle", "SwizzledLayout", "IDENTITY_SWIZZLE",
+]

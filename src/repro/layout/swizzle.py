@@ -1,0 +1,123 @@
+"""XOR swizzle functors for bank-conflict-free shared-memory layouts.
+
+Paper Section 3.2 motivates layouts "beyond row/column-major" for shared
+memory: banks serve one thread per cycle, so optimized kernels permute
+(swizzle) where elements land to spread a warp's accesses across banks.
+Following CuTe, a swizzle is a bit-level XOR permutation applied after a
+base layout's offset computation.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..ir.expr import IntExpr
+from .layout import Layout
+
+
+class Swizzle:
+    """The functor ``o -> o XOR (((o >> (base+shift)) & mask) << base)``.
+
+    ``bits``  — number of address bits participating in the XOR,
+    ``base``  — number of least-significant bits left untouched,
+    ``shift`` — distance between the source and target bit fields.
+
+    ``Swizzle(0, b, s)`` is the identity.
+    """
+
+    __slots__ = ("bits", "base", "shift")
+
+    def __init__(self, bits: int, base: int, shift: int):
+        if bits < 0 or base < 0 or shift < bits:
+            raise ValueError(
+                f"invalid swizzle parameters bits={bits} base={base} shift={shift}"
+            )
+        object.__setattr__(self, "bits", bits)
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "shift", shift)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Swizzle is immutable")
+
+    def __call__(self, offset: int) -> int:
+        mask = (1 << self.bits) - 1
+        return offset ^ (((offset >> (self.base + self.shift)) & mask) << self.base)
+
+    def is_identity(self) -> bool:
+        return self.bits == 0
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Swizzle)
+            and (other.bits, other.base, other.shift)
+            == (self.bits, self.base, self.shift)
+        )
+
+    def __hash__(self):
+        return hash(("Swizzle", self.bits, self.base, self.shift))
+
+    def __repr__(self):
+        return f"Sw<{self.bits},{self.base},{self.shift}>"
+
+
+IDENTITY_SWIZZLE = Swizzle(0, 0, 0)
+
+
+class SwizzledLayout:
+    """A base layout post-composed with a swizzle permutation.
+
+    The logical shape is the base layout's shape; only the physical
+    offsets are permuted, so tiling and coordinate logic are unchanged.
+    """
+
+    __slots__ = ("base", "swizzle")
+
+    def __init__(self, base: Layout, swizzle: Swizzle):
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "swizzle", swizzle)
+
+    def __setattr__(self, *a):
+        raise AttributeError("SwizzledLayout is immutable")
+
+    @property
+    def shape(self):
+        return self.base.shape
+
+    @property
+    def stride(self):
+        return self.base.stride
+
+    def size(self) -> Union[int, IntExpr]:
+        return self.base.size()
+
+    def cosize(self) -> Union[int, IntExpr]:
+        # XOR permutes within a power-of-two window at least as large as
+        # the base cosize rounded up; conservatively report that window.
+        cosize = self.base.cosize()
+        if not isinstance(cosize, int):
+            return cosize
+        window = 1
+        top_bit = self.swizzle.base + self.swizzle.shift + self.swizzle.bits
+        while window < cosize:
+            window <<= 1
+        return max(window, 1 << top_bit) if not self.swizzle.is_identity() else cosize
+
+    def __call__(self, *coord) -> int:
+        return self.swizzle(self.base(*coord))
+
+    def offsets(self):
+        size = self.base.size()
+        return tuple(self(i) for i in range(size))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SwizzledLayout)
+            and other.base == self.base
+            and other.swizzle == self.swizzle
+        )
+
+    def __hash__(self):
+        return hash((self.base, self.swizzle))
+
+    def __repr__(self):
+        return f"{self.swizzle!r}o{self.base!r}"

@@ -1,0 +1,11 @@
+"""Library baselines: cost models + functional references."""
+
+from .cublas import CUBLAS_TILE, CuBLAS, CuBLASLt
+from .cudnn import CuDNN
+from .torchref import PyTorchRef, TensorRTFMHA
+from . import funcs
+
+__all__ = [
+    "CUBLAS_TILE", "CuBLAS", "CuBLASLt", "CuDNN", "PyTorchRef",
+    "TensorRTFMHA", "funcs",
+]

@@ -1,0 +1,110 @@
+"""cuBLAS(Lt) baseline cost models (library substitutes; see DESIGN.md).
+
+cuBLAS delivers "the practically achievable peak performance" for GEMM
+(paper Section 6); the model charges the library the same roofline as a
+Graphene kernel with its standard 128x128x32 thread-block tile.
+cuBLASLt adds fused pointwise epilogues and GEMM accumulation
+(``C += A @ B``), but cannot fuse *across* GEMMs — the limitation the
+paper's MLP/LSTM experiments exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..arch.gpu import Architecture
+from ..perfmodel.counts import KernelCounts
+from ..perfmodel.model import Efficiency, KernelEstimate, PerfModel
+
+#: cuBLAS runtime heuristics pick this tile for the paper's problem
+#: sizes (Section 6, footnote 1).
+CUBLAS_TILE = (128, 128, 32)
+
+
+class CuBLAS:
+    """GEMM kernels at library-class efficiency."""
+
+    def __init__(self, arch: Architecture,
+                 efficiency: Optional[Efficiency] = None):
+        self.arch = arch
+        self.model = PerfModel(arch, efficiency)
+
+    def gemm_counts(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        tile: Tuple[int, int, int] = CUBLAS_TILE,
+    ) -> KernelCounts:
+        """Analytic work model of a tiled fp16 Tensor Core GEMM."""
+        bm, bn, bk = tile
+        blocks_m = -(-m // bm)
+        blocks_n = -(-n // bn)
+        counts = KernelCounts()
+        counts.blocks = blocks_m * blocks_n
+        counts.threads_per_block = 128
+        elem = 2  # fp16 bytes
+        # Each block stages full A-rows and B-columns once.
+        counts.dram_read_bytes = (
+            blocks_n * m * k * elem + blocks_m * k * n * elem
+        )
+        counts.dram_write_bytes = m * n * elem
+        counts.tensor_flops = 2.0 * m * n * k
+        counts.unique_read_bytes = (m * k + k * n) * elem
+        counts.unique_write_bytes = m * n * elem
+        # Staged tiles are written once, then read into register
+        # fragments: ~0.125 B/flop via per-thread quad loads on Volta,
+        # ~0.023 B/flop via ldmatrix on Ampere.
+        frag_bytes_per_flop = 0.125 if self.arch.sm < 75 else 0.023
+        staged = counts.dram_read_bytes
+        counts.smem_bytes = staged + counts.tensor_flops * frag_bytes_per_flop
+        counts.smem_footprint = (bm * bk + bk * bn) * elem
+        return counts
+
+    def gemm_estimate(self, m: int, n: int, k: int) -> KernelEstimate:
+        counts = self.gemm_counts(m, n, k)
+        return self.model.estimate_counts(counts, f"cublas_gemm_{m}x{n}x{k}")
+
+    def gemm_seconds(self, m: int, n: int, k: int) -> float:
+        """One GEMM launch, including launch overhead."""
+        return self.gemm_estimate(m, n, k).total_seconds
+
+
+class CuBLASLt(CuBLAS):
+    """cuBLASLt: GEMM with fused pointwise epilogues."""
+
+    def gemm_epilogue_estimate(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        bias: bool = True,
+        activation: Optional[str] = "relu",
+    ) -> KernelEstimate:
+        counts = self.gemm_counts(m, n, k)
+        if bias:
+            counts.dram_read_bytes += float(m * n * 2)
+            counts.unique_read_bytes += n * 2
+            counts.pointwise_flops += float(m * n)
+        if activation is not None:
+            counts.pointwise_flops += float(m * n)
+        name = f"cublaslt_gemm_{'bias_' if bias else ''}{activation}"
+        return self.model.estimate_counts(counts, name)
+
+    def gemm_epilogue_seconds(self, m, n, k, bias=True, activation="relu"
+                              ) -> float:
+        return self.gemm_epilogue_estimate(m, n, k, bias, activation).total_seconds
+
+    def mlp_layer_seconds(self, m: int, hidden: int) -> float:
+        """One MLP layer (GEMM + bias + ReLU) as a cuBLASLt launch."""
+        return self.gemm_epilogue_seconds(m, hidden, hidden)
+
+    def lstm_two_kernel_seconds(self, m: int, n: int, k: int) -> float:
+        """The optimized 2-kernel library LSTM lowering (paper Fig 12):
+        second GEMM accumulates into the first one's output and fuses
+        bias + activation."""
+        first = self.gemm_estimate(m, n, k).total_seconds
+        second = self.gemm_epilogue_estimate(m, n, k).total_seconds
+        # Accumulation re-reads C once.
+        extra = (m * n * 2) / (self.arch.dram_gbps * 1e9 * 0.82)
+        return first + second + extra

@@ -1,0 +1,34 @@
+"""cuDNN-style pointwise/elementwise kernel cost model.
+
+Used for the unfused LSTM baseline (paper Figure 12): each graph node
+that is not a GEMM lowers to one bandwidth-bound elementwise kernel.
+"""
+
+from __future__ import annotations
+
+from ..arch.gpu import Architecture
+
+
+class CuDNN:
+    """Bandwidth-bound elementwise kernels with launch overhead."""
+
+    def __init__(self, arch: Architecture, dram_efficiency: float = 0.82):
+        self.arch = arch
+        self.dram_efficiency = dram_efficiency
+
+    def pointwise_seconds(
+        self,
+        elements: int,
+        num_inputs: int = 2,
+        dtype_bytes: int = 2,
+    ) -> float:
+        """One elementwise kernel: read all inputs, write one output."""
+        traffic = (num_inputs + 1) * elements * dtype_bytes
+        bandwidth = self.arch.dram_gbps * 1e9 * self.dram_efficiency
+        return traffic / bandwidth + self.arch.launch_overhead_us * 1e-6
+
+    def bias_activation_seconds(self, m: int, n: int) -> float:
+        """Fused bias + activation over an [m, n] tensor (reads bias)."""
+        traffic = (2 * m * n + n) * 2
+        bandwidth = self.arch.dram_gbps * 1e9 * self.dram_efficiency
+        return traffic / bandwidth + self.arch.launch_overhead_us * 1e-6

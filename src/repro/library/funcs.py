@@ -1,0 +1,95 @@
+"""Functional numpy references for every evaluated tensor computation.
+
+These serve two roles: the "library result" against which fused
+Graphene kernels are numerically validated, and the canonical
+definitions of the paper's evaluation workloads (Figures 9-15).
+All math is fp32 with fp16 quantisation at tensor boundaries, matching
+fp16-in/fp32-accumulate GPU kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def _f32(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.float32)
+
+
+def gemm(a, b) -> np.ndarray:
+    """``A @ B`` with fp32 accumulation."""
+    return _f32(a) @ _f32(b)
+
+
+def gemm_bias_act(a, b, bias=None, activation=None) -> np.ndarray:
+    out = gemm(a, b)
+    if bias is not None:
+        out = out + _f32(bias)
+    if activation is not None:
+        out = activation_fn(activation)(out)
+    return out
+
+
+def activation_fn(name: str):
+    if name == "relu":
+        return lambda x: np.maximum(x, 0.0)
+    if name == "tanh":
+        return np.tanh
+    if name == "gelu":
+        return lambda x: 0.5 * x * (
+            1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x ** 3))
+        )
+    if name in (None, "identity"):
+        return lambda x: x
+    raise ValueError(f"unknown activation {name!r}")
+
+
+def mlp(x, weights: Sequence, biases: Sequence, activation="relu",
+        quantize=True) -> np.ndarray:
+    """Multi-layer perceptron with per-layer fp16 quantisation."""
+    act = activation_fn(activation)
+    out = _f32(x)
+    for w, b in zip(weights, biases):
+        out = act(out @ _f32(w) + _f32(b))
+        if quantize:
+            out = out.astype(np.float16).astype(np.float32)
+    return out
+
+
+def lstm_cell(x, w, h, r, bias, activation="relu") -> np.ndarray:
+    """The paper's simplified LSTM cell: ``act(xW + hR + bias)``."""
+    act = activation_fn(activation)
+    return act(gemm(x, w) + gemm(h, r) + _f32(bias))
+
+
+def layernorm(x, gamma, beta, eps: float = 1e-5) -> np.ndarray:
+    x = _f32(x)
+    mu = x.mean(axis=-1, keepdims=True)
+    var = ((x - mu) ** 2).mean(axis=-1, keepdims=True)
+    return (x - mu) / np.sqrt(var + eps) * _f32(gamma) + _f32(beta)
+
+
+def softmax(x, axis: int = -1) -> np.ndarray:
+    x = _f32(x)
+    e = np.exp(x - x.max(axis=axis, keepdims=True))
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def attention(q, k, v, scale=None) -> np.ndarray:
+    """Single-head scaled dot-product attention."""
+    q, k, v = _f32(q), _f32(k), _f32(v)
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    return softmax(q @ k.swapaxes(-1, -2) * scale) @ v
+
+
+def multi_head_attention(q, k, v, heads: int) -> np.ndarray:
+    """q/k/v: [heads*seq, dim] stacked per head (the FMHA kernel layout)."""
+    seq = q.shape[0] // heads
+    out = np.zeros_like(_f32(q))
+    for h in range(heads):
+        sl = slice(h * seq, (h + 1) * seq)
+        out[sl] = attention(q[sl], k[sl], v[sl])
+    return out

@@ -1,0 +1,13 @@
+"""Analytical GPU performance model (hardware substitute)."""
+
+from .counts import KernelCounts, count_kernel
+from .model import (
+    Efficiency, KernelEstimate, LIBRARY_CLASS, PerfModel, SCALAR_FRAGMENT,
+    fused_time, sequential_time,
+)
+
+__all__ = [
+    "KernelCounts", "count_kernel", "Efficiency", "KernelEstimate",
+    "LIBRARY_CLASS", "PerfModel", "SCALAR_FRAGMENT", "fused_time",
+    "sequential_time",
+]

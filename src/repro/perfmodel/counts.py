@@ -1,0 +1,221 @@
+"""Static FLOP/byte accounting over kernel IR.
+
+The performance model does not hardcode per-kernel workloads: it walks
+the kernel's decomposition once, multiplying each leaf spec's work by
+its loop trip counts, executing-instance count, and the grid size.
+Because staging Moves appear explicitly in Graphene IR, data reuse
+through shared memory (tile reuse) is captured exactly — the model
+charges DRAM only for what the kernel actually moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.expr import IntExpr
+from ..ir.stmt import Block, Comment, ForLoop, If, SpecStmt, Stmt, SyncThreads, SyncWarp
+from ..specs.atomic import match_atomic
+from ..specs.base import (
+    Allocate, BinaryPointwise, Init, MatMul, Move, Reduction, Shfl, Spec,
+    UnaryPointwise,
+)
+from ..specs.kernel import Kernel
+from ..tensor.memspace import GL, RF, SH
+from ..tensor.tensor import Tile
+
+
+class KernelCounts:
+    """Aggregate work of one kernel launch."""
+
+    __slots__ = (
+        "tensor_flops", "fma_flops", "pointwise_flops",
+        "dram_read_bytes", "dram_write_bytes", "smem_bytes",
+        "instructions", "blocks", "threads_per_block", "smem_footprint",
+        "unique_read_bytes", "unique_write_bytes",
+    )
+
+    def __init__(self):
+        self.tensor_flops = 0.0
+        self.fma_flops = 0.0
+        self.pointwise_flops = 0.0
+        self.dram_read_bytes = 0.0
+        self.dram_write_bytes = 0.0
+        self.smem_bytes = 0.0
+        self.instructions = 0.0
+        self.blocks = 0
+        self.threads_per_block = 0
+        self.smem_footprint = 0
+        # Unique global-memory footprints (the compulsory traffic);
+        # re-reads beyond these are candidates for L2 service.
+        self.unique_read_bytes = 0.0
+        self.unique_write_bytes = 0.0
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def total_flops(self) -> float:
+        return self.tensor_flops + self.fma_flops + self.pointwise_flops
+
+    def __repr__(self):
+        return (
+            f"KernelCounts(tc={self.tensor_flops:.3g}F, "
+            f"fma={self.fma_flops:.3g}F, pw={self.pointwise_flops:.3g}F, "
+            f"dram={self.dram_bytes:.3g}B, smem={self.smem_bytes:.3g}B)"
+        )
+
+
+#: FLOPs of one Tensor Core mma instruction instance.
+_MMA_FLOPS = {
+    "mma.16816": 2 * 16 * 8 * 16,
+    "mma.884": 2 * 8 * 8 * 4,
+}
+
+
+def count_kernel(
+    kernel: Kernel,
+    arch,
+    symbols: Optional[Dict[str, int]] = None,
+) -> KernelCounts:
+    """Analyse one kernel launch on ``arch``."""
+    counts = KernelCounts()
+    counts.blocks = kernel.grid_size()
+    counts.threads_per_block = kernel.block_size()
+    for alloc in kernel.allocations():
+        if alloc.mem == SH:
+            cosize = alloc.layout.cosize()
+            counts.smem_footprint += cosize * alloc.dtype.bytes
+    env = dict(symbols or {})
+    _walk(kernel.body, 1.0, counts, kernel, arch, env)
+    for field in ("tensor_flops", "fma_flops", "pointwise_flops",
+                  "dram_read_bytes", "dram_write_bytes", "smem_bytes",
+                  "instructions"):
+        setattr(counts, field, getattr(counts, field) * counts.blocks)
+    read_names, write_names = _param_usage(kernel)
+    for param in kernel.params:
+        size = param.layout.size()
+        if not isinstance(size, int):
+            continue
+        nbytes = size * param.dtype.bytes
+        if param.buffer in read_names:
+            counts.unique_read_bytes += nbytes
+        if param.buffer in write_names:
+            counts.unique_write_bytes += nbytes
+    return counts
+
+
+def _param_usage(kernel: Kernel):
+    """Which parameter buffers are read / written anywhere in the body."""
+    reads = set()
+    writes = set()
+    for spec in kernel.specs():
+        for t in spec.inputs:
+            if t.mem == GL:
+                reads.add(t.buffer)
+        for t in spec.outputs:
+            if t.mem == GL:
+                writes.add(t.buffer)
+    return reads, writes
+
+
+def _walk(stmt: Stmt, trips: float, counts, kernel, arch, env) -> None:
+    if isinstance(stmt, Block):
+        for s in stmt:
+            _walk(s, trips, counts, kernel, arch, env)
+    elif isinstance(stmt, ForLoop):
+        trip_count = _trip_count(stmt, env)
+        for s in stmt.body:
+            _walk(s, trips * trip_count, counts, kernel, arch, env)
+    elif isinstance(stmt, If):
+        # Predicated statements execute for a fraction of instances; we
+        # conservatively count them fully (remainder guards are small).
+        for s in stmt.then:
+            _walk(s, trips, counts, kernel, arch, env)
+        if stmt.orelse is not None:
+            for s in stmt.orelse:
+                _walk(s, trips, counts, kernel, arch, env)
+    elif isinstance(stmt, SpecStmt):
+        _count_spec(stmt.spec, trips, counts, kernel, arch, env)
+    elif isinstance(stmt, (SyncThreads, SyncWarp, Comment)):
+        pass
+
+
+def _trip_count(stmt: ForLoop, env) -> float:
+    try:
+        lo = stmt.start.evaluate(env)
+        hi = stmt.stop.evaluate(env)
+        step = stmt.step.evaluate(env)
+    except KeyError as exc:
+        raise ValueError(
+            f"loop bound depends on unbound symbol: {exc}"
+        ) from exc
+    if step <= 0:
+        return 0.0
+    return max(0.0, (hi - lo + step - 1) // step)
+
+
+def _instances(spec: Spec, kernel: Kernel) -> float:
+    """How many cooperating groups execute this spec per block."""
+    group = spec.thread_group()
+    if group is None or group.rank == 0:
+        return kernel.block_size()  # per-thread
+    if group.is_tiled():
+        return group.layout.size()
+    return 1.0
+
+
+def _view_elements(tensor) -> int:
+    total = tensor.layout.size() if tensor.rank else 1
+    element = tensor.element
+    while isinstance(element, Tile):
+        total *= element.layout.size()
+        element = element.element
+    return total
+
+
+def _count_spec(spec, trips, counts, kernel, arch, env) -> None:
+    if isinstance(spec, Allocate):
+        return
+    if spec.body is not None:
+        _walk(spec.body, trips, counts, kernel, arch, env)
+        return
+    instances = _instances(spec, kernel)
+    scale = trips * instances
+    counts.instructions += scale
+    atomic = match_atomic(spec, arch.atomics)
+    if isinstance(spec, Move):
+        src, dst = spec.src, spec.dst
+        if atomic.name.startswith("ldmatrix"):
+            num = int(atomic.name.split(".x")[1][0])
+            moved = 32 * num * 2 * src.dtype.bytes  # 32 lanes x num x 2 vals
+            counts.smem_bytes += scale * moved
+            return
+        elements = _view_elements(src)
+        nbytes = elements * src.dtype.bytes
+        out_bytes = _view_elements(dst) * dst.dtype.bytes
+        if src.mem == GL:
+            counts.dram_read_bytes += scale * nbytes
+        if dst.mem == GL:
+            counts.dram_write_bytes += scale * out_bytes
+        if src.mem == SH:
+            counts.smem_bytes += scale * nbytes
+        if dst.mem == SH:
+            counts.smem_bytes += scale * out_bytes
+    elif isinstance(spec, MatMul):
+        flops = _MMA_FLOPS.get(atomic.name)
+        if flops is not None:
+            counts.tensor_flops += scale * flops
+        else:
+            counts.fma_flops += scale * 2 * _view_elements(spec.c)
+    elif isinstance(spec, (UnaryPointwise, BinaryPointwise)):
+        counts.pointwise_flops += scale * _view_elements(spec.outputs[0])
+        for t in spec.operands():
+            if t.mem == GL:
+                counts.dram_read_bytes += scale * _view_elements(t) * t.dtype.bytes
+    elif isinstance(spec, Reduction):
+        counts.pointwise_flops += scale * _view_elements(spec.inputs[0])
+    elif isinstance(spec, Shfl):
+        counts.instructions += scale
+    elif isinstance(spec, Init):
+        counts.pointwise_flops += scale * _view_elements(spec.outputs[0])

@@ -1,0 +1,164 @@
+"""Analytical kernel-time model (hardware substitute; see DESIGN.md).
+
+A classic roofline with launch overhead and wave quantisation: the
+kernel time is the maximum of its Tensor Core, FMA, DRAM and
+shared-memory components, scaled by per-resource achievable-efficiency
+envelopes and the SM occupancy of the launch.  It reproduces the *shape*
+claims of the paper's evaluation — who wins and by what factor — rather
+than absolute nanoseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..arch.gpu import Architecture
+from ..specs.kernel import Kernel
+from .counts import KernelCounts, count_kernel
+
+
+class Efficiency:
+    """Achievable fractions of theoretical peak per resource.
+
+    Defaults model a well-written kernel (library-class pipelines hit
+    ~90% of Tensor Core peak in the paper's Figure 9 profiles).
+    """
+
+    __slots__ = ("tensor", "fma", "dram", "smem")
+
+    def __init__(self, tensor=0.90, fma=0.85, dram=0.82, smem=0.85):
+        self.tensor = tensor
+        self.fma = fma
+        self.dram = dram
+        self.smem = smem
+
+
+LIBRARY_CLASS = Efficiency()
+#: Scalar-fragment pipelines lose shared-memory efficiency (the ~17%
+#: ldmatrix ablation of paper Section 2).
+SCALAR_FRAGMENT = Efficiency(tensor=0.90, fma=0.85, dram=0.82, smem=0.29)
+
+
+class KernelEstimate:
+    """The modelled execution profile of one kernel launch."""
+
+    __slots__ = (
+        "name", "seconds", "compute_seconds", "dram_seconds",
+        "smem_seconds", "launch_seconds", "counts", "arch",
+        "compute_fraction", "memory_fraction",
+    )
+
+    def __init__(self, name, seconds, compute_seconds, dram_seconds,
+                 smem_seconds, launch_seconds, counts, arch):
+        self.name = name
+        self.seconds = seconds
+        self.compute_seconds = compute_seconds
+        self.dram_seconds = dram_seconds
+        self.smem_seconds = smem_seconds
+        self.launch_seconds = launch_seconds
+        self.counts = counts
+        self.arch = arch
+        self.compute_fraction = (
+            compute_seconds / seconds if seconds else 0.0
+        )
+        self.memory_fraction = dram_seconds / seconds if seconds else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Kernel time including launch overhead."""
+        return self.seconds + self.launch_seconds
+
+    def tflops(self) -> float:
+        return self.counts.total_flops / self.seconds / 1e12 if self.seconds else 0.0
+
+    def __repr__(self):
+        return (
+            f"KernelEstimate({self.name}: {self.seconds * 1e6:.1f}us, "
+            f"compute={self.compute_fraction:.0%}, "
+            f"mem={self.memory_fraction:.0%})"
+        )
+
+
+class PerfModel:
+    """Estimates kernel times on one architecture."""
+
+    def __init__(self, arch: Architecture,
+                 efficiency: Optional[Efficiency] = None):
+        self.arch = arch
+        self.efficiency = efficiency or LIBRARY_CLASS
+
+    def estimate_kernel(
+        self,
+        kernel: Kernel,
+        symbols: Optional[Dict[str, int]] = None,
+        efficiency: Optional[Efficiency] = None,
+        bank_conflict_factor: float = 1.0,
+    ) -> KernelEstimate:
+        counts = count_kernel(kernel, self.arch, symbols)
+        return self.estimate_counts(
+            counts, kernel.name, efficiency=efficiency,
+            bank_conflict_factor=bank_conflict_factor,
+        )
+
+    def estimate_counts(
+        self,
+        counts: KernelCounts,
+        name: str = "kernel",
+        efficiency: Optional[Efficiency] = None,
+        bank_conflict_factor: float = 1.0,
+    ) -> KernelEstimate:
+        arch = self.arch
+        eff = efficiency or self.efficiency
+        occupancy = self._occupancy(counts)
+        t_tensor = counts.tensor_flops / (
+            arch.tensor_fp16_tflops * 1e12 * eff.tensor
+        )
+        t_fma = counts.fma_flops / (arch.fp32_tflops * 1e12 * eff.fma)
+        t_pw = counts.pointwise_flops / (arch.fp32_tflops * 1e12 * eff.fma)
+        t_compute = (t_tensor + t_fma + t_pw) / occupancy
+        dram_bytes = self._effective_dram(counts)
+        t_dram = dram_bytes / (arch.dram_gbps * 1e9 * eff.dram)
+        t_smem = counts.smem_bytes * bank_conflict_factor / (
+            arch.smem_gbps * 1e9 * eff.smem
+        ) / occupancy
+        seconds = max(t_compute, t_dram, t_smem)
+        return KernelEstimate(
+            name, seconds, t_compute, t_dram, t_smem,
+            arch.launch_overhead_us * 1e-6, counts, arch,
+        )
+
+    #: Concurrent blocks of one wave share operand panels through the
+    #: L2 cache; re-reads beyond the unique footprint are served at an
+    #: effective reuse factor of roughly sqrt(#SMs) (square wave tiles).
+    def _effective_dram(self, counts: KernelCounts) -> float:
+        reuse = max(1.0, self.arch.num_sms ** 0.5)
+
+        def effective(raw: float, unique: float) -> float:
+            if unique <= 0.0 or raw <= unique:
+                return raw
+            return max(unique, raw / reuse)
+
+        return (
+            effective(counts.dram_read_bytes, counts.unique_read_bytes)
+            + effective(counts.dram_write_bytes, counts.unique_write_bytes)
+        )
+
+    def _occupancy(self, counts: KernelCounts) -> float:
+        """Wave quantisation: partial last waves waste SMs."""
+        if counts.blocks == 0:
+            return 1.0
+        waves = -(-counts.blocks // self.arch.num_sms)
+        return counts.blocks / (waves * self.arch.num_sms)
+
+
+def fused_time(estimates) -> float:
+    """Total time of kernels fused into one launch: one launch overhead."""
+    estimates = list(estimates)
+    if not estimates:
+        return 0.0
+    return sum(e.seconds for e in estimates) + estimates[0].launch_seconds
+
+
+def sequential_time(estimates) -> float:
+    """Cumulative time of separate kernel launches."""
+    return sum(e.total_seconds for e in estimates)

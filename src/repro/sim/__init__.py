@@ -1,0 +1,11 @@
+"""The functional GPU simulator (hardware substitute; see DESIGN.md)."""
+
+from .access import TensorAccessor, accessor, compile_expr, tile_views
+from .context import ExecCtx
+from .interp import SimulationError, Simulator
+from .machine import BankModel, Machine
+
+__all__ = [
+    "TensorAccessor", "accessor", "compile_expr", "tile_views",
+    "ExecCtx", "SimulationError", "Simulator", "BankModel", "Machine",
+]

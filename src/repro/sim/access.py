@@ -1,0 +1,170 @@
+"""Compiled tensor accessors for the functional simulator.
+
+A tensor view in the IR is a fixed object whose offset expression contains
+symbolic loop/thread variables.  For speed, each view is compiled once
+into closures: a base-offset evaluator, the constant per-element offsets
+of its (concrete) shape, and guard evaluators for predicated views.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.expr import Add, Const, FloorDiv, IntExpr, Mod, Mul, Sub, Var
+from ..layout import inttuple as it
+from ..tensor.tensor import Tensor, Tile
+
+
+def compile_expr(expr: IntExpr) -> Callable[[dict], int]:
+    """Compile an expression into a fast closure over an env dict."""
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, Var):
+        name = expr.name
+        return lambda env: env[name]
+    lhs = compile_expr(expr.lhs)
+    rhs = compile_expr(expr.rhs)
+    if isinstance(expr, Add):
+        return lambda env: lhs(env) + rhs(env)
+    if isinstance(expr, Sub):
+        return lambda env: lhs(env) - rhs(env)
+    if isinstance(expr, Mul):
+        return lambda env: lhs(env) * rhs(env)
+    if isinstance(expr, FloorDiv):
+        return lambda env: lhs(env) // rhs(env)
+    if isinstance(expr, Mod):
+        return lambda env: lhs(env) % rhs(env)
+    raise TypeError(f"cannot compile expression {expr!r}")
+
+
+class TensorAccessor:
+    """Pre-compiled element enumeration for one tensor view.
+
+    ``offsets(env)`` returns the physical (post-swizzle) element offsets
+    of the view's elements in colexicographic coordinate order;
+    ``mask(env)`` returns per-element validity under the view's guards.
+    """
+
+    __slots__ = (
+        "tensor", "_base", "_rel", "_coords", "_guards", "size",
+    )
+
+    def __init__(self, tensor: Tensor):
+        if isinstance(tensor.element, Tile):
+            raise TypeError(
+                f"cannot build an element accessor for tiled tensor {tensor!r};"
+                " index a tile first"
+            )
+        shape = tensor.layout.shape
+        size = it.product(shape)
+        if not isinstance(size, int):
+            raise TypeError(f"cannot enumerate symbolic tensor {tensor!r}")
+        self.tensor = tensor
+        self.size = size
+        self._base = compile_expr(tensor.offset)
+        if shape == ():
+            coords = [()]
+            rel = [0]
+        else:
+            coords = list(it.iter_coords(shape))
+            rel = [tensor.layout(c) for c in coords]
+            if any(not isinstance(r, int) for r in rel):
+                raise TypeError(
+                    f"tensor {tensor!r} has symbolic strides; cannot simulate"
+                )
+        swizzle = tensor.swizzle
+        self._rel = rel
+        self._coords = coords
+        guards: List[Tuple[Callable, Callable, List[int]]] = []
+        if tensor.guards is not None:
+            dims = it.as_tuple(shape) if shape != () else ()
+            for d, guard in enumerate(tensor.guards):
+                if guard is None:
+                    continue
+                origin = compile_expr(guard.origin)
+                extent = compile_expr(guard.extent)
+                # Logical coordinate along dim d for each element.
+                dim_coords = [
+                    _dim_coord(c, d) for c in coords
+                ]
+                guards.append((origin, extent, dim_coords))
+        self._guards = guards
+
+    def offsets(self, env: dict) -> List[int]:
+        base = self._base(env)
+        tensor = self.tensor
+        if tensor.swizzle.is_identity():
+            return [base + r for r in self._rel]
+        sw = tensor.swizzle
+        return [sw(base + r) for r in self._rel]
+
+    def mask(self, env: dict) -> Optional[List[bool]]:
+        """Validity of each element, or None when unguarded."""
+        if not self._guards:
+            return None
+        valid = [True] * self.size
+        for origin, extent, dim_coords in self._guards:
+            base = origin(env)
+            limit = extent(env)
+            for i, c in enumerate(dim_coords):
+                if base + c >= limit:
+                    valid[i] = False
+        return valid
+
+
+def _dim_coord(coord, dim: int) -> int:
+    """The flat logical coordinate along top-level dim ``dim``.
+
+    Views of lower rank than their guards (e.g. a scalar element view)
+    contribute 0: their position is already folded into the guard
+    origin during indexing.
+    """
+    if not isinstance(coord, tuple):
+        return coord if dim == 0 else 0
+    if dim >= len(coord):
+        return 0
+    entry = coord[dim]
+    if isinstance(entry, tuple):
+        # Hierarchical dims do not participate in ragged-guard logic.
+        raise TypeError("guards on hierarchical dimensions are unsupported")
+    return entry
+
+
+_ACCESSOR_CACHE: Dict[int, TensorAccessor] = {}
+_CACHE_KEEPALIVE: Dict[int, Tensor] = {}
+
+
+def accessor(tensor: Tensor) -> TensorAccessor:
+    """A cached accessor for a tensor view (views are immutable)."""
+    key = id(tensor)
+    acc = _ACCESSOR_CACHE.get(key)
+    if acc is None or acc.tensor is not tensor:
+        acc = TensorAccessor(tensor)
+        _ACCESSOR_CACHE[key] = acc
+        _CACHE_KEEPALIVE[key] = tensor
+    return acc
+
+
+_TILE_VIEWS: Dict[int, Tuple[Tensor, list]] = {}
+
+
+def tile_views(tensor: Tensor) -> List[Tensor]:
+    """All tile sub-views of a (one-level) tiled tensor, colex order.
+
+    Untiled tensors yield themselves; results are cached so repeated
+    fragment reads reuse the same view objects (and thus accessors).
+    """
+    cached = _TILE_VIEWS.get(id(tensor))
+    if cached is not None and cached[0] is tensor:
+        return cached[1]
+    if not isinstance(tensor.element, Tile):
+        views = [tensor]
+    else:
+        views = [
+            tensor[crd] for crd in it.iter_coords(tensor.layout.shape)
+        ]
+    _TILE_VIEWS[id(tensor)] = (tensor, views)
+    return views

@@ -1,0 +1,60 @@
+"""Static shared-memory bank-conflict analysis for access patterns.
+
+Complements the dynamic :class:`~repro.sim.machine.BankModel`: given the
+physical byte offsets a warp's lanes touch in one collective access,
+compute the transaction count the bank hardware needs.  Used by the
+swizzle ablation bench to quantify why optimized kernels use
+"memory layouts beyond row- and column-major" (paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..tensor.tensor import Tensor
+from .machine import SMEM_BANK_BYTES, SMEM_BANKS
+
+
+def access_degree(lane_byte_offsets: Sequence[Sequence[int]]) -> int:
+    """Conflict degree of one collective access.
+
+    ``lane_byte_offsets[i]`` lists the bytes lane ``i`` touches.  Lanes
+    hitting different words in the same bank serialise; same-word
+    accesses broadcast.
+    """
+    banks = {}
+    for offsets in lane_byte_offsets:
+        words = {off // SMEM_BANK_BYTES for off in offsets}
+        for word in words:
+            banks.setdefault(word % SMEM_BANKS, set()).add(word)
+    return max((len(words) for words in banks.values()), default=1)
+
+
+def ldmatrix_conflict_degree(smem: Tensor, row_tile: int = 0,
+                             col_tile: int = 0) -> int:
+    """Conflict degree of one ldmatrix 8x8 fp16 matrix load.
+
+    The instruction reads eight 16-byte rows of the ``(row_tile,
+    col_tile)`` 8x8 sub-tile of ``smem`` (which may be swizzled); the
+    degree is 1 when all eight rows land in distinct bank groups.
+    """
+    itemsize = smem.dtype.bytes
+    lane_offsets: List[List[int]] = []
+    for row in range(8):
+        offsets = [
+            smem.physical_offset((row_tile * 8 + row, col_tile * 8 + col))
+            * itemsize
+            for col in range(8)
+        ]
+        lane_offsets.append(offsets)
+    return access_degree(lane_offsets)
+
+
+def column_access_degree(smem: Tensor, col: int = 0) -> int:
+    """Conflict degree of a warp reading one element per row down a
+    column — the canonical worst case for row-major layouts."""
+    itemsize = smem.dtype.bytes
+    rows = min(32, smem.dim(0))
+    return access_degree(
+        [[smem.physical_offset((r, col)) * itemsize] for r in range(rows)]
+    )

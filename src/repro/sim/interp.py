@@ -1,0 +1,189 @@
+"""The functional simulator: an interpreter for Graphene kernel IR.
+
+Substitutes for running generated CUDA on a GPU (see DESIGN.md).  The
+interpreter walks the decomposition statement tree once per thread-block
+in statement-lockstep (every statement completes for all threads before
+the next begins — a semantics at least as strong as barrier-correct
+execution on hardware).  Leaf specs are matched against the target
+architecture's atomic table and executed with the instruction's
+data-to-thread-mapping semantics, so an incorrect layout or decomposition
+produces incorrect numerics exactly as it would on a real GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ir.stmt import (
+    Block, Comment, ForLoop, If, SpecStmt, Stmt, SyncThreads, SyncWarp, walk,
+)
+from ..specs.atomic import AtomicSpec, match_atomic
+from ..specs.base import Allocate, Spec
+from ..specs.kernel import Kernel
+from ..threads.threadgroup import THREAD, ThreadGroup
+from .access import compile_expr
+from .context import ExecCtx
+from .machine import Machine
+
+
+class SimulationError(RuntimeError):
+    pass
+
+
+class Simulator:
+    """Executes kernels functionally against an architecture's atomics."""
+
+    def __init__(self, arch):
+        self.arch = arch
+        self._loop_cache: Dict[int, tuple] = {}
+        self._pred_cache: Dict[int, list] = {}
+        self._atomic_cache: Dict[int, AtomicSpec] = {}
+
+    # -- public API ----------------------------------------------------------
+    def run(
+        self,
+        kernel: Kernel,
+        bindings: Dict[str, np.ndarray],
+        symbols: Optional[Dict[str, int]] = None,
+    ) -> Machine:
+        """Launch ``kernel`` over numpy-backed global buffers.
+
+        ``bindings`` maps parameter tensor names to arrays (modified in
+        place for outputs, exactly like buffers passed to a CUDA kernel).
+        Returns the machine for post-mortem inspection.
+        """
+        machine = Machine()
+        symbols = dict(symbols or {})
+        missing = [v.name for v in kernel.symbols if v.name not in symbols]
+        if missing:
+            raise SimulationError(f"unbound kernel symbols: {missing}")
+        for param in kernel.params:
+            if param.name not in bindings:
+                raise SimulationError(f"missing binding for {param!r}")
+            machine.bind_global(param.buffer, bindings[param.name])
+        for alloc in kernel.allocations():
+            cosize = alloc.layout.cosize()
+            if not isinstance(cosize, int):
+                raise SimulationError(
+                    f"Allocate of symbolic tensor {alloc!r} is unsupported"
+                )
+            if not alloc.swizzle.is_identity():
+                window = 1
+                while window < cosize:
+                    window <<= 1
+                cosize = window
+            machine.declare(alloc.buffer, alloc.dtype, cosize)
+        block_size = kernel.block_size()
+        for bid in range(kernel.grid_size()):
+            env = dict(symbols)
+            env["blockIdx.x"] = bid
+            self._exec_block_stmts(
+                kernel.body, env, bid, [], machine, block_size
+            )
+        return machine
+
+    # -- statement execution -----------------------------------------------------
+    def _exec_block_stmts(self, block, env, bid, preds, machine, nthreads):
+        for stmt in block:
+            self._exec_stmt(stmt, env, bid, preds, machine, nthreads)
+
+    def _exec_stmt(self, stmt: Stmt, env, bid, preds, machine, nthreads):
+        if isinstance(stmt, Block):
+            self._exec_block_stmts(stmt, env, bid, preds, machine, nthreads)
+        elif isinstance(stmt, ForLoop):
+            start, stop, step, name = self._loop_bounds(stmt)
+            lo = start(env)
+            hi = stop(env)
+            inc = step(env)
+            for value in range(lo, hi, inc):
+                env[name] = value
+                self._exec_block_stmts(
+                    stmt.body, env, bid, preds, machine, nthreads
+                )
+            env.pop(name, None)
+        elif isinstance(stmt, If):
+            compiled = self._pred_cache.get(id(stmt))
+            if compiled is None:
+                compiled = [
+                    (compile_expr(a), compile_expr(b))
+                    for a, b in stmt.predicates
+                ]
+                self._pred_cache[id(stmt)] = compiled
+            # Thread-uniform predicates can prune eagerly; thread-dependent
+            # ones are carried down and checked per lane.
+            uniform = [
+                p for p, (a, b) in zip(compiled, stmt.predicates)
+                if "threadIdx.x" not in (a.free_vars() | b.free_vars())
+            ]
+            varying = [p for p in compiled if p not in uniform]
+            if all(lhs(env) < rhs(env) for lhs, rhs in uniform):
+                self._exec_block_stmts(
+                    stmt.then, env, bid, preds + varying, machine, nthreads
+                )
+            elif stmt.orelse is not None:
+                self._exec_block_stmts(
+                    stmt.orelse, env, bid, preds, machine, nthreads
+                )
+        elif isinstance(stmt, (SyncThreads, SyncWarp, Comment)):
+            pass  # statement-lockstep execution subsumes barriers
+        elif isinstance(stmt, SpecStmt):
+            self._exec_spec(stmt.spec, env, bid, preds, machine, nthreads)
+        else:
+            raise SimulationError(f"cannot execute statement {stmt!r}")
+
+    def _loop_bounds(self, stmt: ForLoop):
+        cached = self._loop_cache.get(id(stmt))
+        if cached is None:
+            cached = (
+                compile_expr(stmt.start),
+                compile_expr(stmt.stop),
+                compile_expr(stmt.step),
+                stmt.var.name,
+            )
+            self._loop_cache[id(stmt)] = cached
+        return cached
+
+    # -- spec execution --------------------------------------------------------------
+    def _exec_spec(self, spec: Spec, env, bid, preds, machine, nthreads):
+        if isinstance(spec, Allocate):
+            return  # handled during launch
+        if spec.body is not None:
+            self._exec_block_stmts(spec.body, env, bid, preds, machine, nthreads)
+            return
+        atomic = self._atomic_cache.get(id(spec))
+        if atomic is None:
+            atomic = match_atomic(spec, self.arch.atomics)
+            self._atomic_cache[id(spec)] = atomic
+        if atomic.execute is None:
+            raise SimulationError(
+                f"atomic spec {atomic.name} has no simulator semantics"
+            )
+        for lanes in self._lane_groups(spec, nthreads):
+            ctx = ExecCtx(machine, bid, env, lanes, preds)
+            atomic.execute(spec, ctx)
+
+    def _lane_groups(self, spec: Spec, nthreads: int) -> List[List[int]]:
+        """Which lane sets execute this spec (one call per set)."""
+        group = spec.thread_group()
+        if group is None or group.rank == 0:
+            # Per-thread: one call covering every thread in the block.
+            return [list(range(nthreads))]
+        base = group.base
+        base_value = base.evaluate({}) if base.free_vars() == frozenset() else None
+        if base_value is None:
+            raise SimulationError(
+                f"thread group base of {spec!r} must be constant"
+            )
+        if group.is_tiled():
+            inner = group.element.layout
+            groups = []
+            for g in range(group.layout.size()):
+                start = base_value + group.layout(g)
+                groups.append(
+                    [start + inner(i) for i in range(inner.size())]
+                )
+            return groups
+        layout = group.layout
+        return [[base_value + layout(i) for i in range(layout.size())]]

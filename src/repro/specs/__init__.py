@@ -1,0 +1,21 @@
+"""Specifications and decompositions (paper Section 5)."""
+
+from .atomic import AtomicMatchError, AtomicSpec, OperandPattern, match_atomic
+from .base import (
+    Allocate, BinaryPointwise, GenericSpec, Init, MatMul, Move, Reduction,
+    Shfl, Spec, UnaryPointwise,
+)
+from .kernel import Kernel
+from .ops import (
+    ADD, DIV, EXP, GELU, IDENTITY, MAX, MIN, MUL, NEG, RELU, RSQRT,
+    SIGMOID, SQUARE, SUB, TANH, ScalarOp, scalar_op,
+)
+
+__all__ = [
+    "AtomicMatchError", "AtomicSpec", "OperandPattern", "match_atomic",
+    "Allocate", "BinaryPointwise", "GenericSpec", "Init", "MatMul", "Move",
+    "Reduction", "Shfl", "Spec", "UnaryPointwise", "Kernel",
+    "ADD", "DIV", "EXP", "GELU", "IDENTITY", "MAX", "MIN", "MUL", "NEG",
+    "RELU", "RSQRT", "SIGMOID", "SQUARE", "SUB", "TANH", "ScalarOp",
+    "scalar_op",
+]

@@ -1,0 +1,185 @@
+"""Atomic specifications and structural matching (paper Section 5.2).
+
+An atomic spec is a concrete instance of a built-in spec that is
+implemented directly by a GPU instruction.  During code generation every
+spec without a decomposition is matched against the target architecture's
+atomic-spec table (paper Table 2): the match inspects the spec kind, the
+number of cooperating threads, and each operand's memory space, dtype,
+and layout pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+from ..layout import inttuple as it
+from ..layout.layout import Layout
+from ..tensor.dtypes import DType
+from ..tensor.memspace import MemSpace
+from ..tensor.tensor import Tensor, Tile
+from .base import Spec
+
+
+class OperandPattern:
+    """A structural pattern for one spec operand.
+
+    ``shape`` is matched against the operand's *flattened dimension
+    sizes* after dropping unit dimensions, so ``(8,)`` matches ``[8]``,
+    ``[1,8]`` and ``[8:1]`` alike.  ``tile_shape`` additionally requires
+    a tiled operand whose inner tile flattens to the given sizes.
+    ``contiguous`` requires the (innermost) layout to be unit-strided.
+    """
+
+    __slots__ = ("mem", "dtype", "shape", "tile_shape", "contiguous")
+
+    def __init__(
+        self,
+        mem: Optional[MemSpace] = None,
+        dtype: Optional[DType] = None,
+        shape: Optional[Tuple[int, ...]] = None,
+        tile_shape: Optional[Tuple[int, ...]] = None,
+        contiguous: bool = False,
+    ):
+        object.__setattr__(self, "mem", mem)
+        object.__setattr__(self, "dtype", dtype)
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "tile_shape", tile_shape)
+        object.__setattr__(self, "contiguous", contiguous)
+
+    def __setattr__(self, *a):
+        raise AttributeError("OperandPattern is immutable")
+
+    def matches(self, tensor: Tensor) -> bool:
+        if self.mem is not None and tensor.mem != self.mem:
+            return False
+        if self.dtype is not None and tensor.dtype != self.dtype:
+            return False
+        if self.shape is not None:
+            if _essential_dims(tensor.layout) != tuple(self.shape):
+                return False
+        if self.tile_shape is not None:
+            if not isinstance(tensor.element, Tile):
+                return False
+            if _essential_dims(tensor.element.layout) != tuple(self.tile_shape):
+                return False
+        if self.contiguous and not _is_contiguous(tensor):
+            return False
+        return True
+
+    def __repr__(self):
+        parts = []
+        if self.shape is not None:
+            parts.append(f"shape={self.shape}")
+        if self.tile_shape is not None:
+            parts.append(f"tile={self.tile_shape}")
+        if self.dtype is not None:
+            parts.append(f"dtype={self.dtype}")
+        if self.mem is not None:
+            parts.append(f"mem={self.mem}")
+        return f"Operand({', '.join(parts)})"
+
+
+def _essential_dims(layout: Layout) -> Tuple[int, ...]:
+    """Flattened concrete dimension sizes with unit dims dropped.
+
+    A rank-0 (scalar) layout yields ``()``.
+    """
+    if layout.shape == ():
+        return ()
+    dims = tuple(s for s in it.flatten(layout.shape) if s != 1)
+    return dims
+
+
+def _is_contiguous(tensor: Tensor) -> bool:
+    """True when the innermost varying elements are unit-strided."""
+    layout = (
+        tensor.element.layout if isinstance(tensor.element, Tile)
+        else tensor.layout
+    )
+    if layout.shape == ():
+        return True
+    coalesced = layout.coalesce()
+    strides = it.flatten(coalesced.stride)
+    return 1 in strides or it.product(coalesced.shape) == 1
+
+
+class AtomicSpec:
+    """One entry of the atomic-spec table (paper Table 2).
+
+    ``execute`` implements the instruction's semantics for the functional
+    simulator; ``emit`` renders CUDA C++ / inline PTX; ``cost`` reports
+    the event used by the analytical performance model.
+    """
+
+    __slots__ = (
+        "name", "kind", "instruction", "width", "in_patterns",
+        "out_patterns", "predicate", "execute", "emit", "cost",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        instruction: str,
+        width: int,
+        in_patterns: Sequence[OperandPattern],
+        out_patterns: Sequence[OperandPattern],
+        predicate: Optional[Callable[[Spec], bool]] = None,
+        execute: Optional[Callable] = None,
+        emit: Optional[Callable] = None,
+        cost: Optional[Callable] = None,
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "instruction", instruction)
+        object.__setattr__(self, "width", width)
+        object.__setattr__(self, "in_patterns", tuple(in_patterns))
+        object.__setattr__(self, "out_patterns", tuple(out_patterns))
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "execute", execute)
+        object.__setattr__(self, "emit", emit)
+        object.__setattr__(self, "cost", cost)
+
+    def __setattr__(self, *a):
+        raise AttributeError("AtomicSpec is immutable")
+
+    def matches(self, spec: Spec) -> bool:
+        if spec.kind != self.kind:
+            return False
+        if spec.collective_width() != self.width:
+            return False
+        if len(spec.inputs) != len(self.in_patterns):
+            return False
+        if len(spec.outputs) != len(self.out_patterns):
+            return False
+        operands = zip(
+            spec.inputs + spec.outputs,
+            self.in_patterns + self.out_patterns,
+        )
+        if not all(p.matches(t) for t, p in operands):
+            return False
+        if self.predicate is not None and not self.predicate(spec):
+            return False
+        return True
+
+    def __repr__(self):
+        return f"Atomic({self.name} -> {self.instruction})"
+
+
+class AtomicMatchError(LookupError):
+    """Raised when a leaf spec matches no atomic specification."""
+
+
+def match_atomic(spec: Spec, table: Sequence[AtomicSpec]) -> AtomicSpec:
+    """Find the first atomic spec in ``table`` matching ``spec``.
+
+    Tables are ordered most-specific-first (e.g. vectorized moves before
+    scalar fallbacks), mirroring instruction-selection priority.
+    """
+    for atomic in table:
+        if atomic.matches(spec):
+            return atomic
+    raise AtomicMatchError(
+        f"no atomic specification matches leaf spec {spec!r}; "
+        f"decompose it further or extend the architecture's atomic table"
+    )

@@ -1,0 +1,297 @@
+"""Specifications: Graphene's unifying abstraction for computations.
+
+Paper Section 5: a spec captures its input and output tensors plus an
+execution configuration (the thread tensors that run it), and optionally
+a decomposition describing its implementation.  Specs without a
+decomposition must match a pre-defined *atomic* spec during code
+generation.
+
+The built-in spec kinds are those of paper Table 1: Move, MatMul,
+UnaryPointwise, BinaryPointwise, Reduction, Shfl, Init, Allocate —
+plus the generic ``Spec`` used to represent fused kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..ir.stmt import Block, Stmt
+from ..tensor.tensor import Tensor
+from ..threads.threadgroup import ThreadGroup
+from .ops import ScalarOp
+
+
+class Spec:
+    """Base class for all specifications.
+
+    ``exec_config`` lists the thread tensors executing this spec from
+    outermost to innermost (e.g. ``(#blocks, #threads)`` at kernel level
+    or ``(#warp,)`` for a warp-collective instruction).
+    """
+
+    kind = "Spec"
+
+    __slots__ = ("inputs", "outputs", "exec_config", "body", "label")
+
+    def __init__(
+        self,
+        inputs: Sequence[Tensor],
+        outputs: Sequence[Tensor],
+        exec_config: Sequence[ThreadGroup],
+        body: Optional[Block] = None,
+        label: str = "",
+    ):
+        for t in tuple(inputs) + tuple(outputs):
+            if not isinstance(t, Tensor):
+                raise TypeError(f"spec operands must be Tensors, got {t!r}")
+        for g in exec_config:
+            if not isinstance(g, ThreadGroup):
+                raise TypeError(
+                    f"exec config entries must be ThreadGroups, got {g!r}"
+                )
+        object.__setattr__(self, "inputs", tuple(inputs))
+        object.__setattr__(self, "outputs", tuple(outputs))
+        object.__setattr__(self, "exec_config", tuple(exec_config))
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, *a):
+        raise AttributeError("specs are immutable; use with_body()")
+
+    # -- decomposition ---------------------------------------------------------
+    def with_body(self, body) -> "Spec":
+        """Attach a decomposition (a Block or list of statements)."""
+        if not isinstance(body, Block):
+            body = Block(body)
+        return self._rebuild(body=body)
+
+    def decomposed(self) -> bool:
+        return self.body is not None
+
+    def _rebuild(self, **kw) -> "Spec":
+        fields = dict(
+            inputs=self.inputs, outputs=self.outputs,
+            exec_config=self.exec_config, body=self.body, label=self.label,
+        )
+        fields.update(kw)
+        fields.update(self._extra_fields())
+        return type(self)(**fields)
+
+    def _extra_fields(self) -> dict:
+        return {}
+
+    # -- execution-level helpers -------------------------------------------------
+    def collective_width(self) -> int:
+        """Number of threads cooperating on this spec (1 = per-thread).
+
+        A tiled thread tensor means "every group executes this spec",
+        so the cooperating width is the group (tile) size.
+        """
+        group = self.thread_group()
+        if group is None or group.rank == 0:
+            return 1
+        if group.is_tiled():
+            return group.element.layout.size()
+        return group.layout.size()
+
+    def thread_group(self):
+        """The innermost thread-kind entry of the exec config, if any."""
+        for group in reversed(self.exec_config):
+            if group.kind == "thread":
+                return group
+        return None
+
+    def operands(self) -> Tuple[Tensor, ...]:
+        return self.inputs + self.outputs
+
+    def _sig(self) -> str:
+        ins = ", ".join(repr(t) for t in self.inputs)
+        outs = ", ".join(repr(t) for t in self.outputs)
+        execs = ", ".join(repr(g) for g in self.exec_config)
+        tail = " {...}" if self.body is not None else ""
+        return f"{self.kind}<<<{execs}>>>({ins}) -> ({outs}){tail}"
+
+    def __repr__(self):
+        return self._sig()
+
+
+class Move(Spec):
+    """A data movement between memory-hierarchy levels (Table 1)."""
+
+    kind = "Move"
+
+    __slots__ = ()
+
+    def __init__(self, inputs, outputs, exec_config, body=None, label=""):
+        super().__init__(inputs, outputs, exec_config, body, label)
+        if len(self.inputs) != 1 or len(self.outputs) != 1:
+            raise ValueError("Move takes exactly one source and one destination")
+
+    @property
+    def src(self) -> Tensor:
+        return self.inputs[0]
+
+    @property
+    def dst(self) -> Tensor:
+        return self.outputs[0]
+
+
+class MatMul(Spec):
+    """A matrix-multiply-accumulate: ``C += A @ B`` (Table 1).
+
+    Atomic MatMuls map to scalar/vector FMA and Tensor Core mma
+    instructions.
+    """
+
+    kind = "MatMul"
+
+    __slots__ = ()
+
+    def __init__(self, inputs, outputs, exec_config, body=None, label=""):
+        super().__init__(inputs, outputs, exec_config, body, label)
+        if len(self.inputs) != 2 or len(self.outputs) != 1:
+            raise ValueError("MatMul takes inputs (A, B) and output (C)")
+
+    @property
+    def a(self) -> Tensor:
+        return self.inputs[0]
+
+    @property
+    def b(self) -> Tensor:
+        return self.inputs[1]
+
+    @property
+    def c(self) -> Tensor:
+        return self.outputs[0]
+
+
+class _PointwiseSpec(Spec):
+    __slots__ = ("op",)
+
+    def __init__(self, inputs, outputs, exec_config, body=None, label="", *, op):
+        super().__init__(inputs, outputs, exec_config, body, label)
+        if not isinstance(op, ScalarOp):
+            raise TypeError(f"op must be a ScalarOp, got {op!r}")
+        object.__setattr__(self, "op", op)
+
+    def _extra_fields(self):
+        return {"op": self.op}
+
+    def __repr__(self):
+        return f"{self.kind}<{self.op.name}>" + self._sig()[len(self.kind):]
+
+
+class UnaryPointwise(_PointwiseSpec):
+    """Elementwise unary computation, e.g. exp or relu (Table 1)."""
+
+    kind = "UnaryPointwise"
+
+    __slots__ = ()
+
+    def __init__(self, inputs, outputs, exec_config, body=None, label="", *, op):
+        super().__init__(inputs, outputs, exec_config, body, label, op=op)
+        if op.arity != 1:
+            raise ValueError(f"UnaryPointwise requires a unary op, got {op!r}")
+        if len(self.inputs) != 1 or len(self.outputs) != 1:
+            raise ValueError("UnaryPointwise takes one input and one output")
+
+
+class BinaryPointwise(_PointwiseSpec):
+    """Elementwise binary computation, e.g. add (Table 1)."""
+
+    kind = "BinaryPointwise"
+
+    __slots__ = ()
+
+    def __init__(self, inputs, outputs, exec_config, body=None, label="", *, op):
+        super().__init__(inputs, outputs, exec_config, body, label, op=op)
+        if op.arity != 2:
+            raise ValueError(f"BinaryPointwise requires a binary op, got {op!r}")
+        if len(self.inputs) != 2 or len(self.outputs) != 1:
+            raise ValueError("BinaryPointwise takes two inputs and one output")
+
+
+class Reduction(_PointwiseSpec):
+    """Reduce a tensor along one or more axes (Table 1)."""
+
+    kind = "Reduction"
+
+    __slots__ = ("axes",)
+
+    def __init__(
+        self, inputs, outputs, exec_config, body=None, label="",
+        *, op, axes=(0,),
+    ):
+        super().__init__(inputs, outputs, exec_config, body, label, op=op)
+        if op.arity != 2:
+            raise ValueError(f"Reduction requires a binary op, got {op!r}")
+        object.__setattr__(self, "axes", tuple(axes))
+
+    def _extra_fields(self):
+        return {"op": self.op, "axes": self.axes}
+
+
+class Shfl(Spec):
+    """Exchange tensor values within thread groups (Table 1).
+
+    Atomic Shfls map to warp-level ``shfl.sync`` instructions; the
+    ``mode`` selects the butterfly (xor) exchange distance.
+    """
+
+    kind = "Shfl"
+
+    __slots__ = ("xor_mask",)
+
+    def __init__(
+        self, inputs, outputs, exec_config, body=None, label="",
+        *, xor_mask: int = 1,
+    ):
+        super().__init__(inputs, outputs, exec_config, body, label)
+        object.__setattr__(self, "xor_mask", xor_mask)
+
+    def _extra_fields(self):
+        return {"xor_mask": self.xor_mask}
+
+
+class Init(Spec):
+    """Uniformly assign a scalar value to a tensor (Table 1)."""
+
+    kind = "Init"
+
+    __slots__ = ("value",)
+
+    def __init__(
+        self, inputs, outputs, exec_config, body=None, label="",
+        *, value: float = 0.0,
+    ):
+        super().__init__(inputs, outputs, exec_config, body, label)
+        if len(self.outputs) != 1:
+            raise ValueError("Init takes exactly one output tensor")
+        object.__setattr__(self, "value", value)
+
+    def _extra_fields(self):
+        return {"value": self.value}
+
+
+class Allocate(Spec):
+    """Introduce a new temporary data tensor (Table 1)."""
+
+    kind = "Allocate"
+
+    __slots__ = ()
+
+    def __init__(self, inputs, outputs, exec_config, body=None, label=""):
+        super().__init__(inputs, outputs, exec_config, body, label)
+        if self.inputs or len(self.outputs) != 1:
+            raise ValueError("Allocate takes exactly one output tensor")
+
+    @property
+    def tensor(self) -> Tensor:
+        return self.outputs[0]
+
+
+class GenericSpec(Spec):
+    """A fused computation defined entirely by its decomposition
+    (paper Section 5.3)."""
+
+    kind = "Spec"

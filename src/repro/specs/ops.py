@@ -1,0 +1,93 @@
+"""Scalar operations usable in pointwise and reduction specs.
+
+Each op carries a numpy implementation (for the functional simulator) and
+a CUDA C++ expression template (for code generation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+
+class ScalarOp:
+    """A named scalar operation."""
+
+    __slots__ = ("name", "arity", "np_fn", "c_template", "identity")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        np_fn: Callable,
+        c_template: str,
+        identity=None,
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "arity", arity)
+        object.__setattr__(self, "np_fn", np_fn)
+        object.__setattr__(self, "c_template", c_template)
+        object.__setattr__(self, "identity", identity)
+
+    def __setattr__(self, *a):
+        raise AttributeError("ScalarOp is immutable")
+
+    def __call__(self, *args):
+        return self.np_fn(*args)
+
+    def c_expr(self, *operands: str) -> str:
+        return self.c_template.format(*operands)
+
+    def __eq__(self, other):
+        return isinstance(other, ScalarOp) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("ScalarOp", self.name))
+
+    def __repr__(self):
+        return self.name
+
+
+def _gelu(x):
+    # The tanh approximation used by BERT-style networks.
+    return 0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x * x * x)))
+
+
+ADD = ScalarOp("add", 2, np.add, "({0} + {1})", identity=0.0)
+SUB = ScalarOp("sub", 2, np.subtract, "({0} - {1})")
+MUL = ScalarOp("mul", 2, np.multiply, "({0} * {1})", identity=1.0)
+DIV = ScalarOp("div", 2, np.divide, "({0} / {1})")
+MAX = ScalarOp("max", 2, np.maximum, "max({0}, {1})", identity=float("-inf"))
+MIN = ScalarOp("min", 2, np.minimum, "min({0}, {1})", identity=float("inf"))
+
+EXP = ScalarOp("exp", 1, np.exp, "__expf({0})")
+NEG = ScalarOp("neg", 1, np.negative, "(-{0})")
+TANH = ScalarOp("tanh", 1, np.tanh, "tanhf({0})")
+SIGMOID = ScalarOp(
+    "sigmoid", 1, lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "(1.0f / (1.0f + __expf(-{0})))",
+)
+RELU = ScalarOp("relu", 1, lambda x: np.maximum(x, 0), "max({0}, 0.0f)")
+GELU = ScalarOp("gelu", 1, _gelu, "gelu({0})")
+RSQRT = ScalarOp("rsqrt", 1, lambda x: 1.0 / np.sqrt(x), "rsqrtf({0})")
+SQUARE = ScalarOp("square", 1, np.square, "({0} * {0})")
+IDENTITY = ScalarOp("identity", 1, lambda x: x, "{0}")
+
+_REGISTRY: Dict[str, ScalarOp] = {
+    op.name: op
+    for op in (
+        ADD, SUB, MUL, DIV, MAX, MIN, EXP, NEG, TANH, SIGMOID, RELU, GELU,
+        RSQRT, SQUARE, IDENTITY,
+    )
+}
+
+
+def scalar_op(name: str) -> ScalarOp:
+    """Look up a scalar op by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scalar op {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

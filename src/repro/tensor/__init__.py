@@ -1,0 +1,15 @@
+"""Data tensors: dtypes, memory spaces, hierarchical tiles."""
+
+from .dtypes import (
+    BF16, BOOL, DType, FP16, FP32, FP64, INT8, INT16, INT32, INT64,
+    UINT32, dtype,
+)
+from .memspace import GL, RF, SH, MemSpace, memspace
+from .tensor import DimGuard, Tensor, Tile, tensor
+
+__all__ = [
+    "BF16", "BOOL", "DType", "FP16", "FP32", "FP64", "INT8", "INT16",
+    "INT32", "INT64", "UINT32", "dtype",
+    "GL", "RF", "SH", "MemSpace", "memspace",
+    "DimGuard", "Tensor", "Tile", "tensor",
+]

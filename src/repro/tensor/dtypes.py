@@ -1,0 +1,70 @@
+"""Scalar element types for Graphene tensors.
+
+The paper's ``ScalarType`` production (Figure 2): ``fp16 | fp32 | i32 | ...``.
+Each dtype carries its bit width, the CUDA C++ spelling used during code
+generation, and the numpy dtype used by the functional simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class DType:
+    """A scalar element type."""
+
+    __slots__ = ("name", "bits", "c_name", "np_dtype")
+
+    def __init__(self, name: str, bits: int, c_name: str, np_dtype):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "bits", bits)
+        object.__setattr__(self, "c_name", c_name)
+        object.__setattr__(self, "np_dtype", np.dtype(np_dtype))
+
+    def __setattr__(self, *a):
+        raise AttributeError("DType is immutable")
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    def is_float(self) -> bool:
+        return self.np_dtype.kind == "f"
+
+    def __eq__(self, other):
+        return isinstance(other, DType) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("DType", self.name))
+
+    def __repr__(self):
+        return self.name
+
+
+FP64 = DType("fp64", 64, "double", np.float64)
+FP32 = DType("fp32", 32, "float", np.float32)
+FP16 = DType("fp16", 16, "half", np.float16)
+BF16 = DType("bf16", 16, "__nv_bfloat16", np.float32)  # simulated at fp32
+INT64 = DType("i64", 64, "long long", np.int64)
+INT32 = DType("i32", 32, "int", np.int32)
+INT16 = DType("i16", 16, "short", np.int16)
+INT8 = DType("i8", 8, "signed char", np.int8)
+UINT32 = DType("u32", 32, "unsigned int", np.uint32)
+BOOL = DType("pred", 8, "bool", np.bool_)
+
+_REGISTRY: Dict[str, DType] = {
+    t.name: t
+    for t in (FP64, FP32, FP16, BF16, INT64, INT32, INT16, INT8, UINT32, BOOL)
+}
+
+
+def dtype(name: str) -> DType:
+    """Look up a dtype by its Graphene name (e.g. ``"fp16"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dtype {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

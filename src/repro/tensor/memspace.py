@@ -1,0 +1,50 @@
+"""GPU memory spaces (paper Figure 2: GL / SH / RF).
+
+Global memory is off-chip and visible to the whole grid, shared memory is
+on-chip and visible to one thread-block, and registers are thread-local.
+The labels drive both atomic-spec matching (a ``Move`` from GL to RF is a
+load) and the functional simulator's buffer scoping.
+"""
+
+from __future__ import annotations
+
+
+class MemSpace:
+    """One of the three CUDA memory regions Graphene models."""
+
+    __slots__ = ("label", "description", "scope")
+
+    def __init__(self, label: str, description: str, scope: str):
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "description", description)
+        object.__setattr__(self, "scope", scope)
+
+    def __setattr__(self, *a):
+        raise AttributeError("MemSpace is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, MemSpace) and other.label == self.label
+
+    def __hash__(self):
+        return hash(("MemSpace", self.label))
+
+    def __repr__(self):
+        return self.label
+
+
+#: Off-chip global memory, shared by the whole grid.
+GL = MemSpace("GL", "global memory", "grid")
+#: On-chip shared memory, shared by the threads of one block.
+SH = MemSpace("SH", "shared memory", "block")
+#: Registers, private to a single thread.
+RF = MemSpace("RF", "registers", "thread")
+
+_BY_LABEL = {m.label: m for m in (GL, SH, RF)}
+
+
+def memspace(label: str) -> MemSpace:
+    """Look up a memory space by label (``"GL"``, ``"SH"``, ``"RF"``)."""
+    try:
+        return _BY_LABEL[label]
+    except KeyError:
+        raise KeyError(f"unknown memory space {label!r}") from None

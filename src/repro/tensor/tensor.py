@@ -1,0 +1,435 @@
+"""First-class data tensors (paper Section 3).
+
+A Graphene tensor has a name, a shape (congruent dims and strides, both
+possibly hierarchical), an element type, and a memory-space label::
+
+    %A : [(16,16):(16,1)] . fp16 . SH
+
+Tensors are hierarchically decomposable into tiles: the element type of a
+tiled tensor is another nested shape.  Tile sizes are one-dimensional
+tensors themselves (``[2:1]`` groups two logically adjacent elements,
+``[2:2]`` every other element), so both contiguous and non-contiguous
+tiles are expressible (paper Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..ir.expr import Const, IntExpr, Var, as_expr
+from ..layout import inttuple as it
+from ..layout.algebra import LayoutAlgebraError, composition, logical_divide
+from ..layout.layout import Layout, row_major
+from ..layout.swizzle import IDENTITY_SWIZZLE, Swizzle
+from .dtypes import DType
+from .memspace import GL, RF, SH, MemSpace
+
+TileSize = Union[int, Layout, None]
+Coord = Union[int, IntExpr]
+
+
+class DimGuard:
+    """Predication info for one logical dimension (paper Section 3.4).
+
+    ``origin`` is the root-tensor coordinate of this view's first element
+    along the dimension and ``extent`` the root dimension size; accesses
+    must satisfy ``origin + i < extent``.
+    """
+
+    __slots__ = ("origin", "extent")
+
+    def __init__(self, origin, extent):
+        object.__setattr__(self, "origin", as_expr(origin))
+        object.__setattr__(self, "extent", as_expr(extent))
+
+    def __setattr__(self, *a):
+        raise AttributeError("DimGuard is immutable")
+
+    def shifted(self, delta) -> "DimGuard":
+        return DimGuard(self.origin + delta, self.extent)
+
+    def __repr__(self):
+        return f"Guard({self.origin!r}+i<{self.extent!r})"
+
+
+class Tile:
+    """The element type of a tiled tensor: a nested shape."""
+
+    __slots__ = ("layout", "element", "tile_sizes")
+
+    def __init__(self, layout: Layout, element, tile_sizes: Tuple):
+        object.__setattr__(self, "layout", layout)
+        object.__setattr__(self, "element", element)
+        object.__setattr__(self, "tile_sizes", tile_sizes)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Tile is immutable")
+
+    def format(self) -> str:
+        inner = self.element.format() if isinstance(self.element, Tile) \
+            else repr(self.element)
+        return f"{self.layout!r}.{inner}"
+
+    def __repr__(self):
+        return self.format()
+
+
+class Tensor:
+    """A named, laid-out, typed, memory-space-labelled tensor view."""
+
+    __slots__ = (
+        "name", "layout", "element", "mem", "offset", "swizzle", "buffer",
+        "guards",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        layout: Union[Layout, Sequence, int],
+        element: Union[DType, Tile],
+        mem: MemSpace,
+        *,
+        offset: Coord = 0,
+        swizzle: Swizzle = IDENTITY_SWIZZLE,
+        buffer: Optional[str] = None,
+        guards: Optional[Tuple[Optional[DimGuard], ...]] = None,
+    ):
+        if not isinstance(layout, Layout):
+            layout = Layout(layout)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "layout", layout)
+        object.__setattr__(self, "element", element)
+        object.__setattr__(self, "mem", mem)
+        object.__setattr__(self, "offset", as_expr(offset))
+        object.__setattr__(self, "swizzle", swizzle)
+        object.__setattr__(self, "buffer", buffer if buffer is not None else name)
+        object.__setattr__(self, "guards", guards)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Tensor is immutable; use the view methods")
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def shape(self):
+        return self.layout.shape
+
+    @property
+    def stride(self):
+        return self.layout.stride
+
+    @property
+    def rank(self) -> int:
+        if self.layout.shape == ():
+            return 0
+        return self.layout.rank
+
+    @property
+    def dtype(self) -> DType:
+        element = self.element
+        while isinstance(element, Tile):
+            element = element.element
+        return element
+
+    def size(self):
+        """Number of elements in this view (tiles count their contents)."""
+        total = self.layout.size()
+        element = self.element
+        while isinstance(element, Tile):
+            total = total * element.layout.size()
+            element = element.element
+        return total
+
+    def is_tiled(self) -> bool:
+        return isinstance(self.element, Tile)
+
+    def is_scalar(self) -> bool:
+        return self.rank == 0 and not self.is_tiled()
+
+    def needs_predication(self) -> bool:
+        return self.guards is not None and any(
+            g is not None for g in self.guards
+        )
+
+    def dim(self, index: int):
+        """The (possibly symbolic) size of top-level dimension ``index``."""
+        return it.as_tuple(self.layout.shape)[index]
+
+    # -- views ----------------------------------------------------------------
+    def with_name(self, name: str) -> "Tensor":
+        return self._replace(name=name)
+
+    def with_swizzle(self, swizzle: Swizzle) -> "Tensor":
+        return self._replace(swizzle=swizzle)
+
+    def with_layout(self, layout: Layout) -> "Tensor":
+        """Reinterpret with a different layout of equal size."""
+        if isinstance(layout, Layout) and isinstance(layout.size(), int) \
+                and isinstance(self.layout.size(), int) \
+                and layout.size() != self.layout.size():
+            raise ValueError(
+                f"layout size {layout.size()} != tensor size "
+                f"{self.layout.size()}"
+            )
+        return self._replace(layout=layout)
+
+    def _replace(self, **kw) -> "Tensor":
+        fields = {
+            "name": self.name,
+            "layout": self.layout,
+            "element": self.element,
+            "mem": self.mem,
+            "offset": self.offset,
+            "swizzle": self.swizzle,
+            "buffer": self.buffer,
+            "guards": self.guards,
+        }
+        fields.update(kw)
+        return Tensor(
+            fields["name"], fields["layout"], fields["element"], fields["mem"],
+            offset=fields["offset"], swizzle=fields["swizzle"],
+            buffer=fields["buffer"], guards=fields["guards"],
+        )
+
+    # -- tiling (paper Section 3.3) --------------------------------------------
+    def tile(self, sizes: Sequence[TileSize], name: Optional[str] = None) -> "Tensor":
+        """Tile each dimension with a 1-D tile-size tensor.
+
+        Each entry of ``sizes`` is an ``int`` (``n`` adjacent elements, i.e.
+        ``[n:1]``), a :class:`Layout` (possibly strided or hierarchical for
+        non-contiguous tiles), or ``None`` (keep the whole dimension,
+        written ``_`` in the paper).  Returns the tiled tensor: its shape
+        arranges the tiles and its element type is the tile shape.
+        """
+        if self.is_tiled():
+            raise ValueError(
+                f"{self.name} is already tiled; index a tile before re-tiling"
+            )
+        if self.rank == 0:
+            raise ValueError("cannot tile a scalar tensor")
+        dims = it.as_tuple(self.layout.shape)
+        if len(sizes) != len(dims):
+            raise ValueError(
+                f"expected {len(dims)} tile sizes for {self!r}, got {len(sizes)}"
+            )
+        inner_modes: List[Layout] = []
+        outer_modes: List[Layout] = []
+        new_guards: List[Optional[DimGuard]] = []
+        tile_extents: List[Union[int, IntExpr]] = []
+        for d, size in enumerate(sizes):
+            mode = self.layout.mode(d)
+            guard = self.guards[d] if self.guards is not None else None
+            inner, outer, guard, extent = _divide_dim(mode, size, guard)
+            inner_modes.append(inner)
+            outer_modes.append(outer)
+            new_guards.append(guard)
+            tile_extents.append(extent)
+        outer_layout = _modes_to_layout(outer_modes)
+        inner_layout = _modes_to_layout(inner_modes)
+        guards_tuple = tuple(new_guards) if any(
+            g is not None for g in new_guards
+        ) else None
+        return self._replace(
+            name=name if name is not None else self.name,
+            layout=outer_layout,
+            element=Tile(inner_layout, self.element, tuple(tile_extents)),
+            guards=guards_tuple,
+        )
+
+    def __getitem__(self, coords) -> "Tensor":
+        """Select a tile (tiled tensors) or an element view (scalar element).
+
+        Coordinates may be concrete ints or symbolic index expressions
+        (loop variables, thread indices).
+        """
+        if not isinstance(coords, tuple):
+            coords = (coords,)
+        if self.rank == 0:
+            raise IndexError("cannot index a scalar tensor view")
+        if len(coords) != self.rank:
+            raise IndexError(
+                f"{self!r} expects {self.rank} coordinates, got {len(coords)}"
+            )
+        coords = tuple(
+            c if isinstance(c, tuple) else as_expr(c) for c in coords
+        )
+        delta = self.layout(coords)
+        if self.is_tiled():
+            tile = self.element
+            guards = None
+            if self.guards is not None:
+                shifted = []
+                for d, guard in enumerate(self.guards):
+                    if guard is None:
+                        shifted.append(None)
+                    else:
+                        shifted.append(
+                            guard.shifted(coords[d] * tile.tile_sizes[d])
+                        )
+                guards = tuple(shifted)
+            return self._replace(
+                layout=tile.layout,
+                element=tile.element,
+                offset=self.offset + delta,
+                guards=guards,
+            )
+        # Element selection on a scalar-element tensor: a [] view.
+        guards = None
+        if self.guards is not None:
+            guards = tuple(
+                g.shifted(coords[d]) if g is not None else None
+                for d, g in enumerate(self.guards)
+            )
+        return self._replace(
+            layout=Layout((), ()),
+            offset=self.offset + delta,
+            guards=guards,
+        )
+
+    def reshape(self, new_shape, order: str = "row") -> "Tensor":
+        """Rearrange the top-level (tile) shape, keeping the elements.
+
+        Used to arrange tiles multi-dimensionally, e.g. four 8-thread
+        groups into a 2x2 arrangement (paper Figure 5c).  ``order``
+        selects whether the existing linear order is consumed row-major
+        (last dim fastest, the paper's convention) or col-major.
+        """
+        new_shape = new_shape if isinstance(new_shape, tuple) else (new_shape,)
+        strides = (
+            it.compact_row_major(new_shape)
+            if order == "row"
+            else it.compact_col_major(new_shape)
+        )
+        tiler = Layout(new_shape, strides)
+        if tiler.size() != self.layout.size():
+            raise ValueError(
+                f"reshape to {new_shape} changes size "
+                f"{self.layout.size()} -> {tiler.size()}"
+            )
+        reshaped = composition(self.layout, tiler)
+        return self._replace(layout=reshaped)
+
+    # -- accesses ---------------------------------------------------------------
+    def access(self, coords: Sequence[Coord] = ()) -> Tuple[IntExpr, List[IntExpr]]:
+        """The physical offset expression and predicates for an access.
+
+        Returns ``(offset_expr, guards)`` where every guard is an
+        expression of the form ``coordinate`` that must be ``< extent``;
+        guards are returned as ``(lhs, rhs)``-style Sub-free expressions
+        via :class:`DimGuard` pairs flattened to ``lhs < rhs`` tuples.
+        """
+        coords = tuple(
+            c if isinstance(c, tuple) else as_expr(c) for c in coords
+        )
+        if coords:
+            delta = self.layout(coords)
+        else:
+            delta = Const(0)
+        preds: List = []
+        if self.guards is not None:
+            for d, guard in enumerate(self.guards):
+                if guard is None:
+                    continue
+                coord = coords[d] if d < len(coords) else Const(0)
+                preds.append((guard.origin + coord, guard.extent))
+        return self.offset + delta, preds
+
+    def physical_offset(self, coords: Sequence[int], env=None) -> int:
+        """Numerically evaluate the physical offset of an access."""
+        env = env or {}
+        expr, _ = self.access(coords)
+        return self.swizzle(expr.evaluate(env))
+
+    # -- display ------------------------------------------------------------------
+    def type_str(self) -> str:
+        element = (
+            self.element.format()
+            if isinstance(self.element, Tile)
+            else repr(self.element)
+        )
+        shape = "[]" if self.rank == 0 else repr(self.layout)
+        sw = "" if self.swizzle.is_identity() else f"{self.swizzle!r}o"
+        return f"{sw}{shape}.{element}.{self.mem!r}"
+
+    def __repr__(self):
+        return f"%{self.name}:{self.type_str()}"
+
+
+def _divide_dim(
+    mode: Layout,
+    size: TileSize,
+    guard: Optional[DimGuard],
+) -> Tuple[Layout, Layout, Optional[DimGuard], Union[int, IntExpr]]:
+    """Split one dimension into (tile, arrangement) modes.
+
+    Returns ``(inner, outer, guard, tile_extent)``.
+    """
+    dim = mode.shape
+    if size is None or size == "_":
+        # Keep the whole dimension as the tile.
+        return mode, Layout(1, 0), guard, it.product(dim)
+    if isinstance(size, int):
+        size = Layout(size, 1)
+    if not isinstance(size, Layout):
+        raise TypeError(f"tile size must be int, Layout or None, got {size!r}")
+    tile_extent = size.size()
+    concrete = mode.is_concrete() and isinstance(tile_extent, int)
+    if concrete and isinstance(it.product(dim), int) \
+            and it.product(dim) % tile_extent == 0:
+        try:
+            divided = logical_divide(mode, size)
+            return divided.mode(0), divided.mode(1), guard, tile_extent
+        except LayoutAlgebraError:
+            pass
+    # Partial or symbolic tiling: over-approximate and predicate
+    # (paper Section 3.4).  Only unit-stride flat tile sizes make sense
+    # for a ragged dimension.
+    if not (it.is_int(size.shape) and size.stride == 1):
+        raise LayoutAlgebraError(
+            f"cannot tile dimension {mode!r} with non-contiguous tile "
+            f"{size!r}: sizes do not divide evenly"
+        )
+    if not it.is_int(dim):
+        raise LayoutAlgebraError(
+            f"cannot partially tile hierarchical dimension {mode!r}"
+        )
+    extent = dim
+    stride = mode.stride
+    inner = Layout(tile_extent, stride)
+    outer_count = (as_expr(extent) + (tile_extent - 1)) // tile_extent
+    if isinstance(extent, int):
+        outer_count = Const((extent + tile_extent - 1) // tile_extent)
+    outer = Layout(
+        outer_count.value if isinstance(outer_count, Const) else outer_count,
+        stride * tile_extent if isinstance(stride, int) else as_expr(stride) * tile_extent,
+    )
+    origin = guard.origin if guard is not None else Const(0)
+    root_extent = guard.extent if guard is not None else as_expr(extent)
+    return inner, outer, DimGuard(origin, root_extent), tile_extent
+
+
+def _modes_to_layout(modes: Sequence[Layout]) -> Layout:
+    if len(modes) == 1:
+        return modes[0]
+    return Layout(
+        tuple(m.shape for m in modes), tuple(m.stride for m in modes)
+    )
+
+
+def tensor(
+    name: str,
+    shape,
+    dtype: DType,
+    mem: MemSpace = GL,
+    stride=None,
+    **kw,
+) -> Tensor:
+    """Convenience constructor: row-major by default, like the paper.
+
+    ``tensor("A", (1024, 1024), FP16, GL)`` builds
+    ``%A:[(1024,1024):(1024,1)].fp16.GL``.
+    """
+    if stride is None:
+        layout = row_major(tuple(shape) if not it.is_int(shape) else shape)
+    else:
+        layout = Layout(shape, stride)
+    return Tensor(name, layout, dtype, mem, **kw)

@@ -1,0 +1,7 @@
+"""Logical thread groups (paper Section 4)."""
+
+from .threadgroup import (
+    BLOCK, THREAD, ThreadGroup, blocks, threads, warp,
+)
+
+__all__ = ["BLOCK", "THREAD", "ThreadGroup", "blocks", "threads", "warp"]

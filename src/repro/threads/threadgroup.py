@@ -1,0 +1,269 @@
+"""Logical thread groups: the GPU compute hierarchy as tensors.
+
+Paper Section 4: instead of scalar thread-index arithmetic, Graphene
+represents threads (and blocks) as first-class tensors that can be tiled
+and reshaped exactly like data.  The scalar index expressions CUDA needs
+(``(threadIdx.x / 16) % 2`` and friends) are *generated* from the tensor's
+layout at code-generation time.
+
+By convention thread tensors print with a ``#`` prefix and carry a
+``ScalarType`` of ``thread`` or ``block`` instead of a dtype and memory
+label.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..ir.expr import Const, IntExpr, Var, as_expr
+from ..layout import inttuple as it
+from ..layout.algebra import composition
+from ..layout.layout import Layout
+from ..tensor.tensor import Tile, TileSize, _divide_dim, _modes_to_layout
+
+#: Scalar types of the two fundamental CUDA hierarchies.
+THREAD = "thread"
+BLOCK = "block"
+
+#: The flat hardware index variables the generated code reads.
+FLAT_INDEX_VAR = {THREAD: "threadIdx.x", BLOCK: "blockIdx.x"}
+
+
+class ThreadGroup:
+    """A tensor of processing elements (threads or blocks).
+
+    The layout maps logical group coordinates to *flat hardware indices*
+    (offsets into ``threadIdx.x`` / ``blockIdx.x`` space).  Tiling a
+    thread tensor produces an arrangement of logical thread groups whose
+    element type is the group shape, mirroring data-tensor tiles.
+    """
+
+    __slots__ = ("name", "layout", "kind", "element", "base")
+
+    def __init__(
+        self,
+        name: str,
+        layout: Union[Layout, int, Sequence],
+        kind: str = THREAD,
+        element: Optional[Tile] = None,
+        base: Union[int, IntExpr] = 0,
+    ):
+        if not isinstance(layout, Layout):
+            layout = Layout(layout)
+        if kind not in (THREAD, BLOCK):
+            raise ValueError(f"kind must be 'thread' or 'block', got {kind!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "layout", layout)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "element", element)
+        object.__setattr__(self, "base", as_expr(base))
+
+    def __setattr__(self, *a):
+        raise AttributeError("ThreadGroup is immutable")
+
+    # -- structure ------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.layout.shape
+
+    @property
+    def rank(self) -> int:
+        return 0 if self.layout.shape == () else self.layout.rank
+
+    def is_tiled(self) -> bool:
+        return self.element is not None
+
+    def group_count(self) -> int:
+        """Number of logical groups (the outer shape's size)."""
+        return self.layout.size()
+
+    def size(self) -> int:
+        """Total number of processing elements in this tensor."""
+        total = self.layout.size()
+        if self.element is not None:
+            total = total * self.element.layout.size()
+        return total
+
+    def _replace(self, **kw) -> "ThreadGroup":
+        fields = {
+            "name": self.name,
+            "layout": self.layout,
+            "kind": self.kind,
+            "element": self.element,
+            "base": self.base,
+        }
+        fields.update(kw)
+        return ThreadGroup(
+            fields["name"], fields["layout"], fields["kind"],
+            fields["element"], fields["base"],
+        )
+
+    # -- manipulation (exactly like data tensors) --------------------------------
+    def tile(self, sizes: Sequence[TileSize], name: Optional[str] = None) -> "ThreadGroup":
+        """Tile into logical groups; sizes follow data-tensor tiling.
+
+        ``warp.tile([8])`` splits a 32-thread warp into four 8-thread
+        groups (Figure 5b); ``warp.tile([Layout((4,2),(1,16))])`` forms
+        Volta's quad-pairs (Figure 6).
+        """
+        if self.is_tiled():
+            raise ValueError(
+                f"#{self.name} is already tiled; select a group before re-tiling"
+            )
+        dims = it.as_tuple(self.layout.shape)
+        if len(sizes) != len(dims):
+            raise ValueError(
+                f"expected {len(dims)} tile sizes for #{self.name}, "
+                f"got {len(sizes)}"
+            )
+        inner_modes: List[Layout] = []
+        outer_modes: List[Layout] = []
+        extents = []
+        for d, size in enumerate(sizes):
+            inner, outer, guard, extent = _divide_dim(
+                self.layout.mode(d), size, None
+            )
+            if guard is not None:
+                raise ValueError(
+                    "thread tensors cannot be partially tiled: "
+                    f"{self.layout.mode(d)!r} by {size!r}"
+                )
+            inner_modes.append(inner)
+            outer_modes.append(outer)
+            extents.append(extent)
+        return self._replace(
+            name=name if name is not None else self.name,
+            layout=_modes_to_layout(outer_modes),
+            element=Tile(_modes_to_layout(inner_modes), self.kind, tuple(extents)),
+        )
+
+    def reshape(self, new_shape, order: str = "row") -> "ThreadGroup":
+        """Rearrange the group arrangement (depth 0), paper Figure 5c."""
+        new_shape = new_shape if isinstance(new_shape, tuple) else (new_shape,)
+        strides = (
+            it.compact_row_major(new_shape)
+            if order == "row"
+            else it.compact_col_major(new_shape)
+        )
+        tiler = Layout(new_shape, strides)
+        if tiler.size() != self.layout.size():
+            raise ValueError(
+                f"reshape to {new_shape} changes group count "
+                f"{self.layout.size()} -> {tiler.size()}"
+            )
+        return self._replace(layout=composition(self.layout, tiler))
+
+    def __getitem__(self, coords) -> "ThreadGroup":
+        """Select one logical group (or one processing element)."""
+        if not isinstance(coords, tuple):
+            coords = (coords,)
+        if len(coords) != self.rank:
+            raise IndexError(
+                f"#{self.name} expects {self.rank} coordinates, got {len(coords)}"
+            )
+        coords = tuple(as_expr(c) for c in coords)
+        delta = self.layout(coords)
+        if self.is_tiled():
+            return self._replace(
+                layout=self.element.layout,
+                element=None,
+                base=self.base + delta,
+            )
+        return self._replace(
+            layout=Layout((), ()),
+            base=self.base + delta,
+        )
+
+    def scalar(self) -> "ThreadGroup":
+        """A ``[].thread`` view: the current single processing element."""
+        return self._replace(layout=Layout((), ()), element=None)
+
+    # -- index-expression generation (paper Figure 5, gray boxes) ---------------
+    def flat_var(self) -> Var:
+        """The hardware index variable this tensor's ids refer to."""
+        return Var(FLAT_INDEX_VAR[self.kind], 0, None)
+
+    def indices(self, flat: Optional[IntExpr] = None) -> Tuple[IntExpr, ...]:
+        """Per-dimension coordinate expressions for the calling PE.
+
+        Given the flat hardware index, returns one expression per
+        top-level dimension of the (group-arrangement) layout, e.g.
+        ``((threadIdx.x / 16) % 2, (threadIdx.x / 8) % 2)`` for the
+        ldmatrix groups of Figure 5c.
+        """
+        flat = self.flat_var() if flat is None else as_expr(flat)
+        self._check_invertible()
+        return tuple(
+            _mode_coord(self.layout.mode(d), flat)
+            for d in range(self.layout.rank)
+        )
+
+    def local_index(self, flat: Optional[IntExpr] = None) -> IntExpr:
+        """The linear index of the calling PE within its group."""
+        flat = self.flat_var() if flat is None else as_expr(flat)
+        if self.element is None:
+            return _mode_coord(self.layout, flat) if self.rank else Const(0)
+        self._check_invertible()
+        return _mode_coord(self.element.layout, flat)
+
+    def _check_invertible(self) -> None:
+        """The combined (groups x within-group) layout must cover the
+        flat id space bijectively, otherwise per-mode div/mod
+        decomposition would be ambiguous."""
+        modes = [self.layout]
+        if self.element is not None:
+            modes.append(self.element.layout)
+        shapes = tuple(m.shape for m in modes)
+        strides = tuple(m.stride for m in modes)
+        combined = Layout(shapes, strides)
+        if not combined.is_concrete():
+            raise ValueError("cannot invert a symbolic thread layout")
+        if not combined.is_bijection():
+            raise ValueError(
+                f"thread layout {combined!r} is not a bijection onto the "
+                f"flat id space; coordinates are ambiguous"
+            )
+
+    # -- display -------------------------------------------------------------------
+    def type_str(self) -> str:
+        shape = "[]" if self.rank == 0 else repr(self.layout)
+        if self.element is not None:
+            return f"{shape}.{self.element.layout!r}.{self.kind}"
+        return f"{shape}.{self.kind}"
+
+    def __repr__(self):
+        return f"#{self.name}:{self.type_str()}"
+
+
+def _mode_coord(mode: Layout, flat: IntExpr) -> IntExpr:
+    """The logical coordinate of ``flat`` along one layout mode.
+
+    For a flat mode ``(s:d)`` this is ``(flat / d) % s``; hierarchical
+    modes combine their sub-coordinates colexicographically.
+    """
+    shapes = it.flatten(mode.shape)
+    strides = it.flatten(mode.stride)
+    coord: IntExpr = Const(0)
+    scale = 1
+    for s, d in zip(shapes, strides):
+        if s == 1:
+            continue
+        part = (flat // d) % s
+        coord = coord + part * scale
+        scale = scale * s
+    return coord
+
+
+def warp(name: str = "warp") -> ThreadGroup:
+    """A contiguous 32-thread warp tensor."""
+    return ThreadGroup(name, Layout(32, 1), THREAD)
+
+
+def threads(name: str, count, stride: int = 1) -> ThreadGroup:
+    """A 1-D tensor of ``count`` threads with the given id stride."""
+    return ThreadGroup(name, Layout(count, stride), THREAD)
+
+
+def blocks(name: str, shape) -> ThreadGroup:
+    """A tensor of thread-blocks, e.g. ``blocks("grid", (8, 8))``."""
+    return ThreadGroup(name, Layout(shape), BLOCK)

@@ -1,0 +1,12 @@
+"""Test-wide configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Property tests enumerate whole coordinate spaces; wall-clock deadlines
+# only add flakiness on slow CI machines.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,91 @@
+"""Evaluation-harness tests: reports, networks, and figure shapes.
+
+The heavyweight shape assertions live in benchmarks/; these tests cover
+the harness machinery and the cheap figures.
+"""
+
+import pytest
+
+from repro.arch import AMPERE
+from repro.eval import NETWORKS, FigureReport, InferenceModel
+from repro.eval.figures import ALL_FIGURES, figure_13, figure_14
+
+
+class TestFigureReport:
+    def test_add_row_and_column(self):
+        rep = FigureReport("Fig X", "test", ["a", "b"])
+        rep.add_row(1, 2.0)
+        rep.add_row(3, 4.0)
+        assert rep.column("b") == [2.0, 4.0]
+
+    def test_row_arity_checked(self):
+        rep = FigureReport("Fig X", "test", ["a", "b"])
+        with pytest.raises(ValueError):
+            rep.add_row(1)
+
+    def test_format_table(self):
+        rep = FigureReport("Fig X", "test", ["name", "value"])
+        rep.add_row("alpha", 1.23456)
+        rep.note("hello")
+        text = rep.format_table()
+        assert "Fig X" in text
+        assert "alpha" in text
+        assert "1.23" in text
+        assert "note: hello" in text
+
+
+class TestNetworks:
+    def test_all_five_networks_present(self):
+        assert set(NETWORKS) == {
+            "DistilBERT", "BERT-base", "BERT-large", "RoBERTa", "GPT-2",
+        }
+
+    def test_layer_times_positive(self):
+        model = InferenceModel(AMPERE)
+        times = model.layer_times(NETWORKS["BERT-base"])
+        assert all(t > 0 for t in times.values())
+        assert set(times) >= {"qkv_proj", "attention", "ffn_up"}
+
+    def test_network_time_scales_with_layers(self):
+        model = InferenceModel(AMPERE)
+        base = model.network_time(NETWORKS["BERT-base"])
+        large = model.network_time(NETWORKS["BERT-large"])
+        assert large > base
+
+    def test_fmha_injection_reduces_time(self):
+        model = InferenceModel(AMPERE)
+        cfg = NETWORKS["BERT-base"]
+        base = model.network_time(cfg)
+        injected = model.network_time(cfg, fmha_seconds=1e-6)
+        assert injected < base
+
+    def test_attention_fraction_in_unit_interval(self):
+        model = InferenceModel(AMPERE)
+        for cfg in NETWORKS.values():
+            frac = model.attention_fraction(cfg)
+            assert 0.0 < frac < 1.0
+
+
+class TestFigureRegistry:
+    def test_all_seven_figures_registered(self):
+        assert set(ALL_FIGURES) == {
+            "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        }
+
+
+class TestFigure13Shape:
+    def test_graphene_matches_best_fused(self):
+        rep = figure_13(rows=4096, hiddens=(256, 1024))
+        for row in rep.rows:
+            hidden, graphene, eager, jit, fused, apex, speedup = row
+            assert graphene <= min(fused, apex) * 1.15
+            assert speedup > 1.5
+
+
+class TestFigure14Shape:
+    def test_graphene_close_to_mlperf(self):
+        rep = figure_14()
+        times = dict(zip(rep.column("impl"), rep.column("time_us")))
+        graphene = times["Graphene fused"]
+        trt = times["TensorRT MLPerf fused"]
+        assert 0.8 * trt < graphene < trt

@@ -1,0 +1,198 @@
+"""Tests for composition, complement, divide, product, and inverses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.layout import (
+    Layout, LayoutAlgebraError, complement, composition, factor_offsets,
+    logical_divide, logical_product, right_inverse,
+)
+
+
+class TestFactorOffsets:
+    def test_simple_stride(self):
+        assert factor_offsets([0, 2, 4, 6]) == Layout(4, 2)
+
+    def test_two_modes(self):
+        assert factor_offsets([0, 1, 4, 5]) == Layout((2, 2), (1, 4))
+
+    def test_single_element(self):
+        assert factor_offsets([0]) == Layout(1, 0)
+
+    def test_broadcast_stride_zero(self):
+        assert factor_offsets([0, 0, 0, 0]) == Layout(4, 0)
+
+    def test_nonlayout_raises(self):
+        with pytest.raises(LayoutAlgebraError):
+            factor_offsets([0, 1, 3])
+
+    def test_round_trip_any_layout(self):
+        layout = Layout((2, 3, 2), (1, 10, 40))
+        assert factor_offsets(layout.offsets()).offsets() == layout.offsets()
+
+
+class TestComposition:
+    def test_identity(self):
+        a = Layout((4, 8), (8, 1))
+        ident = Layout(32, 1)
+        assert composition(a, ident).offsets() == a.offsets()
+
+    def test_strided_selection(self):
+        # Select every other element of a contiguous vector.
+        assert composition(Layout(8, 1), Layout(4, 2)) == Layout(4, 2)
+
+    def test_through_row_major(self):
+        # Walking a row-major 4x8 linearly visits column-major offsets.
+        a = Layout((4, 8), (8, 1))
+        b = Layout(4, 1)  # first 4 linear coords = first column
+        assert composition(a, b) == Layout(4, 8)
+
+    def test_preserves_rhs_modes(self):
+        a = Layout(32, 1)
+        b = Layout((4, 2), (1, 16))
+        assert composition(a, b) == b
+
+    def test_hierarchical_rhs_structure_kept(self):
+        a = Layout(8, 1)
+        b = Layout(((2, 2),), ((1, 4),))
+        result = composition(a, b)
+        assert result.offsets() == (0, 1, 4, 5)
+
+
+class TestComplement:
+    def test_simple(self):
+        assert complement(Layout(2, 2), 4) == Layout(2, 1)
+
+    def test_quad_pairs(self):
+        # Volta quad-pairs (paper Figure 6).
+        assert complement(Layout((4, 2), (1, 16)), 32) == Layout(4, 4)
+
+    def test_contiguous_tile(self):
+        assert complement(Layout(8, 1), 32) == Layout(4, 8)
+
+    def test_full_cover_is_unit(self):
+        assert complement(Layout(32, 1), 32).size() == 1
+
+    def test_joint_bijection(self):
+        tile = Layout((4, 2), (1, 16))
+        rest = complement(tile, 32)
+        combined = Layout(
+            (tile.shape, rest.shape), (tile.stride, rest.stride)
+        )
+        assert combined.is_bijection()
+
+    def test_undefined_raises(self):
+        with pytest.raises(LayoutAlgebraError):
+            complement(Layout(3, 2), 7)
+
+
+class TestLogicalDivide:
+    def test_contiguous(self):
+        # Paper Figure 4b, first dimension: [4:8] tiled by [2:1].
+        assert logical_divide(Layout(4, 8), Layout(2, 1)) == \
+            Layout((2, 2), (8, 16))
+
+    def test_interleaved(self):
+        # Paper Figure 4c: [4:8] tiled by [2:2] -> every other row.
+        assert logical_divide(Layout(4, 8), Layout(2, 2)) == \
+            Layout((2, 2), (16, 8))
+
+    def test_hierarchical_tiler(self):
+        # Paper Figure 4d: [8:1] tiled by [(2,2):(1,4)].
+        divided = logical_divide(Layout(8, 1), Layout((2, 2), (1, 4)))
+        assert divided == Layout(((2, 2), 2), ((1, 4), 2))
+
+    def test_warp_into_ldmatrix_groups(self):
+        # Paper Figure 5b: a warp tiled into four 8-thread groups.
+        assert logical_divide(Layout(32, 1), Layout(8, 1)) == \
+            Layout((8, 4), (1, 8))
+
+    def test_warp_into_quad_pairs(self):
+        # Paper Figure 6.
+        divided = logical_divide(Layout(32, 1), Layout((4, 2), (1, 16)))
+        assert divided == Layout(((4, 2), 4), ((1, 16), 4))
+        # Quad-pair 0 is threads 0-3 and 16-19.
+        tile = divided.mode(0)
+        assert [tile(i) for i in range(8)] == [0, 1, 2, 3, 16, 17, 18, 19]
+
+    def test_divide_covers_everything(self):
+        divided = logical_divide(Layout(32, 1), Layout((4, 2), (1, 16)))
+        assert sorted(divided.offsets()) == list(range(32))
+
+
+class TestLogicalProduct:
+    def test_repeat_block(self):
+        assert logical_product(Layout(8, 1), Layout(4, 1)) == \
+            Layout((8, 4), (1, 8))
+
+    def test_product_covers_everything(self):
+        result = logical_product(Layout(4, 2), Layout(2, 1))
+        assert result.size() == 8
+
+
+class TestRightInverse:
+    def test_permutation(self):
+        layout = Layout((2, 4), (4, 1))
+        inv = right_inverse(layout)
+        for i in range(8):
+            assert layout(inv(i)) == i
+
+    def test_identity(self):
+        assert right_inverse(Layout(8, 1)).offsets() == tuple(range(8))
+
+    def test_non_bijection_raises(self):
+        with pytest.raises(LayoutAlgebraError):
+            right_inverse(Layout(4, 2))
+
+
+# -- property tests -----------------------------------------------------------
+
+_sizes = st.sampled_from([1, 2, 4, 8, 16])
+
+
+@st.composite
+def tilers(draw):
+    """Random injective single-mode tilers that can tile [0, 64)."""
+    size = draw(_sizes)
+    stride = draw(st.sampled_from([1, 2, 4, 8]))
+    if size * stride > 64:
+        stride = 1
+    return Layout(size, stride)
+
+
+@given(tilers())
+def test_property_complement_joint_bijection(tiler):
+    rest = complement(tiler, 64)
+    combined = Layout(
+        (tiler.shape, rest.shape), (tiler.stride, rest.stride)
+    )
+    assert combined.is_bijection()
+
+
+@given(tilers())
+def test_property_divide_is_permutation(tiler):
+    divided = logical_divide(Layout(64, 1), tiler)
+    assert sorted(divided.offsets()) == list(range(64))
+
+
+@given(tilers(), st.integers(min_value=0, max_value=63))
+def test_property_composition_semantics(tiler, index):
+    """composition(A, B)(i) == A(B(i)) pointwise."""
+    a = Layout((8, 8), (8, 1))
+    if index >= tiler.size():
+        index %= tiler.size()
+    composed = composition(a, tiler)
+    assert composed(index) == a(tiler(index))
+
+
+@given(st.permutations(list(range(6))))
+def test_property_factor_offsets_needs_layout_structure(perm):
+    """factor_offsets either reproduces the sequence or raises."""
+    seq = list(perm)
+    if seq[0] != 0:
+        seq[0], seq[seq.index(0)] = seq[seq.index(0)], 0
+    try:
+        layout = factor_offsets(seq)
+    except LayoutAlgebraError:
+        return
+    assert list(layout.offsets()) == seq

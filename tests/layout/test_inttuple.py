@@ -1,0 +1,126 @@
+"""Tests for nested integer tuples."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.layout import inttuple as it
+
+
+class TestStructure:
+    def test_rank_leaf(self):
+        assert it.rank(5) == 1
+
+    def test_rank_tuple(self):
+        assert it.rank((4, 8)) == 2
+
+    def test_rank_nested(self):
+        assert it.rank(((2, 2), (2, 4))) == 2
+
+    def test_depth(self):
+        assert it.depth(5) == 0
+        assert it.depth((4, 8)) == 1
+        assert it.depth(((2, 2), 4)) == 2
+
+    def test_flatten(self):
+        assert it.flatten(((2, 2), (2, 4))) == (2, 2, 2, 4)
+
+    def test_product(self):
+        assert it.product(((2, 2), (2, 4))) == 32
+
+    def test_congruent(self):
+        assert it.congruent((4, (2, 4)), (2, (1, 8)))
+        assert not it.congruent((4, (2, 4)), (2, 8))
+
+    def test_weakly_congruent(self):
+        assert it.weakly_congruent((4, 8), (4, (2, 4)))
+        assert not it.weakly_congruent((4, (2, 4)), (4, 8))
+
+
+class TestCoordinateMapping:
+    def test_crd2idx_2d_row_major(self):
+        assert it.crd2idx((1, 2), (4, 8), (8, 1)) == 10
+
+    def test_crd2idx_hierarchical_dim(self):
+        # Figure 3c: [(4,(2,4)):(2,(1,8))]; logical (0, 2) -> hierarchical
+        # column coord (0, 1) -> offset 8.
+        assert it.crd2idx((0, 2), (4, (2, 4)), (2, (1, 8))) == 8
+
+    def test_crd2idx_int_coord_colex(self):
+        # Integer coordinates decompose mode-0-fastest.
+        assert it.crd2idx(3, (2, 4), (1, 2)) == 1 * 1 + 1 * 2
+
+    def test_idx2crd_round_trip(self):
+        shape = ((2, 2), (2, 4))
+        for i in range(it.product(shape)):
+            crd = it.idx2crd(i, shape)
+            idx = it.crd2idx(crd, shape, it.compact_col_major(shape))
+            assert idx == i
+
+    def test_crd2crd(self):
+        assert it.crd2crd((1, 1), (2, 2), 4) == 3
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            it.crd2idx((1, 2, 3), (4, 8), (8, 1))
+
+
+class TestCompactStrides:
+    def test_col_major(self):
+        assert it.compact_col_major((4, 8)) == (1, 4)
+
+    def test_row_major(self):
+        assert it.compact_row_major((4, 8)) == (8, 1)
+
+    def test_col_major_nested(self):
+        assert it.compact_col_major(((2, 2), 8)) == ((1, 2), 4)
+
+    def test_row_major_nested(self):
+        assert it.compact_row_major((4, (2, 4))) == (8, (4, 1))
+
+
+class TestFormatting:
+    def test_leaf(self):
+        assert it.format_int_tuple(7) == "7"
+
+    def test_nested(self):
+        assert it.format_int_tuple(((2, 2), 4)) == "((2,2),4)"
+
+
+@st.composite
+def shapes(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        return draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=3))
+    return tuple(draw(shapes(depth=depth + 1)) for _ in range(n))
+
+
+@given(shapes())
+def test_property_idx2crd_bijective(shape):
+    """idx2crd enumerates every coordinate exactly once."""
+    seen = set()
+    strides = it.compact_col_major(shape)
+    for i in range(it.product(shape)):
+        crd = it.idx2crd(i, shape)
+        idx = it.crd2idx(crd, shape, strides)
+        assert idx == i
+        seen.add(idx)
+    assert len(seen) == it.product(shape)
+
+
+@given(shapes())
+def test_property_flatten_product(shape):
+    prod = 1
+    for leaf in it.flatten(shape):
+        prod *= leaf
+    assert prod == it.product(shape)
+
+
+@given(shapes())
+def test_property_compact_col_major_is_colex(shape):
+    """Compact col-major strides enumerate offsets 0..n-1 in order."""
+    strides = it.compact_col_major(shape)
+    offsets = [
+        it.crd2idx(it.idx2crd(i, shape), shape, strides)
+        for i in range(it.product(shape))
+    ]
+    assert offsets == list(range(it.product(shape)))

@@ -1,0 +1,79 @@
+"""Tests for XOR swizzle functors and swizzled layouts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.layout import IDENTITY_SWIZZLE, Layout, Swizzle, SwizzledLayout
+
+
+class TestSwizzle:
+    def test_identity(self):
+        assert IDENTITY_SWIZZLE(1234) == 1234
+        assert IDENTITY_SWIZZLE.is_identity()
+
+    def test_known_values(self):
+        # Swizzle<2,0,3>: XOR bits [3:5) into bits [0:2).
+        sw = Swizzle(2, 0, 3)
+        assert sw(0) == 0
+        assert sw(8) == 8 ^ 1
+        assert sw(16) == 16 ^ 2
+
+    def test_involution(self):
+        sw = Swizzle(3, 3, 3)
+        for offset in range(512):
+            assert sw(sw(offset)) == offset
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            Swizzle(3, 0, 2)  # shift < bits overlaps source and target
+
+    def test_immutable(self):
+        sw = Swizzle(1, 0, 1)
+        with pytest.raises(AttributeError):
+            sw.bits = 2
+
+
+class TestSwizzledLayout:
+    def test_logical_view_unchanged(self):
+        base = Layout((8, 8), (8, 1))
+        swizzled = SwizzledLayout(base, Swizzle(3, 0, 3))
+        assert swizzled.shape == base.shape
+        assert swizzled.size() == 64
+
+    def test_offsets_are_permutation(self):
+        base = Layout((8, 8), (8, 1))
+        swizzled = SwizzledLayout(base, Swizzle(3, 0, 3))
+        assert sorted(swizzled.offsets()) == list(range(64))
+
+    def test_identity_swizzle_matches_base(self):
+        base = Layout((4, 8), (8, 1))
+        swizzled = SwizzledLayout(base, IDENTITY_SWIZZLE)
+        assert swizzled.offsets() == base.offsets()
+
+    def test_breaks_column_clustering(self):
+        """The canonical use: rows of a row-major tile land in distinct
+        'banks' for column accesses after swizzling."""
+        base = Layout((8, 8), (8, 1))
+        swizzled = SwizzledLayout(base, Swizzle(3, 0, 3))
+        col0 = [swizzled(i, 0) % 8 for i in range(8)]
+        assert sorted(col0) == list(range(8))  # conflict-free
+        unswizzled_col0 = [base(i, 0) % 8 for i in range(8)]
+        assert len(set(unswizzled_col0)) == 1  # fully conflicting
+
+
+@given(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=1023),
+)
+def test_property_swizzle_is_involution(bits, base, offset):
+    sw = Swizzle(bits, base, max(bits, 3))
+    assert sw(sw(offset)) == offset
+
+
+@given(st.integers(min_value=0, max_value=2), st.integers(0, 2))
+def test_property_swizzle_permutes_pow2_window(bits, base):
+    sw = Swizzle(bits, base, bits if bits else 1)
+    window = 1 << (base + 2 * max(bits, 1))
+    image = {sw(o) for o in range(window)}
+    assert image == set(range(window))

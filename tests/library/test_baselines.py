@@ -1,0 +1,151 @@
+"""Library baseline cost-model and functional-reference tests."""
+
+import numpy as np
+import pytest
+
+from repro.arch import AMPERE, VOLTA
+from repro.library import CuBLAS, CuBLASLt, CuDNN, PyTorchRef, TensorRTFMHA
+from repro.library import funcs
+
+
+class TestCuBLAS:
+    def test_gemm_scaling(self):
+        blas = CuBLAS(AMPERE)
+        small = blas.gemm_seconds(1024, 1024, 1024)
+        large = blas.gemm_seconds(4096, 4096, 1024)
+        assert large > small
+
+    def test_compute_bound_at_paper_scale(self):
+        est = CuBLAS(AMPERE).gemm_estimate(5376, 5376, 2048)
+        assert est.compute_fraction > 0.9
+
+    def test_volta_slower_than_ampere(self):
+        v = CuBLAS(VOLTA).gemm_seconds(4096, 4096, 2048)
+        a = CuBLAS(AMPERE).gemm_seconds(4096, 4096, 2048)
+        assert v > a
+
+    def test_includes_launch_overhead(self):
+        blas = CuBLAS(AMPERE)
+        assert blas.gemm_seconds(128, 128, 128) >= \
+            AMPERE.launch_overhead_us * 1e-6
+
+
+class TestCuBLASLt:
+    def test_epilogue_marginal_cost(self):
+        lt = CuBLASLt(AMPERE)
+        plain = lt.gemm_seconds(4096, 4096, 1024)
+        fused = lt.gemm_epilogue_seconds(4096, 4096, 1024)
+        assert fused >= plain
+        assert fused < plain * 1.2  # fused epilogues are nearly free
+
+    def test_lstm_two_kernel_cheaper_than_naive(self):
+        lt = CuBLASLt(AMPERE)
+        two = lt.lstm_two_kernel_seconds(4096, 4096, 1024)
+        naive = (
+            2 * lt.gemm_seconds(4096, 4096, 1024)
+            + 3 * CuDNN(AMPERE).pointwise_seconds(4096 * 4096)
+        )
+        assert two < naive
+
+
+class TestCuDNN:
+    def test_pointwise_bandwidth_bound(self):
+        dnn = CuDNN(AMPERE)
+        t = dnn.pointwise_seconds(10 ** 8, num_inputs=2)
+        traffic = 3 * 10 ** 8 * 2
+        floor = traffic / (AMPERE.dram_gbps * 1e9)
+        assert t > floor
+
+    def test_more_inputs_cost_more(self):
+        dnn = CuDNN(AMPERE)
+        assert dnn.pointwise_seconds(10 ** 7, 3) > \
+            dnn.pointwise_seconds(10 ** 7, 1)
+
+
+class TestPyTorchRef:
+    def test_layernorm_ordering(self):
+        torch = PyTorchRef(AMPERE)
+        times = {
+            impl: torch.layernorm_seconds(12288, 1024, impl)
+            for impl in ("eager", "jit", "fused", "apex")
+        }
+        assert times["eager"] > times["jit"] > times["fused"] >= \
+            times["apex"]
+
+    def test_unknown_impl_raises(self):
+        with pytest.raises(ValueError):
+            PyTorchRef(AMPERE).layernorm_seconds(1, 1, "magic")
+
+    def test_unfused_softmax_slower(self):
+        torch = PyTorchRef(AMPERE)
+        assert torch.softmax_seconds(10000, 384, fused=False) > \
+            torch.softmax_seconds(10000, 384, fused=True)
+
+    def test_attention_dominated_by_gemms(self):
+        torch = PyTorchRef(AMPERE)
+        t = torch.unfused_attention_seconds(16, 32, 384, 64)
+        gemms = 2 * torch.blas.gemm_seconds(16 * 32 * 384, 384, 64)
+        assert t > gemms * 0.5
+
+
+class TestTensorRT:
+    def test_fmha_beats_unfused(self):
+        trt = TensorRTFMHA(AMPERE).fmha_seconds(16, 32, 384, 64)
+        unfused = PyTorchRef(AMPERE).unfused_attention_seconds(
+            16, 32, 384, 64, softmax_fused=False
+        )
+        assert unfused / trt > 3.0
+
+
+class TestFunctionalReferences:
+    def test_gemm(self):
+        a = np.eye(4, dtype=np.float16)
+        b = np.arange(16, dtype=np.float16).reshape(4, 4)
+        assert np.array_equal(funcs.gemm(a, b), b.astype(np.float32))
+
+    def test_gemm_bias_act(self):
+        a = np.ones((2, 2), dtype=np.float16)
+        b = -np.ones((2, 2), dtype=np.float16)
+        out = funcs.gemm_bias_act(a, b, bias=np.ones(2), activation="relu")
+        assert np.array_equal(out, np.zeros((2, 2)) + np.maximum(-2 + 1, 0))
+
+    def test_layernorm_rows_standardised(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((8, 64)).astype(np.float16)
+        out = funcs.layernorm(x, np.ones(64), np.zeros(64))
+        assert np.abs(out.mean(axis=1)).max() < 1e-3
+        assert np.abs(out.std(axis=1) - 1.0).max() < 1e-2
+
+    def test_softmax_normalised(self):
+        x = np.random.default_rng(1).random((4, 16)).astype(np.float32)
+        out = funcs.softmax(x)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_attention_uniform_scores(self):
+        """Zero queries give uniform attention: output = mean of V."""
+        seq, dim = 8, 4
+        q = np.zeros((seq, dim), dtype=np.float32)
+        k = np.random.default_rng(2).random((seq, dim)).astype(np.float32)
+        v = np.random.default_rng(3).random((seq, dim)).astype(np.float32)
+        out = funcs.attention(q, k, v)
+        assert np.allclose(out, v.mean(axis=0), atol=1e-6)
+
+    def test_multi_head_blocks(self):
+        rng = np.random.default_rng(4)
+        q = rng.random((2 * 8, 4)).astype(np.float16)
+        k = rng.random((2 * 8, 4)).astype(np.float16)
+        v = rng.random((2 * 8, 4)).astype(np.float16)
+        out = funcs.multi_head_attention(q, k, v, heads=2)
+        head0 = funcs.attention(q[:8], k[:8], v[:8])
+        assert np.allclose(out[:8], head0, atol=1e-6)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            funcs.activation_fn("swish99")
+
+    def test_mlp_layers_compose(self):
+        x = np.ones((2, 4), dtype=np.float16)
+        w = [np.eye(4, dtype=np.float16)] * 3
+        b = [np.zeros(4, dtype=np.float16)] * 3
+        out = funcs.mlp(x, w, b)
+        assert np.allclose(out, 1.0)

@@ -1,0 +1,131 @@
+"""Roofline performance-model tests."""
+
+import pytest
+
+from repro.arch import AMPERE, VOLTA
+from repro.perfmodel.counts import KernelCounts
+from repro.perfmodel.model import (
+    Efficiency, LIBRARY_CLASS, PerfModel, SCALAR_FRAGMENT, fused_time,
+    sequential_time,
+)
+
+
+def counts(**kw) -> KernelCounts:
+    c = KernelCounts()
+    c.blocks = kw.pop("blocks", AMPERE.num_sms)
+    c.threads_per_block = 128
+    for key, value in kw.items():
+        setattr(c, key, value)
+    return c
+
+
+class TestRoofline:
+    def test_compute_bound(self):
+        c = counts(tensor_flops=1e12, dram_read_bytes=1e6)
+        est = PerfModel(AMPERE).estimate_counts(c)
+        assert est.compute_fraction > 0.99
+        expected = 1e12 / (AMPERE.tensor_fp16_tflops * 1e12 * 0.9)
+        assert est.seconds == pytest.approx(expected)
+
+    def test_memory_bound(self):
+        c = counts(tensor_flops=1e6, dram_read_bytes=1e9)
+        est = PerfModel(AMPERE).estimate_counts(c)
+        assert est.memory_fraction > 0.99
+        expected = 1e9 / (AMPERE.dram_gbps * 1e9 * 0.82)
+        assert est.seconds == pytest.approx(expected)
+
+    def test_smem_bound(self):
+        c = counts(smem_bytes=1e10)
+        est = PerfModel(AMPERE).estimate_counts(c)
+        assert est.smem_seconds == est.seconds
+
+    def test_launch_overhead_additive(self):
+        c = counts(tensor_flops=1e9)
+        est = PerfModel(AMPERE).estimate_counts(c)
+        assert est.total_seconds == pytest.approx(
+            est.seconds + AMPERE.launch_overhead_us * 1e-6
+        )
+
+    def test_architectures_differ(self):
+        c = counts(tensor_flops=1e12)
+        ampere = PerfModel(AMPERE).estimate_counts(c)
+        volta = PerfModel(VOLTA).estimate_counts(c)
+        assert volta.seconds > ampere.seconds  # 125 vs 154.8 TFLOP/s
+
+
+class TestOccupancy:
+    def test_full_wave_no_penalty(self):
+        c = counts(tensor_flops=1e12, blocks=AMPERE.num_sms)
+        full = PerfModel(AMPERE).estimate_counts(c)
+        c2 = counts(tensor_flops=1e12, blocks=2 * AMPERE.num_sms)
+        double = PerfModel(AMPERE).estimate_counts(c2)
+        assert full.seconds == pytest.approx(double.seconds)
+
+    def test_partial_wave_penalised(self):
+        c = counts(tensor_flops=1e12, blocks=AMPERE.num_sms // 2)
+        est = PerfModel(AMPERE).estimate_counts(c)
+        base = counts(tensor_flops=1e12, blocks=AMPERE.num_sms)
+        ref = PerfModel(AMPERE).estimate_counts(base)
+        assert est.seconds == pytest.approx(2 * ref.seconds)
+
+
+class TestL2Reuse:
+    def test_rereads_discounted(self):
+        c = counts(dram_read_bytes=1e9, unique_read_bytes=1e6)
+        est = PerfModel(AMPERE).estimate_counts(c)
+        reuse = AMPERE.num_sms ** 0.5
+        expected = (1e9 / reuse) / (AMPERE.dram_gbps * 1e9 * 0.82)
+        assert est.dram_seconds == pytest.approx(expected)
+
+    def test_unique_footprint_is_floor(self):
+        c = counts(dram_read_bytes=1e9, unique_read_bytes=9e8)
+        est = PerfModel(AMPERE).estimate_counts(c)
+        expected = 9e8 / (AMPERE.dram_gbps * 1e9 * 0.82)
+        assert est.dram_seconds == pytest.approx(expected)
+
+    def test_no_unique_info_means_no_credit(self):
+        c = counts(dram_read_bytes=1e9)
+        est = PerfModel(AMPERE).estimate_counts(c)
+        expected = 1e9 / (AMPERE.dram_gbps * 1e9 * 0.82)
+        assert est.dram_seconds == pytest.approx(expected)
+
+
+class TestEfficiencyEnvelopes:
+    def test_scalar_fragment_hurts_smem(self):
+        c = counts(tensor_flops=1e11, smem_bytes=5e9)
+        lib = PerfModel(AMPERE).estimate_counts(c, efficiency=LIBRARY_CLASS)
+        scl = PerfModel(AMPERE).estimate_counts(c, efficiency=SCALAR_FRAGMENT)
+        assert scl.seconds > lib.seconds
+
+    def test_custom_efficiency(self):
+        c = counts(dram_read_bytes=1e9)
+        fast = PerfModel(AMPERE).estimate_counts(
+            c, efficiency=Efficiency(dram=1.0)
+        )
+        slow = PerfModel(AMPERE).estimate_counts(
+            c, efficiency=Efficiency(dram=0.5)
+        )
+        assert slow.seconds == pytest.approx(2 * fast.seconds)
+
+    def test_bank_conflict_factor(self):
+        c = counts(smem_bytes=1e10)
+        clean = PerfModel(AMPERE).estimate_counts(c)
+        conflicted = PerfModel(AMPERE).estimate_counts(
+            c, bank_conflict_factor=2.0
+        )
+        assert conflicted.seconds == pytest.approx(2 * clean.seconds)
+
+
+class TestComposition:
+    def test_fused_vs_sequential(self):
+        c = counts(tensor_flops=1e10)
+        ests = [PerfModel(AMPERE).estimate_counts(c) for _ in range(5)]
+        fused = fused_time(ests)
+        sequential = sequential_time(ests)
+        # Fusion saves four launch overheads.
+        saved = 4 * AMPERE.launch_overhead_us * 1e-6
+        assert sequential - fused == pytest.approx(saved)
+
+    def test_empty(self):
+        assert fused_time([]) == 0.0
+        assert sequential_time([]) == 0.0

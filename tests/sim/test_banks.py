@@ -1,0 +1,63 @@
+"""Static bank-conflict analysis tests."""
+
+from repro.layout.layout import row_major
+from repro.layout.swizzle import Swizzle
+from repro.sim.banks import (
+    access_degree, column_access_degree, ldmatrix_conflict_degree,
+)
+from repro.tensor import FP16, FP32, SH, Tensor
+
+
+class TestAccessDegree:
+    def test_conflict_free_stride(self):
+        # 32 lanes on consecutive words.
+        assert access_degree([[4 * i] for i in range(32)]) == 1
+
+    def test_same_bank_different_words(self):
+        assert access_degree([[0], [128]]) == 2
+
+    def test_broadcast(self):
+        assert access_degree([[0]] * 32) == 1
+
+    def test_vector_lanes(self):
+        # Each lane touches 16 contiguous bytes: 8 lanes fill the banks.
+        assert access_degree(
+            [[16 * i + b for b in range(0, 16, 4)] for i in range(8)]
+        ) == 1
+
+
+class TestLdmatrixDegree:
+    def test_row_major_16_wide_conflicts(self):
+        smem = Tensor("s", row_major(64, 16), FP16, SH)
+        assert ldmatrix_conflict_degree(smem) == 2
+
+    def test_row_major_64_wide_is_worst(self):
+        # 128-byte rows all start at bank 0: the eight 16-byte ldmatrix
+        # rows pile into the same four banks — why wide GEMM staging
+        # buffers are always swizzled.
+        smem = Tensor("s", row_major(64, 64), FP16, SH)
+        assert ldmatrix_conflict_degree(smem) == 8
+
+    def test_swizzle_fixes_narrow_rows(self):
+        smem = Tensor("s", row_major(64, 16), FP16, SH,
+                      swizzle=Swizzle(1, 3, 3))
+        assert ldmatrix_conflict_degree(smem) == 1
+
+    def test_degree_is_per_subtile(self):
+        smem = Tensor("s", row_major(64, 16), FP16, SH)
+        assert ldmatrix_conflict_degree(smem, row_tile=2, col_tile=1) == 2
+
+
+class TestColumnAccess:
+    def test_row_major_column_is_worst_case(self):
+        smem = Tensor("s", row_major(32, 8), FP16, SH)
+        assert column_access_degree(smem) == 4
+
+    def test_fp32_wide_rows(self):
+        smem = Tensor("s", row_major(32, 32), FP32, SH)
+        assert column_access_degree(smem) == 32
+
+    def test_swizzle_spreads_column(self):
+        smem = Tensor("s", row_major(32, 8), FP16, SH,
+                      swizzle=Swizzle(2, 1, 5))
+        assert column_access_degree(smem) == 1

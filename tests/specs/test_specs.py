@@ -1,0 +1,142 @@
+"""Unit tests for specifications and their validation."""
+
+import pytest
+
+from repro.layout import Layout
+from repro.specs import (
+    Allocate, BinaryPointwise, GenericSpec, Init, MatMul, Move, Reduction,
+    Shfl, UnaryPointwise,
+)
+from repro.specs.ops import ADD, EXP, MUL, RELU, scalar_op
+from repro.tensor import FP16, FP32, GL, RF, SH, tensor
+from repro.threads import warp
+
+
+def _exec():
+    return (warp().scalar(),)
+
+
+class TestMove:
+    def test_src_dst(self):
+        src = tensor("A", (8,), FP16)
+        dst = tensor("B", (8,), FP16)
+        move = Move([src], [dst], _exec())
+        assert move.src is src
+        assert move.dst is dst
+
+    def test_arity_enforced(self):
+        a = tensor("A", (8,), FP16)
+        with pytest.raises(ValueError):
+            Move([a, a], [a], _exec())
+
+    def test_operands_must_be_tensors(self):
+        with pytest.raises(TypeError):
+            Move(["A"], [tensor("B", (8,), FP16)], _exec())
+
+
+class TestMatMul:
+    def test_accessors(self):
+        a, b, c = (tensor(n, (4,), FP16) for n in "abc")
+        mm = MatMul([a, b], [c], _exec())
+        assert (mm.a, mm.b, mm.c) == (a, b, c)
+
+    def test_arity(self):
+        a = tensor("a", (4,), FP16)
+        with pytest.raises(ValueError):
+            MatMul([a], [a], _exec())
+
+
+class TestPointwise:
+    def test_unary_requires_unary_op(self):
+        a = tensor("a", (4,), FP16)
+        with pytest.raises(ValueError):
+            UnaryPointwise([a], [a], _exec(), op=ADD)
+
+    def test_binary_requires_binary_op(self):
+        a = tensor("a", (4,), FP16)
+        with pytest.raises(ValueError):
+            BinaryPointwise([a, a], [a], _exec(), op=EXP)
+
+    def test_repr_includes_op(self):
+        a = tensor("a", (4,), FP16)
+        spec = UnaryPointwise([a], [a], _exec(), op=RELU)
+        assert "UnaryPointwise<relu>" in repr(spec)
+
+    def test_reduction_axes(self):
+        a = tensor("a", (4, 8), FP32)
+        out = tensor("o", (8,), FP32)
+        red = Reduction([a], [out], _exec(), op=ADD, axes=(0,))
+        assert red.axes == (0,)
+
+
+class TestOtherSpecs:
+    def test_init_value(self):
+        out = tensor("o", (4,), FP32)
+        spec = Init([], [out], _exec(), value=1.5)
+        assert spec.value == 1.5
+
+    def test_allocate(self):
+        from repro.tensor import Tensor
+        from repro.layout import row_major
+
+        t = Tensor("tmp", row_major(4, 4), FP32, RF)
+        spec = Allocate([], [t], _exec())
+        assert spec.tensor is t
+
+    def test_shfl_mask(self):
+        a = tensor("a", (1,), FP32)
+        spec = Shfl([a], [a], (warp(),), xor_mask=16)
+        assert spec.xor_mask == 16
+
+
+class TestDecomposition:
+    def test_with_body(self):
+        a = tensor("a", (4,), FP16)
+        outer = GenericSpec([a], [a], _exec())
+        assert not outer.decomposed()
+        inner = Move([a], [a], _exec())
+        from repro.ir.stmt import SpecStmt
+
+        decomposed = outer.with_body([SpecStmt(inner)])
+        assert decomposed.decomposed()
+        assert not outer.decomposed()  # immutability
+
+    def test_extra_fields_survive_rebuild(self):
+        a = tensor("a", (4,), FP16)
+        spec = BinaryPointwise([a, a], [a], _exec(), op=MUL)
+        rebuilt = spec.with_body([])
+        assert rebuilt.op == MUL
+
+
+class TestCollectiveWidth:
+    def test_scalar_exec_is_per_thread(self):
+        a = tensor("a", (4,), FP16)
+        assert Move([a], [a], _exec()).collective_width() == 1
+
+    def test_full_warp(self):
+        a = tensor("a", (4,), FP16)
+        assert Move([a], [a], (warp(),)).collective_width() == 32
+
+    def test_tiled_group_width_is_tile_size(self):
+        a = tensor("a", (4,), FP16)
+        qps = warp().tile([Layout((4, 2), (1, 16))])
+        assert Move([a], [a], (qps,)).collective_width() == 8
+
+
+class TestScalarOps:
+    def test_lookup(self):
+        assert scalar_op("relu") is RELU
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            scalar_op("nope")
+
+    def test_numpy_semantics(self):
+        import numpy as np
+
+        assert scalar_op("gelu")(np.float32(0.0)) == 0.0
+        assert scalar_op("sigmoid")(np.float32(0.0)) == 0.5
+
+    def test_c_templates(self):
+        assert ADD.c_expr("a", "b") == "(a + b)"
+        assert RELU.c_expr("x") == "max(x, 0.0f)"

@@ -1,0 +1,102 @@
+"""End-to-end checks of the paper's Figure 3 and Figure 4 examples."""
+
+from repro.layout import Layout
+from repro.tensor import FP16, GL, tensor
+
+
+def offsets_2d(layout, rows, cols):
+    return [[layout(i, j) for j in range(cols)] for i in range(rows)]
+
+
+class TestFigure3Layouts:
+    """The four 4x8 memory layouts of paper Figure 3."""
+
+    def test_a_column_major(self):
+        layout = Layout((4, 8), (1, 4))
+        grid = offsets_2d(layout, 4, 8)
+        assert grid[0] == [0, 4, 8, 12, 16, 20, 24, 28]
+        assert [row[0] for row in grid] == [0, 1, 2, 3]
+
+    def test_b_row_major(self):
+        layout = Layout((4, 8), (8, 1))
+        grid = offsets_2d(layout, 4, 8)
+        assert grid[0] == [0, 1, 2, 3, 4, 5, 6, 7]
+        assert [row[0] for row in grid] == [0, 8, 16, 24]
+
+    def test_c_hierarchical_second_dim(self):
+        # Two adjacent columns contiguous, then down the rows.
+        layout = Layout((4, (2, 4)), (2, (1, 8)))
+        grid = offsets_2d(layout, 4, 8)
+        assert grid[0] == [0, 1, 8, 9, 16, 17, 24, 25]
+        assert grid[1] == [2, 3, 10, 11, 18, 19, 26, 27]
+        # Still a bijection onto [0, 32).
+        assert sorted(o for row in grid for o in row) == list(range(32))
+
+    def test_d_hierarchical_both_dims(self):
+        layout = Layout(((2, 2), (2, 4)), ((1, 8), (2, 16)))
+        grid = offsets_2d(layout, 4, 8)
+        assert grid[0] == [0, 2, 16, 18, 32, 34, 48, 50]
+        assert [row[0] for row in grid] == [0, 1, 8, 9]
+        assert len({o for row in grid for o in row}) == 32
+
+    def test_logical_coordinates_survive_layout_changes(self):
+        """Section 3.2's point: accesses keep 2-D logical coords no
+        matter the physical layout."""
+        layouts = [
+            Layout((4, 8), (1, 4)),
+            Layout((4, 8), (8, 1)),
+            Layout((4, (2, 4)), (2, (1, 8))),
+            Layout(((2, 2), (2, 4)), ((1, 8), (2, 16))),
+        ]
+        for layout in layouts:
+            seen = {layout(i, j) for i in range(4) for j in range(8)}
+            assert len(seen) == 32
+
+
+class TestFigure4Tilings:
+    """Tiling the 4x8 row-major tensor A (paper Figure 4)."""
+
+    def setup_method(self):
+        self.a = tensor("A", (4, 8), FP16, GL)
+
+    def test_b_regular_contiguous(self):
+        b = self.a.tile((2, 4))
+        assert repr(b) == "%A:[(2,2):(16,4)].[(2,4):(8,1)].fp16.GL"
+
+    def test_c_interleaved_first_dim(self):
+        c = self.a.tile((Layout(2, 2), 4))
+        assert repr(c) == "%A:[(2,2):(8,4)].[(2,4):(16,1)].fp16.GL"
+
+    def test_d_noncontiguous_both_dims(self):
+        d = self.a.tile((Layout(2, 2), Layout((2, 2), (1, 4))))
+        assert repr(d) == \
+            "%A:[(2,2):(8,2)].[(2,(2,2)):(16,(1,4))].fp16.GL"
+
+    def test_d_tile_membership(self):
+        """Figure 4d colors: tile (0,0) holds rows {0,2} x cols
+        {0,1,4,5}."""
+        d = self.a.tile((Layout(2, 2), Layout((2, 2), (1, 4))))
+        tile = d[0, 0]
+        offsets = set()
+        from repro.layout import inttuple as it
+
+        for crd in it.iter_coords(tile.layout.shape):
+            offsets.add(tile.access(crd)[0].evaluate({}))
+        expected = {8 * r + c for r in (0, 2) for c in (0, 1, 4, 5)}
+        assert offsets == expected
+
+    def test_all_tilings_partition_the_tensor(self):
+        from repro.layout import inttuple as it
+
+        for sizes in [
+            (2, 4),
+            (Layout(2, 2), 4),
+            (Layout(2, 2), Layout((2, 2), (1, 4))),
+        ]:
+            tiled = self.a.tile(sizes)
+            seen = []
+            for crd in it.iter_coords(tiled.layout.shape):
+                tile = tiled[crd]
+                for ecrd in it.iter_coords(tile.layout.shape):
+                    seen.append(tile.access(ecrd)[0].evaluate({}))
+            assert sorted(seen) == list(range(32)), sizes

@@ -1,0 +1,60 @@
+"""Architecture-description tests."""
+
+import pytest
+
+from repro.arch import AMPERE, ARCHITECTURES, VOLTA
+
+
+class TestArchitectures:
+    def test_registry(self):
+        assert ARCHITECTURES["volta"] is VOLTA
+        assert ARCHITECTURES["ampere"] is AMPERE
+
+    def test_sm_versions(self):
+        assert VOLTA.sm == 70
+        assert AMPERE.sm == 86
+
+    def test_published_specs(self):
+        assert VOLTA.num_sms == 80
+        assert VOLTA.tensor_fp16_tflops == 125.0
+        assert VOLTA.dram_gbps == 900.0
+        assert AMPERE.num_sms == 84
+        assert AMPERE.dram_gbps == 768.0
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            AMPERE.num_sms = 1
+
+
+class TestInstructionSets:
+    def test_generation_specific_instructions(self):
+        """Paper Section 4: quad-pairs came with Volta and vanished;
+        ldmatrix/cp.async came with Turing/Ampere.  No built-in
+        hierarchies — each table simply lists different atomics."""
+        assert VOLTA.supports("mma.884")
+        assert not VOLTA.supports("mma.16816")
+        assert not VOLTA.supports("ldmatrix.x4")
+        assert AMPERE.supports("mma.16816")
+        assert AMPERE.supports("ldmatrix.x4")
+        assert not AMPERE.supports("mma.884")
+
+    def test_shared_atomics(self):
+        for arch in (VOLTA, AMPERE):
+            assert arch.supports("hfma")
+            assert arch.supports("shfl.bfly")
+            assert arch.supports("move.thread.generic")
+
+    def test_atomic_lookup(self):
+        atomic = AMPERE.atomic("mma.16816")
+        assert "m16n8k16" in atomic.instruction
+        with pytest.raises(KeyError):
+            AMPERE.atomic("nope")
+
+    def test_tables_end_with_generic_fallback(self):
+        assert VOLTA.atomics[-1].name == "move.thread.generic"
+        assert AMPERE.atomics[-1].name == "move.thread.generic"
+
+    def test_every_atomic_has_simulator_semantics(self):
+        for arch in (VOLTA, AMPERE):
+            for atomic in arch.atomics:
+                assert atomic.execute is not None, atomic.name

@@ -1,0 +1,142 @@
+"""Kernel-builder (frontend) tests."""
+
+import pytest
+
+from repro.frontend.builder import KernelBuilder
+from repro.ir.expr import Const, Var
+from repro.ir.stmt import Comment, ForLoop, If, SpecStmt, SyncThreads
+from repro.specs import Allocate, Move
+from repro.tensor import FP16, FP32, GL, RF, SH
+from repro.threads import BLOCK, THREAD
+
+
+class TestDeclarations:
+    def test_grid_and_block_from_shapes(self):
+        kb = KernelBuilder("k", (8, 8), (16, 16))
+        assert kb.grid.kind == BLOCK
+        assert kb.grid.size() == 64
+        assert kb.block.kind == THREAD
+        assert kb.block.size() == 256
+
+    def test_param_is_global(self):
+        kb = KernelBuilder("k", (1,), (1,))
+        p = kb.param("A", (4, 4), FP16)
+        assert p.mem == GL
+        kernel = kb.build()
+        assert kernel.params == (p,)
+
+    def test_alloc_emits_allocate_spec(self):
+        kb = KernelBuilder("k", (1,), (1,))
+        t = kb.alloc("s", (8,), FP16, SH)
+        kernel = kb.build()
+        assert kernel.allocations() == (t,)
+
+    def test_alloc_rejects_global(self):
+        kb = KernelBuilder("k", (1,), (1,))
+        with pytest.raises(ValueError):
+            kb.alloc("s", (8,), FP16, GL)
+
+    def test_duplicate_alloc_rejected(self):
+        kb = KernelBuilder("k", (1,), (1,))
+        kb.alloc("s", (8,), FP16, SH)
+        with pytest.raises(ValueError):
+            kb.alloc("s", (4,), FP16, SH)
+
+    def test_symbols_become_kernel_symbols(self):
+        kb = KernelBuilder("k", (1,), (1,))
+        m = kb.symbol("M")
+        assert kb.build().symbols == (m,)
+
+
+class TestStructure:
+    def test_loop_nesting(self):
+        kb = KernelBuilder("k", (1,), (1,))
+        acc = kb.alloc("a", (1,), FP32, RF)
+        with kb.loop("i", 4):
+            with kb.loop("j", 2):
+                kb.init(acc, 0.0)
+        body = kb.build().body
+        outer = [s for s in body if isinstance(s, ForLoop)]
+        assert len(outer) == 1
+        inner = [s for s in outer[0].body if isinstance(s, ForLoop)]
+        assert len(inner) == 1
+
+    def test_loop_var_has_bounds(self):
+        kb = KernelBuilder("k", (1,), (1,))
+        with kb.loop("i", 16) as i:
+            assert i.bounds() == (0, 15)
+
+    def test_when_emits_if(self):
+        kb = KernelBuilder("k", (1,), (4,))
+        acc = kb.alloc("a", (1,), FP32, RF)
+        with kb.when([(Var("threadIdx.x"), Const(2))]):
+            kb.init(acc, 1.0)
+        ifs = [s for s in kb.build().body if isinstance(s, If)]
+        assert len(ifs) == 1
+
+    def test_unclosed_scope_detected(self):
+        kb = KernelBuilder("k", (1,), (1,))
+        kb._stack.append([])  # simulate an unclosed scope
+        with pytest.raises(RuntimeError):
+            kb.build()
+
+    def test_sync_and_comment(self):
+        kb = KernelBuilder("k", (1,), (1,))
+        kb.sync()
+        kb.comment("hi")
+        kinds = [type(s) for s in kb.build().body]
+        assert kinds == [SyncThreads, Comment]
+
+
+class TestSpecEmission:
+    def test_move_defaults_to_per_thread(self):
+        kb = KernelBuilder("k", (1,), (32,))
+        x = kb.param("x", (32,), FP32)
+        spec = kb.move(x.tile((1,))[Var("threadIdx.x")],
+                       x.tile((1,))[Var("threadIdx.x")])
+        assert spec.collective_width() == 1
+
+    def test_collective_exec(self):
+        kb = KernelBuilder("k", (1,), (32,))
+        x = kb.param("x", (32,), FP32)
+        spec = kb.move(x, x, threads=kb.block)
+        assert spec.collective_width() == 32
+
+    def test_op_accepts_string_or_object(self):
+        from repro.specs.ops import RELU
+
+        kb = KernelBuilder("k", (1,), (1,))
+        a = kb.alloc("a", (4,), FP32, RF)
+        s1 = kb.unary("relu", a, a)
+        s2 = kb.unary(RELU, a, a)
+        assert s1.op is s2.op
+
+    def test_specs_listed_in_order(self):
+        kb = KernelBuilder("k", (1,), (1,))
+        a = kb.alloc("a", (4,), FP32, RF)
+        kb.init(a, 0.0)
+        kb.unary("exp", a, a)
+        kinds = [s.kind for s in kb.build().specs()]
+        assert kinds == ["Allocate", "Init", "UnaryPointwise"]
+
+
+class TestKernelValidation:
+    def test_grid_must_be_blocks(self):
+        from repro.specs.kernel import Kernel
+        from repro.ir.stmt import Block
+        from repro.threads import warp
+
+        with pytest.raises(ValueError):
+            Kernel("k", warp(), warp(), [], Block([]))
+
+    def test_params_must_be_global(self):
+        from repro.specs.kernel import Kernel
+        from repro.ir.stmt import Block
+        from repro.tensor import Tensor
+        from repro.layout import Layout
+        from repro.threads import blocks, threads
+
+        bad = Tensor("r", Layout(4, 1), FP32, RF)
+        with pytest.raises(ValueError):
+            Kernel("k", blocks("g", (1,)), threads("t", 1), [bad],
+                   Block([]))

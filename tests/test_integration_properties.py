@@ -1,0 +1,113 @@
+"""Cross-module property tests: random tilings, thread mappings,
+simulator round trips."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import AMPERE
+from repro.frontend.builder import KernelBuilder
+from repro.ir.expr import Var
+from repro.layout import Layout, inttuple as it
+from repro.sim import Simulator
+from repro.tensor import FP16, FP32, GL, RF, tensor
+from repro.threads import ThreadGroup, warp
+
+_divisor_pairs = st.sampled_from(
+    [(4, 8), (8, 8), (2, 16), (16, 4), (8, 16)]
+)
+
+
+@st.composite
+def tilings(draw):
+    """A tensor shape plus tile sizes that divide it."""
+    rows, cols = draw(_divisor_pairs)
+    tr = draw(st.sampled_from([s for s in (1, 2, 4) if rows % s == 0]))
+    tc = draw(st.sampled_from([s for s in (1, 2, 4, 8) if cols % s == 0]))
+    return rows, cols, tr, tc
+
+
+@given(tilings())
+def test_property_tiling_partitions_every_element(params):
+    """Any even tiling visits every element exactly once."""
+    rows, cols, tr, tc = params
+    a = tensor("A", (rows, cols), FP16, GL)
+    tiled = a.tile((tr, tc))
+    seen = []
+    for crd in it.iter_coords(tiled.layout.shape):
+        tile = tiled[crd]
+        for ecrd in it.iter_coords(tile.layout.shape):
+            seen.append(tile.access(ecrd)[0].evaluate({}))
+    assert sorted(seen) == list(range(rows * cols))
+
+
+@given(tilings())
+def test_property_strided_tiles_also_partition(params):
+    rows, cols, tr, tc = params
+    if rows % (2 * tr) or tr == 1:
+        return  # strided variant needs room for stride 2
+    a = tensor("A", (rows, cols), FP16, GL)
+    tiled = a.tile((Layout(tr, 2), tc))
+    seen = set()
+    for crd in it.iter_coords(tiled.layout.shape):
+        tile = tiled[crd]
+        for ecrd in it.iter_coords(tile.layout.shape):
+            seen.add(tile.access(ecrd)[0].evaluate({}))
+    assert seen == set(range(rows * cols))
+
+
+@given(st.sampled_from([2, 4, 8, 16]),
+       st.sampled_from([(1, 1), (2, 2), (4, 1), (1, 4), (2, 1)]))
+def test_property_thread_group_coords_are_unique(group_size, arrangement):
+    """Tiled+reshaped warps give every thread a unique (coords, local)."""
+    groups = warp().tile([group_size])
+    count = 32 // group_size
+    if arrangement[0] * arrangement[1] != count:
+        return
+    groups = groups.reshape(arrangement)
+    coords = groups.indices()
+    local = groups.local_index()
+    seen = set()
+    for t in range(32):
+        env = {"threadIdx.x": t}
+        key = tuple(c.evaluate(env) for c in coords) + (local.evaluate(env),)
+        seen.add(key)
+    assert len(seen) == 32
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_property_sim_copy_roundtrip(seed):
+    """A GL->RF->GL round trip through the simulator is the identity."""
+    rng = np.random.default_rng(seed)
+    data = rng.random(32).astype(np.float32)
+    kb = KernelBuilder("roundtrip", (1,), (8,))
+    x = kb.param("x", (32,), FP32)
+    y = kb.param("y", (32,), FP32)
+    t = Var("threadIdx.x")
+    regs = kb.alloc("r", (4,), FP32, RF)
+    kb.move(x.tile((4,))[t], regs)
+    kb.move(regs, y.tile((4,))[t])
+    out = np.zeros(32, dtype=np.float32)
+    Simulator(AMPERE).run(kb.build(), {"x": data, "y": out})
+    assert np.array_equal(out, data)
+
+
+@settings(max_examples=15)
+@given(st.sampled_from(["add", "mul", "max", "min"]))
+def test_property_reduction_matches_numpy(op_name):
+    import numpy as np
+
+    kb = KernelBuilder("red", (1,), (1,))
+    x = kb.param("x", (16,), FP32)
+    y = kb.param("y", (1,), FP32)
+    vals = kb.alloc("v", (16,), FP32, RF)
+    out = kb.alloc("o", (1,), FP32, RF)
+    kb.move(x, vals)
+    kb.reduce(op_name, vals, out)
+    kb.move(out, y.tile((1,))[0])
+    data = np.random.default_rng(3).random(16).astype(np.float32) + 0.5
+    result = np.zeros(1, dtype=np.float32)
+    Simulator(AMPERE).run(kb.build(), {"x": data, "y": result})
+    np_op = {"add": np.add, "mul": np.multiply,
+             "max": np.maximum, "min": np.minimum}[op_name]
+    assert np.isclose(result[0], np_op.reduce(data), rtol=1e-4)

@@ -1,0 +1,120 @@
+"""Unit tests for logical thread groups (paper Section 4)."""
+
+import pytest
+
+from repro.ir.expr import Var
+from repro.layout import Layout
+from repro.threads import BLOCK, THREAD, ThreadGroup, blocks, threads, warp
+
+
+class TestConstruction:
+    def test_warp(self):
+        w = warp()
+        assert w.kind == THREAD
+        assert w.size() == 32
+
+    def test_blocks(self):
+        g = blocks("grid", (8, 8))
+        assert g.kind == BLOCK
+        assert g.size() == 64
+
+    def test_invalid_kind_raises(self):
+        with pytest.raises(ValueError):
+            ThreadGroup("x", Layout(32, 1), "device")
+
+    def test_repr(self):
+        assert repr(warp("w")) == "#w:[32:1].thread"
+
+
+class TestTiling:
+    def test_tile_into_groups(self):
+        g = warp().tile([8])
+        assert g.group_count() == 4
+        assert g.element.layout == Layout(8, 1)
+        assert g.size() == 32
+
+    def test_quad_pairs(self):
+        # Paper Figure 6: non-contiguous quad-pairs.
+        qp = warp().tile([Layout((4, 2), (1, 16))])
+        assert qp.group_count() == 4
+        inner = qp.element.layout
+        assert [inner(i) for i in range(8)] == [0, 1, 2, 3, 16, 17, 18, 19]
+
+    def test_retile_requires_selection(self):
+        with pytest.raises(ValueError):
+            warp().tile([8]).tile([2])
+
+    def test_partial_tile_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadGroup("t", Layout(24, 1), THREAD).tile([16])
+
+
+class TestReshape:
+    def test_figure5_reshape(self):
+        g = warp().tile([8]).reshape((2, 2))
+        assert g.layout == Layout((2, 2), (16, 8))
+
+    def test_reshape_col_major(self):
+        g = warp().tile([8]).reshape((2, 2), order="col")
+        assert g.layout == Layout((2, 2), (8, 16))
+
+    def test_reshape_size_mismatch(self):
+        with pytest.raises(ValueError):
+            warp().tile([8]).reshape((3, 2))
+
+
+class TestIndexExpressions:
+    def test_figure5_indices(self):
+        """The gray boxes of paper Figure 5."""
+        g = warp().tile([8]).reshape((2, 2))
+        gm, gn = g.indices()
+        assert gm.to_c() == "threadIdx.x / 16 % 2"
+        assert gn.to_c() == "threadIdx.x / 8 % 2"
+        assert g.local_index().to_c() == "threadIdx.x % 8"
+
+    def test_block_indices_colex(self):
+        """Figure 8's generated code: bid_m fastest."""
+        g = blocks("grid", (8, 8))
+        bm, bn = g.indices()
+        assert bm.to_c() == "blockIdx.x % 8"
+        assert bn.to_c() == "blockIdx.x / 8 % 8"
+
+    def test_quad_pair_local_index(self):
+        qp = warp().tile([Layout((4, 2), (1, 16))])
+        local = qp.local_index()
+        # Lane 17 is position 5 of quad-pair 0.
+        assert local.evaluate({"threadIdx.x": 17}) == 5
+
+    def test_indices_enumerate_threads_uniquely(self):
+        """Every thread maps to a unique (group, local) pair."""
+        g = warp().tile([Layout((4, 2), (1, 16))])
+        idx = g.indices()[0]
+        local = g.local_index()
+        seen = {
+            (idx.evaluate({"threadIdx.x": t}),
+             local.evaluate({"threadIdx.x": t}))
+            for t in range(32)
+        }
+        assert len(seen) == 32
+
+    def test_ambiguous_layout_rejected(self):
+        overlapping = ThreadGroup("t", Layout((4, 4), (1, 2)), THREAD)
+        with pytest.raises(ValueError):
+            overlapping.indices()
+
+
+class TestSelection:
+    def test_select_group(self):
+        g = warp().tile([8])
+        first = g[1]
+        assert first.base.evaluate({}) == 8
+        assert first.layout == Layout(8, 1)
+
+    def test_scalar(self):
+        s = warp().scalar()
+        assert s.rank == 0
+        assert repr(s) == "#warp:[].thread"
+
+    def test_custom_stride_threads(self):
+        g = threads("evens", 16, stride=2)
+        assert g.layout == Layout(16, 2)
