@@ -5,7 +5,9 @@ architectures, and the kernels are compute-bound (Tensor Cores at
 capacity).
 """
 
-from repro.eval.figures import figure_9
+import pytest
+
+from repro.eval.figures import figure_9, figure_9_tuned
 
 
 def test_fig09_gemm_matches_cublas(run_once):
@@ -42,3 +44,21 @@ def test_fig09_tile_reuse_visible_in_counts(run_once):
     naive_reads = 2 * m * n * k * 2  # one operand pair per FMA
     assert counts.dram_read_bytes < naive_reads / 50
     assert counts.tensor_flops == 2 * m * n * k
+
+
+@pytest.mark.slow
+def test_fig09_tuned_mode_beats_default(run_once):
+    """Tuned mode: the autotuner's winner must be at least as fast as
+    the hand-written default under the conflict-aware cost model, and
+    the report must carry tuned-vs-default-vs-paper rows."""
+    report = run_once(figure_9_tuned)
+    print()
+    print(report.format_table())
+    by_mode = dict(zip(report.column("mode"), report.column("time_us")))
+    assert set(by_mode) == {"default", "tuned", "paper"}
+    assert by_mode["tuned"] <= by_mode["default"]
+    conflicts = dict(zip(report.column("mode"),
+                         report.column("conflicts_x")))
+    assert conflicts["tuned"] < conflicts["default"], (
+        "tuning should find a swizzled (conflict-free) shared layout"
+    )

@@ -32,6 +32,92 @@ from ..tensor.tensor import Tensor
 from .tc_common import WarpMmaEngine
 
 
+def validate_gemm_config(
+    m: int,
+    n: int,
+    k: int,
+    block_tile: Tuple[int, int, int],
+    warp_grid: Tuple[int, int],
+    mma_tile: Tuple[int, int, int] = (16, 8, 16),
+    stages: int = 1,
+    qp_tile: Optional[Tuple[int, int]] = None,
+) -> None:
+    """Check a GEMM decomposition config against a problem shape.
+
+    Raises :class:`ValueError` naming every offending dimension, so
+    callers (and the tuner's space pruner, which imports this) learn
+    *why* a tiling is illegal instead of failing deep inside tile
+    construction with an opaque shape error.  ``qp_tile`` switches to
+    the Volta quad-pair constraints (warp tile = ``16 * qp_tile``).
+    """
+    bm, bn, bk = block_tile
+    wm_count, wn_count = warp_grid
+    problems = []
+    if min(bm, bn, bk, wm_count, wn_count) <= 0:
+        problems.append(
+            f"tile dimensions must be positive: block_tile={block_tile} "
+            f"warp_grid={warp_grid}"
+        )
+    else:
+        if m % bm:
+            problems.append(f"M={m} is not divisible by block tile BM={bm}")
+        if n % bn:
+            problems.append(f"N={n} is not divisible by block tile BN={bn}")
+        if k % bk:
+            problems.append(f"K={k} is not divisible by block tile BK={bk}")
+        if qp_tile is not None:
+            tm_count, tn_count = qp_tile
+            if bm != wm_count * 16 * tm_count:
+                problems.append(
+                    f"BM={bm} must equal warp_grid[0]*16*qp_tile[0]"
+                    f"={wm_count}*16*{tm_count}={wm_count * 16 * tm_count}"
+                )
+            if bn != wn_count * 16 * tn_count:
+                problems.append(
+                    f"BN={bn} must equal warp_grid[1]*16*qp_tile[1]"
+                    f"={wn_count}*16*{tn_count}={wn_count * 16 * tn_count}"
+                )
+            if bk % 4:
+                problems.append(f"BK={bk} must divide into depth-4 mma steps")
+        else:
+            mma_m, mma_n, mma_k = mma_tile
+            if bm % wm_count:
+                problems.append(
+                    f"BM={bm} is not divisible by warp_grid[0]={wm_count}"
+                )
+            if bn % wn_count:
+                problems.append(
+                    f"BN={bn} is not divisible by warp_grid[1]={wn_count}"
+                )
+            wtm = bm // wm_count if bm % wm_count == 0 else 0
+            wtn = bn // wn_count if bn % wn_count == 0 else 0
+            if wtm and wtm % mma_m:
+                problems.append(
+                    f"warp tile M={wtm} (BM={bm}/warps={wm_count}) is not "
+                    f"divisible by the mma tile M={mma_m}"
+                )
+            if wtn and wtn % mma_n:
+                problems.append(
+                    f"warp tile N={wtn} (BN={bn}/warps={wn_count}) is not "
+                    f"divisible by the mma tile N={mma_n}"
+                )
+            if bk % mma_k:
+                problems.append(
+                    f"BK={bk} is not divisible by the mma tile K={mma_k}"
+                )
+        if stages > 1 and bk and k % bk == 0 and (k // bk) % stages:
+            quantum = "an even" if stages == 2 else f"a multiple-of-{stages}"
+            problems.append(
+                f"{stages}-stage pipelining needs {quantum} K-slice "
+                f"count, got {k}//{bk}={k // bk}"
+            )
+    if problems:
+        raise ValueError(
+            "invalid GEMM configuration for "
+            f"{m}x{n}x{k}: " + "; ".join(problems)
+        )
+
+
 def _stage_to_shared(kb, gl_tile: Tensor, sh: Tensor, num_threads: int,
                      t: Var, vec: int = 8) -> None:
     """Vectorized cooperative copy of a 2-D tile into shared memory."""
@@ -64,6 +150,8 @@ def build_ampere_tc_gemm(
     use_ldmatrix: bool = True,
     name: str = "graphene_gemm_sm86",
     epilogue=None,
+    swizzle_a: Optional[Swizzle] = None,
+    swizzle_b: Optional[Swizzle] = None,
 ) -> Kernel:
     """Tensor Core GEMM for SM86: ``C = A @ B`` (fp16 in, fp32 accum).
 
@@ -75,7 +163,12 @@ def build_ampere_tc_gemm(
     ``use_ldmatrix=False`` replaces the tensorized fragment loads with
     per-thread scalar shared-memory moves (the paper's ~17%-slower
     alternative) — the ablation of Section 2.
+
+    ``swizzle_a`` / ``swizzle_b`` override ``swizzle`` per staging
+    buffer (their row lengths differ, so a bank-spreading permutation
+    for A is generally wrong for B).
     """
+    validate_gemm_config(m, n, k, block_tile, warp_grid)
     bm, bn, bk = block_tile
     wm_count, wn_count = warp_grid
     nwarps = wm_count * wn_count
@@ -83,10 +176,6 @@ def build_ampere_tc_gemm(
     wtm, wtn = bm // wm_count, bn // wn_count
     mi_count, ni_count = wtm // 16, wtn // 8
     ki_count = bk // 16
-    if m % bm or n % bn or k % bk:
-        raise ValueError("block tile must divide the problem size")
-    if wtm % 16 or wtn % 8 or bk % 16:
-        raise ValueError("warp tile must divide into 16x8x16 mma tiles")
 
     kb = KernelBuilder(name, (m // bm, n // bn), (num_threads,))
     a = kb.param("A", (m, k), FP16)
@@ -94,8 +183,10 @@ def build_ampere_tc_gemm(
     c = kb.param("C", (m, n), FP16)
     bid_m, bid_n = kb.grid.indices()
 
-    smem_a = kb.alloc("smem_a", (bm, bk), FP16, SH, swizzle=swizzle)
-    smem_b = kb.alloc("smem_b", (bk, bn), FP16, SH, swizzle=swizzle)
+    smem_a = kb.alloc("smem_a", (bm, bk), FP16, SH,
+                      swizzle=swizzle_a if swizzle_a is not None else swizzle)
+    smem_b = kb.alloc("smem_b", (bk, bn), FP16, SH,
+                      swizzle=swizzle_b if swizzle_b is not None else swizzle)
 
     engine = WarpMmaEngine(kb, warp_grid, mi_count, ni_count)
     accs = engine.make_accumulators(init=0.0)
@@ -166,14 +257,11 @@ def build_volta_tc_gemm(
     configuration is a 128x128x32 block tile from 4x4 warps of 2x2
     quad-pair tiles (512 threads).
     """
+    validate_gemm_config(m, n, k, block_tile, warp_grid, qp_tile=qp_tile)
     bm, bn, bk = block_tile
     wm_count, wn_count = warp_grid
     tm_count, tn_count = qp_tile
     wtm, wtn = 16 * tm_count, 16 * tn_count
-    if bm != wm_count * wtm or bn != wn_count * wtn:
-        raise ValueError("block tile must equal warp_grid x 16*qp_tile")
-    if bk % 4 or m % bm or n % bn or k % bk:
-        raise ValueError("tiles must divide the problem size")
     nwarps = wm_count * wn_count
     num_threads = nwarps * 32
 
@@ -259,6 +347,8 @@ def build_ampere_tc_gemm_pipelined(
     block_tile: Tuple[int, int, int] = (128, 128, 32),
     warp_grid: Tuple[int, int] = (2, 2),
     name: str = "graphene_gemm_sm86_pipelined",
+    swizzle_a: Swizzle = IDENTITY_SWIZZLE,
+    swizzle_b: Swizzle = IDENTITY_SWIZZLE,
 ) -> Kernel:
     """Double-buffered Tensor Core GEMM (software pipelining).
 
@@ -268,6 +358,7 @@ def build_ampere_tc_gemm_pipelined(
     loads with Tensor Core math.  Expressed in Graphene as a 2x-unrolled
     K loop over two buffer pairs with a guarded prefetch.
     """
+    validate_gemm_config(m, n, k, block_tile, warp_grid, stages=2)
     bm, bn, bk = block_tile
     wm_count, wn_count = warp_grid
     num_threads = wm_count * wn_count * 32
@@ -275,10 +366,6 @@ def build_ampere_tc_gemm_pipelined(
     ni_count = bn // (wn_count * 8)
     ki_count = bk // 16
     k_slices = k // bk
-    if m % bm or n % bn or k % bk:
-        raise ValueError("block tile must divide the problem size")
-    if k_slices % 2:
-        raise ValueError("double buffering needs an even K-slice count")
 
     kb = KernelBuilder(name, (m // bm, n // bn), (num_threads,))
     a = kb.param("A", (m, k), FP16)
@@ -286,8 +373,10 @@ def build_ampere_tc_gemm_pipelined(
     c = kb.param("C", (m, n), FP16)
     bid_m, bid_n = kb.grid.indices()
 
-    smem_a = [kb.alloc(f"smem_a{i}", (bm, bk), FP16, SH) for i in (0, 1)]
-    smem_b = [kb.alloc(f"smem_b{i}", (bk, bn), FP16, SH) for i in (0, 1)]
+    smem_a = [kb.alloc(f"smem_a{i}", (bm, bk), FP16, SH, swizzle=swizzle_a)
+              for i in (0, 1)]
+    smem_b = [kb.alloc(f"smem_b{i}", (bk, bn), FP16, SH, swizzle=swizzle_b)
+              for i in (0, 1)]
 
     engine = WarpMmaEngine(kb, warp_grid, mi_count, ni_count)
     accs = engine.make_accumulators(init=0.0)
@@ -322,3 +411,20 @@ def build_ampere_tc_gemm_pipelined(
     site = EpilogueSite(kb, entries, c, vec=2)
     site.store()
     return kb.build()
+
+
+def from_tuned(m: int, n: int, k: int, arch="ampere", **tune_kwargs) -> Kernel:
+    """Build the GEMM kernel the autotuner selects for this problem.
+
+    Runs (or serves from the persistent tuning cache) a
+    :func:`repro.tuner.tune` search over the GEMM decomposition space
+    and instantiates the winning configuration at full problem scale.
+    Keyword arguments are forwarded to :func:`repro.tuner.tune`
+    (``cache=False`` disables the on-disk cache, ``search=...`` picks
+    the driver, ...).
+    """
+    from ..tuner import tune
+
+    result = tune("gemm", {"m": m, "n": n, "k": k}, arch=arch,
+                  **tune_kwargs)
+    return result.build_kernel()

@@ -91,6 +91,26 @@ def build_fused_mlp(
     return kb.build()
 
 
+def from_tuned(m: int, hidden: int, layers: int, arch="ampere",
+               **tune_kwargs) -> Kernel:
+    """Build the fused-MLP kernel the autotuner selects for this problem.
+
+    Runs (or serves from the persistent tuning cache) a
+    :func:`repro.tuner.tune` search over block-row counts, warp grids
+    and fusion depths, then instantiates the winning configuration at
+    full problem scale.  When the tuner picks a fusion depth shallower
+    than ``layers``, the returned kernel covers ``depth`` layers and
+    must be launched ``layers // depth`` times (see
+    ``TuningResult.launches``).  Keyword arguments are forwarded to
+    :func:`repro.tuner.tune`.
+    """
+    from ..tuner import tune
+
+    result = tune("mlp", {"m": m, "hidden": hidden, "layers": layers},
+                  arch=arch, **tune_kwargs)
+    return result.build_kernel()
+
+
 def _stage_to_shared_out(kb, sh, gl_tile, num_threads, t, vec: int = 8):
     """Vectorized cooperative copy of shared memory back to global."""
     rows, cols = sh.dim(0), sh.dim(1)

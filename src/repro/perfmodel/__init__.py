@@ -2,12 +2,14 @@
 
 from .counts import KernelCounts, count_kernel
 from .model import (
-    Efficiency, KernelEstimate, LIBRARY_CLASS, PerfModel, SCALAR_FRAGMENT,
-    fused_time, sequential_time,
+    CostBreakdown, Efficiency, KernelEstimate, LIBRARY_CLASS, PerfModel,
+    SCALAR_FRAGMENT, bank_conflict_degree, estimate_kernel, fused_time,
+    sequential_time,
 )
 
 __all__ = [
-    "KernelCounts", "count_kernel", "Efficiency", "KernelEstimate",
-    "LIBRARY_CLASS", "PerfModel", "SCALAR_FRAGMENT", "fused_time",
+    "KernelCounts", "count_kernel", "CostBreakdown", "Efficiency",
+    "KernelEstimate", "LIBRARY_CLASS", "PerfModel", "SCALAR_FRAGMENT",
+    "bank_conflict_degree", "estimate_kernel", "fused_time",
     "sequential_time",
 ]

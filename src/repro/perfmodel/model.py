@@ -10,10 +10,12 @@ than absolute nanoseconds.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..arch.gpu import Architecture
 from ..specs.kernel import Kernel
+from ..tensor.memspace import SH
 from .counts import KernelCounts, count_kernel
 
 
@@ -149,6 +151,113 @@ class PerfModel:
             return 1.0
         waves = -(-counts.blocks // self.arch.num_sms)
         return counts.blocks / (waves * self.arch.num_sms)
+
+
+@dataclass
+class CostBreakdown:
+    """The single cost record shared by the tuner and the figure benches.
+
+    One call to :func:`estimate_kernel` assembles everything a consumer
+    needs — modelled time, FLOP/byte attribution and the static
+    shared-memory bank-conflict degree — so callers stop re-deriving
+    costs from :mod:`repro.perfmodel.counts` internals in divergent
+    ways.
+    """
+
+    name: str
+    #: Roofline time of one launch including launch overhead (seconds).
+    time_seconds: float
+    #: Roofline time excluding launch overhead (seconds).
+    kernel_seconds: float
+    flops: float
+    tensor_flops: float
+    dram_bytes: float
+    smem_bytes: float
+    #: Modelled transactions-per-access degree of the kernel's staging
+    #: buffers under warp-collective 8x8 fragment reads (1.0 = free).
+    smem_bank_conflicts: float
+    compute_fraction: float
+    memory_fraction: float
+    estimate: KernelEstimate
+    counts: KernelCounts
+
+    def tflops(self) -> float:
+        if not self.kernel_seconds:
+            return 0.0
+        return self.flops / self.kernel_seconds / 1e12
+
+    def __repr__(self):
+        return (
+            f"CostBreakdown({self.name}: {self.time_seconds * 1e6:.1f}us, "
+            f"{self.tflops():.0f} TFLOP/s, "
+            f"conflicts={self.smem_bank_conflicts:.1f}x)"
+        )
+
+
+def bank_conflict_degree(kernel: Kernel) -> float:
+    """Static conflict degree of a kernel's shared-memory operand tiles.
+
+    Models the canonical warp-collective fragment read — eight 16-byte
+    rows of an 8x8 sub-tile (what ``ldmatrix`` issues) — against each
+    2-D shared staging buffer, swizzle applied.  Returns the worst
+    degree over all such buffers; kernels without 2-D shared tiles are
+    conflict-free under this model.
+    """
+    from ..sim.banks import ldmatrix_conflict_degree
+
+    degree = 1.0
+    for alloc in kernel.allocations():
+        if alloc.mem != SH or alloc.rank != 2:
+            continue
+        rows, cols = alloc.dim(0), alloc.dim(1)
+        if not isinstance(rows, int) or not isinstance(cols, int):
+            continue
+        if rows < 8 or cols < 8 or alloc.dtype.bytes != 2:
+            continue
+        degree = max(degree, float(ldmatrix_conflict_degree(alloc)))
+    return degree
+
+
+def estimate_kernel(
+    kernel: Kernel,
+    arch: Architecture,
+    *,
+    efficiency: Optional[Efficiency] = None,
+    symbols: Optional[Dict[str, int]] = None,
+    count_arch: Optional[Architecture] = None,
+    include_bank_conflicts: bool = False,
+) -> CostBreakdown:
+    """The perfmodel's single kernel-costing entry point.
+
+    ``count_arch`` counts the IR against a different atomic table than
+    the one used for costing (Figures 11/12 count the SM86 kernel and
+    cost it on each architecture's roofline).  With
+    ``include_bank_conflicts=True`` the static conflict degree scales
+    the shared-memory roofline component — the fidelity the tuner's
+    oracle needs to rank swizzled against unswizzled candidates; the
+    degree is reported in the breakdown either way.
+    """
+    counts = count_kernel(kernel, count_arch or arch, symbols)
+    conflicts = bank_conflict_degree(kernel)
+    model = PerfModel(arch)
+    est = model.estimate_counts(
+        counts, kernel.name, efficiency=efficiency,
+        bank_conflict_factor=conflicts if include_bank_conflicts else 1.0,
+    )
+    return CostBreakdown(
+        name=kernel.name,
+        time_seconds=est.total_seconds,
+        kernel_seconds=est.seconds,
+        flops=counts.total_flops,
+        tensor_flops=counts.tensor_flops,
+        dram_bytes=counts.dram_bytes,
+        smem_bytes=counts.smem_bytes,
+        smem_bank_conflicts=conflicts,
+        compute_fraction=est.compute_fraction,
+        memory_fraction=est.memory_fraction,
+        estimate=est,
+        counts=counts,
+    )
 
 
 def fused_time(estimates) -> float:

@@ -1,0 +1,193 @@
+"""``repro.tuner``: autotuning over Graphene decomposition spaces.
+
+Closes the loop the paper leaves to "automated search" (Sections 1, 6):
+
+1. a :class:`~repro.tuner.space.ConfigSpace` enumerates one kernel
+   family's legal decompositions (illegal tilings pruned before IR
+   construction);
+2. a search driver builds each candidate's IR and ranks it with the
+   :mod:`repro.perfmodel` roofline as the oracle
+   (:mod:`repro.tuner.search`);
+3. the top-ranked candidates must execute correctly in the functional
+   simulator against numpy references before one may be returned
+   (:mod:`repro.tuner.verify`);
+4. winners persist in a JSON :class:`~repro.tuner.cache.TuningCache`
+   keyed by (family, shape, dtype, arch), so repeated runs are instant.
+
+The CLI leaderboard lives in ``python -m repro.tuner``; kernels expose
+the result through their ``from_tuned(...)`` constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..arch import ARCHITECTURES
+from ..arch.gpu import Architecture
+from ..perfmodel import CostBreakdown
+from ..specs.kernel import Kernel
+from .cache import TuningCache, default_cache_path
+from .search import (
+    Oracle, RankedCandidate, SearchResult, beam_search, exhaustive_search,
+    perfmodel_oracle,
+)
+from .space import Candidate, ConfigSpace, GemmSpace, LayernormSpace, \
+    MlpSpace, SPACES, get_space, swizzle_for_row
+from .verify import GateError, GateResult, check_candidate, run_gate
+
+#: Extra architecture aliases accepted anywhere an arch is named.
+ARCH_ALIASES = {"sm86": "ampere", "sm80": "ampere", "sm70": "volta"}
+
+
+class TuningError(RuntimeError):
+    pass
+
+
+def resolve_arch(arch: Union[str, Architecture]) -> Architecture:
+    if isinstance(arch, Architecture):
+        return arch
+    name = ARCH_ALIASES.get(str(arch).lower(), str(arch).lower())
+    try:
+        return ARCHITECTURES[name]
+    except KeyError:
+        known = sorted(ARCHITECTURES) + sorted(ARCH_ALIASES)
+        raise TuningError(
+            f"unknown architecture {arch!r}; known: {known}"
+        ) from None
+
+
+@dataclass
+class TuningResult:
+    """Everything one tuning run decided, plus how it decided it."""
+
+    family: str
+    shape: Dict[str, int]
+    arch: Architecture
+    space: ConfigSpace
+    winner: Candidate
+    #: Modelled end-to-end seconds of the winner (launches included).
+    score_seconds: float
+    launches: int
+    #: Full cost attribution; ``None`` when served from the cache.
+    cost: Optional[CostBreakdown]
+    ranked: List[RankedCandidate] = field(default_factory=list)
+    gate_results: List[GateResult] = field(default_factory=list)
+    cache_hit: bool = False
+    cache_key: Optional[str] = None
+    cache_stats: Optional[Dict[str, int]] = None
+    search_stats: Optional[Dict[str, int]] = None
+
+    def build_kernel(self) -> Kernel:
+        """Instantiate the winning configuration at full problem scale."""
+        return self.space.build(self.winner, self.shape)
+
+
+def _resolve_cache(cache) -> Optional[TuningCache]:
+    if cache is False:
+        return None
+    if cache is None:
+        return TuningCache(default_cache_path())
+    if isinstance(cache, TuningCache):
+        return cache
+    return TuningCache(cache)
+
+
+def tune(
+    family: str,
+    shape: Dict[str, int],
+    arch: Union[str, Architecture] = "ampere",
+    *,
+    space: Optional[ConfigSpace] = None,
+    cache=None,
+    search: str = "beam",
+    beam: int = 6,
+    top_k: int = 3,
+    oracle: Optional[Oracle] = None,
+    seed: int = 0,
+    force: bool = False,
+) -> TuningResult:
+    """Select the best verified configuration for one kernel launch.
+
+    ``cache`` accepts a path, a :class:`TuningCache`, ``None`` (the
+    default on-disk cache, overridable via ``GRAPHENE_TUNER_CACHE``) or
+    ``False`` (no persistence).  ``force=True`` re-tunes even on a
+    cache hit.  ``search`` is ``"beam"`` (default) or ``"exhaustive"``.
+    """
+    space = space or get_space(family)
+    shape = space.validate_shape(shape)
+    architecture = resolve_arch(arch)
+    cache_obj = _resolve_cache(cache)
+    key = TuningCache.make_key(
+        space.family, shape, space.dtype, architecture.name
+    )
+
+    if cache_obj is not None and not force:
+        entry = cache_obj.get(key)
+        if entry is not None:
+            winner = space.candidate_from_params(entry["params"])
+            return TuningResult(
+                family=space.family, shape=shape, arch=architecture,
+                space=space, winner=winner,
+                score_seconds=entry["score_us"] * 1e-6,
+                launches=entry.get("launches", 1), cost=None,
+                cache_hit=True, cache_key=key,
+                cache_stats=cache_obj.stats,
+            )
+
+    if search == "beam":
+        result = beam_search(space, shape, architecture, beam=beam,
+                             oracle=oracle)
+    elif search == "exhaustive":
+        result = exhaustive_search(space, shape, architecture, oracle=oracle)
+    else:
+        raise TuningError(
+            f"unknown search driver {search!r}; use 'beam' or 'exhaustive'"
+        )
+    if not result.ranked:
+        raise TuningError(
+            f"the {space.family} space is empty for shape {shape} on "
+            f"{architecture.name} ({result.total_candidates} raw "
+            f"candidates, {len(result.skipped)} skipped)"
+        )
+
+    winner_rc, gate_results = run_gate(
+        space, architecture, result.ranked, shape, top_k=top_k, seed=seed
+    )
+
+    if cache_obj is not None:
+        cache_obj.put(key, {
+            "family": space.family,
+            "label": winner_rc.candidate.label,
+            "params": winner_rc.candidate.json_params(),
+            "score_us": winner_rc.score_seconds * 1e6,
+            "launches": winner_rc.launches,
+            "tflops": winner_rc.cost.tflops(),
+            "smem_bank_conflicts": winner_rc.cost.smem_bank_conflicts,
+            "searched": result.evaluated,
+        })
+
+    return TuningResult(
+        family=space.family, shape=shape, arch=architecture, space=space,
+        winner=winner_rc.candidate, score_seconds=winner_rc.score_seconds,
+        launches=winner_rc.launches, cost=winner_rc.cost,
+        ranked=result.ranked, gate_results=gate_results,
+        cache_hit=False, cache_key=key,
+        cache_stats=cache_obj.stats if cache_obj is not None else None,
+        search_stats={
+            "total_candidates": result.total_candidates,
+            "evaluated": result.evaluated,
+            "pruned": result.pruned,
+            "skipped": len(result.skipped),
+        },
+    )
+
+
+__all__ = [
+    "ARCH_ALIASES", "Candidate", "ConfigSpace", "GateError", "GateResult",
+    "GemmSpace", "LayernormSpace", "MlpSpace", "Oracle", "RankedCandidate",
+    "SPACES", "SearchResult", "TuningCache", "TuningError", "TuningResult",
+    "beam_search", "check_candidate", "default_cache_path",
+    "exhaustive_search", "get_space", "perfmodel_oracle", "resolve_arch",
+    "run_gate", "swizzle_for_row", "tune",
+]

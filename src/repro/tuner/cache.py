@@ -1,0 +1,136 @@
+"""Persistent tuning cache: tune once, serve every later run instantly.
+
+The cache is one JSON file keyed by ``(kernel family, problem shape,
+dtype, architecture)``.  Writes are atomic (temp file + ``os.replace``)
+so a crashed or concurrent run can never leave a half-written file; a
+corrupted or unreadable file degrades to an empty cache (the caller
+re-tunes and the next put rewrites it).  Hit/miss counters persist in
+the file itself, so cache effectiveness is visible across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+#: Environment override for the default on-disk location.
+CACHE_ENV_VAR = "GRAPHENE_TUNER_CACHE"
+DEFAULT_CACHE_FILENAME = ".graphene_tuner_cache.json"
+
+_SCHEMA_VERSION = 1
+
+
+def default_cache_path() -> str:
+    return os.environ.get(CACHE_ENV_VAR, DEFAULT_CACHE_FILENAME)
+
+
+class TuningCache:
+    """JSON-backed map from tuning keys to winning configurations.
+
+    ``path=None`` keeps the cache purely in memory (used by the figure
+    benches, which must not touch the filesystem).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = os.fspath(path) if path is not None else None
+        self.recovered_from_corruption = False
+        self._data = self._load()
+
+    # -- keys ---------------------------------------------------------------
+    @staticmethod
+    def make_key(family: str, shape: Dict[str, int], dtype: str,
+                 arch: str) -> str:
+        dims = ",".join(f"{k}={shape[k]}" for k in sorted(shape))
+        return f"{family}|{dims}|dtype={dtype}|arch={arch}"
+
+    # -- persistence --------------------------------------------------------
+    def _empty(self) -> Dict:
+        return {
+            "version": _SCHEMA_VERSION,
+            "stats": {"hits": 0, "misses": 0},
+            "entries": {},
+        }
+
+    def _load(self) -> Dict:
+        if self.path is None or not os.path.exists(self.path):
+            return self._empty()
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            if (
+                not isinstance(data, dict)
+                or data.get("version") != _SCHEMA_VERSION
+                or not isinstance(data.get("entries"), dict)
+                or not isinstance(data.get("stats"), dict)
+            ):
+                raise ValueError("unrecognised cache schema")
+            data["stats"].setdefault("hits", 0)
+            data["stats"].setdefault("misses", 0)
+            return data
+        except (OSError, ValueError) as _:
+            # json.JSONDecodeError is a ValueError: fall back to an
+            # empty cache, re-tune, and overwrite the broken file.
+            self.recovered_from_corruption = True
+            return self._empty()
+
+    def _write(self) -> None:
+        if self.path is None:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".graphene_tuner_", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self._data, fh, indent=1, sort_keys=True)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # -- access -------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict]:
+        """Look up a tuning entry, updating persistent hit/miss stats."""
+        entry = self._data["entries"].get(key)
+        if entry is None:
+            self._data["stats"]["misses"] += 1
+        else:
+            self._data["stats"]["hits"] += 1
+        self._write()
+        return json.loads(json.dumps(entry)) if entry is not None else None
+
+    def put(self, key: str, entry: Dict) -> None:
+        self._data["entries"][key] = entry
+        self._write()
+
+    def clear(self) -> None:
+        self._data = self._empty()
+        self._write()
+
+    # -- statistics ---------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self._data["stats"]["hits"]
+
+    @property
+    def misses(self) -> int:
+        return self._data["stats"]["misses"]
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._data["entries"]),
+        }
+
+    def __len__(self) -> int:
+        return len(self._data["entries"])
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data["entries"]

@@ -1,0 +1,184 @@
+"""Search drivers that rank decomposition-space candidates.
+
+The oracle is the analytical performance model: each candidate's kernel
+IR is built and costed with
+:func:`repro.perfmodel.estimate_kernel` (bank-conflict-aware, so
+swizzled and unswizzled stagings rank differently).  Per-candidate
+FLOP/byte/bank-conflict attribution is retained on every
+:class:`RankedCandidate` for leaderboard reporting.
+
+Two drivers are provided:
+
+* :func:`exhaustive_search` costs every legal candidate;
+* :func:`beam_search` first costs one representative per coarse group
+  (for GEMM: per block tile), keeps the best ``beam`` groups, and only
+  expands those — pruning the warp/swizzle/stage cross-product of
+  hopeless tilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..arch.gpu import Architecture
+from ..perfmodel import CostBreakdown, estimate_kernel
+from .space import Candidate, ConfigSpace
+
+Oracle = Callable[..., CostBreakdown]
+
+
+def perfmodel_oracle(kernel, arch: Architecture) -> CostBreakdown:
+    """The default ranking oracle: the bank-conflict-aware roofline."""
+    return estimate_kernel(kernel, arch, include_bank_conflicts=True)
+
+
+@dataclass
+class RankedCandidate:
+    """One costed point of the space, with full attribution."""
+
+    candidate: Candidate
+    cost: CostBreakdown
+    #: End-to-end modelled seconds: ``launches`` sequential launches of
+    #: the candidate's kernel (fusion-depth candidates need several).
+    score_seconds: float
+    launches: int = 1
+
+    @property
+    def label(self) -> str:
+        return self.candidate.label
+
+
+@dataclass
+class SearchResult:
+    """Ranked leaderboard plus sweep accounting."""
+
+    ranked: List[RankedCandidate]
+    total_candidates: int
+    evaluated: int
+    pruned: int
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def best(self) -> RankedCandidate:
+        if not self.ranked:
+            raise ValueError("search produced no rankable candidate")
+        return self.ranked[0]
+
+
+def _evaluate(
+    space: ConfigSpace,
+    candidate: Candidate,
+    shape: Dict[str, int],
+    arch: Architecture,
+    oracle: Oracle,
+    skipped: List[str],
+) -> Optional[RankedCandidate]:
+    try:
+        kernel = space.build(candidate, shape)
+        cost = oracle(kernel, arch)
+    except ValueError as exc:
+        # A pruning predicate missed a structural constraint; record and
+        # keep searching rather than aborting the sweep.
+        skipped.append(f"{candidate.label}: {exc}")
+        return None
+    launches = space.launches(candidate, shape)
+    return RankedCandidate(
+        candidate=candidate,
+        cost=cost,
+        score_seconds=launches * cost.time_seconds,
+        launches=launches,
+    )
+
+
+def _sorted(ranked: List[RankedCandidate]) -> List[RankedCandidate]:
+    # Deterministic: modelled time first, label as the stable tiebreak.
+    return sorted(ranked, key=lambda rc: (rc.score_seconds, rc.label))
+
+
+def exhaustive_search(
+    space: ConfigSpace,
+    shape: Dict[str, int],
+    arch: Architecture,
+    oracle: Optional[Oracle] = None,
+) -> SearchResult:
+    """Cost every legal candidate of the space."""
+    oracle = oracle or perfmodel_oracle
+    skipped: List[str] = []
+    ranked: List[RankedCandidate] = []
+    total = 0
+    for candidate in space.candidates(shape, arch):
+        total += 1
+        rc = _evaluate(space, candidate, shape, arch, oracle, skipped)
+        if rc is not None:
+            ranked.append(rc)
+    return SearchResult(
+        ranked=_sorted(ranked), total_candidates=total,
+        evaluated=total - len(skipped), pruned=0, skipped=skipped,
+    )
+
+
+def beam_search(
+    space: ConfigSpace,
+    shape: Dict[str, int],
+    arch: Architecture,
+    beam: int = 6,
+    oracle: Optional[Oracle] = None,
+) -> SearchResult:
+    """Two-stage pruned search over the space's coarse groups.
+
+    Stage 1 costs the first member of every coarse group (one point per
+    block tile for GEMM).  Stage 2 fully expands only the ``beam``
+    groups whose representative ranked best.  With ``beam`` at least
+    the group count this degenerates to :func:`exhaustive_search`.
+    """
+    oracle = oracle or perfmodel_oracle
+    skipped: List[str] = []
+    groups: Dict[object, List[Candidate]] = {}
+    order: List[object] = []
+    total = 0
+    for candidate in space.candidates(shape, arch):
+        total += 1
+        key = space.coarse_key(candidate)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(candidate)
+
+    rep_by_key: Dict[object, RankedCandidate] = {}
+    for key in order:
+        rc = _evaluate(space, groups[key][0], shape, arch, oracle, skipped)
+        if rc is not None:
+            rep_by_key[key] = rc
+
+    by_score = sorted(
+        rep_by_key.items(),
+        key=lambda item: (item[1].score_seconds, item[1].label),
+    )
+    surviving = {key for key, _ in by_score[:beam]}
+    ranked: List[RankedCandidate] = []
+    evaluated = 0
+    pruned = 0
+    for key in order:
+        members = groups[key]
+        if key not in surviving:
+            pruned += len(members)
+            continue
+        ranked.append(rep_by_key[key])
+        evaluated += 1
+        for candidate in members[1:]:
+            rc = _evaluate(space, candidate, shape, arch, oracle, skipped)
+            evaluated += 1
+            if rc is not None:
+                ranked.append(rc)
+    # Representatives of pruned groups stay on the leaderboard so the
+    # report shows *why* their tiling lost.
+    for key in order:
+        if key not in surviving and key in rep_by_key:
+            ranked.append(rep_by_key[key])
+            evaluated += 1
+            pruned -= 1
+    return SearchResult(
+        ranked=_sorted(ranked), total_candidates=total,
+        evaluated=evaluated, pruned=pruned, skipped=skipped,
+    )

@@ -1,0 +1,511 @@
+"""Declarative configuration spaces per kernel family.
+
+The paper positions optimized kernels as *points in a decomposition
+space* (Section 1): block/warp/thread tilings, shared-memory swizzles
+and pipeline stage counts.  A :class:`ConfigSpace` makes one family's
+space explicit — it enumerates :class:`Candidate` configurations,
+prunes illegal tilings *before* IR construction with the kernels' own
+validity predicates (:func:`repro.kernels.gemm_optimized.validate_gemm_config`),
+builds the kernel IR for any candidate at any problem scale, and poses
+the small-shape numpy verification problem the correctness gate runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch.gpu import Architecture
+from ..kernels.gemm_optimized import (
+    build_ampere_tc_gemm, build_ampere_tc_gemm_pipelined,
+    build_volta_tc_gemm, validate_gemm_config,
+)
+from ..kernels.layernorm import build_layernorm
+from ..kernels.mlp import build_fused_mlp
+from ..layout.swizzle import IDENTITY_SWIZZLE, Swizzle
+from ..library import funcs
+from ..specs.kernel import Kernel
+
+#: CUDA's hard per-block thread limit.
+MAX_THREADS_PER_BLOCK = 1024
+#: Per-thread fp32 register budget available to accumulators+fragments
+#: (256 architectural registers minus addressing/staging temporaries).
+REGISTER_BUDGET = 224
+
+
+class Candidate:
+    """One point of a family's decomposition space."""
+
+    __slots__ = ("family", "params")
+
+    def __init__(self, family: str, **params):
+        self.family = family
+        self.params = params
+
+    @property
+    def label(self) -> str:
+        parts = []
+        for key in sorted(self.params):
+            value = self.params[key]
+            if isinstance(value, (tuple, list)):
+                value = "x".join(str(v) for v in value)
+            elif isinstance(value, bool):
+                value = "on" if value else "off"
+            parts.append(f"{key}={value}")
+        return " ".join(parts)
+
+    def json_params(self) -> Dict:
+        """JSON-serialisable copy of the parameters (for the cache)."""
+        return {k: list(v) if isinstance(v, tuple) else v
+                for k, v in self.params.items()}
+
+    def _key(self):
+        return (self.family, tuple(sorted(self.params.items())))
+
+    def __eq__(self, other):
+        return isinstance(other, Candidate) and self._key() == other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __repr__(self):
+        return f"Candidate({self.family}: {self.label})"
+
+
+class ConfigSpace:
+    """Base interface every kernel family's space implements."""
+
+    family: str = ""
+    shape_keys: Tuple[str, ...] = ()
+    dtype: str = "fp16"
+
+    def validate_shape(self, shape: Dict[str, int]) -> Dict[str, int]:
+        missing = [k for k in self.shape_keys if shape.get(k) is None]
+        if missing:
+            raise ValueError(
+                f"{self.family} tuning needs shape keys {missing} "
+                f"(got {sorted(k for k, v in shape.items() if v is not None)})"
+            )
+        return {k: int(shape[k]) for k in self.shape_keys}
+
+    def candidates(self, shape: Dict[str, int],
+                   arch: Architecture) -> Iterator[Candidate]:
+        raise NotImplementedError
+
+    def default(self, shape: Dict[str, int],
+                arch: Architecture) -> Candidate:
+        """The hand-written configuration the repo's kernels default to."""
+        raise NotImplementedError
+
+    def build(self, candidate: Candidate, shape: Dict[str, int]) -> Kernel:
+        raise NotImplementedError
+
+    def launches(self, candidate: Candidate, shape: Dict[str, int]) -> int:
+        """Sequential kernel launches one candidate needs (fusion depth)."""
+        return 1
+
+    def coarse_key(self, candidate: Candidate):
+        """Grouping key for the pruned-beam search's first stage."""
+        return candidate.label
+
+    def candidate_from_params(self, params: Dict) -> Candidate:
+        restored = {
+            k: tuple(v) if isinstance(v, list) else v
+            for k, v in params.items()
+        }
+        return Candidate(self.family, **restored)
+
+    # -- correctness-gate problem --------------------------------------------
+    def verification_shape(self, candidate: Candidate,
+                           shape: Dict[str, int]) -> Dict[str, int]:
+        """A small problem this candidate legally tiles."""
+        raise NotImplementedError
+
+    def verification_problem(self, candidate: Candidate,
+                             vshape: Dict[str, int], seed: int):
+        """Returns ``(bindings, checks)`` for one simulator run.
+
+        ``bindings`` are the numpy arrays the kernel launches over;
+        ``checks`` is a list of ``(output_name, reference, tolerance)``.
+        """
+        raise NotImplementedError
+
+
+def swizzle_for_row(row_elems: int) -> Optional[Swizzle]:
+    """Bank-spreading XOR swizzle for fp16 rows of ``row_elems`` values.
+
+    ldmatrix reads 16-byte (8-element) row chunks, so the permutation
+    leaves the low 3 offset bits alone (``base=3``) and XORs up to three
+    8-group index bits with the row index bits directly above the row
+    boundary — the CuTe ``Swizzle<bits, 3, shift>`` family.  Rows
+    shorter than two chunks have nothing to permute.
+    """
+    if row_elems < 16 or row_elems & (row_elems - 1):
+        return None
+    shift = row_elems.bit_length() - 1 - 3
+    return Swizzle(min(3, shift), 3, shift)
+
+
+def _random_fp16(rng, *shape):
+    return (rng.random(shape, dtype=np.float64) - 0.5).astype(np.float16)
+
+
+class GemmSpace(ConfigSpace):
+    """``C = A @ B`` Tensor Core GEMM decompositions.
+
+    Ampere candidates vary the block tile, the warp arrangement, the
+    staging-buffer swizzle and the pipeline stage count; Volta
+    candidates vary the warp grid and quad-pair tiling.  Note the
+    roofline oracle assumes perfect copy/math overlap, so 2-stage
+    pipelining ties its 1-stage twin under the model — it is kept in
+    the space because its shared-memory footprint (and therefore its
+    feasibility) differs.
+    """
+
+    family = "gemm"
+    shape_keys = ("m", "n", "k")
+
+    AMPERE_BLOCK_TILES = tuple(
+        (bm, bn, bk)
+        for bm in (64, 128, 256)
+        for bn in (64, 128, 256)
+        for bk in (16, 32, 64)
+    )
+    AMPERE_WARP_GRIDS = ((1, 1), (1, 2), (2, 1), (2, 2), (2, 4), (4, 2),
+                         (4, 4))
+    VOLTA_WARP_GRIDS = ((1, 1), (2, 2), (2, 4), (4, 2), (4, 4))
+    VOLTA_QP_TILES = ((1, 1), (1, 2), (2, 1), (2, 2))
+    VOLTA_BKS = (16, 32)
+
+    def __init__(
+        self,
+        block_tiles: Optional[Sequence[Tuple[int, int, int]]] = None,
+        warp_grids: Optional[Sequence[Tuple[int, int]]] = None,
+        # Swizzled first: beam search judges a coarse group by its first
+        # member, which must be the optimistic (conflict-free) variant.
+        swizzles: Sequence[bool] = (True, False),
+        stage_counts: Sequence[int] = (1, 2),
+    ):
+        self.block_tiles = tuple(block_tiles) if block_tiles else None
+        self.warp_grids = tuple(warp_grids) if warp_grids else None
+        self.swizzles = tuple(swizzles)
+        self.stage_counts = tuple(stage_counts)
+
+    # -- enumeration ------------------------------------------------------------
+    def candidates(self, shape, arch) -> Iterator[Candidate]:
+        if arch.sm >= 80:
+            yield from self._ampere_candidates(shape, arch)
+        else:
+            yield from self._volta_candidates(shape, arch)
+
+    def _ampere_candidates(self, shape, arch) -> Iterator[Candidate]:
+        m, n, k = shape["m"], shape["n"], shape["k"]
+        tiles = self.block_tiles or self.AMPERE_BLOCK_TILES
+        grids = self.warp_grids or self.AMPERE_WARP_GRIDS
+        for block_tile in tiles:
+            for warp_grid in grids:
+                for stages in self.stage_counts:
+                    if not self._ampere_valid(m, n, k, block_tile,
+                                              warp_grid, stages, arch):
+                        continue
+                    for swizzle in self.swizzles:
+                        yield Candidate(
+                            self.family, block_tile=block_tile,
+                            warp_grid=warp_grid, swizzle=swizzle,
+                            stages=stages,
+                        )
+
+    def _ampere_valid(self, m, n, k, block_tile, warp_grid, stages,
+                      arch) -> bool:
+        try:
+            validate_gemm_config(m, n, k, block_tile, warp_grid,
+                                 stages=stages)
+        except ValueError:
+            return False
+        bm, bn, bk = block_tile
+        wm, wn = warp_grid
+        threads = wm * wn * 32
+        if threads > MAX_THREADS_PER_BLOCK:
+            return False
+        if bk % 8 or bn % 8:  # vectorized 8-element staging rows
+            return False
+        smem = stages * (bm * bk + bk * bn) * 2
+        if smem > arch.smem_bytes_per_sm:
+            return False
+        mi, ni = (bm // wm) // 16, (bn // wn) // 8
+        regs = mi * ni * 4 + mi * 8 + ni * 4
+        return mi * ni <= 64 and regs <= REGISTER_BUDGET
+
+    def _volta_candidates(self, shape, arch) -> Iterator[Candidate]:
+        m, n, k = shape["m"], shape["n"], shape["k"]
+        grids = self.warp_grids or self.VOLTA_WARP_GRIDS
+        for warp_grid in grids:
+            wm, wn = warp_grid
+            for qp_tile in self.VOLTA_QP_TILES:
+                tm, tn = qp_tile
+                for bk in self.VOLTA_BKS:
+                    block_tile = (wm * 16 * tm, wn * 16 * tn, bk)
+                    if self.block_tiles and block_tile not in self.block_tiles:
+                        continue
+                    if not self._volta_valid(m, n, k, block_tile, warp_grid,
+                                             qp_tile, arch):
+                        continue
+                    yield Candidate(
+                        self.family, block_tile=block_tile,
+                        warp_grid=warp_grid, qp_tile=qp_tile,
+                    )
+
+    def _volta_valid(self, m, n, k, block_tile, warp_grid, qp_tile,
+                     arch) -> bool:
+        try:
+            validate_gemm_config(m, n, k, block_tile, warp_grid,
+                                 qp_tile=qp_tile)
+        except ValueError:
+            return False
+        bm, bn, bk = block_tile
+        wm, wn = warp_grid
+        if wm * wn * 32 > MAX_THREADS_PER_BLOCK:
+            return False
+        if bk % 8 or bn % 8:
+            return False
+        if (bm * bk + bk * bn) * 2 > arch.smem_bytes_per_sm:
+            return False
+        tm, tn = qp_tile
+        return tm * tn * 8 + tm * 4 + tn * 4 <= REGISTER_BUDGET
+
+    # -- construction -----------------------------------------------------------
+    def default(self, shape, arch) -> Candidate:
+        m, n, k = shape["m"], shape["n"], shape["k"]
+        if arch.sm >= 80:
+            cand = Candidate(self.family, block_tile=(128, 128, 32),
+                             warp_grid=(2, 2), swizzle=False, stages=1)
+            ok = self._ampere_valid(m, n, k, (128, 128, 32), (2, 2), 1, arch)
+        else:
+            cand = Candidate(self.family, block_tile=(128, 128, 32),
+                             warp_grid=(4, 4), qp_tile=(2, 2))
+            ok = self._volta_valid(m, n, k, (128, 128, 32), (4, 4), (2, 2),
+                                   arch)
+        if ok:
+            return cand
+        for fallback in self.candidates(shape, arch):
+            return fallback
+        raise ValueError(
+            f"no legal GEMM configuration for shape {shape} on {arch.name}"
+        )
+
+    def build(self, candidate, shape) -> Kernel:
+        m, n, k = shape["m"], shape["n"], shape["k"]
+        params = candidate.params
+        if "qp_tile" in params:
+            return build_volta_tc_gemm(
+                m, n, k, block_tile=params["block_tile"],
+                warp_grid=params["warp_grid"], qp_tile=params["qp_tile"],
+            )
+        bm, bn, bk = params["block_tile"]
+        if params.get("swizzle"):
+            swizzle_a = swizzle_for_row(bk) or IDENTITY_SWIZZLE
+            swizzle_b = swizzle_for_row(bn) or IDENTITY_SWIZZLE
+        else:
+            swizzle_a = swizzle_b = IDENTITY_SWIZZLE
+        if params.get("stages", 1) == 2:
+            return build_ampere_tc_gemm_pipelined(
+                m, n, k, block_tile=params["block_tile"],
+                warp_grid=params["warp_grid"],
+                swizzle_a=swizzle_a, swizzle_b=swizzle_b,
+            )
+        return build_ampere_tc_gemm(
+            m, n, k, block_tile=params["block_tile"],
+            warp_grid=params["warp_grid"],
+            swizzle_a=swizzle_a, swizzle_b=swizzle_b,
+        )
+
+    def coarse_key(self, candidate):
+        return ("block_tile", candidate.params["block_tile"])
+
+    # -- correctness gate --------------------------------------------------------
+    def verification_shape(self, candidate, shape):
+        bm, bn, bk = candidate.params["block_tile"]
+        return {"m": bm, "n": bn, "k": 2 * bk}
+
+    def verification_problem(self, candidate, vshape, seed):
+        rng = np.random.default_rng(seed)
+        m, n, k = vshape["m"], vshape["n"], vshape["k"]
+        a = _random_fp16(rng, m, k)
+        b = _random_fp16(rng, k, n)
+        c = np.zeros((m, n), dtype=np.float16)
+        ref = funcs.gemm(a, b)
+        return {"A": a, "B": b, "C": c}, [("C", ref, 0.02)]
+
+
+class LayernormSpace(ConfigSpace):
+    """Row-normalisation decompositions: warp-per-row lanes combining
+    partials with butterfly shuffles vs one sequential thread per row,
+    each over a rows-per-block sweep."""
+
+    family = "layernorm"
+    shape_keys = ("rows", "hidden")
+
+    WARPS_PER_BLOCK = (1, 2, 4, 8)
+
+    def __init__(self, warps_per_block: Optional[Sequence[int]] = None,
+                 modes: Sequence[bool] = (True, False)):
+        self.warps_per_block = tuple(warps_per_block or self.WARPS_PER_BLOCK)
+        self.modes = tuple(modes)
+
+    def candidates(self, shape, arch) -> Iterator[Candidate]:
+        rows, hidden = shape["rows"], shape["hidden"]
+        for warp_per_row in self.modes:
+            for wpb in self.warps_per_block:
+                if warp_per_row:
+                    # one warp per row: lanes hold hidden/32-value chunks
+                    if hidden % 32 or rows % wpb:
+                        continue
+                else:
+                    if rows % (wpb * 32):
+                        continue
+                yield Candidate(self.family, warp_per_row=warp_per_row,
+                                warps_per_block=wpb)
+
+    def default(self, shape, arch) -> Candidate:
+        return Candidate(self.family, warp_per_row=True, warps_per_block=4)
+
+    def build(self, candidate, shape) -> Kernel:
+        mode = "wpr" if candidate.params["warp_per_row"] else "tpr"
+        wpb = candidate.params["warps_per_block"]
+        return build_layernorm(
+            shape["rows"], shape["hidden"],
+            warps_per_block=wpb,
+            warp_per_row=candidate.params["warp_per_row"],
+            name=f"graphene_layernorm_{mode}_w{wpb}",
+        )
+
+    def coarse_key(self, candidate):
+        return ("warp_per_row", candidate.params["warp_per_row"])
+
+    def verification_shape(self, candidate, shape):
+        wpb = candidate.params["warps_per_block"]
+        rows_quantum = wpb if candidate.params["warp_per_row"] else wpb * 32
+        return {"rows": 2 * rows_quantum, "hidden": shape["hidden"]}
+
+    def verification_problem(self, candidate, vshape, seed):
+        rng = np.random.default_rng(seed)
+        rows, hidden = vshape["rows"], vshape["hidden"]
+        x = _random_fp16(rng, rows, hidden)
+        gamma = (rng.random(hidden) * 2).astype(np.float16)
+        beta = _random_fp16(rng, hidden)
+        y = np.zeros((rows, hidden), dtype=np.float16)
+        ref = funcs.layernorm(x, gamma, beta)
+        bindings = {"X": x, "gamma": gamma, "beta": beta, "Y": y}
+        return bindings, [("Y", ref, 0.02)]
+
+
+class MlpSpace(ConfigSpace):
+    """Fused-MLP decompositions: activation block rows, warp arrangement
+    and *fusion depth* — how many GEMM+bias+act layers one kernel keeps
+    resident in shared memory.  Depth-``d`` candidates cost
+    ``layers/d`` sequential launches of the ``d``-layer kernel."""
+
+    family = "mlp"
+    shape_keys = ("m", "hidden", "layers")
+
+    BLOCK_ROWS = (32, 64, 128)
+    WARP_GRIDS = ((1, 1), (1, 2), (2, 1), (2, 2), (4, 2))
+
+    def __init__(self, block_rows: Optional[Sequence[int]] = None,
+                 warp_grids: Optional[Sequence[Tuple[int, int]]] = None,
+                 depths: Optional[Sequence[int]] = None):
+        self.block_rows = tuple(block_rows or self.BLOCK_ROWS)
+        self.warp_grids = tuple(warp_grids or self.WARP_GRIDS)
+        self.depths = tuple(depths) if depths else None
+
+    def _depths(self, layers: int) -> List[int]:
+        if self.depths is not None:
+            return [d for d in self.depths if layers % d == 0]
+        return [d for d in range(1, layers + 1) if layers % d == 0]
+
+    def candidates(self, shape, arch) -> Iterator[Candidate]:
+        m, hidden, layers = shape["m"], shape["hidden"], shape["layers"]
+        if hidden % 16:
+            return
+        for block_rows in self.block_rows:
+            if m % block_rows:
+                continue
+            smem = (block_rows * hidden + hidden * hidden) * 2
+            if smem > arch.smem_bytes_per_sm:
+                continue
+            for warp_grid in self.warp_grids:
+                wm, wn = warp_grid
+                if block_rows % (wm * 16) or hidden % (wn * 8) or hidden % 8:
+                    continue
+                if wm * wn * 32 > MAX_THREADS_PER_BLOCK:
+                    continue
+                mi = block_rows // (wm * 16)
+                ni = hidden // (wn * 8)
+                if mi * ni > 64 or mi * ni * 4 + mi * 8 + ni * 4 > REGISTER_BUDGET:
+                    continue
+                for depth in self._depths(layers):
+                    yield Candidate(self.family, block_rows=block_rows,
+                                    warp_grid=warp_grid, depth=depth)
+
+    def default(self, shape, arch) -> Candidate:
+        return Candidate(self.family, block_rows=128, warp_grid=(2, 2),
+                         depth=shape["layers"])
+
+    def launches(self, candidate, shape) -> int:
+        return shape["layers"] // candidate.params["depth"]
+
+    def build(self, candidate, shape) -> Kernel:
+        # One kernel fuses `depth` layers; verification shapes may carry
+        # fewer total layers than the tuned depth.
+        depth = min(candidate.params["depth"], shape["layers"])
+        return build_fused_mlp(
+            shape["m"], shape["hidden"], depth,
+            block_rows=candidate.params["block_rows"],
+            warp_grid=candidate.params["warp_grid"],
+            name=f"graphene_fused_mlp_d{depth}",
+        )
+
+    def coarse_key(self, candidate):
+        return ("rows_depth", candidate.params["block_rows"],
+                candidate.params["depth"])
+
+    def verification_shape(self, candidate, shape):
+        # Verifying two fused layers exercises the smem ping-pong; the
+        # per-layer decomposition is depth-independent.
+        return {
+            "m": candidate.params["block_rows"],
+            "hidden": shape["hidden"],
+            "layers": min(candidate.params["depth"], 2),
+        }
+
+    def verification_problem(self, candidate, vshape, seed):
+        rng = np.random.default_rng(seed)
+        m, hidden, layers = vshape["m"], vshape["hidden"], vshape["layers"]
+        x = _random_fp16(rng, m, hidden)
+        weights = [_random_fp16(rng, hidden, hidden) for _ in range(layers)]
+        biases = [_random_fp16(rng, hidden) for _ in range(layers)]
+        y = np.zeros((m, hidden), dtype=np.float16)
+        ref = funcs.mlp(x, weights, biases)
+        bindings = {"X": x, "Y": y}
+        for layer in range(layers):
+            bindings[f"W{layer}"] = weights[layer]
+            bindings[f"bias{layer}"] = biases[layer]
+        return bindings, [("Y", ref, 0.05)]
+
+
+SPACES = {
+    GemmSpace.family: GemmSpace,
+    LayernormSpace.family: LayernormSpace,
+    MlpSpace.family: MlpSpace,
+}
+
+
+def get_space(family: str, **kwargs) -> ConfigSpace:
+    try:
+        cls = SPACES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel family {family!r}; available: {sorted(SPACES)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,111 @@
+"""The correctness gate: no config leaves the tuner unexecuted.
+
+The performance model ranks candidates by modelled time alone — a
+candidate whose layouts are wrong (or whose decomposition silently
+drops work) can still *look* fastest.  Before the tuner may return a
+configuration, its kernel is built at a small shape the tiling legally
+covers and executed in :mod:`repro.sim` against the numpy references of
+:mod:`repro.library.funcs`; wrong numerics reject the candidate and the
+gate falls through to the next-ranked one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch.gpu import Architecture
+from ..sim import SimulationError, Simulator
+from .search import RankedCandidate
+from .space import Candidate, ConfigSpace
+
+
+class GateError(RuntimeError):
+    """No candidate of the ranked space passed simulator verification."""
+
+
+@dataclass
+class GateResult:
+    """The verdict of one simulator run."""
+
+    candidate: Candidate
+    passed: bool
+    max_error: Optional[float]
+    detail: str = ""
+
+    @property
+    def status(self) -> str:
+        return "pass" if self.passed else "FAIL"
+
+
+def check_candidate(
+    space: ConfigSpace,
+    arch: Architecture,
+    candidate: Candidate,
+    shape: Dict[str, int],
+    seed: int = 0,
+) -> GateResult:
+    """Execute one candidate at its small verification shape."""
+    try:
+        vshape = space.verification_shape(candidate, shape)
+        kernel = space.build(candidate, vshape)
+        bindings, checks = space.verification_problem(candidate, vshape, seed)
+        Simulator(arch).run(kernel, bindings)
+    except (SimulationError, ValueError, KeyError) as exc:
+        return GateResult(candidate, False, None,
+                          f"execution failed: {exc}")
+    worst = 0.0
+    for name, ref, tol in checks:
+        got = bindings[name].astype(np.float32)
+        if got.shape != np.asarray(ref).shape:
+            return GateResult(
+                candidate, False, None,
+                f"output {name} shape {got.shape} != reference "
+                f"{np.asarray(ref).shape}",
+            )
+        err = float(np.abs(got - np.asarray(ref, dtype=np.float32)).max())
+        worst = max(worst, err)
+        if not np.isfinite(err) or err > tol:
+            return GateResult(
+                candidate, False, err,
+                f"output {name} deviates from the numpy reference by "
+                f"{err:.4g} (tolerance {tol:g}) at shape {vshape}",
+            )
+    return GateResult(candidate, True, worst)
+
+
+def run_gate(
+    space: ConfigSpace,
+    arch: Architecture,
+    ranked: List[RankedCandidate],
+    shape: Dict[str, int],
+    top_k: int = 3,
+    seed: int = 0,
+) -> Tuple[RankedCandidate, List[GateResult]]:
+    """Verify the leaderboard's top-k; return the best passing config.
+
+    The first ``top_k`` candidates are all executed (their verdicts make
+    the leaderboard report); if every one of them fails, the gate keeps
+    descending the ranking until something passes.  Raises
+    :class:`GateError` when the whole ranking is numerically wrong.
+    """
+    results: List[GateResult] = []
+    winner: Optional[RankedCandidate] = None
+    for i, rc in enumerate(ranked):
+        if i >= top_k and winner is not None:
+            break
+        result = check_candidate(space, arch, rc.candidate, shape, seed)
+        results.append(result)
+        if result.passed and winner is None:
+            winner = rc
+    if winner is None:
+        failures = "; ".join(
+            f"{r.candidate.label} ({r.detail})" for r in results[:5]
+        )
+        raise GateError(
+            f"no {space.family} candidate passed simulator verification "
+            f"out of {len(results)} tried: {failures}"
+        )
+    return winner, results

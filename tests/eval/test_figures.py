@@ -67,9 +67,10 @@ class TestNetworks:
 
 
 class TestFigureRegistry:
-    def test_all_seven_figures_registered(self):
+    def test_all_figures_registered(self):
         assert set(ALL_FIGURES) == {
-            "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig9", "fig9_tuned", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15",
         }
 
 

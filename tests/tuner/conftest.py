@@ -1,0 +1,24 @@
+"""Shared fixtures: a tiny GEMM space that keeps tier-1 runs fast."""
+
+import pytest
+
+from repro.tuner.space import GemmSpace
+
+#: Fig-9-shaped but small enough that building+simulating every
+#: candidate stays in the default test tier.
+TINY_SHAPE = {"m": 256, "n": 256, "k": 128}
+
+
+def tiny_gemm_space() -> GemmSpace:
+    """4 candidates: 2 block tiles x swizzle on/off, single stage."""
+    return GemmSpace(
+        block_tiles=[(64, 64, 32), (128, 128, 32)],
+        warp_grids=[(2, 2)],
+        swizzles=(True, False),
+        stage_counts=(1,),
+    )
+
+
+@pytest.fixture
+def tiny_space():
+    return tiny_gemm_space()

@@ -1,0 +1,93 @@
+"""Search-driver tests: determinism, beam/exhaustive agreement, spaces."""
+
+import pytest
+
+from repro.arch import AMPERE, VOLTA
+from repro.tuner.search import beam_search, exhaustive_search
+from repro.tuner.space import GemmSpace, LayernormSpace, MlpSpace, get_space
+
+from .conftest import TINY_SHAPE
+
+
+class TestDeterminism:
+    def test_exhaustive_is_deterministic(self, tiny_space):
+        a = exhaustive_search(tiny_space, TINY_SHAPE, AMPERE)
+        b = exhaustive_search(tiny_space, TINY_SHAPE, AMPERE)
+        assert [rc.label for rc in a.ranked] == [rc.label for rc in b.ranked]
+        assert [rc.score_seconds for rc in a.ranked] == \
+            [rc.score_seconds for rc in b.ranked]
+
+    def test_beam_agrees_with_exhaustive_when_wide_enough(self, tiny_space):
+        ex = exhaustive_search(tiny_space, TINY_SHAPE, AMPERE)
+        bm = beam_search(tiny_space, TINY_SHAPE, AMPERE, beam=100)
+        assert bm.best.label == ex.best.label
+        assert bm.pruned == 0
+
+    def test_beam_prunes_but_keeps_representatives(self, tiny_space):
+        result = beam_search(tiny_space, TINY_SHAPE, AMPERE, beam=1)
+        assert result.pruned > 0
+        assert result.evaluated < result.total_candidates
+        # both block tiles still appear on the leaderboard (the pruned
+        # group via its representative)
+        tiles = {rc.candidate.params["block_tile"] for rc in result.ranked}
+        assert tiles == {(64, 64, 32), (128, 128, 32)}
+
+
+class TestRankingSignal:
+    def test_swizzled_ranks_at_or_above_identity(self, tiny_space):
+        result = exhaustive_search(tiny_space, TINY_SHAPE, AMPERE)
+        by_label = {rc.label: rc.score_seconds for rc in result.ranked}
+        for tile in ("64x64x32", "128x128x32"):
+            on = next(v for l, v in by_label.items()
+                      if f"block_tile={tile}" in l and "swizzle=on" in l)
+            off = next(v for l, v in by_label.items()
+                       if f"block_tile={tile}" in l and "swizzle=off" in l)
+            assert on <= off
+
+    def test_attribution_retained_per_candidate(self, tiny_space):
+        result = exhaustive_search(tiny_space, TINY_SHAPE, AMPERE)
+        for rc in result.ranked:
+            assert rc.cost.flops > 0
+            assert rc.cost.dram_bytes > 0
+            assert rc.cost.smem_bank_conflicts >= 1.0
+
+
+class TestSpaces:
+    def test_gemm_space_prunes_illegal_tilings(self):
+        space = GemmSpace()
+        # 96 is not covered by any enumerated block tile evenly
+        cands = list(space.candidates({"m": 96, "n": 96, "k": 96}, AMPERE))
+        assert cands == []
+
+    def test_every_enumerated_gemm_candidate_builds(self, tiny_space):
+        for cand in tiny_space.candidates(TINY_SHAPE, AMPERE):
+            kernel = tiny_space.build(cand, TINY_SHAPE)
+            assert kernel.name
+
+    def test_volta_candidates_carry_qp_tiles(self):
+        space = GemmSpace()
+        cands = list(space.candidates({"m": 256, "n": 256, "k": 128}, VOLTA))
+        assert cands
+        assert all("qp_tile" in c.params for c in cands)
+
+    def test_layernorm_space_modes(self):
+        space = LayernormSpace()
+        cands = list(space.candidates({"rows": 256, "hidden": 128}, AMPERE))
+        modes = {c.params["warp_per_row"] for c in cands}
+        assert modes == {True, False}
+
+    def test_mlp_depths_divide_layer_count(self):
+        space = MlpSpace()
+        shape = {"m": 256, "hidden": 128, "layers": 12}
+        for cand in space.candidates(shape, AMPERE):
+            assert 12 % cand.params["depth"] == 0
+            assert space.launches(cand, shape) == 12 // cand.params["depth"]
+
+    def test_candidate_params_roundtrip_through_json(self, tiny_space):
+        cand = next(iter(tiny_space.candidates(TINY_SHAPE, AMPERE)))
+        restored = tiny_space.candidate_from_params(cand.json_params())
+        assert restored == cand
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel family"):
+            get_space("conv3d")
