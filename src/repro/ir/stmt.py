@@ -80,6 +80,16 @@ class If(Stmt):
 
     Predicates are the pairs produced by tensor predication
     (paper Section 3.4); an empty predicate list is always true.
+
+    Predicate contract: every pair asserts the *strict* comparison
+    ``lhs < rhs`` (the form guard origins/extents produce; express
+    ``lhs <= rhs`` as ``lhs < rhs + 1``).  Predicates whose expressions
+    are thread-uniform select one branch for the whole block;
+    thread-dependent (``threadIdx.x``-referencing) predicates describe
+    per-lane *predicated execution* of the then-branch and therefore
+    cannot carry an else-branch — lanes diverge individually, so no
+    single branch decision exists.  :class:`repro.sim.interp.Simulator`
+    enforces this.
     """
 
     __slots__ = ("predicates", "then", "orelse")
@@ -106,16 +116,36 @@ class If(Stmt):
         return (self.then,)
 
 
-class SyncThreads(Stmt):
+class Barrier(Stmt):
+    """Base class for synchronization statements.
+
+    ``scope`` names the set of threads the barrier orders: ``"block"``
+    barriers separate the accesses of every thread in the block into
+    *epochs*, ``"warp"`` barriers only order threads of the same warp.
+    The race sanitizer (:mod:`repro.sim.sanitizer`) advances its epoch
+    counters on this metadata; two unordered conflicting accesses to
+    the same element in the same epoch are a data race on hardware.
+    """
+
+    __slots__ = ()
+
+    scope = "block"
+
+
+class SyncThreads(Barrier):
     """A block-wide barrier (``__syncthreads()``)."""
 
     __slots__ = ()
 
+    scope = "block"
 
-class SyncWarp(Stmt):
+
+class SyncWarp(Barrier):
     """A warp-wide barrier (``__syncwarp()``)."""
 
     __slots__ = ()
+
+    scope = "warp"
 
 
 class SpecStmt(Stmt):

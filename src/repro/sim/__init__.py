@@ -4,8 +4,12 @@ from .access import TensorAccessor, accessor, compile_expr, tile_views
 from .context import ExecCtx
 from .interp import SimulationError, Simulator
 from .machine import BankModel, Machine
+from .sanitizer import (
+    Sanitizer, SanitizerError, SanitizerReport, strip_barriers,
+)
 
 __all__ = [
     "TensorAccessor", "accessor", "compile_expr", "tile_views",
     "ExecCtx", "SimulationError", "Simulator", "BankModel", "Machine",
+    "Sanitizer", "SanitizerError", "SanitizerReport", "strip_barriers",
 ]

@@ -63,6 +63,11 @@ class ExecCtx:
         acc = accessor(tensor)
         offsets = acc.offsets(env)
         mask = acc.mask(env)
+        san = self.machine.sanitizer
+        if san is not None:
+            live = offsets if mask is None else \
+                [o for o, ok in zip(offsets, mask) if ok]
+            san.record(tensor, self.block_id, lane, live, "read")
         if mask is not None:
             offsets = [o if ok else 0 for o, ok in zip(offsets, mask)]
         buf = self._buffer(tensor, lane, max(offsets) + 1)
@@ -78,16 +83,21 @@ class ExecCtx:
         acc = accessor(tensor)
         offsets = acc.offsets(env)
         mask = acc.mask(env)
+        san = self.machine.sanitizer
         if mask is not None:
             live = [o for o, ok in zip(offsets, mask) if ok]
             if not live:
                 return
+            if san is not None:
+                san.record(tensor, self.block_id, lane, live, "write")
             buf = self._buffer(tensor, lane, max(live) + 1)
             values = np.asarray(values).reshape(-1)
             for off, val, ok in zip(offsets, values, mask):
                 if ok:
                     buf[off] = val
         else:
+            if san is not None:
+                san.record(tensor, self.block_id, lane, offsets, "write")
             buf = self._buffer(tensor, lane, max(offsets) + 1)
             buf[offsets] = np.asarray(values, dtype=buf.dtype).reshape(-1)
         if tensor.mem == SH:

@@ -8,6 +8,15 @@ execution on hardware).  Leaf specs are matched against the target
 architecture's atomic table and executed with the instruction's
 data-to-thread-mapping semantics, so an incorrect layout or decomposition
 produces incorrect numerics exactly as it would on a real GPU.
+
+Lockstep is *stronger* than hardware: it subsumes barriers, so a
+decomposition missing a ``__syncthreads()`` still computes correct
+numerics here while racing on a GPU.  ``run(..., sanitize=True)``
+closes that gap — a :class:`~repro.sim.sanitizer.Sanitizer` observes
+every element access, advances barrier epochs at sync statements
+instead of ignoring them, and the run raises
+:class:`~repro.sim.sanitizer.SanitizerError` on any race,
+out-of-bounds access, uninitialized read, or divergent barrier.
 """
 
 from __future__ import annotations
@@ -17,15 +26,18 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..ir.stmt import (
-    Block, Comment, ForLoop, If, SpecStmt, Stmt, SyncThreads, SyncWarp, walk,
+    Barrier, Block, Comment, ForLoop, If, SpecStmt, Stmt, SyncThreads,
+    SyncWarp, walk,
 )
 from ..specs.atomic import AtomicSpec, match_atomic
 from ..specs.base import Allocate, Spec
 from ..specs.kernel import Kernel
+from ..tensor.memspace import GL
 from ..threads.threadgroup import THREAD, ThreadGroup
 from .access import compile_expr
 from .context import ExecCtx
 from .machine import Machine
+from .sanitizer import Sanitizer, SanitizerError
 
 
 class SimulationError(RuntimeError):
@@ -47,14 +59,24 @@ class Simulator:
         kernel: Kernel,
         bindings: Dict[str, np.ndarray],
         symbols: Optional[Dict[str, int]] = None,
+        *,
+        sanitize=False,
     ) -> Machine:
         """Launch ``kernel`` over numpy-backed global buffers.
 
         ``bindings`` maps parameter tensor names to arrays (modified in
         place for outputs, exactly like buffers passed to a CUDA kernel).
         Returns the machine for post-mortem inspection.
+
+        ``sanitize=True`` attaches a race/memory sanitizer (see
+        :mod:`repro.sim.sanitizer`) and raises :class:`SanitizerError`
+        after the launch if it found any hazard; ``sanitize="report"``
+        collects findings without raising (inspect them on the returned
+        machine's ``sanitizer.reports``).
         """
         machine = Machine()
+        sanitizer = Sanitizer() if sanitize else None
+        machine.sanitizer = sanitizer
         symbols = dict(symbols or {})
         missing = [v.name for v in kernel.symbols if v.name not in symbols]
         if missing:
@@ -63,6 +85,9 @@ class Simulator:
             if param.name not in bindings:
                 raise SimulationError(f"missing binding for {param!r}")
             machine.bind_global(param.buffer, bindings[param.name])
+            if sanitizer is not None:
+                sanitizer.declare(param.buffer, GL,
+                                  int(np.asarray(bindings[param.name]).size))
         for alloc in kernel.allocations():
             cosize = alloc.layout.cosize()
             if not isinstance(cosize, int):
@@ -75,13 +100,19 @@ class Simulator:
                     window <<= 1
                 cosize = window
             machine.declare(alloc.buffer, alloc.dtype, cosize)
+            if sanitizer is not None:
+                sanitizer.declare(alloc.buffer, alloc.mem, cosize)
         block_size = kernel.block_size()
         for bid in range(kernel.grid_size()):
+            if sanitizer is not None:
+                sanitizer.begin_block(bid)
             env = dict(symbols)
             env["blockIdx.x"] = bid
             self._exec_block_stmts(
                 kernel.body, env, bid, [], machine, block_size
             )
+        if sanitizer is not None and sanitize != "report":
+            sanitizer.raise_if_dirty()
         return machine
 
     # -- statement execution -----------------------------------------------------
@@ -104,20 +135,31 @@ class Simulator:
                 )
             env.pop(name, None)
         elif isinstance(stmt, If):
-            compiled = self._pred_cache.get(id(stmt))
-            if compiled is None:
-                compiled = [
-                    (compile_expr(a), compile_expr(b))
-                    for a, b in stmt.predicates
-                ]
-                self._pred_cache[id(stmt)] = compiled
-            # Thread-uniform predicates can prune eagerly; thread-dependent
-            # ones are carried down and checked per lane.
-            uniform = [
-                p for p, (a, b) in zip(compiled, stmt.predicates)
-                if "threadIdx.x" not in (a.free_vars() | b.free_vars())
-            ]
-            varying = [p for p in compiled if p not in uniform]
+            # Predicate contract (see ir.stmt.If): every pair asserts
+            # strict `lhs < rhs`.  Thread-uniform predicates select one
+            # branch for the whole block; thread-dependent predicates
+            # mean per-lane predicated execution of the then-branch and
+            # are carried down to the leaf executors, so they admit no
+            # else-branch.
+            split = self._pred_cache.get(id(stmt))
+            if split is None:
+                uniform, varying = [], []
+                for a, b in stmt.predicates:
+                    pair = (compile_expr(a), compile_expr(b))
+                    if "threadIdx.x" in (a.free_vars() | b.free_vars()):
+                        varying.append(pair)
+                    else:
+                        uniform.append(pair)
+                split = (uniform, varying)
+                self._pred_cache[id(stmt)] = split
+            uniform, varying = split
+            if varying and stmt.orelse is not None:
+                raise SimulationError(
+                    "If with thread-dependent predicates cannot carry an "
+                    "else branch: lanes diverge individually, so no "
+                    "uniform branch decision exists (emit a second If "
+                    "guarded by the complement predicate instead)"
+                )
             if all(lhs(env) < rhs(env) for lhs, rhs in uniform):
                 self._exec_block_stmts(
                     stmt.then, env, bid, preds + varying, machine, nthreads
@@ -126,8 +168,22 @@ class Simulator:
                 self._exec_block_stmts(
                     stmt.orelse, env, bid, preds, machine, nthreads
                 )
-        elif isinstance(stmt, (SyncThreads, SyncWarp, Comment)):
-            pass  # statement-lockstep execution subsumes barriers
+        elif isinstance(stmt, Barrier):
+            # Statement-lockstep execution subsumes barriers numerically;
+            # the sanitizer consumes them as epoch boundaries.
+            sanitizer = machine.sanitizer
+            if sanitizer is not None:
+                divergent = 0
+                if preds:
+                    lane_env = dict(env)
+                    for lane in range(nthreads):
+                        lane_env["threadIdx.x"] = lane
+                        if not all(lhs(lane_env) < rhs(lane_env)
+                                   for lhs, rhs in preds):
+                            divergent += 1
+                sanitizer.barrier(stmt.scope, divergent)
+        elif isinstance(stmt, Comment):
+            pass
         elif isinstance(stmt, SpecStmt):
             self._exec_spec(stmt.spec, env, bid, preds, machine, nthreads)
         else:
@@ -160,6 +216,11 @@ class Simulator:
             raise SimulationError(
                 f"atomic spec {atomic.name} has no simulator semantics"
             )
+        if machine.sanitizer is not None:
+            label = f"{spec.kind}:{atomic.name}"
+            if spec.label:
+                label += f"[{spec.label}]"
+            machine.sanitizer.enter_spec(label)
         for lanes in self._lane_groups(spec, nthreads):
             ctx = ExecCtx(machine, bid, env, lanes, preds)
             atomic.execute(spec, ctx)

@@ -66,6 +66,9 @@ class Machine:
         self._regs: Dict[Tuple[int, int, str], np.ndarray] = {}
         self._declared: Dict[str, Tuple[DType, int]] = {}
         self.bank_model = BankModel()
+        #: Optional :class:`repro.sim.sanitizer.Sanitizer` observing
+        #: every element access (attached by ``Simulator.run``).
+        self.sanitizer = None
 
     # -- declarations -----------------------------------------------------------
     def declare(self, name: str, dtype: DType, size: int) -> None:

@@ -7,6 +7,11 @@ configuration, its kernel is built at a small shape the tiling legally
 covers and executed in :mod:`repro.sim` against the numpy references of
 :mod:`repro.library.funcs`; wrong numerics reject the candidate and the
 gate falls through to the next-ranked one.
+
+The run executes with ``sanitize=True``: a candidate whose decomposition
+races on shared memory (or reads out of bounds / uninitialized) is
+rejected even when lockstep simulation happens to compute the right
+numbers — see :mod:`repro.sim.sanitizer`.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..arch.gpu import Architecture
-from ..sim import SimulationError, Simulator
+from ..sim import SanitizerError, SimulationError, Simulator
 from .search import RankedCandidate
 from .space import Candidate, ConfigSpace
 
@@ -52,7 +57,10 @@ def check_candidate(
         vshape = space.verification_shape(candidate, shape)
         kernel = space.build(candidate, vshape)
         bindings, checks = space.verification_problem(candidate, vshape, seed)
-        Simulator(arch).run(kernel, bindings)
+        Simulator(arch).run(kernel, bindings, sanitize=True)
+    except SanitizerError as exc:
+        return GateResult(candidate, False, None,
+                          f"rejected by sanitizer: {exc}")
     except (SimulationError, ValueError, KeyError) as exc:
         return GateResult(candidate, False, None,
                           f"execution failed: {exc}")

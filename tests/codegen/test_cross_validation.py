@@ -79,6 +79,25 @@ class TestGeneratedGemmExecutes:
         reference = (a @ b).reshape(-1)
         assert np.allclose(c_text, reference, atol=1e-4)
 
+    def test_simulator_matches_numpy_under_sanitizer(self):
+        """The simulated run itself, with the race sanitizer attached.
+
+        Guards the cross-validation premise: the kernel the CUDA text
+        was generated from is numerically right *and* free of shared
+        memory hazards, so text vs. simulator comparisons are
+        meaningful.
+        """
+        m = n = k = 16
+        kernel = build_naive_gemm(m, n, k, grid=(2, 2), threads=(2, 2))
+        rng = np.random.default_rng(1)
+        a = (rng.random((m, k)) - 0.5).astype(np.float32)
+        b = (rng.random((k, n)) - 0.5).astype(np.float32)
+        c = np.zeros((m, n), dtype=np.float32)
+        Simulator(AMPERE).run(
+            kernel, {"A": a, "B": b, "C": c}, sanitize=True
+        )
+        assert np.allclose(c, a @ b, atol=1e-4)
+
     def test_cuda_text_agrees_with_simulator(self):
         m = n = k = 16
         kernel = build_naive_gemm(m, n, k, grid=(2, 2), threads=(2, 2))

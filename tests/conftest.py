@@ -1,5 +1,11 @@
-"""Test-wide configuration."""
+"""Test-wide configuration: hypothesis profile, seeded randomness, and
+the kernel-family shape sampler used by the fuzz/property tests."""
 
+import os
+import random
+import zlib
+
+import pytest
 from hypothesis import HealthCheck, settings
 
 # Property tests enumerate whole coordinate spaces; wall-clock deadlines
@@ -10,3 +16,97 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+#: Base seed for every randomized test.  Override with the
+#: ``REPRO_TEST_SEED`` environment variable to replay a CI failure; each
+#: test derives its own stream from the base and its node id, so one
+#: test's draws never shift another's.
+DEFAULT_SEED = 20260805
+
+
+@pytest.fixture
+def rng(request):
+    """A deterministic ``random.Random`` stream for this test.
+
+    The effective seed is printed so a failure report always contains
+    everything needed to reproduce it:
+    ``REPRO_TEST_SEED=<base> pytest <nodeid>``.
+    """
+    base = int(os.environ.get("REPRO_TEST_SEED", DEFAULT_SEED))
+    seed = base ^ zlib.crc32(request.node.nodeid.encode())
+    print(f"rng: base seed {base} -> derived seed {seed} "
+          f"(replay: REPRO_TEST_SEED={base} pytest {request.node.nodeid!r})")
+    return random.Random(seed)
+
+
+class ShapeSampler:
+    """Draws random shapes satisfying each kernel family's validity
+    predicate (the same divisibility rules the builders enforce with
+    ``ValueError``), so fuzz tests explore the legal space instead of
+    tripping on rejected configurations."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def _mult(self, quantum: int, lo: int = 1, hi: int = 3) -> int:
+        return quantum * self.rng.randint(lo, hi)
+
+    def naive_gemm(self) -> dict:
+        # m % (grid_m * threads_m) == 0, n % (grid_n * threads_n) == 0.
+        grid, threads = (2, 2), (2, 4)
+        return dict(
+            m=self._mult(grid[0] * threads[0]),
+            n=self._mult(grid[1] * threads[1]),
+            k=self._mult(8, 1, 2),
+            grid=grid, threads=threads,
+        )
+
+    def ampere_gemm(self) -> dict:
+        # m/n/k must be multiples of the block tile.
+        return dict(
+            m=self._mult(32, 1, 2), n=self._mult(16, 1, 2),
+            k=self._mult(16, 1, 3),
+            block_tile=(32, 16, 16), warp_grid=(1, 1),
+        )
+
+    def layernorm(self) -> dict:
+        # hidden % warp == 0; rows divide evenly over the block's warps.
+        return dict(
+            rows=self._mult(4, 1, 3), hidden=self._mult(32, 1, 3),
+            warps_per_block=4,
+        )
+
+    def softmax(self) -> dict:
+        # One thread per row: rows % threads_per_block == 0.
+        return dict(
+            rows=self._mult(32, 1, 2), cols=self._mult(8, 1, 3),
+            threads_per_block=32,
+        )
+
+    def mlp(self) -> dict:
+        # m % block_rows == 0; hidden fixed by the (1,1) warp grid tile.
+        return dict(
+            m=self._mult(16, 1, 3), hidden=16,
+            layers=self.rng.randint(1, 3),
+            block_rows=16, warp_grid=(1, 1),
+        )
+
+    def fmha(self) -> dict:
+        # seq % kv_chunk == 0 and seq % q_tile == 0 (both 16 here).
+        return dict(
+            batch_heads=self.rng.randint(1, 2), seq=self._mult(16, 1, 2),
+            head_dim=16, kv_chunk=16,
+        )
+
+    def lstm(self) -> dict:
+        return dict(
+            m=self._mult(32, 1, 2), n=self._mult(16, 1, 2),
+            k=self._mult(16, 1, 2),
+            block_tile=(32, 16, 16), warp_grid=(1, 1),
+        )
+
+
+@pytest.fixture
+def shapes(rng):
+    """A :class:`ShapeSampler` over this test's deterministic stream."""
+    return ShapeSampler(rng)

@@ -1,0 +1,161 @@
+"""Differential fuzzing: random valid shapes, simulator vs. numpy.
+
+Each trial draws a shape from the family's validity predicate (see
+``ShapeSampler`` in tests/conftest.py), builds the shipped kernel,
+executes it with the race sanitizer attached, and compares against the
+:mod:`repro.library.funcs` reference.  A failure therefore means one of
+three things — wrong numerics, a shape the builder should have rejected,
+or a memory hazard — and replays from the printed seed.
+
+The default tier runs one trial per family; ``-m slow`` sweeps more.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import AMPERE
+from repro.kernels.fmha import build_fused_fmha
+from repro.kernels.gemm import build_naive_gemm
+from repro.kernels.gemm_optimized import build_ampere_tc_gemm
+from repro.kernels.layernorm import build_layernorm
+from repro.kernels.lstm import build_fused_lstm_cell
+from repro.kernels.mlp import build_fused_mlp
+from repro.kernels.softmax import build_softmax
+from repro.library import funcs
+from repro.sim import Simulator
+
+
+def _fp16(np_rng, *shape, scale=1.0):
+    return ((np_rng.random(shape) - 0.5) * scale).astype(np.float16)
+
+
+def _run(kernel, arrays):
+    Simulator(AMPERE).run(kernel, arrays, sanitize=True)
+
+
+def trial_naive_gemm(shapes, np_rng):
+    cfg = shapes.naive_gemm()
+    a = _fp16(np_rng, cfg["m"], cfg["k"])
+    b = _fp16(np_rng, cfg["k"], cfg["n"])
+    c = np.zeros((cfg["m"], cfg["n"]), dtype=np.float16)
+    kernel = build_naive_gemm(cfg["m"], cfg["n"], cfg["k"],
+                              grid=cfg["grid"], threads=cfg["threads"])
+    _run(kernel, {"A": a, "B": b, "C": c})
+    return c, funcs.gemm(a, b), 0.02
+
+
+def trial_ampere_gemm(shapes, np_rng):
+    cfg = shapes.ampere_gemm()
+    a = _fp16(np_rng, cfg["m"], cfg["k"])
+    b = _fp16(np_rng, cfg["k"], cfg["n"])
+    c = np.zeros((cfg["m"], cfg["n"]), dtype=np.float16)
+    kernel = build_ampere_tc_gemm(
+        cfg["m"], cfg["n"], cfg["k"],
+        block_tile=cfg["block_tile"], warp_grid=cfg["warp_grid"],
+    )
+    _run(kernel, {"A": a, "B": b, "C": c})
+    return c, funcs.gemm(a, b), 0.02
+
+
+def trial_layernorm(shapes, np_rng):
+    cfg = shapes.layernorm()
+    x = _fp16(np_rng, cfg["rows"], cfg["hidden"])
+    gamma = (np_rng.random(cfg["hidden"]) * 2).astype(np.float16)
+    beta = _fp16(np_rng, cfg["hidden"])
+    y = np.zeros((cfg["rows"], cfg["hidden"]), dtype=np.float16)
+    kernel = build_layernorm(cfg["rows"], cfg["hidden"],
+                             warps_per_block=cfg["warps_per_block"])
+    _run(kernel, {"X": x, "gamma": gamma, "beta": beta, "Y": y})
+    return y, funcs.layernorm(x, gamma, beta), 0.02
+
+
+def trial_softmax(shapes, np_rng):
+    cfg = shapes.softmax()
+    x = _fp16(np_rng, cfg["rows"], cfg["cols"], scale=8.0)
+    y = np.zeros((cfg["rows"], cfg["cols"]), dtype=np.float16)
+    kernel = build_softmax(cfg["rows"], cfg["cols"],
+                           threads_per_block=cfg["threads_per_block"])
+    _run(kernel, {"X": x, "Y": y})
+    return y, funcs.softmax(x), 0.01
+
+
+def trial_mlp(shapes, np_rng):
+    cfg = shapes.mlp()
+    x = _fp16(np_rng, cfg["m"], cfg["hidden"])
+    weights = [_fp16(np_rng, cfg["hidden"], cfg["hidden"])
+               for _ in range(cfg["layers"])]
+    biases = [_fp16(np_rng, cfg["hidden"]) for _ in range(cfg["layers"])]
+    y = np.zeros((cfg["m"], cfg["hidden"]), dtype=np.float16)
+    arrays = {"X": x, "Y": y}
+    for layer in range(cfg["layers"]):
+        arrays[f"W{layer}"] = weights[layer]
+        arrays[f"bias{layer}"] = biases[layer]
+    kernel = build_fused_mlp(cfg["m"], cfg["hidden"], cfg["layers"],
+                             block_rows=cfg["block_rows"],
+                             warp_grid=cfg["warp_grid"])
+    _run(kernel, arrays)
+    return y, funcs.mlp(x, weights, biases), 0.05
+
+
+def trial_fmha(shapes, np_rng):
+    cfg = shapes.fmha()
+    rows = cfg["batch_heads"] * cfg["seq"]
+    q = _fp16(np_rng, rows, cfg["head_dim"])
+    k = _fp16(np_rng, rows, cfg["head_dim"])
+    v = _fp16(np_rng, rows, cfg["head_dim"])
+    o = np.zeros_like(q)
+    kernel = build_fused_fmha(cfg["batch_heads"], cfg["seq"],
+                              cfg["head_dim"], kv_chunk=cfg["kv_chunk"])
+    _run(kernel, {"Q": q, "K": k, "V": v, "O": o})
+    ref = funcs.multi_head_attention(q, k, v, heads=cfg["batch_heads"])
+    return o, ref, 0.02
+
+
+def trial_lstm(shapes, np_rng):
+    cfg = shapes.lstm()
+    x = _fp16(np_rng, cfg["m"], cfg["k"])
+    w = _fp16(np_rng, cfg["k"], cfg["n"])
+    h = _fp16(np_rng, cfg["m"], cfg["k"])
+    r = _fp16(np_rng, cfg["k"], cfg["n"])
+    bias = _fp16(np_rng, cfg["n"])
+    y = np.zeros((cfg["m"], cfg["n"]), dtype=np.float16)
+    kernel = build_fused_lstm_cell(cfg["m"], cfg["n"], cfg["k"],
+                                   block_tile=cfg["block_tile"],
+                                   warp_grid=cfg["warp_grid"])
+    _run(kernel, {"X": x, "W": w, "H": h, "R": r, "bias": bias, "Y": y})
+    return y, funcs.lstm_cell(x, w, h, r, bias), 0.02
+
+
+FAMILIES = {
+    "naive_gemm": trial_naive_gemm,
+    "ampere_gemm": trial_ampere_gemm,
+    "layernorm": trial_layernorm,
+    "softmax": trial_softmax,
+    "mlp": trial_mlp,
+    "fmha": trial_fmha,
+    "lstm": trial_lstm,
+}
+
+
+def _check(trial, shapes, np_rng):
+    got, ref, tol = trial(shapes, np_rng)
+    err = np.abs(got.astype(np.float32)
+                 - np.asarray(ref, dtype=np.float32)).max()
+    assert np.isfinite(err) and err < tol, \
+        f"max deviation {err:.4g} exceeds {tol}"
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_fuzz_fast(family, shapes, rng):
+    """One random valid shape per family (tier-1)."""
+    np_rng = np.random.default_rng(rng.randrange(2 ** 31))
+    _check(FAMILIES[family], shapes, np_rng)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_fuzz_sweep(family, shapes, rng):
+    """A broader sweep of shapes per family (run with -m slow)."""
+    for _ in range(6):
+        np_rng = np.random.default_rng(rng.randrange(2 ** 31))
+        _check(FAMILIES[family], shapes, np_rng)

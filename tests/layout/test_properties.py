@@ -1,0 +1,178 @@
+"""Property-based layout-algebra tests over seeded stdlib randomness.
+
+Unlike the hypothesis cases in test_algebra.py (which shrink over small
+hand-picked strategies), these draw structured random layouts from the
+shared ``rng`` fixture — permuted compact layouts, strided sublayouts,
+random swizzles — and assert the algebraic laws of paper Section 3
+pointwise over whole coordinate spaces.  Every failure prints its seed
+(see tests/conftest.py) and replays exactly.
+"""
+
+import pytest
+
+from repro.layout import (
+    Layout, LayoutAlgebraError, complement, composition, factor_offsets,
+    logical_divide, logical_product, right_inverse,
+)
+from repro.layout.swizzle import Swizzle, SwizzledLayout
+
+TRIALS = 25
+
+
+def compact_permuted(rng, max_rank=4, max_dim=6):
+    """A random compact layout: shape with the strides of some mode
+    permutation, so offsets are a permutation of ``range(size)``."""
+    rank = rng.randint(1, max_rank)
+    shape = tuple(rng.randint(1, max_dim) for _ in range(rank))
+    order = list(range(rank))
+    rng.shuffle(order)
+    stride = [0] * rank
+    acc = 1
+    for mode in order:
+        stride[mode] = acc
+        acc *= shape[mode]
+    return Layout(shape, tuple(stride))
+
+
+def strided(rng, max_rank=3, max_dim=5, max_stride=7):
+    rank = rng.randint(1, max_rank)
+    shape = tuple(rng.randint(1, max_dim) for _ in range(rank))
+    stride = tuple(rng.randint(0, max_stride) for _ in range(rank))
+    return Layout(shape, stride)
+
+
+class TestCompactLayouts:
+    def test_permuted_compact_is_bijection(self, rng):
+        for _ in range(TRIALS):
+            layout = compact_permuted(rng)
+            assert layout.is_bijection()
+            assert layout.size() == layout.cosize()
+            assert sorted(layout.offsets()) == list(range(layout.size()))
+
+    def test_right_inverse_round_trips(self, rng):
+        for _ in range(TRIALS):
+            layout = compact_permuted(rng)
+            inv = right_inverse(layout)
+            for off in range(layout.cosize()):
+                assert layout(inv(off)) == off
+
+    def test_factor_offsets_round_trips(self, rng):
+        for _ in range(TRIALS):
+            layout = compact_permuted(rng)
+            refactored = factor_offsets(list(layout.offsets()))
+            assert refactored.offsets() == layout.offsets()
+
+
+class TestSizeCosize:
+    def test_consistency_on_random_strided_layouts(self, rng):
+        for _ in range(TRIALS):
+            layout = strided(rng)
+            offsets = layout.offsets()
+            size = 1
+            for d in layout.flatten().shape:
+                size *= d
+            assert layout.size() == size == len(offsets)
+            assert layout.cosize() == max(offsets) + 1
+            assert min(offsets) == 0 or layout.size() == 0
+
+    def test_coalesce_preserves_the_function(self, rng):
+        for _ in range(TRIALS):
+            layout = strided(rng)
+            coalesced = layout.coalesce()
+            assert coalesced.size() == layout.size()
+            for i in range(layout.size()):
+                assert coalesced(i) == layout(i)
+
+
+class TestCompositionLaws:
+    def test_composition_is_pointwise_application(self, rng):
+        """composition(A, B)(i) == A(B(i)) wherever composition is
+        defined; draws must not be rejected too often to be meaningful."""
+        checked = 0
+        for _ in range(TRIALS * 2):
+            a = compact_permuted(rng)
+            # B indexes into A's domain: size * stride bounded by A size.
+            size = rng.randint(1, max(1, a.size()))
+            stride = rng.randint(1, max(1, a.size() // size))
+            b = Layout(size, stride)
+            try:
+                composed = composition(a, b)
+            except LayoutAlgebraError:
+                continue
+            checked += 1
+            for i in range(b.size()):
+                assert composed(i) == a(b(i))
+        assert checked >= TRIALS, "too many rejected composition draws"
+
+    def test_divide_preserves_the_offset_set(self, rng):
+        for _ in range(TRIALS):
+            n = 2 ** rng.randint(3, 6)
+            size = 2 ** rng.randint(0, 3)
+            stride = 2 ** rng.randint(0, 3)
+            if size * stride > n:
+                stride = 1
+            divided = logical_divide(Layout(n, 1), Layout(size, stride))
+            assert sorted(divided.offsets()) == list(range(n))
+
+    def test_divide_then_product_sizes_round_trip(self, rng):
+        for _ in range(TRIALS):
+            tile = 2 ** rng.randint(0, 3)
+            reps = rng.randint(1, 6)
+            block = Layout(tile, 1)
+            product = logical_product(block, Layout(reps, 1))
+            assert product.size() == tile * reps
+            divided = logical_divide(
+                Layout(tile * reps, 1), block
+            )
+            assert divided.size() == product.size()
+            assert sorted(product.offsets()) == list(range(tile * reps))
+
+    def test_complement_completes_a_bijection(self, rng):
+        for _ in range(TRIALS):
+            cosize = 2 ** rng.randint(3, 6)
+            size = 2 ** rng.randint(0, 3)
+            stride = 2 ** rng.randint(0, 3)
+            if size * stride > cosize:
+                stride = 1
+            tiler = Layout(size, stride)
+            rest = complement(tiler, cosize)
+            combined = Layout(
+                (tiler.shape, rest.shape), (tiler.stride, rest.stride)
+            )
+            assert combined.is_bijection()
+            assert combined.size() == cosize
+
+
+class TestSwizzleProperties:
+    def _random_swizzle(self, rng):
+        bits = rng.randint(1, 3)
+        base = rng.randint(0, 3)
+        shift = rng.randint(bits, bits + 3)
+        return Swizzle(bits, base, shift)
+
+    def test_swizzle_is_an_involution(self, rng):
+        """XOR functors are their own inverse: sw(sw(x)) == x."""
+        for _ in range(TRIALS):
+            sw = self._random_swizzle(rng)
+            for _ in range(32):
+                x = rng.randrange(1 << (sw.base + sw.shift + sw.bits + 2))
+                assert sw(sw(x)) == x
+
+    def test_swizzle_permutes_its_window(self, rng):
+        for _ in range(TRIALS):
+            sw = self._random_swizzle(rng)
+            window = 1 << (sw.base + sw.shift + sw.bits)
+            image = {sw(x) for x in range(window)}
+            assert image == set(range(window))
+
+    def test_swizzled_compact_layout_stays_injective(self, rng):
+        for _ in range(TRIALS):
+            sw = self._random_swizzle(rng)
+            rank = rng.randint(1, 2)
+            shape = tuple(2 ** rng.randint(1, 3) for _ in range(rank))
+            base = Layout(shape)  # row-major compact, power-of-two dims
+            swizzled = SwizzledLayout(base, sw)
+            offsets = swizzled.offsets()
+            assert len(set(offsets)) == len(offsets)
+            assert swizzled.size() == base.size()
+            assert all(0 <= o < swizzled.cosize() for o in offsets)

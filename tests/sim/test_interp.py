@@ -93,6 +93,60 @@ class TestPredication:
                      y=np.zeros(10, dtype=np.float32))
         assert np.array_equal(arrays["y"], np.arange(10))
 
+    def test_varying_predicate_with_else_branch_rejected(self):
+        """The If contract: thread-dependent predicates mean per-lane
+        predicated execution of the then-branch, so no uniform branch
+        decision exists and an else branch cannot be honoured."""
+        from repro.ir.stmt import Block, If
+
+        kb = KernelBuilder("k", (1,), (8,))
+        y = kb.param("y", (8,), FP32)
+        t = Var("threadIdx.x")
+        kb._stack.append([])
+        kb.init(y.tile((1,))[t], 1.0)
+        then = Block(kb._stack.pop())
+        kb._stack.append([])
+        kb.init(y.tile((1,))[t], 2.0)
+        orelse = Block(kb._stack.pop())
+        kb._emit(If([(t, Const(4))], then, orelse))
+        with pytest.raises(SimulationError,
+                           match="thread-dependent predicates"):
+            run(kb.build(), y=np.zeros(8, dtype=np.float32))
+
+    def test_uniform_predicate_takes_else_branch(self):
+        from repro.ir.stmt import Block, If
+
+        kb = KernelBuilder("k", (1,), (4,))
+        y = kb.param("y", (4,), FP32)
+        t = Var("threadIdx.x")
+        kb._stack.append([])
+        kb.init(y.tile((1,))[t], 1.0)
+        then = Block(kb._stack.pop())
+        kb._stack.append([])
+        kb.init(y.tile((1,))[t], 2.0)
+        orelse = Block(kb._stack.pop())
+        kb._emit(If([(Const(5), Const(4))], then, orelse))  # always false
+        arrays = run(kb.build(), y=np.zeros(4, dtype=np.float32))
+        assert arrays["y"].tolist() == [2, 2, 2, 2]
+
+    def test_thread_dependent_partial_store_under_sanitizer(self):
+        """Guarded-out lanes must not be recorded as accesses: a
+        thread-dependent predicate protecting a partial-tile store is
+        clean under the sanitizer (no out-of-bounds false positive)."""
+        from repro.arch import AMPERE
+        from repro.sim import Simulator
+
+        kb = KernelBuilder("k", (1,), (8,))
+        x = kb.param("x", (5,), FP32)
+        y = kb.param("y", (5,), FP32)
+        t = Var("threadIdx.x")
+        with kb.when([(t, Const(5))]):
+            kb.move(x.tile((1,))[t], y.tile((1,))[t])
+        arrays = {"x": np.arange(5, dtype=np.float32),
+                  "y": np.zeros(5, dtype=np.float32)}
+        Simulator(AMPERE).run(kb.build(), arrays, sanitize=True)
+        assert np.array_equal(arrays["y"], np.arange(5))
+
 
 class TestCollectives:
     def test_shfl_butterfly(self):

@@ -1,0 +1,271 @@
+"""Sanitizer regression tests: every hazard class it must catch.
+
+Lockstep simulation computes correct numerics even for racy kernels, so
+each racy case here is paired with the observation that the *default*
+run stays silent — the sanitizer is the only thing standing between a
+missing barrier and a green test suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import AMPERE
+from repro.frontend.builder import KernelBuilder
+from repro.ir.expr import Const, Var
+from repro.ir.stmt import SyncThreads, walk
+from repro.kernels.gemm_optimized import build_ampere_tc_gemm
+from repro.layout.layout import row_major
+from repro.sim import (
+    SanitizerError, Simulator, strip_barriers,
+)
+from repro.tensor import FP16, FP32, RF, SH
+from repro.tensor.tensor import Tensor
+
+
+def build_smem_reverse(n=64, barrier=True):
+    """Copy x -> shared -> y with a cross-thread shuffle: thread t reads
+    the element thread n-1-t wrote, so the middle barrier is load-bearing."""
+    kb = KernelBuilder("smem_reverse", (1,), (n,))
+    x = kb.param("x", (n,), FP32)
+    y = kb.param("y", (n,), FP32)
+    s = kb.alloc("s", (n,), FP32, SH)
+    t = Var("threadIdx.x")
+    kb.move(x.tile((1,))[t], s.tile((1,))[t])
+    if barrier:
+        kb.sync()
+    kb.move(s.tile((1,))[Const(n - 1) - t], y.tile((1,))[t])
+    return kb.build()
+
+
+def run(kernel, sanitize=True, **arrays):
+    return Simulator(AMPERE).run(kernel, arrays, sanitize=sanitize)
+
+
+def report_kinds(excinfo):
+    return {r.kind for r in excinfo.value.reports}
+
+
+class TestRaceDetection:
+    def test_copy_through_shared_with_barrier_is_clean(self):
+        x = np.arange(16, dtype=np.float32)
+        y = np.zeros(16, dtype=np.float32)
+        run(build_smem_reverse(16), x=x, y=y)
+        assert np.array_equal(y, x[::-1])
+
+    def test_missing_barrier_is_a_raw_race(self):
+        kernel = build_smem_reverse(16, barrier=False)
+        with pytest.raises(SanitizerError) as exc:
+            run(kernel, x=np.arange(16, dtype=np.float32),
+                y=np.zeros(16, dtype=np.float32))
+        assert "raw-race" in report_kinds(exc)
+        report = next(r for r in exc.value.reports if r.kind == "raw-race")
+        assert report.buffer == "s"
+        assert len(set(report.threads)) == 2
+
+    def test_lockstep_hides_the_race_without_sanitizer(self):
+        """The motivating gap: identical numerics, no error, no barrier."""
+        kernel = build_smem_reverse(16, barrier=False)
+        x = np.arange(16, dtype=np.float32)
+        y = np.zeros(16, dtype=np.float32)
+        run(kernel, sanitize=False, x=x, y=y)
+        assert np.array_equal(y, x[::-1])
+
+    def test_write_after_read_race(self):
+        # read s (cross-thread), then overwrite it with no barrier between.
+        kb = KernelBuilder("war", (1,), (16,))
+        x = kb.param("x", (16,), FP32)
+        y = kb.param("y", (16,), FP32)
+        s = kb.alloc("s", (16,), FP32, SH)
+        t = Var("threadIdx.x")
+        kb.move(x.tile((1,))[t], s.tile((1,))[t])
+        kb.sync()
+        kb.move(s.tile((1,))[Const(15) - t], y.tile((1,))[t])
+        kb.move(x.tile((1,))[t], s.tile((1,))[t])  # missing sync above
+        with pytest.raises(SanitizerError) as exc:
+            run(kb.build(), x=np.zeros(16, dtype=np.float32),
+                y=np.zeros(16, dtype=np.float32))
+        assert "war-race" in report_kinds(exc)
+
+    def test_write_after_write_race(self):
+        # Every thread stores to the same shared element.
+        kb = KernelBuilder("waw", (1,), (8,))
+        x = kb.param("x", (8,), FP32)
+        s = kb.alloc("s", (1,), FP32, SH)
+        t = Var("threadIdx.x")
+        kb.move(x.tile((1,))[t], s.tile((1,))[Const(0)])
+        with pytest.raises(SanitizerError) as exc:
+            run(kb.build(), x=np.zeros(8, dtype=np.float32))
+        assert "waw-race" in report_kinds(exc)
+
+    def test_block_barrier_separates_epochs_across_loop_iterations(self):
+        # Classic staging loop: reuse the same shared buffer per
+        # iteration; each reuse is ordered by the iteration's barriers.
+        kb = KernelBuilder("stage", (1,), (8,))
+        x = kb.param("x", (32,), FP32)
+        y = kb.param("y", (32,), FP32)
+        s = kb.alloc("s", (8,), FP32, SH)
+        t = Var("threadIdx.x")
+        with kb.loop("i", 4) as i:
+            kb.move(x.tile((1,))[i * 8 + t], s.tile((1,))[t])
+            kb.sync()
+            kb.move(s.tile((1,))[Const(7) - t], y.tile((1,))[i * 8 + t])
+            kb.sync()
+        run(kb.build(), x=np.arange(32, dtype=np.float32),
+            y=np.zeros(32, dtype=np.float32))
+
+
+class TestWarpBarriers:
+    def _exchange(self, partner, barrier):
+        """Write s[t], warp-sync, read s[partner(t)] over two warps."""
+        kb = KernelBuilder("xchg", (1,), (64,))
+        x = kb.param("x", (64,), FP32)
+        y = kb.param("y", (64,), FP32)
+        s = kb.alloc("s", (64,), FP32, SH)
+        t = Var("threadIdx.x")
+        kb.move(x.tile((1,))[t], s.tile((1,))[t])
+        if barrier:
+            kb.sync_warp()
+        kb.move(s.tile((1,))[partner(t)], y.tile((1,))[t])
+        return kb.build()
+
+    def test_syncwarp_orders_threads_of_the_same_warp(self):
+        # Partner stays inside the thread's own 32-wide warp.
+        pair = lambda t: (t // 2) * 2 + (Const(1) - t % 2)
+        kernel = self._exchange(pair, barrier=True)
+        run(kernel, x=np.arange(64, dtype=np.float32),
+            y=np.zeros(64, dtype=np.float32))
+
+    def test_syncwarp_does_not_order_across_warps(self):
+        cross = lambda t: (t + Const(32)) % Const(64)
+        kernel = self._exchange(cross, barrier=True)
+        with pytest.raises(SanitizerError) as exc:
+            run(kernel, x=np.arange(64, dtype=np.float32),
+                y=np.zeros(64, dtype=np.float32))
+        assert "raw-race" in report_kinds(exc)
+
+    def test_syncthreads_does_order_across_warps(self):
+        kb = KernelBuilder("xchg", (1,), (64,))
+        x = kb.param("x", (64,), FP32)
+        y = kb.param("y", (64,), FP32)
+        s = kb.alloc("s", (64,), FP32, SH)
+        t = Var("threadIdx.x")
+        kb.move(x.tile((1,))[t], s.tile((1,))[t])
+        kb.sync()
+        kb.move(s.tile((1,))[(t + Const(32)) % Const(64)], y.tile((1,))[t])
+        run(kb.build(), x=np.arange(64, dtype=np.float32),
+            y=np.zeros(64, dtype=np.float32))
+
+
+class TestMemoryChecks:
+    def test_out_of_bounds_view_is_flagged(self):
+        # A view wider than its Allocate: offsets 4..7 overrun the
+        # 4-element allocation (the simulator's growable buffers would
+        # silently absorb this).
+        kb = KernelBuilder("oob", (1,), (8,))
+        x = kb.param("x", (8,), FP32)
+        kb.alloc("s", (4,), FP32, SH)
+        wide = Tensor("s", row_major(8), FP32, SH)
+        t = Var("threadIdx.x")
+        kb.move(x.tile((1,))[t], wide.tile((1,))[t])
+        with pytest.raises(SanitizerError) as exc:
+            run(kb.build(), x=np.zeros(8, dtype=np.float32))
+        assert "out-of-bounds" in report_kinds(exc)
+
+    def test_uninitialized_shared_read(self):
+        kb = KernelBuilder("uninit", (1,), (8,))
+        y = kb.param("y", (8,), FP32)
+        s = kb.alloc("s", (8,), FP32, SH)
+        t = Var("threadIdx.x")
+        kb.move(s.tile((1,))[t], y.tile((1,))[t])
+        with pytest.raises(SanitizerError) as exc:
+            run(kb.build(), y=np.zeros(8, dtype=np.float32))
+        assert "uninitialized-read" in report_kinds(exc)
+
+    def test_uninitialized_register_read(self):
+        kb = KernelBuilder("uninit_rf", (1,), (8,))
+        y = kb.param("y", (8,), FP32)
+        v = kb.alloc("v", (1,), FP32, RF)
+        t = Var("threadIdx.x")
+        kb.move(v, y.tile((1,))[t])
+        with pytest.raises(SanitizerError) as exc:
+            run(kb.build(), y=np.zeros(8, dtype=np.float32))
+        assert "uninitialized-read" in report_kinds(exc)
+
+    def test_init_satisfies_the_uninitialized_check(self):
+        kb = KernelBuilder("init_ok", (1,), (8,))
+        y = kb.param("y", (8,), FP32)
+        v = kb.alloc("v", (1,), FP32, RF)
+        t = Var("threadIdx.x")
+        kb.init(v, 2.0)
+        kb.move(v, y.tile((1,))[t])
+        run(kb.build(), y=np.zeros(8, dtype=np.float32))
+
+    def test_divergent_barrier(self):
+        kb = KernelBuilder("div", (1,), (8,))
+        y = kb.param("y", (8,), FP32)
+        t = Var("threadIdx.x")
+        with kb.when([(t, Const(4))]):
+            kb.sync()
+            kb.init(y.tile((1,))[t], 1.0)
+        with pytest.raises(SanitizerError) as exc:
+            run(kb.build(), y=np.zeros(8, dtype=np.float32))
+        assert "divergent-barrier" in report_kinds(exc)
+
+
+class TestReportMode:
+    def test_report_mode_collects_without_raising(self):
+        kernel = build_smem_reverse(16, barrier=False)
+        machine = run(kernel, sanitize="report",
+                      x=np.arange(16, dtype=np.float32),
+                      y=np.zeros(16, dtype=np.float32))
+        assert not machine.sanitizer.clean()
+        kinds = {r.kind for r in machine.sanitizer.reports}
+        assert "raw-race" in kinds
+        for report in machine.sanitizer.reports:
+            assert report.buffer
+            assert report.describe()
+
+    def test_clean_run_has_no_reports(self):
+        machine = run(build_smem_reverse(16), sanitize="report",
+                      x=np.arange(16, dtype=np.float32),
+                      y=np.zeros(16, dtype=np.float32))
+        assert machine.sanitizer.clean()
+
+
+class TestStripBarriers:
+    def test_strip_removes_every_barrier(self):
+        kernel = build_ampere_tc_gemm(
+            32, 16, 16, block_tile=(32, 16, 16), warp_grid=(1, 1)
+        )
+        assert any(isinstance(s, SyncThreads) for s in walk(kernel.body))
+        stripped = strip_barriers(kernel)
+        assert not any(
+            isinstance(s, SyncThreads) for s in walk(stripped.body)
+        )
+
+    def test_staged_gemm_mutant_is_flagged_and_original_is_clean(self):
+        """The acceptance criterion: a barrier-stripped tensor-core GEMM
+        computes identical numerics under lockstep but must be rejected
+        by the sanitizer, while the shipped kernel runs clean."""
+        m, n, k = 32, 16, 16
+        rng = np.random.default_rng(7)
+        a = (rng.random((m, k)) - 0.5).astype(np.float16)
+        b = (rng.random((k, n)) - 0.5).astype(np.float16)
+        kernel = build_ampere_tc_gemm(
+            m, n, k, block_tile=(32, 16, 16), warp_grid=(1, 1)
+        )
+
+        c = np.zeros((m, n), dtype=np.float16)
+        run(kernel, A=a, B=b, C=c)
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        assert np.abs(c.astype(np.float32) - ref).max() < 0.01
+
+        mutant = strip_barriers(kernel)
+        c2 = np.zeros((m, n), dtype=np.float16)
+        with pytest.raises(SanitizerError) as exc:
+            run(mutant, A=a, B=b, C=c2)
+        kinds = report_kinds(exc)
+        assert kinds & {"raw-race", "war-race", "waw-race"}
+        racy_buffers = {r.buffer for r in exc.value.reports
+                        if r.kind.endswith("-race")}
+        assert racy_buffers & {"smem_a", "smem_b"}
