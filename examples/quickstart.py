@@ -2,7 +2,9 @@
 
 Builds the simplest complete matrix-multiplication kernel in Graphene
 IR, prints the generated CUDA C++, then verifies the kernel's numerics
-by executing the *same IR* on the functional GPU simulator.
+by executing the *same IR* on the functional GPU simulator — with the
+instruction profiler attached, so the run also reports the memory
+transactions Nsight Compute would show.
 
 Run:  python examples/quickstart.py
 """
@@ -31,13 +33,22 @@ def main():
     a = (rng.random((m, k)) * 0.1).astype(np.float16)
     b = (rng.random((k, n)) * 0.1).astype(np.float16)
     c = np.zeros((m, n), dtype=np.float16)
-    Simulator(AMPERE).run(small, {"A": a, "B": b, "C": c})
+    result = Simulator(AMPERE).run(small, {"A": a, "B": b, "C": c},
+                                   profile=True)
 
     reference = a.astype(np.float32) @ b.astype(np.float32)
     error = np.abs(c.astype(np.float32) - reference).max()
     print(f"simulated {m}x{n}x{k} GEMM max error vs numpy: {error:.2e}")
     assert error < 0.05
     print("OK: the decomposition computes a correct matrix multiply.")
+
+    # 3. The profiler rode along: per-kernel counters, Nsight-style.
+    profile = result.profile
+    print()
+    print(profile.summary())
+    print(f"measured global traffic: {profile.global_load_bytes}B loaded, "
+          f"{profile.global_store_bytes}B stored "
+          f"({profile.global_transactions} 32B-sector transactions)")
 
 
 if __name__ == "__main__":

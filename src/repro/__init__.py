@@ -19,7 +19,9 @@ from .arch import AMPERE, ARCHITECTURES, VOLTA, Architecture
 from .codegen import CudaGenerator, KernelSource
 from .frontend.builder import KernelBuilder
 from .layout import Layout, Swizzle, col_major, row_major
-from .sim import Machine, SimulationError, Simulator
+from .sim import (
+    KernelProfile, Machine, RunResult, SimulationError, Simulator,
+)
 from .specs import Kernel
 from .tensor import FP16, FP32, GL, INT32, RF, SH, Tensor, tensor
 from .threads import ThreadGroup, blocks, threads, warp
@@ -30,7 +32,8 @@ __all__ = [
     "AMPERE", "ARCHITECTURES", "VOLTA", "Architecture",
     "CudaGenerator", "KernelSource", "KernelBuilder",
     "Layout", "Swizzle", "col_major", "row_major",
-    "Machine", "SimulationError", "Simulator", "Kernel",
+    "KernelProfile", "Machine", "RunResult", "SimulationError",
+    "Simulator", "Kernel",
     "FP16", "FP32", "GL", "INT32", "RF", "SH", "Tensor", "tensor",
     "ThreadGroup", "blocks", "threads", "warp",
     "__version__",

@@ -2,8 +2,11 @@
 
 Usage::
 
-    python -m repro.eval            # all figures
+    python -m repro.eval                    # all figures
     python -m repro.eval fig11 fig14
+    python -m repro.eval profile            # perfmodel calibration report
+    python -m repro.eval bench-smoke        # profiled smoke benchmarks
+    python -m repro.eval bench-smoke fig09 --outdir bench_artifacts
 """
 
 from __future__ import annotations
@@ -13,11 +16,43 @@ import sys
 from .figures import ALL_FIGURES
 
 
+def _main_profile(argv) -> int:
+    from ..perfmodel import calibrate
+
+    arch = argv[0] if argv else "ampere"
+    report = calibrate(arch)
+    print(report.format_table())
+    return 0 if report.passed else 1
+
+
+def _main_bench_smoke(argv) -> int:
+    from .bench_smoke import run_bench_smoke
+
+    outdir = "bench_artifacts"
+    if "--outdir" in argv:
+        i = argv.index("--outdir")
+        outdir = argv[i + 1]
+        argv = argv[:i] + argv[i + 2:]
+    try:
+        paths = run_bench_smoke(figures=argv or None, outdir=outdir)
+    except (KeyError, RuntimeError) as exc:
+        print(exc)
+        return 1
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv) -> int:
+    if argv and argv[0] == "profile":
+        return _main_profile(argv[1:])
+    if argv and argv[0] == "bench-smoke":
+        return _main_bench_smoke(argv[1:])
     names = argv or sorted(ALL_FIGURES)
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
-        print(f"unknown figures: {unknown}; available: {sorted(ALL_FIGURES)}")
+        print(f"unknown figures: {unknown}; available: "
+              f"{sorted(ALL_FIGURES)} plus 'profile' and 'bench-smoke'")
         return 2
     for name in names:
         print(ALL_FIGURES[name]().format_table())

@@ -1,0 +1,151 @@
+"""Profiled smoke runs of every ``benchmarks/bench_fig*`` family.
+
+Each figure's benchmark exercises a kernel family at paper scale
+through the analytical model only; this module actually *executes* one
+representative kernel per family at a simulation-friendly shape with
+the :mod:`repro.sim.profiler` attached, then writes a
+``BENCH_fig09.json``-style artifact per family containing the modelled
+estimate next to the measured counters.  It is the CI gate that keeps
+the shipped kernels runnable and the profiler/model agreement visible::
+
+    python -m repro.eval bench-smoke            # all families
+    python -m repro.eval bench-smoke fig09      # one family
+
+The check compares measured global traffic against
+:func:`repro.perfmodel.counts.count_kernel` at the calibration
+tolerances, so a family whose staging changes without a matching model
+update fails its smoke run rather than silently drifting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch import ARCHITECTURES
+from ..perfmodel import count_kernel, estimate_kernel
+from ..perfmodel.calibrate import (
+    DEFAULT_TOLERANCE, FMHA_SMEM_TOLERANCE, CalibrationRow,
+)
+
+#: One representative, simulation-friendly config per figure family.
+#: (config, smem_tolerance) — FMHA's shared traffic is modelled
+#: conservatively, see :mod:`repro.perfmodel.calibrate`.
+def smoke_families() -> Dict[str, Tuple["KernelConfig", float]]:
+    from ..kernels import (
+        FmhaConfig, GemmConfig, GemmEpilogueConfig, LayernormConfig,
+        LstmConfig, MlpConfig,
+    )
+
+    return {
+        "fig09": (GemmConfig(32, 32, 64, (32, 32, 32), (1, 1),
+                             name="smoke_fig09_gemm"), DEFAULT_TOLERANCE),
+        "fig10": (GemmEpilogueConfig(32, 32, 32, arch="ampere", bias=True,
+                                     activation="relu",
+                                     block_tile=(32, 32, 32),
+                                     warp_grid=(1, 1),
+                                     name="smoke_fig10_epilogue"),
+                  DEFAULT_TOLERANCE),
+        "fig11": (MlpConfig(64, 64, 2, block_rows=32, warp_grid=(1, 1),
+                            name="smoke_fig11_mlp"), DEFAULT_TOLERANCE),
+        "fig12": (LstmConfig(32, 32, 32, (32, 32, 32), (1, 1),
+                             name="smoke_fig12_lstm"), DEFAULT_TOLERANCE),
+        "fig13": (LayernormConfig(8, 64, 4, name="smoke_fig13_layernorm"),
+                  DEFAULT_TOLERANCE),
+        "fig14": (FmhaConfig(2, 64, 32, kv_chunk=32,
+                             name="smoke_fig14_fmha"),
+                  FMHA_SMEM_TOLERANCE),
+    }
+
+
+def run_family(figure: str, arch="ampere", seed: int = 0) -> dict:
+    """Profile one family's smoke kernel and build its artifact dict."""
+    from ..kernels import build, config_summary
+    from ..sim import Simulator
+
+    if isinstance(arch, str):
+        arch = ARCHITECTURES[arch]
+    cfg, smem_tol = smoke_families()[figure]
+    kernel = build(cfg)
+    rng = np.random.default_rng(seed)
+    bindings = {
+        p.name: (rng.standard_normal(p.layout.size()) * 0.25)
+        .astype(p.dtype.np_dtype)
+        for p in kernel.params
+    }
+    result = Simulator(arch).run(kernel, bindings, profile=True)
+    profile = result.profile
+    counts = count_kernel(kernel, arch)
+    estimate = estimate_kernel(kernel, arch)
+
+    checks = [
+        CalibrationRow(kernel.name, "global_load_bytes",
+                       counts.dram_read_bytes, profile.global_load_bytes,
+                       DEFAULT_TOLERANCE),
+        CalibrationRow(kernel.name, "global_store_bytes",
+                       counts.dram_write_bytes, profile.global_store_bytes,
+                       DEFAULT_TOLERANCE),
+    ]
+    if counts.smem_bytes or profile.shared_bytes:
+        checks.append(CalibrationRow(kernel.name, "shared_bytes",
+                                     counts.smem_bytes,
+                                     profile.shared_bytes, smem_tol))
+    return {
+        "figure": figure,
+        "kernel": kernel.name,
+        "config": config_summary(cfg),
+        "arch": arch.name,
+        "modelled": {
+            "time_us": estimate.time_seconds * 1e6,
+            "dram_read_bytes": counts.dram_read_bytes,
+            "dram_write_bytes": counts.dram_write_bytes,
+            "smem_bytes": counts.smem_bytes,
+            "total_flops": counts.total_flops,
+        },
+        "measured": profile.as_dict(),
+        "checks": [row.as_dict() for row in checks],
+        "passed": all(row.passed for row in checks),
+    }
+
+
+def run_bench_smoke(
+    figures: Optional[List[str]] = None,
+    arch: str = "ampere",
+    outdir: str = "bench_artifacts",
+    seed: int = 0,
+) -> List[str]:
+    """Run the smoke benchmarks and write one artifact file per family.
+
+    Returns the artifact paths; raises ``RuntimeError`` if any family's
+    measured-vs-modelled check failed (after writing all artifacts, so
+    the failing numbers are on disk for inspection).
+    """
+    families = smoke_families()
+    names = figures or sorted(families)
+    unknown = [n for n in names if n not in families]
+    if unknown:
+        raise KeyError(
+            f"unknown bench-smoke families {unknown}; "
+            f"available: {sorted(families)}"
+        )
+    os.makedirs(outdir, exist_ok=True)
+    paths, failures = [], []
+    for name in names:
+        artifact = run_family(name, arch=arch, seed=seed)
+        path = os.path.join(outdir, f"BENCH_{name}.json")
+        with open(path, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+        paths.append(path)
+        if not artifact["passed"]:
+            failures.append(name)
+    if failures:
+        raise RuntimeError(
+            f"bench-smoke drift in {failures}; see artifacts in {outdir}/"
+        )
+    return paths
+
+
+__all__ = ["smoke_families", "run_family", "run_bench_smoke"]

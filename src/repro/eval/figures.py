@@ -350,6 +350,35 @@ def figure_15(arch_name: str = "ampere") -> FigureReport:
     return report
 
 
+def figure_profile(arch_name: str = "ampere") -> FigureReport:
+    """Measured-vs-modelled calibration (the Nsight-substitute check).
+
+    Executes every shipped kernel family on the simulator with the
+    instruction profiler attached (``Simulator.run(..., profile=True)``
+    → ``RunResult.profile``) and tabulates each measured counter next
+    to the :mod:`repro.perfmodel.counts` prediction.  Also available
+    as ``python -m repro.eval profile``.
+    """
+    from ..perfmodel import calibrate
+
+    report = FigureReport(
+        "Calibration", "perfmodel counters vs repro.sim.profiler measured",
+        ["kernel", "counter", "modelled", "measured", "drift_pct",
+         "tol_pct", "status"],
+    )
+    calibration = calibrate(arch_name)
+    for row in calibration.rows:
+        drift = ("inf" if row.drift == float("inf")
+                 else 100 * row.drift)
+        report.add_row(row.kernel, row.counter, row.modelled, row.measured,
+                       drift, 100 * row.tolerance, row.status)
+    report.note(
+        "all counters within tolerance" if calibration.passed else
+        f"{len(calibration.failures())} counter(s) drifted beyond tolerance"
+    )
+    return report
+
+
 ALL_FIGURES = {
     "fig9": figure_9,
     "fig9_tuned": figure_9_tuned,
@@ -359,6 +388,7 @@ ALL_FIGURES = {
     "fig13": figure_13,
     "fig14": figure_14,
     "fig15": figure_15,
+    "profile": figure_profile,
 }
 
 

@@ -29,6 +29,66 @@ from ..tensor.tensor import Tensor
 from ..threads.threadgroup import BLOCK, THREAD, ThreadGroup
 
 
+class WhenGuard:
+    """Handle yielded by :meth:`KernelBuilder.when`.
+
+    Lets kernel authors attach the complement branch of a uniform guard
+    without hand-writing a second ``when`` over negated predicates —
+    and surfaces the no-else predicate contract (see
+    :class:`~repro.ir.stmt.If`) at build time: combining a
+    thread-dependent predicate with ``otherwise()`` raises immediately
+    instead of failing later inside the simulator.
+    """
+
+    def __init__(self, builder: "KernelBuilder", predicates):
+        self._builder = builder
+        self.predicates = predicates
+        self._container: Optional[List] = None
+        self._used = False
+
+    def _attach(self, container: List) -> None:
+        self._container = container
+
+    @contextmanager
+    def otherwise(self):
+        """Open the else-branch of the closed ``when()`` block."""
+        if self._container is None:
+            raise RuntimeError(
+                "otherwise() must come after its when() block has closed"
+            )
+        if self._used:
+            raise RuntimeError(
+                "otherwise() was already emitted for this when() block"
+            )
+        builder = self._builder
+        if (builder._stack[-1] is not self._container
+                or not self._container
+                or not isinstance(self._container[-1], If)):
+            raise RuntimeError(
+                "otherwise() must immediately follow its when() block "
+                "(no statements in between)"
+            )
+        for a, b in self.predicates:
+            lhs, rhs = as_expr(a), as_expr(b)
+            if "threadIdx.x" in (lhs.free_vars() | rhs.free_vars()):
+                raise ValueError(
+                    "If with thread-dependent predicates cannot carry an "
+                    "else branch: lanes diverge individually, so no "
+                    "uniform branch decision exists (emit a second If "
+                    "guarded by the complement predicate instead)"
+                )
+        self._used = True
+        builder._stack.append([])
+        try:
+            yield
+        finally:
+            orelse = Block(builder._stack.pop())
+            then_if = self._container.pop()
+            self._container.append(
+                If(then_if.predicates, then_if.then, orelse=orelse)
+            )
+
+
 class KernelBuilder:
     """Builds one kernel's IR imperatively."""
 
@@ -111,13 +171,23 @@ class KernelBuilder:
 
     @contextmanager
     def when(self, predicates):
-        """Guard the nested statements with ``all(lhs < rhs)`` pairs."""
+        """Guard the nested statements with ``all(lhs < rhs)`` pairs.
+
+        Yields a :class:`WhenGuard`; bind it (``with kb.when(...) as
+        guard``) to attach a complement branch afterwards with ``with
+        guard.otherwise(): ...``.  Per :class:`~repro.ir.stmt.If`'s
+        predicate contract an else-branch requires block-uniform
+        predicates, and ``otherwise()`` enforces that here at build time
+        rather than deferring the failure to simulation.
+        """
+        guard = WhenGuard(self, list(predicates))
         self._stack.append([])
         try:
-            yield
+            yield guard
         finally:
             body = Block(self._stack.pop())
-            self._emit(If(list(predicates), body))
+            self._emit(If(guard.predicates, body))
+            guard._attach(self._stack[-1])
 
     def sync(self) -> None:
         self._emit(SyncThreads())

@@ -1,0 +1,63 @@
+"""The kernel library: paper-figure kernels behind one constructor API.
+
+Every family module exposes the same pair over the shared
+config-dataclass convention of :mod:`repro.kernels.config`:
+
+* ``build(cfg: <Family>Config) -> Kernel`` — canonical constructor,
+* ``from_tuned(...) -> Kernel`` — autotuned constructor (families
+  without a registered tuning space fall back to the default config).
+
+``repro.kernels.build(cfg)`` dispatches on the config type, so callers
+can hold configs as plain data.  The PR-1-era ``build_*`` entry points
+remain as thin deprecated aliases inside each module.
+"""
+
+from __future__ import annotations
+
+from ..specs.kernel import Kernel
+from . import (
+    epilogue, fmha, gemm, gemm_optimized, gemm_parametric, layernorm,
+    lstm, mlp, moves, softmax,
+)
+from .config import (
+    FmhaConfig, GemmConfig, GemmEpilogueConfig, KernelConfig,
+    LayernormConfig, LdmatrixMoveConfig, LstmConfig, MlpConfig,
+    NaiveGemmConfig, ParametricGemmConfig, SoftmaxConfig, config_summary,
+)
+
+#: Config type -> family module ``build`` function.
+BUILDERS = {
+    NaiveGemmConfig: gemm.build,
+    GemmConfig: gemm_optimized.build,
+    ParametricGemmConfig: gemm_parametric.build,
+    GemmEpilogueConfig: epilogue.build,
+    LayernormConfig: layernorm.build,
+    MlpConfig: mlp.build,
+    SoftmaxConfig: softmax.build,
+    LstmConfig: lstm.build,
+    FmhaConfig: fmha.build,
+    LdmatrixMoveConfig: moves.build,
+}
+
+#: Family key -> config type (the inverse view, for CLI/artifact use).
+CONFIG_TYPES = {cfg_type.family: cfg_type for cfg_type in BUILDERS}
+
+
+def build(cfg: KernelConfig) -> Kernel:
+    """Build the kernel a family config describes."""
+    builder = BUILDERS.get(type(cfg))
+    if builder is None:
+        raise TypeError(
+            f"no kernel builder registered for {type(cfg).__name__} "
+            f"(known: {sorted(t.__name__ for t in BUILDERS)})"
+        )
+    return builder(cfg)
+
+
+__all__ = [
+    "build", "BUILDERS", "CONFIG_TYPES", "config_summary",
+    "KernelConfig", "NaiveGemmConfig", "GemmConfig",
+    "ParametricGemmConfig", "GemmEpilogueConfig", "LayernormConfig",
+    "MlpConfig", "SoftmaxConfig", "LstmConfig", "FmhaConfig",
+    "LdmatrixMoveConfig",
+]

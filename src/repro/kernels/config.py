@@ -1,0 +1,196 @@
+"""Shared config-dataclass convention for the kernel library.
+
+PR 1 grew each kernel family a slightly different constructor signature;
+this module unifies the surface: every family has one frozen
+``<Family>Config`` dataclass holding the problem shape plus the
+decomposition knobs, and every module in :mod:`repro.kernels` exposes
+the same pair
+
+* ``build(cfg: <Family>Config) -> Kernel`` — the canonical constructor,
+* ``from_tuned(...) -> Kernel`` — the autotuned constructor (families
+  without a registered tuning space fall back to the default config),
+
+with the original ``build_*`` entry points kept as thin deprecated
+aliases.  ``repro.kernels.build(cfg)`` dispatches on the config type,
+so call sites can treat configs as plain data (they are hashable and
+``asdict``-able for caches and artifacts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import ClassVar, Optional, Tuple
+
+from ..tensor.dtypes import DType, FP16
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Base class: one frozen dataclass per kernel family."""
+
+    #: Family key (matches the tuner's space registry where one exists).
+    family: ClassVar[str] = ""
+
+    def as_dict(self) -> dict:
+        d = asdict(self)
+        d["family"] = self.family
+        return d
+
+    def replace(self, **changes) -> "KernelConfig":
+        from dataclasses import replace as _replace
+        return _replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class NaiveGemmConfig(KernelConfig):
+    """The Figure 8 baseline: per-thread fma GEMM, no shared staging."""
+
+    family: ClassVar[str] = "gemm_naive"
+    m: int = 1024
+    n: int = 1024
+    k: int = 1024
+    grid: Tuple[int, int] = (8, 8)
+    threads: Tuple[int, int] = (16, 16)
+    dtype: DType = FP16
+
+
+@dataclass(frozen=True)
+class GemmConfig(KernelConfig):
+    """Tensor-core GEMM (paper Figure 9 family).
+
+    ``variant`` selects the architecture decomposition (``ampere``,
+    ``ampere_pipelined``, ``volta``); ``swizzled=True`` derives the
+    bank-spreading staging-buffer swizzles from the block tile's row
+    lengths (the Section 3.2 layouts "beyond row- and column-major").
+    """
+
+    family: ClassVar[str] = "gemm"
+    m: int = 1024
+    n: int = 1024
+    k: int = 1024
+    block_tile: Tuple[int, int, int] = (128, 128, 32)
+    warp_grid: Tuple[int, int] = (2, 2)
+    variant: str = "ampere"
+    qp_tile: Tuple[int, int] = (2, 2)
+    swizzled: bool = False
+    use_ldmatrix: bool = True
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ParametricGemmConfig(KernelConfig):
+    """GEMM with a symbolic row count ``M`` (bound at launch)."""
+
+    family: ClassVar[str] = "gemm_parametric"
+    n: int = 1024
+    k: int = 1024
+    row_tile: int = 32
+    max_grid_rows: int = 64
+    threads: int = 128
+    dtype: DType = FP16
+    name: str = "graphene_gemm_parametric"
+
+
+@dataclass(frozen=True)
+class GemmEpilogueConfig(KernelConfig):
+    """Fused ``C = act(A @ B + bias)`` (paper Figure 10)."""
+
+    family: ClassVar[str] = "gemm_epilogue"
+    m: int = 1024
+    n: int = 1024
+    k: int = 1024
+    arch: str = "ampere"
+    bias: bool = True
+    activation: Optional[str] = "relu"
+    block_tile: Tuple[int, int, int] = (128, 128, 32)
+    warp_grid: Tuple[int, int] = (2, 2)
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class LayernormConfig(KernelConfig):
+    """Row-wise layer normalization (paper Figure 13 family)."""
+
+    family: ClassVar[str] = "layernorm"
+    rows: int = 1024
+    hidden: int = 1024
+    warps_per_block: int = 4
+    warp_per_row: bool = True
+    name: str = "graphene_layernorm"
+
+
+@dataclass(frozen=True)
+class MlpConfig(KernelConfig):
+    """Fused multi-layer perceptron (paper Figure 11 family)."""
+
+    family: ClassVar[str] = "mlp"
+    m: int = 256
+    hidden: int = 256
+    layers: int = 2
+    block_rows: int = 64
+    warp_grid: Tuple[int, int] = (2, 2)
+    activation: str = "relu"
+    name: str = "graphene_fused_mlp"
+
+
+@dataclass(frozen=True)
+class SoftmaxConfig(KernelConfig):
+    """Row-wise softmax, one thread per row."""
+
+    family: ClassVar[str] = "softmax"
+    rows: int = 1024
+    cols: int = 1024
+    threads_per_block: int = 128
+    scale: float = 1.0
+    name: str = "graphene_softmax"
+
+
+@dataclass(frozen=True)
+class LstmConfig(KernelConfig):
+    """Fused LSTM cell ``Y = act(X @ W + H @ R + bias)`` (Figure 12)."""
+
+    family: ClassVar[str] = "lstm"
+    m: int = 512
+    n: int = 512
+    k: int = 512
+    block_tile: Tuple[int, int, int] = (128, 128, 32)
+    warp_grid: Tuple[int, int] = (2, 2)
+    activation: str = "relu"
+    name: str = "graphene_fused_lstm"
+
+
+@dataclass(frozen=True)
+class FmhaConfig(KernelConfig):
+    """Fused multi-head attention (paper Figure 14 family)."""
+
+    family: ClassVar[str] = "fmha"
+    batch_heads: int = 8
+    seq: int = 256
+    head_dim: int = 64
+    q_tile: int = 16
+    kv_chunk: int = 64
+    name: str = "graphene_fused_fmha"
+
+
+@dataclass(frozen=True)
+class LdmatrixMoveConfig(KernelConfig):
+    """The standalone ldmatrix reference kernel (one warp, one tile)."""
+
+    family: ClassVar[str] = "moves"
+    name: str = "ldmatrix_move"
+
+
+def config_summary(cfg: KernelConfig) -> str:
+    """One-line ``family(field=value, ...)`` rendering for reports."""
+    parts = ", ".join(
+        f"{f.name}={getattr(cfg, f.name)!r}" for f in fields(cfg)
+    )
+    return f"{cfg.family}({parts})"
+
+
+__all__ = [
+    "KernelConfig", "NaiveGemmConfig", "GemmConfig",
+    "ParametricGemmConfig", "GemmEpilogueConfig", "LayernormConfig",
+    "MlpConfig", "SoftmaxConfig", "LstmConfig", "FmhaConfig",
+    "LdmatrixMoveConfig", "config_summary",
+]

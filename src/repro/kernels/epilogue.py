@@ -11,7 +11,24 @@ from typing import Optional, Tuple
 
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16
+from .config import GemmEpilogueConfig
 from .gemm_optimized import build_ampere_tc_gemm, build_volta_tc_gemm
+
+
+def build(cfg: GemmEpilogueConfig) -> Kernel:
+    """Canonical constructor over the shared config convention."""
+    return build_gemm_epilogue(cfg.m, cfg.n, cfg.k, arch=cfg.arch,
+                               bias=cfg.bias, activation=cfg.activation,
+                               block_tile=cfg.block_tile,
+                               warp_grid=cfg.warp_grid, name=cfg.name)
+
+
+def from_tuned(m: int, n: int, k: int, arch: str = "ampere",
+               **tune_kwargs) -> Kernel:
+    """No epilogue-specific tuning space is registered yet; returns the
+    default config (kept so every kernel module exposes the same
+    ``build``/``from_tuned`` pair)."""
+    return build(GemmEpilogueConfig(m, n, k, arch=arch))
 
 
 def pointwise_epilogue(bias: bool = True, activation: Optional[str] = "relu"):

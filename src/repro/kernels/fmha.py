@@ -23,8 +23,24 @@ from ..ir.expr import Const, Var
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16, FP32
 from ..tensor.memspace import RF, SH
+from .config import FmhaConfig
 from .gemm_optimized import _stage_to_shared
 from .tc_common import WarpMmaEngine
+
+
+def build(cfg: FmhaConfig) -> Kernel:
+    """Canonical constructor over the shared config convention."""
+    return build_fused_fmha(cfg.batch_heads, cfg.seq, cfg.head_dim,
+                            q_tile=cfg.q_tile, kv_chunk=cfg.kv_chunk,
+                            name=cfg.name)
+
+
+def from_tuned(batch_heads: int, seq: int, head_dim: int,
+               arch: str = "ampere", **tune_kwargs) -> Kernel:
+    """No FMHA tuning space is registered yet; returns the default
+    config (kept so every kernel module exposes the same ``build``/
+    ``from_tuned`` pair)."""
+    return build(FmhaConfig(batch_heads, seq, head_dim))
 
 
 def build_fused_fmha(

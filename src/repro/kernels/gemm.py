@@ -15,22 +15,18 @@ from typing import Tuple
 from ..frontend.builder import KernelBuilder
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16, DType
+from .config import NaiveGemmConfig
 
 
-def build_naive_gemm(
-    m: int = 1024,
-    n: int = 1024,
-    k: int = 1024,
-    grid: Tuple[int, int] = (8, 8),
-    threads: Tuple[int, int] = (16, 16),
-    dtype: DType = FP16,
-) -> Kernel:
+def build(cfg: NaiveGemmConfig) -> Kernel:
     """Build the Figure 8 kernel for ``C += A @ B``.
 
-    ``grid`` and ``threads`` give the 2-D arrangement of blocks and of
-    threads per block; the block tile is ``(m/grid_m, n/grid_n)`` and the
-    per-thread tile follows from the thread arrangement.
+    ``cfg.grid`` and ``cfg.threads`` give the 2-D arrangement of blocks
+    and of threads per block; the block tile is ``(m/grid_m, n/grid_n)``
+    and the per-thread tile follows from the thread arrangement.
     """
+    m, n, k, dtype = cfg.m, cfg.n, cfg.k, cfg.dtype
+    grid, threads = cfg.grid, cfg.threads
     grid_m, grid_n = grid
     thr_m, thr_n = threads
     if m % grid_m or n % grid_n:
@@ -63,3 +59,27 @@ def build_naive_gemm(
             with kb.loop("n", reg_n) as nv:
                 kb.matmul(a_thr[mv, kv], b_thr[kv, nv], c_thr[mv, nv])
     return kb.build()
+
+
+def from_tuned(m: int, n: int, k: int, arch: str = "ampere",
+               **tune_kwargs) -> Kernel:
+    """The naive GEMM is the untuned Figure 8 baseline by definition;
+    no tuning space is registered, so this returns the default config
+    (kept so every kernel module exposes the same ``build``/
+    ``from_tuned`` pair).  Tuned GEMMs come from
+    :func:`repro.kernels.gemm_optimized.from_tuned`.
+    """
+    return build(NaiveGemmConfig(m, n, k))
+
+
+def build_naive_gemm(
+    m: int = 1024,
+    n: int = 1024,
+    k: int = 1024,
+    grid: Tuple[int, int] = (8, 8),
+    threads: Tuple[int, int] = (16, 16),
+    dtype: DType = FP16,
+) -> Kernel:
+    """Deprecated alias of ``build(NaiveGemmConfig(...))``."""
+    return build(NaiveGemmConfig(m, n, k, tuple(grid), tuple(threads),
+                                 dtype))

@@ -413,6 +413,46 @@ def build_ampere_tc_gemm_pipelined(
     return kb.build()
 
 
+def build(cfg: "GemmConfig") -> Kernel:
+    """Canonical constructor over the shared config convention.
+
+    Dispatches on ``cfg.variant`` (``ampere``, ``ampere_pipelined``,
+    ``volta``); ``cfg.swizzled=True`` derives per-operand bank-spreading
+    swizzles from the block tile's staging-row lengths via
+    :func:`repro.tuner.space.swizzle_for_row`.
+    """
+    from .config import GemmConfig
+
+    if not isinstance(cfg, GemmConfig):
+        raise TypeError(f"expected GemmConfig, got {type(cfg).__name__}")
+    common = dict(block_tile=cfg.block_tile, warp_grid=cfg.warp_grid)
+    if cfg.name is not None:
+        common["name"] = cfg.name
+    if cfg.swizzled:
+        if cfg.variant == "volta":
+            raise ValueError(
+                "GemmConfig.swizzled is not supported for the volta "
+                "variant (its staging buffers use per-thread moves)"
+            )
+        from ..tuner.space import swizzle_for_row
+
+        _bm, bn, bk = cfg.block_tile
+        common["swizzle_a"] = swizzle_for_row(bk)
+        common["swizzle_b"] = swizzle_for_row(bn)
+    if cfg.variant == "ampere":
+        return build_ampere_tc_gemm(cfg.m, cfg.n, cfg.k,
+                                    use_ldmatrix=cfg.use_ldmatrix, **common)
+    if cfg.variant == "ampere_pipelined":
+        return build_ampere_tc_gemm_pipelined(cfg.m, cfg.n, cfg.k, **common)
+    if cfg.variant == "volta":
+        return build_volta_tc_gemm(cfg.m, cfg.n, cfg.k,
+                                   qp_tile=cfg.qp_tile, **common)
+    raise ValueError(
+        f"unknown GemmConfig.variant {cfg.variant!r} "
+        "(expected 'ampere', 'ampere_pipelined' or 'volta')"
+    )
+
+
 def from_tuned(m: int, n: int, k: int, arch="ampere", **tune_kwargs) -> Kernel:
     """Build the GEMM kernel the autotuner selects for this problem.
 

@@ -20,6 +20,23 @@ from ..tensor.dtypes import FP16, DType
 from ..tensor.memspace import GL
 from ..tensor.tensor import Tensor
 from ..layout.layout import Layout
+from .config import ParametricGemmConfig
+
+
+def build(cfg: ParametricGemmConfig) -> Kernel:
+    """Canonical constructor over the shared config convention."""
+    return build_parametric_gemm(cfg.n, cfg.k, row_tile=cfg.row_tile,
+                                 max_grid_rows=cfg.max_grid_rows,
+                                 threads=cfg.threads, dtype=cfg.dtype,
+                                 name=cfg.name)
+
+
+def from_tuned(n: int, k: int, arch: str = "ampere",
+               **tune_kwargs) -> Kernel:
+    """No parametric-GEMM tuning space is registered yet; returns the
+    default config (kept so every kernel module exposes the same
+    ``build``/``from_tuned`` pair)."""
+    return build(ParametricGemmConfig(n, k))
 
 
 def build_parametric_gemm(

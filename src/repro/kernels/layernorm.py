@@ -18,8 +18,18 @@ from ..ir.expr import Const, Var
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16, FP32
 from ..tensor.memspace import RF
+from .config import LayernormConfig
 
 EPS = 1e-5
+
+
+def build(cfg: LayernormConfig) -> Kernel:
+    """``Y[r] = (X[r] - mean) * rsqrt(var + eps) * gamma + beta``."""
+    if cfg.warp_per_row:
+        return _build_warp_per_row(cfg.rows, cfg.hidden,
+                                   cfg.warps_per_block, cfg.name)
+    return _build_thread_per_row(cfg.rows, cfg.hidden,
+                                 cfg.warps_per_block * 32, cfg.name)
 
 
 def build_layernorm(
@@ -29,10 +39,9 @@ def build_layernorm(
     warp_per_row: bool = True,
     name: str = "graphene_layernorm",
 ) -> Kernel:
-    """``Y[r] = (X[r] - mean) * rsqrt(var + eps) * gamma + beta``."""
-    if warp_per_row:
-        return _build_warp_per_row(rows, hidden, warps_per_block, name)
-    return _build_thread_per_row(rows, hidden, warps_per_block * 32, name)
+    """Deprecated alias of ``build(LayernormConfig(...))``."""
+    return build(LayernormConfig(rows, hidden, warps_per_block,
+                                 warp_per_row, name))
 
 
 def _build_warp_per_row(rows, hidden, warps_per_block, name) -> Kernel:

@@ -15,8 +15,25 @@ from ..frontend.builder import KernelBuilder
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16
 from ..tensor.memspace import SH
+from .config import LstmConfig
 from .gemm_optimized import _stage_to_shared
 from .tc_common import WarpMmaEngine
+
+
+def build(cfg: LstmConfig) -> Kernel:
+    """Canonical constructor over the shared config convention."""
+    return build_fused_lstm_cell(cfg.m, cfg.n, cfg.k,
+                                 block_tile=cfg.block_tile,
+                                 warp_grid=cfg.warp_grid,
+                                 activation=cfg.activation, name=cfg.name)
+
+
+def from_tuned(m: int, n: int, k: int, arch: str = "ampere",
+               **tune_kwargs) -> Kernel:
+    """No LSTM tuning space is registered yet; returns the default
+    config (kept so every kernel module exposes the same ``build``/
+    ``from_tuned`` pair)."""
+    return build(LstmConfig(m, n, k))
 
 
 def build_fused_lstm_cell(

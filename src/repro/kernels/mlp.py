@@ -15,8 +15,17 @@ from ..frontend.builder import KernelBuilder
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16
 from ..tensor.memspace import SH
+from .config import MlpConfig
 from .gemm_optimized import _stage_to_shared
 from .tc_common import WarpMmaEngine
+
+
+def build(cfg: MlpConfig) -> Kernel:
+    """Canonical constructor over the shared config convention."""
+    return build_fused_mlp(cfg.m, cfg.hidden, cfg.layers,
+                           block_rows=cfg.block_rows,
+                           warp_grid=cfg.warp_grid,
+                           activation=cfg.activation, name=cfg.name)
 
 
 def build_fused_mlp(

@@ -16,6 +16,19 @@ from ..layout.layout import Layout
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16
 from ..tensor.memspace import RF, SH
+from .config import LdmatrixMoveConfig
+
+
+def build(cfg: LdmatrixMoveConfig) -> Kernel:
+    """Canonical constructor over the shared config convention."""
+    return build_ldmatrix_kernel(name=cfg.name)
+
+
+def from_tuned(arch: str = "ampere", **tune_kwargs) -> Kernel:
+    """The ldmatrix reference kernel has nothing to tune; returns the
+    default config (kept so every kernel module exposes the same
+    ``build``/``from_tuned`` pair)."""
+    return build(LdmatrixMoveConfig())
 
 
 def build_ldmatrix_kernel(name: str = "ldmatrix_move") -> Kernel:

@@ -13,16 +13,15 @@ from ..ir.expr import Var
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16, FP32
 from ..tensor.memspace import RF
+from .config import SoftmaxConfig
 
 
-def build_softmax(
-    rows: int,
-    cols: int,
-    threads_per_block: int = 128,
-    scale: float = 1.0,
-    name: str = "graphene_softmax",
-) -> Kernel:
+def build(cfg: SoftmaxConfig) -> Kernel:
     """``Y[r] = softmax(scale * X[r])`` with one thread per row."""
+    rows, cols = cfg.rows, cfg.cols
+    threads_per_block, scale, name = (
+        cfg.threads_per_block, cfg.scale, cfg.name
+    )
     if rows % threads_per_block:
         raise ValueError("rows must divide by the block size")
     kb = KernelBuilder(name, (rows // threads_per_block,),
@@ -50,3 +49,22 @@ def build_softmax(
     kb.binary("div", vals, rsum, vals)
     kb.move(vals, y_rows[row, 0])
     return kb.build()
+
+
+def from_tuned(rows: int, cols: int, arch: str = "ampere",
+               **tune_kwargs) -> Kernel:
+    """No softmax tuning space is registered yet; returns the default
+    config (kept so every kernel module exposes the same ``build``/
+    ``from_tuned`` pair)."""
+    return build(SoftmaxConfig(rows, cols))
+
+
+def build_softmax(
+    rows: int,
+    cols: int,
+    threads_per_block: int = 128,
+    scale: float = 1.0,
+    name: str = "graphene_softmax",
+) -> Kernel:
+    """Deprecated alias of ``build(SoftmaxConfig(...))``."""
+    return build(SoftmaxConfig(rows, cols, threads_per_block, scale, name))

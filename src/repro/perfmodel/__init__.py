@@ -1,5 +1,8 @@
 """Analytical GPU performance model (hardware substitute)."""
 
+from .calibrate import (
+    CalibrationReport, CalibrationRow, calibrate, calibration_cases,
+)
 from .counts import KernelCounts, count_kernel
 from .model import (
     CostBreakdown, Efficiency, KernelEstimate, LIBRARY_CLASS, PerfModel,
@@ -8,6 +11,8 @@ from .model import (
 )
 
 __all__ = [
+    "CalibrationReport", "CalibrationRow", "calibrate",
+    "calibration_cases",
     "KernelCounts", "count_kernel", "CostBreakdown", "Efficiency",
     "KernelEstimate", "LIBRARY_CLASS", "PerfModel", "SCALAR_FRAGMENT",
     "bank_conflict_degree", "estimate_kernel", "fused_time",

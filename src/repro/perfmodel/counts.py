@@ -174,6 +174,28 @@ def _view_elements(tensor) -> int:
     return total
 
 
+def _charge_memory(counts, scale, read_tensors, written_tensors) -> None:
+    """Charge GL/SH traffic for compute-spec operands.
+
+    Mirrors the simulator's execution semantics (and therefore the
+    profiler's measurements): inputs are read, outputs are written, and
+    both directions of shared-memory traffic land in ``smem_bytes``.
+    Register-file operands are free.
+    """
+    for t in read_tensors:
+        nbytes = _view_elements(t) * t.dtype.bytes
+        if t.mem == GL:
+            counts.dram_read_bytes += scale * nbytes
+        elif t.mem == SH:
+            counts.smem_bytes += scale * nbytes
+    for t in written_tensors:
+        nbytes = _view_elements(t) * t.dtype.bytes
+        if t.mem == GL:
+            counts.dram_write_bytes += scale * nbytes
+        elif t.mem == SH:
+            counts.smem_bytes += scale * nbytes
+
+
 def _count_spec(spec, trips, counts, kernel, arch, env) -> None:
     if isinstance(spec, Allocate):
         return
@@ -208,14 +230,24 @@ def _count_spec(spec, trips, counts, kernel, arch, env) -> None:
             counts.tensor_flops += scale * flops
         else:
             counts.fma_flops += scale * 2 * _view_elements(spec.c)
+        # Memory operands of fma-style MatMuls: the naive Figure 8 GEMM
+        # reads A/B and accumulates C straight from global memory (the
+        # accumulator is a read-modify-write).
+        _charge_memory(counts, scale, spec.inputs, (spec.c,))
+        if spec.c.mem == GL:
+            counts.dram_read_bytes += \
+                scale * _view_elements(spec.c) * spec.c.dtype.bytes
+        elif spec.c.mem == SH:
+            counts.smem_bytes += \
+                scale * _view_elements(spec.c) * spec.c.dtype.bytes
     elif isinstance(spec, (UnaryPointwise, BinaryPointwise)):
         counts.pointwise_flops += scale * _view_elements(spec.outputs[0])
-        for t in spec.operands():
-            if t.mem == GL:
-                counts.dram_read_bytes += scale * _view_elements(t) * t.dtype.bytes
+        _charge_memory(counts, scale, spec.inputs, spec.outputs)
     elif isinstance(spec, Reduction):
         counts.pointwise_flops += scale * _view_elements(spec.inputs[0])
+        _charge_memory(counts, scale, spec.inputs, spec.outputs)
     elif isinstance(spec, Shfl):
         counts.instructions += scale
     elif isinstance(spec, Init):
         counts.pointwise_flops += scale * _view_elements(spec.outputs[0])
+        _charge_memory(counts, scale, (), spec.outputs)

@@ -2,14 +2,17 @@
 
 from .access import TensorAccessor, accessor, compile_expr, tile_views
 from .context import ExecCtx
-from .interp import SimulationError, Simulator
+from .interp import RunResult, SimulationError, Simulator
 from .machine import BankModel, Machine
+from .profiler import KernelProfile, Profiler, SpecCounters
 from .sanitizer import (
     Sanitizer, SanitizerError, SanitizerReport, strip_barriers,
 )
 
 __all__ = [
     "TensorAccessor", "accessor", "compile_expr", "tile_views",
-    "ExecCtx", "SimulationError", "Simulator", "BankModel", "Machine",
+    "ExecCtx", "RunResult", "SimulationError", "Simulator",
+    "BankModel", "Machine",
+    "KernelProfile", "Profiler", "SpecCounters",
     "Sanitizer", "SanitizerError", "SanitizerReport", "strip_barriers",
 ]

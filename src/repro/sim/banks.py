@@ -5,6 +5,11 @@ physical byte offsets a warp's lanes touch in one collective access,
 compute the transaction count the bank hardware needs.  Used by the
 swizzle ablation bench to quantify why optimized kernels use
 "memory layouts beyond row- and column-major" (paper Section 3.2).
+
+For *measured* counters over a whole kernel execution (these helpers
+analyse one hypothetical access), run the kernel with
+``Simulator.run(..., profile=True)`` — :mod:`repro.sim.profiler`
+subsumes this module's per-access accounting.
 """
 
 from __future__ import annotations

@@ -64,10 +64,14 @@ class ExecCtx:
         offsets = acc.offsets(env)
         mask = acc.mask(env)
         san = self.machine.sanitizer
-        if san is not None:
+        prof = self.machine.profiler
+        if san is not None or prof is not None:
             live = offsets if mask is None else \
                 [o for o, ok in zip(offsets, mask) if ok]
-            san.record(tensor, self.block_id, lane, live, "read")
+            if san is not None:
+                san.record(tensor, self.block_id, lane, live, "read")
+            if prof is not None:
+                prof.record(tensor, lane, live, "read")
         if mask is not None:
             offsets = [o if ok else 0 for o, ok in zip(offsets, mask)]
         buf = self._buffer(tensor, lane, max(offsets) + 1)
@@ -84,12 +88,15 @@ class ExecCtx:
         offsets = acc.offsets(env)
         mask = acc.mask(env)
         san = self.machine.sanitizer
+        prof = self.machine.profiler
         if mask is not None:
             live = [o for o, ok in zip(offsets, mask) if ok]
             if not live:
                 return
             if san is not None:
                 san.record(tensor, self.block_id, lane, live, "write")
+            if prof is not None:
+                prof.record(tensor, lane, live, "write")
             buf = self._buffer(tensor, lane, max(live) + 1)
             values = np.asarray(values).reshape(-1)
             for off, val, ok in zip(offsets, values, mask):
@@ -98,6 +105,8 @@ class ExecCtx:
         else:
             if san is not None:
                 san.record(tensor, self.block_id, lane, offsets, "write")
+            if prof is not None:
+                prof.record(tensor, lane, offsets, "write")
             buf = self._buffer(tensor, lane, max(offsets) + 1)
             buf[offsets] = np.asarray(values, dtype=buf.dtype).reshape(-1)
         if tensor.mem == SH:

@@ -21,6 +21,8 @@ out-of-bounds access, uninitialized read, or divergent barrier.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -37,11 +39,47 @@ from ..threads.threadgroup import THREAD, ThreadGroup
 from .access import compile_expr
 from .context import ExecCtx
 from .machine import Machine
+from .profiler import KernelProfile, Profiler
 from .sanitizer import Sanitizer, SanitizerError
 
 
 class SimulationError(RuntimeError):
     pass
+
+
+@dataclass
+class RunResult:
+    """Everything one simulated launch produced.
+
+    ``Simulator.run`` historically returned the bare :class:`Machine`;
+    with the sanitizer and profiler a launch now has three outputs, so
+    they travel together.  For one release, attribute access falls
+    through to ``machine`` (with a :class:`DeprecationWarning`) so code
+    written against the old return type keeps working — migrate to
+    ``result.machine.<attr>``.
+    """
+
+    machine: Machine
+    sanitizer: Optional[Sanitizer] = None
+    profile: Optional[KernelProfile] = None
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            value = getattr(self.machine, name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__!s} has no attribute {name!r}"
+            ) from None
+        warnings.warn(
+            f"accessing {name!r} on RunResult is deprecated; "
+            f"Simulator.run now returns a RunResult — "
+            f"use result.machine.{name} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return value
 
 
 class Simulator:
@@ -61,22 +99,37 @@ class Simulator:
         symbols: Optional[Dict[str, int]] = None,
         *,
         sanitize=False,
-    ) -> Machine:
+        profile=False,
+    ) -> "RunResult":
         """Launch ``kernel`` over numpy-backed global buffers.
 
         ``bindings`` maps parameter tensor names to arrays (modified in
         place for outputs, exactly like buffers passed to a CUDA kernel).
-        Returns the machine for post-mortem inspection.
+        Returns a :class:`RunResult` carrying the machine for
+        post-mortem inspection plus any sanitizer/profiler output.
 
         ``sanitize=True`` attaches a race/memory sanitizer (see
         :mod:`repro.sim.sanitizer`) and raises :class:`SanitizerError`
         after the launch if it found any hazard; ``sanitize="report"``
-        collects findings without raising (inspect them on the returned
-        machine's ``sanitizer.reports``).
+        collects findings without raising (inspect them on the result's
+        ``sanitizer.reports``).
+
+        ``profile=True`` attaches an instruction profiler (see
+        :mod:`repro.sim.profiler`); the measured Nsight-style counters
+        are returned as the result's ``profile``.
         """
+        # Compiled-closure caches key on id(stmt); scoping them to one
+        # run keeps a recycled id from a garbage-collected kernel from
+        # resurrecting a stale closure (ids are unique only among live
+        # objects, and kernels stay alive for the duration of a run).
+        self._loop_cache.clear()
+        self._pred_cache.clear()
+        self._atomic_cache.clear()
         machine = Machine()
         sanitizer = Sanitizer() if sanitize else None
+        profiler = Profiler() if profile else None
         machine.sanitizer = sanitizer
+        machine.profiler = profiler
         symbols = dict(symbols or {})
         missing = [v.name for v in kernel.symbols if v.name not in symbols]
         if missing:
@@ -106,6 +159,8 @@ class Simulator:
         for bid in range(kernel.grid_size()):
             if sanitizer is not None:
                 sanitizer.begin_block(bid)
+            if profiler is not None:
+                profiler.begin_block(bid)
             env = dict(symbols)
             env["blockIdx.x"] = bid
             self._exec_block_stmts(
@@ -113,7 +168,14 @@ class Simulator:
             )
         if sanitizer is not None and sanitize != "report":
             sanitizer.raise_if_dirty()
-        return machine
+        kernel_profile = None
+        if profiler is not None:
+            kernel_profile = profiler.finish(
+                kernel.name, kernel.grid_size(), block_size
+            )
+        return RunResult(
+            machine=machine, sanitizer=sanitizer, profile=kernel_profile
+        )
 
     # -- statement execution -----------------------------------------------------
     def _exec_block_stmts(self, block, env, bid, preds, machine, nthreads):
@@ -170,7 +232,8 @@ class Simulator:
                 )
         elif isinstance(stmt, Barrier):
             # Statement-lockstep execution subsumes barriers numerically;
-            # the sanitizer consumes them as epoch boundaries.
+            # the sanitizer consumes them as epoch boundaries and the
+            # profiler counts them.
             sanitizer = machine.sanitizer
             if sanitizer is not None:
                 divergent = 0
@@ -182,6 +245,8 @@ class Simulator:
                                    for lhs, rhs in preds):
                             divergent += 1
                 sanitizer.barrier(stmt.scope, divergent)
+            if machine.profiler is not None:
+                machine.profiler.barrier(stmt.scope)
         elif isinstance(stmt, Comment):
             pass
         elif isinstance(stmt, SpecStmt):
@@ -216,14 +281,23 @@ class Simulator:
             raise SimulationError(
                 f"atomic spec {atomic.name} has no simulator semantics"
             )
-        if machine.sanitizer is not None:
+        profiler = machine.profiler
+        if machine.sanitizer is not None or profiler is not None:
             label = f"{spec.kind}:{atomic.name}"
             if spec.label:
                 label += f"[{spec.label}]"
-            machine.sanitizer.enter_spec(label)
+            if machine.sanitizer is not None:
+                machine.sanitizer.enter_spec(label)
         for lanes in self._lane_groups(spec, nthreads):
             ctx = ExecCtx(machine, bid, env, lanes, preds)
-            atomic.execute(spec, ctx)
+            if profiler is not None:
+                profiler.begin_exec(label, atomic.name, atomic.width, lanes)
+                try:
+                    atomic.execute(spec, ctx)
+                finally:
+                    profiler.end_exec()
+            else:
+                atomic.execute(spec, ctx)
 
     def _lane_groups(self, spec: Spec, nthreads: int) -> List[List[int]]:
         """Which lane sets execute this spec (one call per set)."""

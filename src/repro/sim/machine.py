@@ -69,6 +69,9 @@ class Machine:
         #: Optional :class:`repro.sim.sanitizer.Sanitizer` observing
         #: every element access (attached by ``Simulator.run``).
         self.sanitizer = None
+        #: Optional :class:`repro.sim.profiler.Profiler` riding the same
+        #: access funnel (attached by ``Simulator.run(profile=True)``).
+        self.profiler = None
 
     # -- declarations -----------------------------------------------------------
     def declare(self, name: str, dtype: DType, size: int) -> None:

@@ -39,6 +39,8 @@ class GateResult:
     passed: bool
     max_error: Optional[float]
     detail: str = ""
+    #: Measured counters of the verification run (``profile=True`` only).
+    profile: Optional["KernelProfile"] = None
 
     @property
     def status(self) -> str:
@@ -51,13 +53,23 @@ def check_candidate(
     candidate: Candidate,
     shape: Dict[str, int],
     seed: int = 0,
+    profile: bool = False,
 ) -> GateResult:
-    """Execute one candidate at its small verification shape."""
+    """Execute one candidate at its small verification shape.
+
+    ``profile=True`` attaches the run's measured counters
+    (:class:`repro.sim.KernelProfile`) to the returned
+    :class:`GateResult`, so tuner reports can show measured bank
+    conflicts next to the oracle's modelled ones.
+    """
+    kernel_profile = None
     try:
         vshape = space.verification_shape(candidate, shape)
         kernel = space.build(candidate, vshape)
         bindings, checks = space.verification_problem(candidate, vshape, seed)
-        Simulator(arch).run(kernel, bindings, sanitize=True)
+        result = Simulator(arch).run(kernel, bindings, sanitize=True,
+                                     profile=profile)
+        kernel_profile = result.profile
     except SanitizerError as exc:
         return GateResult(candidate, False, None,
                           f"rejected by sanitizer: {exc}")
@@ -72,6 +84,7 @@ def check_candidate(
                 candidate, False, None,
                 f"output {name} shape {got.shape} != reference "
                 f"{np.asarray(ref).shape}",
+                profile=kernel_profile,
             )
         err = float(np.abs(got - np.asarray(ref, dtype=np.float32)).max())
         worst = max(worst, err)
@@ -80,8 +93,9 @@ def check_candidate(
                 candidate, False, err,
                 f"output {name} deviates from the numpy reference by "
                 f"{err:.4g} (tolerance {tol:g}) at shape {vshape}",
+                profile=kernel_profile,
             )
-    return GateResult(candidate, True, worst)
+    return GateResult(candidate, True, worst, profile=kernel_profile)
 
 
 def run_gate(

@@ -1,0 +1,51 @@
+"""The profiled bench-smoke entry point behind CI.
+
+``python -m repro.eval bench-smoke`` executes one representative kernel
+per figure family under the profiler and writes a ``BENCH_fig*.json``
+artifact each; the full sweep is ``slow``-marked, one fast family keeps
+the path exercised in the default run.
+"""
+
+import json
+
+import pytest
+
+from repro.eval.bench_smoke import run_bench_smoke, run_family, smoke_families
+
+
+def test_single_family_artifact(tmp_path):
+    paths = run_bench_smoke(["fig13"], outdir=str(tmp_path))
+    assert [p.endswith("BENCH_fig13.json") for p in paths] == [True]
+    artifact = json.loads(open(paths[0]).read())
+    assert artifact["passed"] is True
+    assert artifact["figure"] == "fig13"
+    assert artifact["measured"]["global_load_bytes"] > 0
+    assert artifact["modelled"]["dram_read_bytes"] > 0
+    assert artifact["checks"], "artifact must carry its drift checks"
+
+
+def test_unknown_family_rejected(tmp_path):
+    with pytest.raises(KeyError, match="fig99"):
+        run_bench_smoke(["fig99"], outdir=str(tmp_path))
+
+
+def test_families_cover_every_figure_bench():
+    assert set(smoke_families()) == {
+        "fig09", "fig10", "fig11", "fig12", "fig13", "fig14"
+    }
+
+
+@pytest.mark.slow
+def test_full_smoke_sweep(tmp_path):
+    paths = run_bench_smoke(outdir=str(tmp_path))
+    assert len(paths) == len(smoke_families())
+    for path in paths:
+        artifact = json.loads(open(path).read())
+        assert artifact["passed"] is True, artifact["checks"]
+
+
+@pytest.mark.slow
+def test_every_family_has_measured_traffic():
+    for name in smoke_families():
+        artifact = run_family(name)
+        assert artifact["measured"]["global_load_bytes"] > 0, name

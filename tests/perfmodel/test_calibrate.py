@@ -1,0 +1,100 @@
+"""Calibration-drift gate: the analytical model vs measured counters.
+
+These tests are the contract behind ``python -m repro.eval profile``:
+the shipped kernel families' modelled traffic must track the
+profiler's measurements within the documented tolerances, and a model
+that drifts must be *detected* (not silently reported as calibrated).
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.calibrate import (
+    DEFAULT_TOLERANCE, CalibrationReport, CalibrationRow, calibrate,
+    calibration_cases,
+)
+
+
+class TestRow:
+    def test_exact_match_has_zero_drift(self):
+        row = CalibrationRow("k", "c", 100.0, 100.0, 0.1)
+        assert row.drift == 0.0
+        assert row.passed
+        assert row.status == "ok"
+
+    def test_drift_is_relative(self):
+        row = CalibrationRow("k", "c", 100.0, 89.0, 0.1)
+        assert row.drift == pytest.approx(0.11)
+        assert not row.passed
+        assert row.status == "DRIFT"
+
+    def test_zero_model_nonzero_measurement_fails(self):
+        row = CalibrationRow("k", "c", 0.0, 5.0, 0.1)
+        assert row.drift == float("inf")
+        assert not row.passed
+
+    def test_zero_both_passes(self):
+        assert CalibrationRow("k", "c", 0.0, 0.0, 0.1).passed
+
+
+class TestShippedCalibration:
+    """The expensive end-to-end runs: one per test for granularity."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibrate("ampere")
+
+    def test_all_counters_within_tolerance(self, report):
+        assert report.passed, report.format_table()
+
+    def test_covers_every_shipped_family(self, report):
+        kernels = {row.kernel for row in report.rows}
+        assert {"gemm_naive", "gemm_tc_ampere", "gemm_tc_swizzled",
+                "layernorm", "softmax", "mlp", "lstm",
+                "fmha"} <= kernels
+
+    def test_paper_families_match_exactly(self, report):
+        """Acceptance bar: gemm/layernorm/softmax global traffic agrees
+        to the tick, not just within tolerance."""
+        for row in report.rows:
+            if row.kernel in ("gemm_naive", "gemm_tc_ampere",
+                              "layernorm", "softmax") \
+                    and row.counter.startswith("global"):
+                assert row.measured == row.modelled, row.as_dict()
+
+    def test_swizzle_lowers_measured_conflict_degree(self, report):
+        def degree(kernel):
+            (row,) = [r for r in report.rows if r.kernel == kernel
+                      and r.counter == "ldmatrix_conflict_degree"]
+            return row.measured
+
+        assert degree("gemm_tc_swizzled") < degree("gemm_tc_ampere")
+
+    def test_report_serialises(self, report):
+        d = report.as_dict()
+        assert d["passed"] is True
+        assert len(d["rows"]) == len(report.rows)
+        assert "verdict" in report.format_table()
+
+
+class TestDriftDetection:
+    def test_injected_drift_fails_the_report(self):
+        report = CalibrationReport("test", [
+            CalibrationRow("k", "bytes", 1000.0, 1000.0, 0.1),
+            CalibrationRow("k", "drifted", 1000.0, 1500.0, 0.1),
+        ])
+        assert not report.passed
+        assert [r.counter for r in report.failures()] == ["drifted"]
+        assert report.worst_drift() == pytest.approx(0.5)
+        assert "DRIFT" in report.format_table()
+
+    def test_custom_case_list(self):
+        cases = [c for c in calibration_cases() if c[0] == "layernorm"]
+        report = calibrate("ampere", cases=cases)
+        assert report.passed
+        assert {row.kernel for row in report.rows} == {"layernorm"}
+
+    def test_tolerances_documented(self):
+        assert 0 < DEFAULT_TOLERANCE < 1
+        for _, _, smem_tol, _ in calibration_cases():
+            assert smem_tol >= DEFAULT_TOLERANCE

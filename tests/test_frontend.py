@@ -140,3 +140,98 @@ class TestKernelValidation:
         with pytest.raises(ValueError):
             Kernel("k", blocks("g", (1,)), threads("t", 1), [bad],
                    Block([]))
+
+
+class TestWhenOtherwise:
+    """The no-else predicate contract, surfaced at build time."""
+
+    def _builder(self):
+        kb = KernelBuilder("k", (1,), (4,))
+        acc = kb.alloc("a", (1,), FP32, RF)
+        return kb, acc
+
+    def test_uniform_otherwise_builds_orelse(self):
+        kb, acc = self._builder()
+        with kb.when([(Var("blockIdx.x"), Const(0))]) as guard:
+            kb.init(acc, 1.0)
+        with guard.otherwise():
+            kb.init(acc, 2.0)
+        (branch,) = [s for s in kb.build().body if isinstance(s, If)]
+        assert branch.orelse is not None
+        assert len(list(branch.orelse)) == 1
+
+    def test_thread_dependent_otherwise_rejected_at_build_time(self):
+        kb, acc = self._builder()
+        with kb.when([(Var("threadIdx.x"), Const(0))]) as guard:
+            kb.init(acc, 1.0)
+        with pytest.raises(ValueError, match="thread-dependent"):
+            with guard.otherwise():
+                kb.init(acc, 2.0)
+
+    def test_builder_and_simulator_raise_the_same_error(self):
+        """The build-time check must mirror the interpreter's message,
+        so authors hitting either path get the same contract."""
+        from repro.arch import AMPERE
+        from repro.ir.stmt import Block, If
+        from repro.sim import SimulationError, Simulator
+
+        kb, acc = self._builder()
+        with kb.when([(Var("threadIdx.x"), Const(0))]) as guard:
+            kb.init(acc, 1.0)
+        with pytest.raises(ValueError) as build_err:
+            with guard.otherwise():
+                kb.init(acc, 2.0)
+
+        # Hand-build the same illegal IR and run it: the interpreter
+        # raises the identical message (wrapped in SimulationError).
+        kb2 = KernelBuilder("k2", (1,), (4,))
+        acc2 = kb2.alloc("a", (1,), FP32, RF)
+        with kb2.when([(Var("threadIdx.x"), Const(0))]):
+            kb2.init(acc2, 1.0)
+        kernel = kb2.build()
+        body = list(kernel.body)
+        bad_if = If(body[-1].predicates, body[-1].then,
+                    orelse=Block([next(iter(body[-1].then))]))
+        from repro.specs.kernel import Kernel
+        bad = Kernel(kernel.name, kernel.grid, kernel.block,
+                     list(kernel.params), Block(body[:-1] + [bad_if]))
+        with pytest.raises(SimulationError) as sim_err:
+            Simulator(AMPERE).run(bad, {})
+        assert str(build_err.value) in str(sim_err.value)
+
+    def test_otherwise_must_immediately_follow(self):
+        kb, acc = self._builder()
+        with kb.when([(Var("blockIdx.x"), Const(0))]) as guard:
+            kb.init(acc, 1.0)
+        kb.sync()  # a statement in between invalidates the handle
+        with pytest.raises(RuntimeError, match="immediately follow"):
+            with guard.otherwise():
+                kb.init(acc, 2.0)
+
+    def test_otherwise_cannot_be_reused(self):
+        kb, acc = self._builder()
+        with kb.when([(Var("blockIdx.x"), Const(0))]) as guard:
+            kb.init(acc, 1.0)
+        with guard.otherwise():
+            kb.init(acc, 2.0)
+        with pytest.raises(RuntimeError, match="already"):
+            with guard.otherwise():
+                kb.init(acc, 3.0)
+
+    def test_otherwise_branch_executes_in_sim(self):
+        import numpy as np
+        from repro.arch import AMPERE
+        from repro.sim import Simulator
+        from repro.tensor import GL
+
+        kb = KernelBuilder("k", (2,), (1,))
+        out = kb.param("out", (2,), FP32)
+        view = out.tile((1,))[Var("blockIdx.x")]
+        # Predicates assert lhs < rhs: block 0 takes then, block 1 else.
+        with kb.when([(Var("blockIdx.x"), Const(1))]) as guard:
+            kb.init(view, 1.0)
+        with guard.otherwise():
+            kb.init(view, 2.0)
+        buf = np.zeros(2, dtype=np.float32)
+        Simulator(AMPERE).run(kb.build(), {"out": buf})
+        assert buf.tolist() == [1.0, 2.0]
