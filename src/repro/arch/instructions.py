@@ -5,6 +5,11 @@ simulated machine: per-thread loads/stores, warp-collective ldmatrix data
 movements, Tensor Core mma fragments, warp shuffles, and thread-local
 compute.  The atomic tables in :mod:`repro.arch.volta` and
 :mod:`repro.arch.ampere` bind these to the patterns of paper Table 2.
+
+The warp-level data movement/compute itself is delegated to the shared
+PTX semantics of :mod:`repro.arch.ptx`, which the conformance emulator
+(:mod:`repro.codegen.emulator`) also executes — the simulator and the
+generated-CUDA path cannot drift apart numerically.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from ..specs.base import (
     UnaryPointwise,
 )
 from . import fragments as frag
+from . import ptx
 
 
 # -- per-thread data movement ----------------------------------------------------
@@ -44,6 +50,8 @@ def make_exec_ldmatrix(num_matrices: int, trans: bool = False) -> Callable:
     distributes the transposed matrices, as used for B operands.
     """
 
+    sem = ptx.LdmatrixSemantics(num_matrices, trans)
+
     def execute(spec: Move, ctx: ExecCtx) -> None:
         from ..sim.access import tile_views
 
@@ -55,24 +63,21 @@ def make_exec_ldmatrix(num_matrices: int, trans: bool = False) -> Callable:
         for q in range(num_matrices):
             rows = []
             for row in range(8):
-                lane = lanes[frag.ldmatrix_src_lane(q, row)]
+                lane = lanes[sem.source_lane(q, row)]
                 env = ctx.lane_env(lane)
-                rows.append(ctx.read(src, env, lane))
-            matrices.append(np.stack([r.reshape(8) for r in rows]))
+                rows.append(ctx.read(src, env, lane).reshape(8))
+            matrices.append(np.stack(rows))
         dst_tiles = tile_views(dst)
         if len(dst_tiles) != num_matrices:
             raise ValueError(
                 f"ldmatrix.x{num_matrices} destination must have "
                 f"{num_matrices} tiles, got {len(dst_tiles)}"
             )
+        received = sem.distribute(matrices)
         for li, lane in enumerate(lanes):
             env = ctx.lane_env(lane)
             for q, tile in enumerate(dst_tiles):
-                coords = [frag.ldmatrix_dst_coords(li, q, j) for j in (0, 1)]
-                if trans:
-                    coords = [(c, r) for r, c in coords]
-                vals = [matrices[q][rc] for rc in coords]
-                ctx.write(tile, env, lane, vals)
+                ctx.write(tile, env, lane, received[li, q])
 
     return execute
 
@@ -82,11 +87,7 @@ def exec_mma_16816(spec: MatMul, ctx: ExecCtx) -> None:
     """Ampere ``mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32``."""
     _exec_mma(
         spec, ctx,
-        shape=frag.MMA_16816_SHAPE,
-        a_coord=frag.mma_16816_a_coord,
-        b_coord=frag.mma_16816_b_coord,
-        c_coord=frag.mma_16816_c_coord,
-        lanes_expected=32,
+        ptx.semantics_for("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32"),
     )
 
 
@@ -94,42 +95,26 @@ def exec_mma_884(spec: MatMul, ctx: ExecCtx) -> None:
     """Volta quad-pair ``mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32``."""
     _exec_mma(
         spec, ctx,
-        shape=frag.MMA_884_SHAPE,
-        a_coord=frag.mma_884_a_coord,
-        b_coord=frag.mma_884_b_coord,
-        c_coord=frag.mma_884_c_coord,
-        lanes_expected=8,
+        ptx.semantics_for("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32"),
     )
 
 
-def _exec_mma(spec, ctx, *, shape, a_coord, b_coord, c_coord, lanes_expected):
-    m, n, k = shape
+def _exec_mma(spec, ctx, sem: "ptx.MmaSemantics"):
     lanes = ctx.lanes
-    if len(lanes) != lanes_expected:
+    if len(lanes) != sem.group:
         raise ValueError(
-            f"mma expects {lanes_expected} cooperating lanes, got {len(lanes)}"
+            f"mma expects {sem.group} cooperating lanes, got {len(lanes)}"
         )
-    a = np.zeros((m, k), dtype=np.float32)
-    b = np.zeros((k, n), dtype=np.float32)
-    c = np.zeros((m, n), dtype=np.float32)
     a_frags, b_frags, c_frags = [], [], []
-    for li, lane in enumerate(lanes):
+    for lane in lanes:
         env = ctx.lane_env(lane)
         a_frags.append(ctx.read_frag(spec.a, env, lane))
         b_frags.append(ctx.read_frag(spec.b, env, lane))
         c_frags.append(ctx.read_frag(spec.c, env, lane))
-    for li in range(len(lanes)):
-        for r, val in enumerate(a_frags[li]):
-            a[a_coord(li, r)] = val
-        for r, val in enumerate(b_frags[li]):
-            b[b_coord(li, r)] = val
-        for r, val in enumerate(c_frags[li]):
-            c[c_coord(li, r)] = val
-    d = a @ b + c
+    d_frags = sem.compute(a_frags, b_frags, c_frags)
     for li, lane in enumerate(lanes):
         env = ctx.lane_env(lane)
-        out = [d[c_coord(li, r)] for r in range(len(c_frags[li]))]
-        ctx.write_frag(spec.c, env, lane, out)
+        ctx.write_frag(spec.c, env, lane, d_frags[li])
 
 
 # -- thread-local compute ------------------------------------------------------------
@@ -175,13 +160,15 @@ def exec_thread_reduction(spec: Reduction, ctx: ExecCtx) -> None:
             continue
         vals = ctx.read(src, env, lane).astype(np.float32)
         grid = vals.reshape(dims, order="F")
-        reduced = spec.op.np_fn.reduce(grid, axis=spec.axes) \
-            if hasattr(spec.op.np_fn, "reduce") \
-            else _fold(spec, grid)
-        ctx.write(spec.outputs[0], env, lane, np.ravel(reduced, order="F"))
+        ctx.write(spec.outputs[0], env, lane,
+                  np.ravel(_fold(spec, grid), order="F"))
 
 
 def _fold(spec: Reduction, grid: np.ndarray) -> np.ndarray:
+    # Element-at-a-time on purpose: the generated CUDA reduces with a
+    # strict sequential operator chain, and ufunc reduce (unrolled /
+    # pairwise summation) rounds differently for fp32 sums past ~16
+    # elements, breaking bit-agreement with the emulated text.
     out = None
     flattened = np.moveaxis(
         grid, spec.axes, tuple(range(len(spec.axes)))
@@ -210,10 +197,7 @@ def exec_shfl_bfly(spec: Shfl, ctx: ExecCtx) -> None:
     for lane in lanes:
         env = ctx.lane_env(lane)
         values.append(ctx.read(src, env, lane))
-    mask = spec.xor_mask
+    shuffled = ptx.shfl_bfly(values, spec.xor_mask)
     for li, lane in enumerate(lanes):
-        peer = li ^ mask
-        if peer >= len(lanes):
-            peer = li
         env = ctx.lane_env(lane)
-        ctx.write(dst, env, lane, values[peer])
+        ctx.write(dst, env, lane, shuffled[li])

@@ -61,6 +61,7 @@ class CudaGenerator:
 
     # -- public API -------------------------------------------------------------
     def generate(self, kernel: Kernel) -> KernelSource:
+        self._check_identifiers(kernel)
         lines: List[str] = [_PRELUDE]
         lines.append(self._signature(kernel) + " {")
         body: List[str] = []
@@ -69,7 +70,7 @@ class CudaGenerator:
             decl, nbytes = self._declaration(alloc)
             body.append("    " + decl)
             smem_bytes += nbytes
-        self._emit_block(kernel.body, body, indent=1)
+        self._emit_block(kernel.body, body, indent=1, ctx=EmitterContext())
         lines.extend(body)
         lines.append("}")
         return KernelSource(
@@ -79,6 +80,29 @@ class CudaGenerator:
             kernel.block_size(),
             smem_bytes,
         )
+
+    @staticmethod
+    def _check_identifiers(kernel: Kernel) -> None:
+        """Reject duplicate buffer/parameter identifiers up front.
+
+        Every declaration in the emitted CUDA shares one function scope,
+        so two Allocates reusing a buffer name (or shadowing a kernel
+        parameter) would silently alias the same storage — nvcc reports
+        a redefinition, and so do we.
+        """
+        seen = {}
+        for kind, name in (
+            [("parameter", p.name) for p in kernel.params]
+            + [("symbol", s.name) for s in kernel.symbols]
+            + [("allocation", t.buffer) for t in kernel.allocations()]
+        ):
+            if name in seen:
+                raise ValueError(
+                    f"duplicate identifier {name!r} in kernel "
+                    f"{kernel.name}: declared as {seen[name]} and again "
+                    f"as {kind}"
+                )
+            seen[name] = kind
 
     # -- declarations ---------------------------------------------------------------
     def _signature(self, kernel: Kernel) -> str:
@@ -119,14 +143,18 @@ class CudaGenerator:
         raise ValueError(f"cannot declare {tensor!r}")
 
     # -- statements -------------------------------------------------------------------
-    def _emit_block(self, block: Block, out: List[str], indent: int) -> None:
+    def _emit_block(
+        self, block: Block, out: List[str], indent: int, ctx: EmitterContext
+    ) -> None:
         for stmt in block:
-            self._emit_stmt(stmt, out, indent)
+            self._emit_stmt(stmt, out, indent, ctx)
 
-    def _emit_stmt(self, stmt: Stmt, out: List[str], indent: int) -> None:
+    def _emit_stmt(
+        self, stmt: Stmt, out: List[str], indent: int, ctx: EmitterContext
+    ) -> None:
         pad = "    " * indent
         if isinstance(stmt, Block):
-            self._emit_block(stmt, out, indent)
+            self._emit_block(stmt, out, indent, ctx)
         elif isinstance(stmt, Comment):
             out.append(f"{pad}// {stmt.text}")
         elif isinstance(stmt, SyncThreads):
@@ -143,31 +171,33 @@ class CudaGenerator:
                 f"{pad}for (int {var} = {stmt.start.to_c()}; {cond}; "
                 f"{var} += {step}) {{"
             )
-            self._emit_block(stmt.body, out, indent + 1)
+            self._emit_block(stmt.body, out, indent + 1, ctx)
             out.append(f"{pad}}}")
         elif isinstance(stmt, If):
             cond = " && ".join(
                 f"{a.to_c()} < {b.to_c()}" for a, b in stmt.predicates
             ) or "true"
             out.append(f"{pad}if ({cond}) {{")
-            self._emit_block(stmt.then, out, indent + 1)
+            self._emit_block(stmt.then, out, indent + 1, ctx)
             if stmt.orelse is not None:
                 out.append(f"{pad}}} else {{")
-                self._emit_block(stmt.orelse, out, indent + 1)
+                self._emit_block(stmt.orelse, out, indent + 1, ctx)
             out.append(f"{pad}}}")
         elif isinstance(stmt, SpecStmt):
-            self._emit_spec(stmt.spec, out, indent)
+            self._emit_spec(stmt.spec, out, indent, ctx)
         else:
             raise ValueError(f"cannot generate code for {stmt!r}")
 
     # -- specs -----------------------------------------------------------------------------
-    def _emit_spec(self, spec: Spec, out: List[str], indent: int) -> None:
+    def _emit_spec(
+        self, spec: Spec, out: List[str], indent: int, ctx: EmitterContext
+    ) -> None:
         pad = "    " * indent
         if isinstance(spec, Allocate):
             return  # hoisted
         if spec.body is not None:
             out.append(f"{pad}// {spec.kind} {spec.label}".rstrip())
-            self._emit_block(spec.body, out, indent)
+            self._emit_block(spec.body, out, indent, ctx)
             return
         atomic = match_atomic(spec, self.arch.atomics)
         emitter = EMITTERS.get(atomic.name) or EMITTERS.get(atomic.kind)
@@ -175,6 +205,5 @@ class CudaGenerator:
             raise ValueError(
                 f"no CUDA emitter for atomic spec {atomic.name!r}"
             )
-        ctx = EmitterContext(pad=pad)
-        for line in emitter(spec, atomic, ctx):
+        for line in emitter(spec, atomic, ctx.at(pad)):
             out.append(pad + line)

@@ -18,18 +18,33 @@ from ..tensor.dtypes import FP16, FP32, DType
 from ..tensor.memspace import GL, RF, SH
 from ..tensor.tensor import Tensor, Tile
 
-_tmp_counter = itertools.count()
-
 
 class EmitterContext:
-    """Per-emission state (currently only indentation bookkeeping)."""
+    """Per-kernel emission state: indentation plus the temporary-name
+    counter.
+
+    One context lives for one ``CudaGenerator.generate`` call, so
+    temporary identifiers (``__smem_addr3``, ``__red1``, ...) are
+    numbered deterministically from zero within each kernel — the same
+    kernel always prints the same source, regardless of what was
+    generated before it in the process (goldens and the conformance
+    emulator both rely on this).
+    """
 
     def __init__(self, pad: str = ""):
         self.pad = pad
+        self._tmp_counter = itertools.count()
 
+    def at(self, pad: str) -> "EmitterContext":
+        """The same emission context, indented for a nested statement."""
+        ctx = EmitterContext.__new__(EmitterContext)
+        ctx.pad = pad
+        ctx._tmp_counter = self._tmp_counter
+        return ctx
 
-def _fresh(prefix: str) -> str:
-    return f"__{prefix}{next(_tmp_counter)}"
+    def fresh(self, prefix: str) -> str:
+        """A kernel-unique identifier for an emitted temporary."""
+        return f"__{prefix}{next(self._tmp_counter)}"
 
 
 # -- element addressing -------------------------------------------------------------
@@ -176,7 +191,7 @@ def emit_ldmatrix(spec, atomic, ctx) -> List[str]:
     regs = frag_b32_regs(dst)
     outs = ", ".join(f"%{i}" for i in range(num))
     constraints = ", ".join(f'"=r"({r})' for r in regs)
-    addr = _fresh("smem_addr")
+    addr = ctx.fresh("smem_addr")
     src_off = element_offsets(src)[0][0].to_c()
     ptr = f"&{src.buffer}[{_swizzled(src, src_off)}]"
     return [
@@ -244,7 +259,7 @@ def emit_pointwise(spec, atomic, ctx) -> List[str]:
 def emit_reduction(spec, atomic, ctx) -> List[str]:
     src = spec.inputs[0]
     dst = spec.outputs[0]
-    acc = _fresh("red")
+    acc = ctx.fresh("red")
     refs = [r for r, _ in element_refs(src)]
     lines = [f"float {acc} = {_cast(refs[0], src.dtype, FP32)};"]
     for r in refs[1:]:

@@ -1,0 +1,28 @@
+"""Conformance emulator: execute generated CUDA C++ without nvcc.
+
+The repo's stand-in for compiling and launching generated kernels on a
+GPU (DESIGN.md "emulator-as-nvcc"): a lexer, recursive-descent parser,
+and lockstep evaluator for the exact C subset
+:mod:`repro.codegen.cuda` emits.  Inline PTX ``asm`` blocks execute
+through the shared semantics table in :mod:`repro.arch.ptx`, so the
+emulator and the functional simulator agree by construction on
+warp-level instructions while independently exercising the printed
+index arithmetic, swizzles, and control flow.
+
+>>> from repro.codegen.emulator import emulate
+>>> machine = emulate(kernel_source, {"A": a, "B": b, "C": c})
+>>> machine.global_array("C")
+"""
+
+from .evaluator import EmulatorError, EmuMachine, emulate
+from .lexer import tokenize
+from .parser import ParseError, parse_source
+
+__all__ = [
+    "EmulatorError",
+    "EmuMachine",
+    "ParseError",
+    "emulate",
+    "parse_source",
+    "tokenize",
+]

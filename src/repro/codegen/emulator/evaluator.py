@@ -1,0 +1,936 @@
+"""Lockstep evaluator for parsed generated-CUDA kernels.
+
+Executes a kernel over the full grid x block x thread space the way the
+functional simulator executes IR: statement-by-statement lockstep
+within each block, with two-phase assignment (every active thread
+evaluates its right-hand side before any thread commits a write) so
+warp shuffles and race-free exchanges through shared memory behave as
+on hardware.  Inline ``asm`` blocks dispatch to the shared PTX
+semantics in :mod:`repro.arch.ptx` — the same numpy functions the
+simulator's atomic executors use, so the two paths cannot drift.
+
+Numeric model: fp16 storage reads promote to ``np.float32`` and stores
+round back, and all float literals/arithmetic are fp32 — matching the
+simulator's fp32-math substitution (DESIGN.md), so emulator and
+simulator agree bitwise on supported kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...arch import ptx
+from . import syntax as ast
+from .parser import parse_source
+
+_F16 = np.dtype(np.float16)
+
+CTYPE_DTYPE = {
+    "half": np.float16,
+    "__half": np.float16,
+    "float": np.float32,
+    "double": np.float64,
+}
+
+_INT_CTYPES = {"int", "unsigned"}
+
+#: Element dtypes allowed for pointer parameters: the float types plus
+#: integer buffers (not valid cast targets, hence kept out of
+#: CTYPE_DTYPE).
+PARAM_DTYPE = {**CTYPE_DTYPE, "int": np.int32, "unsigned": np.uint32}
+
+#: Byte widths for reinterpret_cast vector copies.
+_VEC_BYTES = {"float4": 16, "float2": 8, "double": 8, "float": 4,
+              "int": 4, "unsigned": 4, "half": 2, "__half": 2}
+
+
+class EmulatorError(RuntimeError):
+    """The source stepped outside the supported C subset, or executed
+    an operation that would be invalid on the GPU."""
+
+
+class Pointer:
+    """A C pointer value: an element offset into a flat numpy buffer."""
+
+    __slots__ = ("array", "offset")
+
+    def __init__(self, array: np.ndarray, offset: int):
+        self.array = array
+        self.offset = offset
+
+    def __repr__(self):
+        return f"Pointer(<{self.array.dtype}[{self.array.size}]>, {self.offset})"
+
+
+class LaneState:
+    __slots__ = ("tid", "scalars", "arrays")
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.scalars: Dict[str, object] = {}
+        self.arrays: Dict[str, np.ndarray] = {}
+
+
+class BlockState:
+    __slots__ = ("block_id", "all_lanes", "shared", "globals", "symbols",
+                 "uniform", "nthreads")
+
+    def __init__(self, block_id, all_lanes, shared, globals_, symbols):
+        self.block_id = block_id
+        self.all_lanes = all_lanes
+        self.shared = shared
+        self.globals = globals_
+        self.symbols = symbols
+        self.uniform: Dict[str, int] = {}
+        self.nthreads = len(all_lanes)
+
+
+class EmuMachine:
+    """Memory state after an emulated launch (mirrors ``sim.Machine``'s
+    introspection surface for globals/shared/registers)."""
+
+    def __init__(self):
+        self.globals: Dict[str, np.ndarray] = {}
+        self.shared: Dict[Tuple[int, str], np.ndarray] = {}
+        self.registers: Dict[Tuple[int, int, str], np.ndarray] = {}
+
+    def global_array(self, name: str) -> np.ndarray:
+        return self.globals[name]
+
+
+def _trunc_div(x, y):
+    if isinstance(x, (int, np.integer)) and isinstance(y, (int, np.integer)):
+        q = x // y
+        if q < 0 and q * y != x:
+            q += 1
+        return q
+    return x / y
+
+
+def _trunc_mod(x, y):
+    return x - _trunc_div(x, y) * y
+
+
+def _c_max(x, y):
+    if isinstance(x, (int, np.integer)) and isinstance(y, (int, np.integer)):
+        return max(x, y)
+    return np.maximum(x, y)
+
+
+def _c_min(x, y):
+    if isinstance(x, (int, np.integer)) and isinstance(y, (int, np.integer)):
+        return min(x, y)
+    return np.minimum(x, y)
+
+
+#: name -> python implementation over already-evaluated scalar args.
+BUILTINS: Dict[str, Callable] = {
+    "max": _c_max,
+    "min": _c_min,
+    "fmaxf": _c_max,
+    "fminf": _c_min,
+    "fabsf": lambda x: np.abs(np.float32(x)),
+    "sqrtf": lambda x: np.sqrt(np.float32(x)),
+    "rsqrtf": lambda x: 1.0 / np.sqrt(np.float32(x)),
+    "__expf": lambda x: np.exp(np.float32(x)),
+    "expf": lambda x: np.exp(np.float32(x)),
+    "tanhf": lambda x: np.tanh(np.float32(x)),
+    "logf": lambda x: np.log(np.float32(x)),
+    "__half2float": lambda x: np.float32(x),
+    "__float2half": lambda x: np.float16(x),
+    "__select": lambda c, a, b: a if c else b,
+    "__cvta_generic_to_shared": lambda p: p,
+}
+
+
+# -- accessors used by asm operands -------------------------------------------------
+class _ElemRef:
+    """lvalue ``buf[index]`` (one fp32 accumulator register)."""
+
+    __slots__ = ("arr_fn", "idx_fn")
+
+    def __init__(self, arr_fn, idx_fn):
+        self.arr_fn = arr_fn
+        self.idx_fn = idx_fn
+
+    def read(self, block, lane):
+        return self.arr_fn(block, lane)[self.idx_fn(block, lane)]
+
+    def write(self, block, lane, value):
+        self.arr_fn(block, lane)[self.idx_fn(block, lane)] = value
+
+
+class _PairRef:
+    """lvalue ``((unsigned *)(buf))[index]``: one packed b32 register
+    holding fp16 elements ``2*index`` and ``2*index + 1``."""
+
+    __slots__ = ("arr_fn", "idx_fn")
+
+    def __init__(self, arr_fn, idx_fn):
+        self.arr_fn = arr_fn
+        self.idx_fn = idx_fn
+
+    def read(self, block, lane):
+        arr = self.arr_fn(block, lane)
+        i = self.idx_fn(block, lane)
+        return arr[2 * i], arr[2 * i + 1]
+
+    def write(self, block, lane, v0, v1):
+        arr = self.arr_fn(block, lane)
+        i = self.idx_fn(block, lane)
+        arr[2 * i] = v0
+        arr[2 * i + 1] = v1
+
+
+class _DeviceFn:
+    """An interpreted ``__device__`` helper (e.g. ``gelu``)."""
+
+    def __init__(self, fndef: ast.FunctionDef, registry: Dict[str, "_DeviceFn"]):
+        self.fndef = fndef
+        self.registry = registry
+        self.param_names = [p.name for p in fndef.params]
+
+    def __call__(self, *args):
+        env = dict(zip(self.param_names, args))
+        for stmt in self.fndef.body.stmts:
+            if isinstance(stmt, ast.VarDecl) and stmt.size is None:
+                env[stmt.name] = self._eval(stmt.init, env)
+            elif isinstance(stmt, ast.Return):
+                return self._eval(stmt.value, env)
+            else:
+                raise EmulatorError(
+                    f"unsupported statement in __device__ "
+                    f"{self.fndef.name}: {stmt!r}"
+                )
+        raise EmulatorError(f"__device__ {self.fndef.name} did not return")
+
+    def _eval(self, node, env):
+        if isinstance(node, ast.IntLit):
+            return node.value
+        if isinstance(node, ast.FloatLit):
+            return np.float32(node.value)
+        if isinstance(node, ast.Name):
+            try:
+                return env[node.ident]
+            except KeyError:
+                raise EmulatorError(
+                    f"unknown name {node.ident!r} in __device__ "
+                    f"{self.fndef.name}"
+                ) from None
+        if isinstance(node, ast.Unary) and node.op == "-":
+            return -self._eval(node.operand, env)
+        if isinstance(node, ast.Binary):
+            x = self._eval(node.lhs, env)
+            y = self._eval(node.rhs, env)
+            return _BINOPS[node.op](lambda: x, lambda: y)
+        if isinstance(node, ast.Cast) and not node.ptr:
+            v = self._eval(node.operand, env)
+            if node.ctype in CTYPE_DTYPE:
+                return CTYPE_DTYPE[node.ctype](v)
+            return int(v)
+        if isinstance(node, ast.Call):
+            args = [self._eval(a, env) for a in node.args]
+            if node.fn in BUILTINS:
+                return BUILTINS[node.fn](*args)
+            if node.fn in self.registry:
+                return self.registry[node.fn](*args)
+        raise EmulatorError(
+            f"unsupported expression in __device__ {self.fndef.name}: "
+            f"{node!r}"
+        )
+
+
+#: op -> fn(lazy_lhs, lazy_rhs); laziness only matters for && and ||.
+_BINOPS = {
+    "+": lambda x, y: x() + y(),
+    "-": lambda x, y: x() - y(),
+    "*": lambda x, y: x() * y(),
+    "/": lambda x, y: _trunc_div(x(), y()),
+    "%": lambda x, y: _trunc_mod(x(), y()),
+    "<<": lambda x, y: x() << y(),
+    ">>": lambda x, y: x() >> y(),
+    "&": lambda x, y: x() & y(),
+    "|": lambda x, y: x() | y(),
+    "^": lambda x, y: x() ^ y(),
+    "<": lambda x, y: x() < y(),
+    "<=": lambda x, y: x() <= y(),
+    ">": lambda x, y: x() > y(),
+    ">=": lambda x, y: x() >= y(),
+    "==": lambda x, y: x() == y(),
+    "!=": lambda x, y: x() != y(),
+    "&&": lambda x, y: bool(x()) and bool(y()),
+    "||": lambda x, y: bool(x()) or bool(y()),
+}
+
+
+class _Compiler:
+    """Compiles a kernel FunctionDef into nested statement executors.
+
+    An executor is ``fn(block, lanes)`` over the currently-active lanes;
+    an expression closure is ``fn(block, lane) -> value``.  Name
+    resolution happens here, at compile time, against a symbol table
+    built from the kernel signature and a declaration prepass.
+    """
+
+    def __init__(self, fndef: ast.FunctionDef,
+                 device_fns: Dict[str, _DeviceFn]):
+        self.fndef = fndef
+        self.device_fns = device_fns
+        self.scope: Dict[str, Tuple] = {}
+        self.shared_decls: List[Tuple[str, type, int]] = []
+        self.reg_decls: List[Tuple[str, type, int]] = []
+        for p in fndef.params:
+            if p.ptr:
+                dtype = PARAM_DTYPE.get(p.ctype)
+                if dtype is None:
+                    raise EmulatorError(
+                        f"unsupported pointer parameter type {p.ctype!r}"
+                    )
+                self.scope[p.name] = ("global", np.dtype(dtype))
+            else:
+                if p.ctype != "int":
+                    raise EmulatorError(
+                        f"unsupported value parameter type {p.ctype!r}"
+                    )
+                self.scope[p.name] = ("symbol",)
+        self._collect_decls(fndef.body)
+
+    # -- declaration prepass -----------------------------------------------------
+    def _collect_decls(self, node) -> None:
+        if isinstance(node, ast.BlockStmt):
+            for s in node.stmts:
+                self._collect_decls(s)
+        elif isinstance(node, ast.For):
+            self._collect_decls(node.body)
+        elif isinstance(node, ast.IfStmt):
+            self._collect_decls(node.then)
+            if node.orelse is not None:
+                self._collect_decls(node.orelse)
+        elif isinstance(node, ast.VarDecl):
+            if node.name in self.scope:
+                raise EmulatorError(
+                    f"duplicate declaration of {node.name!r} in kernel "
+                    f"{self.fndef.name} (all declarations share one "
+                    f"function scope)"
+                )
+            if node.size is not None:
+                dtype = PARAM_DTYPE.get(node.ctype)
+                if dtype is None:
+                    raise EmulatorError(
+                        f"unsupported array element type {node.ctype!r}"
+                    )
+                kind = "shared" if node.shared else "reg"
+                self.scope[node.name] = (kind, np.dtype(dtype))
+                decls = self.shared_decls if node.shared else self.reg_decls
+                decls.append((node.name, dtype, node.size))
+            else:
+                self.scope[node.name] = ("scalar", node.ctype)
+
+    # -- expressions -------------------------------------------------------------
+    def compile_expr(self, node) -> Callable:
+        if isinstance(node, ast.IntLit):
+            v = node.value
+            return lambda b, l: v
+        if isinstance(node, ast.FloatLit):
+            v = np.float32(node.value)
+            return lambda b, l: v
+        if isinstance(node, ast.Name):
+            return self._compile_name(node.ident)
+        if isinstance(node, ast.Index):
+            if isinstance(node.base, ast.Cast) and node.base.ptr:
+                raise EmulatorError(
+                    "packed-register access ((T *)(buf))[i] is only "
+                    "supported as an asm operand"
+                )
+            arr_fn = self.compile_expr(node.base)
+            idx_fn = self.compile_expr(node.index)
+
+            def read(b, l, arr_fn=arr_fn, idx_fn=idx_fn):
+                v = arr_fn(b, l)[idx_fn(b, l)]
+                if v.dtype == _F16:
+                    return np.float32(v)
+                return v
+
+            return read
+        if isinstance(node, ast.Binary):
+            op = _BINOPS.get(node.op)
+            if op is None:
+                raise EmulatorError(f"unsupported operator {node.op!r}")
+            lhs = self.compile_expr(node.lhs)
+            rhs = self.compile_expr(node.rhs)
+            return lambda b, l: op(lambda: lhs(b, l), lambda: rhs(b, l))
+        if isinstance(node, ast.Unary):
+            return self._compile_unary(node)
+        if isinstance(node, ast.Cast):
+            return self._compile_cast(node)
+        if isinstance(node, ast.Call):
+            return self._compile_call(node)
+        raise EmulatorError(f"unsupported expression {node!r}")
+
+    def _compile_name(self, ident: str) -> Callable:
+        if ident == "threadIdx.x":
+            return lambda b, l: l.tid
+        if ident == "blockIdx.x":
+            return lambda b, l: b.block_id
+        if ident == "blockDim.x":
+            return lambda b, l: b.nthreads
+        entry = self.scope.get(ident)
+        if entry is None:
+            raise EmulatorError(f"unknown identifier {ident!r}")
+        kind = entry[0]
+        if kind == "loopvar":
+            return lambda b, l: b.uniform[ident]
+        if kind == "symbol":
+            return lambda b, l: b.symbols[ident]
+        if kind == "scalar":
+            return lambda b, l: l.scalars[ident]
+        if kind == "global":
+            return lambda b, l: b.globals[ident]
+        if kind == "shared":
+            return lambda b, l: b.shared[ident]
+        if kind == "reg":
+            return lambda b, l: l.arrays[ident]
+        raise EmulatorError(f"cannot read {ident!r} ({kind})")
+
+    def _compile_unary(self, node: ast.Unary) -> Callable:
+        if node.op == "&":
+            if isinstance(node.operand, ast.Index):
+                arr_fn = self.compile_expr(node.operand.base)
+                idx_fn = self.compile_expr(node.operand.index)
+                return lambda b, l: Pointer(arr_fn(b, l),
+                                            int(idx_fn(b, l)))
+            if isinstance(node.operand, ast.Name):
+                arr_fn = self.compile_expr(node.operand)
+                return lambda b, l: Pointer(arr_fn(b, l), 0)
+            raise EmulatorError(f"cannot take address of {node.operand!r}")
+        operand = self.compile_expr(node.operand)
+        if node.op == "-":
+            return lambda b, l: -operand(b, l)
+        if node.op == "!":
+            return lambda b, l: not operand(b, l)
+        if node.op == "~":
+            return lambda b, l: ~operand(b, l)
+        raise EmulatorError(
+            f"unary {node.op!r} is only supported in assignment targets"
+        )
+
+    def _compile_cast(self, node: ast.Cast) -> Callable:
+        if node.ptr:
+            raise EmulatorError(
+                "pointer casts are only supported under indexing in asm "
+                "operands"
+            )
+        operand = self.compile_expr(node.operand)
+        if node.ctype in _INT_CTYPES:
+            def to_int(b, l):
+                v = operand(b, l)
+                if isinstance(v, Pointer):
+                    return v  # __cvta address: keep symbolic
+                return int(v)
+            return to_int
+        dtype = CTYPE_DTYPE.get(node.ctype)
+        if dtype is None:
+            raise EmulatorError(f"unsupported cast to {node.ctype!r}")
+        return lambda b, l: dtype(operand(b, l))
+
+    def _compile_call(self, node: ast.Call) -> Callable:
+        if node.fn == "__shfl_xor_sync":
+            if len(node.args) != 3:
+                raise EmulatorError("__shfl_xor_sync expects 3 arguments")
+            val_fn = self.compile_expr(node.args[1])
+            xor_fn = self.compile_expr(node.args[2])
+
+            def shfl(b, l):
+                mask = int(xor_fn(b, l))
+                warp_start = (l.tid // 32) * 32
+                peer_tid = warp_start + ((l.tid - warp_start) ^ mask)
+                if peer_tid - warp_start >= 32 or peer_tid >= b.nthreads:
+                    peer = l
+                else:
+                    peer = b.all_lanes[peer_tid]
+                return val_fn(b, peer)
+
+            return shfl
+        arg_fns = [self.compile_expr(a) for a in node.args]
+        fn = BUILTINS.get(node.fn)
+        if fn is None:
+            fn = self.device_fns.get(node.fn)
+        if fn is None:
+            raise EmulatorError(f"unknown function {node.fn!r}")
+        return lambda b, l: fn(*[a(b, l) for a in arg_fns])
+
+    # -- statements --------------------------------------------------------------
+    def compile_stmt(self, node) -> Callable:
+        if isinstance(node, ast.BlockStmt):
+            execs = [self.compile_stmt(s) for s in node.stmts]
+
+            def block_exec(b, lanes):
+                for e in execs:
+                    e(b, lanes)
+
+            return block_exec
+        if isinstance(node, ast.VarDecl):
+            return self._compile_decl(node)
+        if isinstance(node, ast.Assign):
+            return self._compile_assign(node)
+        if isinstance(node, ast.ExprStmt):
+            return self._compile_expr_stmt(node)
+        if isinstance(node, ast.For):
+            return self._compile_for(node)
+        if isinstance(node, ast.IfStmt):
+            return self._compile_if(node)
+        if isinstance(node, ast.Asm):
+            return self._compile_asm(node)
+        raise EmulatorError(f"unsupported statement {node!r}")
+
+    def _compile_decl(self, node: ast.VarDecl) -> Callable:
+        if node.size is not None:
+            return lambda b, lanes: None  # arrays preallocated per launch
+        name = node.name
+        caster = CTYPE_DTYPE.get(node.ctype)
+        if node.init is None:
+            zero = caster(0) if caster else 0
+            def default(b, lanes):
+                for l in lanes:
+                    l.scalars[name] = zero
+            return default
+        init_fn = self.compile_expr(node.init)
+
+        def init(b, lanes):
+            staged = [init_fn(b, l) for l in lanes]
+            for l, v in zip(lanes, staged):
+                if caster is not None:
+                    v = caster(v)
+                l.scalars[name] = v
+
+        return init
+
+    def _compile_assign(self, node: ast.Assign) -> Callable:
+        target = node.target
+        if isinstance(target, ast.Unary) and target.op == "*":
+            return self._compile_vector_copy(node)
+        value_fn = self.compile_expr(node.value)
+        if node.op != "=":
+            bare = node.op[:-1]
+            op = _BINOPS.get(bare)
+            if op is None:
+                raise EmulatorError(f"unsupported assignment op {node.op!r}")
+            read_fn = self.compile_expr(target)
+            rhs = value_fn
+            value_fn = (lambda b, l, read_fn=read_fn, rhs=rhs, op=op:
+                        op(lambda: read_fn(b, l), lambda: rhs(b, l)))
+        if isinstance(target, ast.Index):
+            if isinstance(target.base, ast.Cast) and target.base.ptr:
+                raise EmulatorError(
+                    "packed-register stores are only supported in asm"
+                )
+            arr_fn = self.compile_expr(target.base)
+            idx_fn = self.compile_expr(target.index)
+
+            def store(b, lanes):
+                staged = [
+                    (arr_fn(b, l), idx_fn(b, l), value_fn(b, l))
+                    for l in lanes
+                ]
+                for arr, i, v in staged:
+                    arr[i] = v
+
+            return store
+        if isinstance(target, ast.Name):
+            entry = self.scope.get(target.ident)
+            if entry is None or entry[0] != "scalar":
+                raise EmulatorError(
+                    f"cannot assign to {target.ident!r}"
+                )
+            name = target.ident
+            caster = CTYPE_DTYPE.get(entry[1])
+
+            def store_scalar(b, lanes):
+                staged = [value_fn(b, l) for l in lanes]
+                for l, v in zip(lanes, staged):
+                    if caster is not None:
+                        v = caster(v)
+                    l.scalars[name] = v
+
+            return store_scalar
+        raise EmulatorError(f"unsupported assignment target {target!r}")
+
+    def _pointer_fn(self, node) -> Tuple[Callable, Optional[int]]:
+        """Compile an expression to a Pointer-returning closure; returns
+        (closure, nbytes hint from a reinterpret_cast, if any)."""
+        if isinstance(node, ast.Unary) and node.op == "*":
+            node = node.operand
+        nbytes = None
+        if isinstance(node, ast.Reinterpret):
+            nbytes = _VEC_BYTES.get(node.ctype)
+            if nbytes is None:
+                raise EmulatorError(
+                    f"unsupported reinterpret_cast type {node.ctype!r}"
+                )
+            node = node.operand
+        fn = self.compile_expr(node)
+
+        def as_pointer(b, l):
+            v = fn(b, l)
+            if not isinstance(v, Pointer):
+                raise EmulatorError(f"expected a pointer, got {v!r}")
+            return v
+
+        return as_pointer, nbytes
+
+    def _compile_vector_copy(self, node: ast.Assign) -> Callable:
+        if node.op != "=":
+            raise EmulatorError("vector copies must use plain assignment")
+        dst_fn, dst_bytes = self._pointer_fn(node.target)
+        src_fn, src_bytes = self._pointer_fn(node.value)
+        nbytes = dst_bytes or src_bytes
+        if nbytes is None:
+            raise EmulatorError("vector copy without a reinterpret_cast")
+        return self._vector_copy_exec(dst_fn, src_fn,
+                                      lambda b, l: nbytes)
+
+    def _vector_copy_exec(self, dst_fn, src_fn, nbytes_fn) -> Callable:
+        def copy(b, lanes):
+            staged = []
+            for l in lanes:
+                dst = dst_fn(b, l)
+                src = src_fn(b, l)
+                nbytes = int(nbytes_fn(b, l))
+                if src.array.itemsize != dst.array.itemsize:
+                    raise EmulatorError(
+                        "vector copy between different element sizes"
+                    )
+                n = nbytes // dst.array.itemsize
+                if nbytes % dst.array.itemsize:
+                    raise EmulatorError(
+                        f"copy of {nbytes} bytes is not a whole number "
+                        f"of {dst.array.itemsize}-byte elements"
+                    )
+                if src.offset + n > src.array.size or \
+                        dst.offset + n > dst.array.size:
+                    raise EmulatorError("vector copy out of bounds")
+                staged.append(
+                    (dst, src.array[src.offset:src.offset + n].copy(), n)
+                )
+            for dst, vals, n in staged:
+                dst.array[dst.offset:dst.offset + n] = vals
+
+        return copy
+
+    def _compile_expr_stmt(self, node: ast.ExprStmt) -> Callable:
+        expr = node.expr
+        if isinstance(expr, ast.Call):
+            if expr.fn in ("__syncthreads", "__syncwarp"):
+                return lambda b, lanes: None  # lockstep subsumes barriers
+            if expr.fn == "__pipeline_memcpy_async":
+                if len(expr.args) != 3:
+                    raise EmulatorError(
+                        "__pipeline_memcpy_async expects 3 arguments"
+                    )
+                dst_fn, _ = self._pointer_fn(expr.args[0])
+                src_fn, _ = self._pointer_fn(expr.args[1])
+                nbytes_fn = self.compile_expr(expr.args[2])
+                return self._vector_copy_exec(dst_fn, src_fn, nbytes_fn)
+            if expr.fn in ("__pipeline_commit", "__pipeline_wait_prior"):
+                return lambda b, lanes: None
+        raise EmulatorError(f"unsupported expression statement {expr!r}")
+
+    def _compile_for(self, node: ast.For) -> Callable:
+        for bound in (node.start, node.stop, node.step):
+            self._check_uniform(bound)
+        start_fn = self.compile_expr(node.start)
+        stop_fn = self.compile_expr(node.stop)
+        step_fn = self.compile_expr(node.step)
+        var = node.var
+        if var in self.scope and self.scope[var][0] != "loopvar":
+            raise EmulatorError(
+                f"loop variable {var!r} shadows another declaration"
+            )
+        saved = self.scope.get(var)
+        self.scope[var] = ("loopvar",)
+        try:
+            body = self.compile_stmt(node.body)
+        finally:
+            if saved is None:
+                del self.scope[var]
+            else:
+                self.scope[var] = saved
+
+        def run(b, lanes):
+            lane0 = lanes[0]
+            i = int(start_fn(b, lane0))
+            stop = int(stop_fn(b, lane0))
+            step = int(step_fn(b, lane0))
+            if step <= 0:
+                raise EmulatorError("loop step must be positive")
+            outer = b.uniform.get(var)
+            while i < stop:
+                b.uniform[var] = i
+                body(b, lanes)
+                i += step
+            if outer is None:
+                b.uniform.pop(var, None)
+            else:
+                b.uniform[var] = outer
+
+        return run
+
+    def _check_uniform(self, node) -> None:
+        """Loop bounds must not depend on the thread (lockstep loops)."""
+        if isinstance(node, ast.Name):
+            if node.ident == "threadIdx.x":
+                raise EmulatorError(
+                    "loop bound depends on threadIdx.x; lockstep "
+                    "emulation requires block-uniform trip counts"
+                )
+            entry = self.scope.get(node.ident)
+            if entry is not None and entry[0] == "scalar":
+                raise EmulatorError(
+                    f"loop bound depends on per-thread scalar "
+                    f"{node.ident!r}"
+                )
+        for slot in getattr(node, "__slots__", ()):
+            child = getattr(node, slot)
+            if isinstance(child, ast.Node):
+                self._check_uniform(child)
+            elif isinstance(child, list):
+                for c in child:
+                    if isinstance(c, ast.Node):
+                        self._check_uniform(c)
+
+    def _compile_if(self, node: ast.IfStmt) -> Callable:
+        cond_fn = self.compile_expr(node.cond)
+        then_fn = self.compile_stmt(node.then)
+        else_fn = (self.compile_stmt(node.orelse)
+                   if node.orelse is not None else None)
+
+        def branch(b, lanes):
+            flags = [bool(cond_fn(b, l)) for l in lanes]
+            active = [l for l, f in zip(lanes, flags) if f]
+            if active:
+                then_fn(b, active)
+            if else_fn is not None:
+                inactive = [l for l, f in zip(lanes, flags) if not f]
+                if inactive:
+                    else_fn(b, inactive)
+
+        return branch
+
+    # -- inline PTX --------------------------------------------------------------
+    def _compile_asm_operand(self, constraint: str, expr):
+        """Classify one asm operand: packed fp16 pair, fp32 element
+        lvalue, or plain value (the smem address scalar)."""
+        if (isinstance(expr, ast.Index) and isinstance(expr.base, ast.Cast)
+                and expr.base.ptr):
+            if expr.base.ctype != "unsigned":
+                raise EmulatorError(
+                    f"unsupported packed register cast "
+                    f"({expr.base.ctype} *)"
+                )
+            arr_fn = self.compile_expr(expr.base.operand)
+            idx_fn = self.compile_expr(expr.index)
+            return "pair", _PairRef(arr_fn, idx_fn)
+        if isinstance(expr, ast.Index):
+            arr_fn = self.compile_expr(expr.base)
+            idx_fn = self.compile_expr(expr.index)
+            return "elem", _ElemRef(arr_fn, idx_fn)
+        return "value", self.compile_expr(expr)
+
+    def _compile_asm(self, node: ast.Asm) -> Callable:
+        template = node.template.strip()
+        if not template:
+            raise EmulatorError("empty asm template")
+        mnemonic = template.split()[0]
+        try:
+            sem = ptx.semantics_for(mnemonic)
+        except KeyError as exc:
+            raise EmulatorError(str(exc)) from None
+        outputs = [self._compile_asm_operand(c, e) for c, e in node.outputs]
+        inputs = [self._compile_asm_operand(c, e) for c, e in node.inputs]
+        if isinstance(sem, ptx.LdmatrixSemantics):
+            return self._compile_ldmatrix(sem, outputs, inputs)
+        if isinstance(sem, ptx.MmaSemantics):
+            return self._compile_mma(sem, outputs, inputs)
+        raise EmulatorError(f"no emulation for asm {mnemonic!r}")
+
+    def _compile_ldmatrix(self, sem, outputs, inputs) -> Callable:
+        if len(outputs) != sem.num or any(k != "pair" for k, _ in outputs):
+            raise EmulatorError(
+                f"ldmatrix.x{sem.num} needs {sem.num} packed-pair "
+                f"outputs"
+            )
+        if len(inputs) != 1 or inputs[0][0] != "value":
+            raise EmulatorError("ldmatrix needs one address input")
+        pair_refs = [ref for _, ref in outputs]
+        addr_fn = inputs[0][1]
+
+        def run(b, lanes):
+            for chunk in _lane_chunks(lanes, 32, "ldmatrix"):
+                matrices = []
+                for q in range(sem.num):
+                    rows = []
+                    for row in range(8):
+                        peer = chunk[sem.source_lane(q, row)]
+                        ptr = addr_fn(b, peer)
+                        if not isinstance(ptr, Pointer):
+                            raise EmulatorError(
+                                f"ldmatrix address is not a pointer: "
+                                f"{ptr!r}"
+                            )
+                        if ptr.offset + 8 > ptr.array.size:
+                            raise EmulatorError(
+                                "ldmatrix row read out of bounds"
+                            )
+                        rows.append(
+                            ptr.array[ptr.offset:ptr.offset + 8].copy()
+                        )
+                    matrices.append(np.stack(rows))
+                received = sem.distribute(matrices)
+                for li, lane in enumerate(chunk):
+                    for q, ref in enumerate(pair_refs):
+                        v0, v1 = received[li, q]
+                        ref.write(b, lane, v0, v1)
+
+        return run
+
+    def _compile_mma(self, sem, outputs, inputs) -> Callable:
+        m, n, k = sem.shape
+        a_pairs = (m * k // sem.group) // 2
+        b_pairs = (k * n // sem.group) // 2
+        c_vals = m * n // sem.group
+        if len(outputs) != c_vals or any(kd != "elem" for kd, _ in outputs):
+            raise EmulatorError(
+                f"mma m{m}n{n}k{k} needs {c_vals} accumulator outputs"
+            )
+        if (len(inputs) != a_pairs + b_pairs
+                or any(kd != "pair" for kd, _ in inputs)):
+            raise EmulatorError(
+                f"mma m{m}n{n}k{k} needs {a_pairs}+{b_pairs} packed "
+                f"inputs, got {len(inputs)}"
+            )
+        c_refs = [ref for _, ref in outputs]
+        a_refs = [ref for _, ref in inputs[:a_pairs]]
+        b_refs = [ref for _, ref in inputs[a_pairs:]]
+
+        partition = sem.warp_partition()
+
+        def run(b, lanes):
+            chunks = [
+                [warp[pos] for pos in positions]
+                for warp in _lane_chunks(lanes, 32, "mma")
+                for positions in partition
+            ]
+            for chunk in chunks:
+                a_frags, b_frags, c_frags = [], [], []
+                for lane in chunk:
+                    a_frags.append(np.array(
+                        [v for ref in a_refs for v in ref.read(b, lane)],
+                        dtype=np.float32))
+                    b_frags.append(np.array(
+                        [v for ref in b_refs for v in ref.read(b, lane)],
+                        dtype=np.float32))
+                    c_frags.append(np.array(
+                        [ref.read(b, lane) for ref in c_refs],
+                        dtype=np.float32))
+                d_frags = sem.compute(a_frags, b_frags, c_frags)
+                for li, lane in enumerate(chunk):
+                    for j, ref in enumerate(c_refs):
+                        ref.write(b, lane, d_frags[li][j])
+
+        return run
+
+    def compile(self) -> Callable:
+        return self.compile_stmt(self.fndef.body)
+
+
+def _lane_chunks(lanes: Sequence[LaneState], group: int,
+                 what: str) -> List[List[LaneState]]:
+    """Split the active lanes into aligned, consecutive groups."""
+    if len(lanes) % group:
+        raise EmulatorError(
+            f"{what} needs the active thread count ({len(lanes)}) to be "
+            f"a multiple of {group}"
+        )
+    chunks = []
+    for i in range(0, len(lanes), group):
+        chunk = list(lanes[i:i + group])
+        tids = [l.tid for l in chunk]
+        if tids[0] % group or tids != list(range(tids[0], tids[0] + group)):
+            raise EmulatorError(
+                f"{what} needs aligned consecutive groups of {group} "
+                f"threads, got tids {tids}"
+            )
+        chunks.append(chunk)
+    return chunks
+
+
+# -- launch ------------------------------------------------------------------------
+def emulate(source, bindings: Dict[str, np.ndarray],
+            symbols: Optional[Dict[str, int]] = None) -> EmuMachine:
+    """Execute a generated :class:`~repro.codegen.cuda.KernelSource`.
+
+    ``bindings`` maps kernel pointer parameters to numpy arrays, which
+    are mutated in place (like a real launch); ``symbols`` binds the
+    ``int`` value parameters.  Returns an :class:`EmuMachine` exposing
+    the final global/shared/register state.
+    """
+    program = parse_source(source.code)
+    kernel = program.kernel(source.name)
+    device_fns: Dict[str, _DeviceFn] = {}
+    for fn in program.functions:
+        if not fn.is_kernel:
+            device_fns[fn.name] = _DeviceFn(fn, device_fns)
+
+    symbols = dict(symbols or {})
+    globals_: Dict[str, np.ndarray] = {}
+    for p in kernel.params:
+        if p.ptr:
+            if p.name not in bindings:
+                raise EmulatorError(f"missing binding for parameter "
+                                    f"{p.name!r}")
+            arr = bindings[p.name]
+            want = np.dtype(PARAM_DTYPE[p.ctype])
+            if arr.dtype != want:
+                raise EmulatorError(
+                    f"binding {p.name!r} has dtype {arr.dtype}, kernel "
+                    f"expects {want}"
+                )
+            if not arr.flags.c_contiguous:
+                raise EmulatorError(
+                    f"binding {p.name!r} must be C-contiguous"
+                )
+            globals_[p.name] = arr.reshape(-1)
+        else:
+            if p.name not in symbols:
+                raise EmulatorError(f"missing symbol value for "
+                                    f"{p.name!r}")
+            symbols[p.name] = int(symbols[p.name])
+
+    compiler = _Compiler(kernel, device_fns)
+    body = compiler.compile()
+
+    machine = EmuMachine()
+    machine.globals = globals_
+    grid = int(source.grid_dim)
+    nthreads = int(source.block_dim)
+    for block_id in range(grid):
+        shared = {
+            name: np.zeros(size, dtype=dtype)
+            for name, dtype, size in compiler.shared_decls
+        }
+        all_lanes = []
+        for tid in range(nthreads):
+            lane = LaneState(tid)
+            for name, dtype, size in compiler.reg_decls:
+                lane.arrays[name] = np.zeros(size, dtype=dtype)
+            all_lanes.append(lane)
+        block = BlockState(block_id, all_lanes, shared, globals_, symbols)
+        body(block, all_lanes)
+        for name, arr in shared.items():
+            machine.shared[(block_id, name)] = arr
+        for lane in all_lanes:
+            for name, arr in lane.arrays.items():
+                machine.registers[(block_id, lane.tid, name)] = arr
+    return machine

@@ -1,0 +1,95 @@
+"""Tokenizer for the emitted CUDA C subset.
+
+The generated kernels use a tiny, regular slice of C: identifiers
+(including the ``threadIdx.x`` builtins, which lex as a single dotted
+identifier), integer/float literals, string literals (asm templates),
+and a fixed punctuation set.  Comments and preprocessor lines
+(``#include``, ``#pragma unroll``) carry no semantics for emulation and
+are dropped here.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str  # "id" | "int" | "float" | "str" | "punct" | "eof"
+    text: str
+    line: int
+    col: int
+
+
+class LexError(ValueError):
+    pass
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>//[^\n]*|/\*.*?\*/)
+    | (?P<pp>\#[^\n]*)
+    | (?P<str>"(?:[^"\\]|\\.)*")
+    | (?P<hex>0[xX][0-9a-fA-F]+[uUlL]*)
+    | (?P<float>(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fF]?
+               |\d+[eE][+-]?\d+[fF]?
+               |\d+[fF])
+    | (?P<int>\d+[uUlL]*)
+    | (?P<id>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)
+    | (?P<punct><<=|>>=|\+=|-=|\*=|/=|%=|&=|\^=|\|=|<<|>>|<=|>=|==|!=
+               |&&|\|\||::|[{}()\[\];,:<>+\-*/%^&|!~=?.])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            col = pos - line_start + 1
+            raise LexError(
+                f"unexpected character {source[pos]!r} at "
+                f"line {line}, col {col}"
+            )
+        kind = m.lastgroup
+        text = m.group()
+        if kind in ("ws", "comment", "pp"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = m.start() + text.rindex("\n") + 1
+        else:
+            col = m.start() - line_start + 1
+            if kind == "hex":
+                kind = "int"
+            tokens.append(Token(kind, text, line, col))
+        pos = m.end()
+    tokens.append(Token("eof", "", line, n - line_start + 1))
+    return tokens
+
+
+def int_value(text: str) -> int:
+    stripped = text.rstrip("uUlL")
+    return int(stripped, 0)
+
+
+def float_value(text: str) -> float:
+    return float(text.rstrip("fF"))
+
+
+def string_value(text: str) -> str:
+    """Decode a C string literal (asm template)."""
+    body = text[1:-1]
+    return (
+        body.replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )

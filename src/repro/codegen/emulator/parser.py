@@ -1,0 +1,373 @@
+"""Recursive-descent parser for the emitted CUDA C subset.
+
+Parses the exact grammar :mod:`repro.codegen.cuda` prints: function
+definitions with qualifiers, declarations (scalars and fixed-size
+arrays, optionally ``__shared__``), ``for``/``if`` statements,
+assignments (plain and compound), calls, inline ``asm volatile``
+blocks with output/input operand lists, and C expressions with the
+standard precedence table (including casts and ``reinterpret_cast``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import syntax as ast
+from .lexer import Token, float_value, int_value, string_value, tokenize
+
+
+class ParseError(ValueError):
+    pass
+
+
+TYPE_NAMES = {
+    "void", "int", "unsigned", "float", "double", "half", "__half",
+    "float2", "float4",
+}
+
+QUALIFIERS = {
+    "__global__", "__device__", "__forceinline__", "__shared__",
+    "__restrict__", "const", "static", "inline", "volatile",
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+               "<<=", ">>="}
+
+# Binary operator precedence, loosest binds last (C table).
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None):
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, got {tok.text!r} at line {tok.line}"
+            )
+        return self.next()
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(f"{message} at line {tok.line} ({tok.text!r})")
+
+    # -- program ---------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        functions = []
+        while not self.at("eof"):
+            functions.append(self.parse_function())
+        return ast.Program(functions)
+
+    def parse_function(self) -> ast.FunctionDef:
+        qualifiers = []
+        while self.peek().text in QUALIFIERS:
+            qualifiers.append(self.next().text)
+        ret = self.expect("id").text
+        if ret not in TYPE_NAMES:
+            raise self.error(f"unknown return type {ret!r}")
+        name = self.expect("id").text
+        self.expect("punct", "(")
+        params = []
+        if not self.at("punct", ")"):
+            while True:
+                params.append(self.parse_param())
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        body = self.parse_block()
+        return ast.FunctionDef(name, ret, params, body, qualifiers)
+
+    def parse_param(self) -> ast.Param:
+        const = False
+        while self.peek().text in QUALIFIERS:
+            if self.next().text == "const":
+                const = True
+        ctype = self.expect("id").text
+        if ctype not in TYPE_NAMES:
+            raise self.error(f"unknown parameter type {ctype!r}")
+        ptr = bool(self.accept("punct", "*"))
+        while self.peek().text in QUALIFIERS:
+            self.next()
+        name = self.expect("id").text
+        return ast.Param(ctype, ptr, name, const)
+
+    # -- statements -------------------------------------------------------------
+    def parse_block(self) -> ast.BlockStmt:
+        self.expect("punct", "{")
+        stmts = []
+        while not self.at("punct", "}"):
+            stmts.append(self.parse_stmt())
+        self.expect("punct", "}")
+        return ast.BlockStmt(stmts)
+
+    def parse_stmt(self) -> ast.Node:
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text == "{":
+            return self.parse_block()
+        if tok.kind == "id":
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "for":
+                return self.parse_for()
+            if tok.text == "asm":
+                return self.parse_asm()
+            if tok.text == "return":
+                self.next()
+                value = None
+                if not self.at("punct", ";"):
+                    value = self.parse_expr()
+                self.expect("punct", ";")
+                return ast.Return(value)
+            if tok.text in QUALIFIERS or (
+                tok.text in TYPE_NAMES and self.peek(1).kind == "id"
+            ):
+                return self.parse_decl()
+        stmt = self.parse_assign_or_expr()
+        self.expect("punct", ";")
+        return stmt
+
+    def parse_decl(self) -> ast.VarDecl:
+        shared = False
+        while self.peek().text in QUALIFIERS:
+            if self.next().text == "__shared__":
+                shared = True
+        ctype = self.expect("id").text
+        if ctype not in TYPE_NAMES:
+            raise self.error(f"unknown declaration type {ctype!r}")
+        name = self.expect("id").text
+        size = None
+        if self.accept("punct", "["):
+            size = int_value(self.expect("int").text)
+            self.expect("punct", "]")
+        init = None
+        if self.accept("punct", "="):
+            init = self.parse_expr()
+        self.expect("punct", ";")
+        return ast.VarDecl(ctype, name, size, init, shared)
+
+    def parse_if(self) -> ast.IfStmt:
+        self.expect("id", "if")
+        self.expect("punct", "(")
+        cond = self.parse_expr()
+        self.expect("punct", ")")
+        then = self.parse_stmt()
+        orelse = None
+        if self.at("id", "else"):
+            self.next()
+            orelse = self.parse_stmt()
+        return ast.IfStmt(cond, then, orelse)
+
+    def parse_for(self) -> ast.For:
+        self.expect("id", "for")
+        self.expect("punct", "(")
+        self.expect("id", "int")
+        var = self.expect("id").text
+        self.expect("punct", "=")
+        start = self.parse_expr()
+        self.expect("punct", ";")
+        cond = self.parse_expr()
+        if not (
+            isinstance(cond, ast.Binary)
+            and cond.op == "<"
+            and isinstance(cond.lhs, ast.Name)
+            and cond.lhs.ident == var
+        ):
+            raise self.error(f"for condition must be '{var} < bound'")
+        self.expect("punct", ";")
+        incr_var = self.expect("id").text
+        if incr_var != var:
+            raise self.error("for increment must step the loop variable")
+        self.expect("punct", "+=")
+        step = self.parse_expr()
+        self.expect("punct", ")")
+        body = self.parse_stmt()
+        return ast.For(var, start, cond.rhs, step, body)
+
+    def parse_asm(self) -> ast.Asm:
+        self.expect("id", "asm")
+        self.accept("id", "volatile")
+        self.expect("punct", "(")
+        template = ""
+        while self.at("str"):
+            template += string_value(self.next().text)
+        outputs: List[Tuple[str, ast.Node]] = []
+        inputs: List[Tuple[str, ast.Node]] = []
+        if self.accept("punct", ":"):
+            outputs = self.parse_asm_operands()
+            if self.accept("punct", ":"):
+                inputs = self.parse_asm_operands()
+                if self.accept("punct", ":"):
+                    while self.at("str"):  # clobbers, ignored
+                        self.next()
+                        if not self.accept("punct", ","):
+                            break
+        self.expect("punct", ")")
+        self.expect("punct", ";")
+        return ast.Asm(template, outputs, inputs)
+
+    def parse_asm_operands(self) -> List[Tuple[str, ast.Node]]:
+        operands: List[Tuple[str, ast.Node]] = []
+        while self.at("str"):
+            constraint = string_value(self.next().text)
+            self.expect("punct", "(")
+            expr = self.parse_expr()
+            self.expect("punct", ")")
+            operands.append((constraint, expr))
+            if not self.accept("punct", ","):
+                break
+        return operands
+
+    def parse_assign_or_expr(self) -> ast.Node:
+        expr = self.parse_expr()
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text in _ASSIGN_OPS:
+            op = self.next().text
+            value = self.parse_expr()
+            return ast.Assign(expr, op, value)
+        return ast.ExprStmt(expr)
+
+    # -- expressions ------------------------------------------------------------
+    def parse_expr(self) -> ast.Node:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> ast.Node:
+        cond = self.parse_binary(0)
+        if self.accept("punct", "?"):
+            then = self.parse_expr()
+            self.expect("punct", ":")
+            orelse = self.parse_ternary()
+            return ast.Call("__select", [cond, then, orelse])
+        return cond
+
+    def parse_binary(self, level: int) -> ast.Node:
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        ops = _BINARY_LEVELS[level]
+        lhs = self.parse_binary(level + 1)
+        while self.peek().kind == "punct" and self.peek().text in ops:
+            op = self.next().text
+            rhs = self.parse_binary(level + 1)
+            lhs = ast.Binary(op, lhs, rhs)
+        return lhs
+
+    def parse_unary(self) -> ast.Node:
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text in ("-", "!", "~", "*", "&", "+"):
+            self.next()
+            operand = self.parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.Unary(tok.text, operand)
+        if self._at_cast():
+            self.expect("punct", "(")
+            ctype = self.next().text
+            ptr = bool(self.accept("punct", "*"))
+            self.expect("punct", ")")
+            operand = self.parse_unary()
+            return ast.Cast(ctype, ptr, operand)
+        return self.parse_postfix()
+
+    def _at_cast(self) -> bool:
+        if not self.at("punct", "("):
+            return False
+        t1 = self.peek(1)
+        if t1.kind != "id" or t1.text not in TYPE_NAMES:
+            return False
+        t2 = self.peek(2)
+        return t2.kind == "punct" and t2.text in (")", "*")
+
+    def parse_postfix(self) -> ast.Node:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("punct", "["):
+                index = self.parse_expr()
+                self.expect("punct", "]")
+                expr = ast.Index(expr, index)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Node:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.next()
+            return ast.IntLit(int_value(tok.text))
+        if tok.kind == "float":
+            self.next()
+            return ast.FloatLit(float_value(tok.text))
+        if tok.kind == "punct" and tok.text == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect("punct", ")")
+            return expr
+        if tok.kind == "id":
+            if tok.text == "reinterpret_cast":
+                return self.parse_reinterpret()
+            self.next()
+            if self.at("punct", "("):
+                self.next()
+                args = []
+                if not self.at("punct", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("punct", ","):
+                            break
+                self.expect("punct", ")")
+                return ast.Call(tok.text, args)
+            return ast.Name(tok.text)
+        raise self.error("expected expression")
+
+    def parse_reinterpret(self) -> ast.Reinterpret:
+        self.expect("id", "reinterpret_cast")
+        self.expect("punct", "<")
+        while self.peek().text in ("const", "volatile"):
+            self.next()
+        ctype = self.expect("id").text
+        if ctype not in TYPE_NAMES:
+            raise self.error(f"unknown reinterpret_cast type {ctype!r}")
+        while self.peek().text in ("const", "volatile"):
+            self.next()
+        self.expect("punct", "*")
+        self.expect("punct", ">")
+        self.expect("punct", "(")
+        operand = self.parse_expr()
+        self.expect("punct", ")")
+        return ast.Reinterpret(ctype, operand)
+
+
+def parse_source(source: str) -> ast.Program:
+    """Parse generated CUDA source into a Program."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,232 @@
+"""AST node classes for the emitted CUDA C subset.
+
+Nodes are plain records; all semantic interpretation lives in
+:mod:`repro.codegen.emulator.evaluator`.  The grammar mirrors exactly
+what :mod:`repro.codegen.cuda` prints — nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class Node:
+    __slots__ = ()
+
+    def __repr__(self):
+        fields = ", ".join(
+            f"{s}={getattr(self, s)!r}" for s in self.__slots__
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+# -- expressions ------------------------------------------------------------------
+class IntLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+
+class FloatLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = value
+
+
+class Name(Node):
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: str):
+        self.ident = ident
+
+
+class Index(Node):
+    """``base[index]``."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Node, index: Node):
+        self.base = base
+        self.index = index
+
+
+class Call(Node):
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: str, args: List[Node]):
+        self.fn = fn
+        self.args = args
+
+
+class Unary(Node):
+    """``op operand`` for op in ``- ! ~ * &``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Node):
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Node):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Node, rhs: Node):
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Cast(Node):
+    """C-style cast ``(ctype) operand`` or ``(ctype *) operand``."""
+
+    __slots__ = ("ctype", "ptr", "operand")
+
+    def __init__(self, ctype: str, ptr: bool, operand: Node):
+        self.ctype = ctype
+        self.ptr = ptr
+        self.operand = operand
+
+
+class Reinterpret(Node):
+    """``reinterpret_cast<ctype [const] *>(operand)``."""
+
+    __slots__ = ("ctype", "operand")
+
+    def __init__(self, ctype: str, operand: Node):
+        self.ctype = ctype
+        self.operand = operand
+
+
+# -- statements -------------------------------------------------------------------
+class VarDecl(Node):
+    """``[__shared__] ctype name[size] [= init];``"""
+
+    __slots__ = ("ctype", "name", "size", "init", "shared")
+
+    def __init__(self, ctype, name, size, init, shared):
+        self.ctype = ctype
+        self.name = name
+        self.size = size  # None for scalars, int for arrays
+        self.init = init
+        self.shared = shared
+
+
+class Assign(Node):
+    """``target op value;`` where op is ``=`` or a compound ``+=`` etc."""
+
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, target: Node, op: str, value: Node):
+        self.target = target
+        self.op = op
+        self.value = value
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Node):
+        self.expr = expr
+
+
+class BlockStmt(Node):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: List[Node]):
+        self.stmts = stmts
+
+
+class For(Node):
+    """``for (int var = start; var < stop; var += step) body``."""
+
+    __slots__ = ("var", "start", "stop", "step", "body")
+
+    def __init__(self, var, start, stop, step, body):
+        self.var = var
+        self.start = start
+        self.stop = stop
+        self.step = step
+        self.body = body
+
+
+class IfStmt(Node):
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond: Node, then: Node, orelse: Optional[Node]):
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class Asm(Node):
+    """``asm volatile("template" : outputs : inputs);``
+
+    Operands are ``(constraint, expr)`` pairs, e.g. ``("=r", <lvalue>)``.
+    """
+
+    __slots__ = ("template", "outputs", "inputs")
+
+    def __init__(
+        self,
+        template: str,
+        outputs: Sequence[Tuple[str, Node]],
+        inputs: Sequence[Tuple[str, Node]],
+    ):
+        self.template = template
+        self.outputs = list(outputs)
+        self.inputs = list(inputs)
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Node]):
+        self.value = value
+
+
+# -- declarations ------------------------------------------------------------------
+class Param(Node):
+    __slots__ = ("ctype", "ptr", "name", "const")
+
+    def __init__(self, ctype, ptr, name, const):
+        self.ctype = ctype
+        self.ptr = ptr
+        self.name = name
+        self.const = const
+
+
+class FunctionDef(Node):
+    __slots__ = ("name", "ret", "params", "body", "qualifiers")
+
+    def __init__(self, name, ret, params, body, qualifiers):
+        self.name = name
+        self.ret = ret
+        self.params = params
+        self.body = body
+        self.qualifiers = qualifiers
+
+    @property
+    def is_kernel(self) -> bool:
+        return "__global__" in self.qualifiers
+
+
+class Program(Node):
+    __slots__ = ("functions",)
+
+    def __init__(self, functions: List[FunctionDef]):
+        self.functions = functions
+
+    def kernel(self, name: Optional[str] = None) -> FunctionDef:
+        kernels = [f for f in self.functions if f.is_kernel]
+        if name is not None:
+            kernels = [f for f in kernels if f.name == name]
+        if len(kernels) != 1:
+            raise ValueError(
+                f"expected exactly one __global__ kernel"
+                f"{' named ' + name if name else ''}, "
+                f"found {[f.name for f in kernels]}"
+            )
+        return kernels[0]

@@ -1,0 +1,33 @@
+"""Whole-program differential testing of generated CUDA.
+
+``repro.conformance`` closes the loop the paper leaves to nvcc: the
+generated source of every shipped kernel is *executed* (by the
+:mod:`repro.codegen.emulator` C-subset interpreter) and compared
+elementwise against the functional simulator and the numpy reference —
+three independent paths that must agree.  See DESIGN.md
+("emulator-as-nvcc") and ``python -m repro.eval conformance``.
+"""
+
+from .harness import (
+    FAMILIES,
+    SIM_EMU_ATOL,
+    Case,
+    CaseResult,
+    default_cases,
+    format_report,
+    mutate_index_stride,
+    run_all,
+    run_case,
+)
+
+__all__ = [
+    "FAMILIES",
+    "SIM_EMU_ATOL",
+    "Case",
+    "CaseResult",
+    "default_cases",
+    "format_report",
+    "mutate_index_stride",
+    "run_all",
+    "run_case",
+]

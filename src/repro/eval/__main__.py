@@ -7,6 +7,8 @@ Usage::
     python -m repro.eval profile            # perfmodel calibration report
     python -m repro.eval bench-smoke        # profiled smoke benchmarks
     python -m repro.eval bench-smoke fig09 --outdir bench_artifacts
+    python -m repro.eval conformance        # emulated CUDA vs sim vs numpy
+    python -m repro.eval conformance --self-check   # + mutation sweep
 """
 
 from __future__ import annotations
@@ -43,16 +45,62 @@ def _main_bench_smoke(argv) -> int:
     return 0
 
 
+def _main_conformance(argv) -> int:
+    from ..codegen.cuda import CudaGenerator
+    from ..conformance import (
+        default_cases, format_report, mutate_index_stride, run_case,
+    )
+
+    seed = 0
+    if "--seed" in argv:
+        i = argv.index("--seed")
+        seed = int(argv[i + 1])
+        argv = argv[:i] + argv[i + 2:]
+    self_check = "--self-check" in argv
+    names = [a for a in argv if a != "--self-check"]
+    cases = default_cases(seed)
+    if names:
+        unknown = set(names) - {c.name for c in cases}
+        if unknown:
+            print(f"unknown cases: {sorted(unknown)}; available: "
+                  f"{[c.name for c in cases]}")
+            return 2
+        cases = [c for c in cases if c.name in names]
+    results = [run_case(c) for c in cases]
+    print(format_report(results))
+    ok = all(r.passed for r in results)
+    if self_check:
+        # Negative control: every case must FAIL once a read stride in
+        # its generated source is mutated, or the harness has no teeth.
+        undetected = []
+        for case in cases:
+            source = mutate_index_stride(
+                CudaGenerator(case.arch).generate(case.kernel)
+            )
+            if run_case(case, source=source).passed:
+                undetected.append(case.name)
+        if undetected:
+            print(f"self-check FAILED: mutants survived in {undetected}")
+            ok = False
+        else:
+            print(f"self-check: all {len(cases)} injected stride "
+                  f"mutants caught")
+    return 0 if ok else 1
+
+
 def main(argv) -> int:
     if argv and argv[0] == "profile":
         return _main_profile(argv[1:])
     if argv and argv[0] == "bench-smoke":
         return _main_bench_smoke(argv[1:])
+    if argv and argv[0] == "conformance":
+        return _main_conformance(argv[1:])
     names = argv or sorted(ALL_FIGURES)
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
         print(f"unknown figures: {unknown}; available: "
-              f"{sorted(ALL_FIGURES)} plus 'profile' and 'bench-smoke'")
+              f"{sorted(ALL_FIGURES)} plus 'profile', 'bench-smoke', "
+              f"and 'conformance'")
         return 2
     for name in names:
         print(ALL_FIGURES[name]().format_table())

@@ -1,0 +1,250 @@
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void graphene_fused_fmha(const half *__restrict__ Q, const half *__restrict__ K, const half *__restrict__ V, half *__restrict__ O) {
+    __shared__ half smem_q[256];
+    __shared__ half smem_kv[256];
+    __shared__ float smem_s[256];
+    __shared__ half smem_p[256];
+    half s_a_frag_0[8];
+    half s_b_frag_0[4];
+    half s_b_frag_1[4];
+    float s_acc_0_0[4];
+    float s_acc_0_1[4];
+    float fmha_row[16];
+    float fmha_max[1];
+    float fmha_sum[1];
+    float fmha_scale[1];
+    half o_a_frag_0[8];
+    half o_b_frag_0[4];
+    half o_b_frag_1[4];
+    float o_acc_0_0[4];
+    float o_acc_0_1[4];
+    // stage this block's query tile
+    __pipeline_memcpy_async(&smem_q[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &Q[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __syncthreads();
+    // score chunk 0: stage K rows, Q @ K^T
+    __pipeline_memcpy_async(&smem_kv[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &K[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    s_acc_0_0[0] = 0.0f;
+    s_acc_0_0[2] = 0.0f;
+    s_acc_0_0[1] = 0.0f;
+    s_acc_0_0[3] = 0.0f;
+    s_acc_0_1[0] = 0.0f;
+    s_acc_0_1[2] = 0.0f;
+    s_acc_0_1[1] = 0.0f;
+    s_acc_0_1[3] = 0.0f;
+    __syncthreads();
+    {
+        unsigned __smem_addr0 = (unsigned)__cvta_generic_to_shared(&smem_q[threadIdx.x / 8 % 2 * 128 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 16]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(s_a_frag_0))[0]), "=r"(((unsigned *)(s_a_frag_0))[2]), "=r"(((unsigned *)(s_a_frag_0))[1]), "=r"(((unsigned *)(s_a_frag_0))[3])
+            : "r"(__smem_addr0));
+    }
+    {
+        unsigned __smem_addr1 = (unsigned)__cvta_generic_to_shared(&smem_kv[threadIdx.x / 8 % 2 * 8 + threadIdx.x % 8 * 16]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(s_b_frag_0))[0]), "=r"(((unsigned *)(s_b_frag_0))[1])
+            : "r"(__smem_addr1));
+    }
+    {
+        unsigned __smem_addr2 = (unsigned)__cvta_generic_to_shared(&smem_kv[128 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 8 * 16]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(s_b_frag_1))[0]), "=r"(((unsigned *)(s_b_frag_1))[1])
+            : "r"(__smem_addr2));
+    }
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(s_acc_0_0[0]), "+f"(s_acc_0_0[1]), "+f"(s_acc_0_0[2]), "+f"(s_acc_0_0[3])
+        : "r"(((unsigned *)(s_a_frag_0))[0]), "r"(((unsigned *)(s_a_frag_0))[2]), "r"(((unsigned *)(s_a_frag_0))[1]), "r"(((unsigned *)(s_a_frag_0))[3]), "r"(((unsigned *)(s_b_frag_0))[0]), "r"(((unsigned *)(s_b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(s_acc_0_1[0]), "+f"(s_acc_0_1[1]), "+f"(s_acc_0_1[2]), "+f"(s_acc_0_1[3])
+        : "r"(((unsigned *)(s_a_frag_0))[0]), "r"(((unsigned *)(s_a_frag_0))[2]), "r"(((unsigned *)(s_a_frag_0))[1]), "r"(((unsigned *)(s_a_frag_0))[3]), "r"(((unsigned *)(s_b_frag_1))[0]), "r"(((unsigned *)(s_b_frag_1))[1]));
+    *reinterpret_cast<float2 *>(&smem_s[threadIdx.x % 32 / 4 * 16 + threadIdx.x % 32 % 4 * 2]) = *reinterpret_cast<const float2 *>(&s_acc_0_0[0]);
+    *reinterpret_cast<float2 *>(&smem_s[(threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2]) = *reinterpret_cast<const float2 *>(&s_acc_0_0[2]);
+    *reinterpret_cast<float2 *>(&smem_s[threadIdx.x % 32 / 4 * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]) = *reinterpret_cast<const float2 *>(&s_acc_0_1[0]);
+    *reinterpret_cast<float2 *>(&smem_s[(threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]) = *reinterpret_cast<const float2 *>(&s_acc_0_1[2]);
+    __syncthreads();
+    // softmax over the score rows (one thread per query row)
+    fmha_scale[0] = 0.25f;
+    if (threadIdx.x < 16) {
+        fmha_row[0] = smem_s[threadIdx.x * 16];
+        fmha_row[1] = smem_s[threadIdx.x * 16 + 1];
+        fmha_row[2] = smem_s[threadIdx.x * 16 + 2];
+        fmha_row[3] = smem_s[threadIdx.x * 16 + 3];
+        fmha_row[4] = smem_s[threadIdx.x * 16 + 4];
+        fmha_row[5] = smem_s[threadIdx.x * 16 + 5];
+        fmha_row[6] = smem_s[threadIdx.x * 16 + 6];
+        fmha_row[7] = smem_s[threadIdx.x * 16 + 7];
+        fmha_row[8] = smem_s[threadIdx.x * 16 + 8];
+        fmha_row[9] = smem_s[threadIdx.x * 16 + 9];
+        fmha_row[10] = smem_s[threadIdx.x * 16 + 10];
+        fmha_row[11] = smem_s[threadIdx.x * 16 + 11];
+        fmha_row[12] = smem_s[threadIdx.x * 16 + 12];
+        fmha_row[13] = smem_s[threadIdx.x * 16 + 13];
+        fmha_row[14] = smem_s[threadIdx.x * 16 + 14];
+        fmha_row[15] = smem_s[threadIdx.x * 16 + 15];
+        fmha_row[0] = (fmha_row[0] * fmha_scale[0]);
+        fmha_row[1] = (fmha_row[1] * fmha_scale[0]);
+        fmha_row[2] = (fmha_row[2] * fmha_scale[0]);
+        fmha_row[3] = (fmha_row[3] * fmha_scale[0]);
+        fmha_row[4] = (fmha_row[4] * fmha_scale[0]);
+        fmha_row[5] = (fmha_row[5] * fmha_scale[0]);
+        fmha_row[6] = (fmha_row[6] * fmha_scale[0]);
+        fmha_row[7] = (fmha_row[7] * fmha_scale[0]);
+        fmha_row[8] = (fmha_row[8] * fmha_scale[0]);
+        fmha_row[9] = (fmha_row[9] * fmha_scale[0]);
+        fmha_row[10] = (fmha_row[10] * fmha_scale[0]);
+        fmha_row[11] = (fmha_row[11] * fmha_scale[0]);
+        fmha_row[12] = (fmha_row[12] * fmha_scale[0]);
+        fmha_row[13] = (fmha_row[13] * fmha_scale[0]);
+        fmha_row[14] = (fmha_row[14] * fmha_scale[0]);
+        fmha_row[15] = (fmha_row[15] * fmha_scale[0]);
+        float __red3 = fmha_row[0];
+        __red3 = max(__red3, fmha_row[1]);
+        __red3 = max(__red3, fmha_row[2]);
+        __red3 = max(__red3, fmha_row[3]);
+        __red3 = max(__red3, fmha_row[4]);
+        __red3 = max(__red3, fmha_row[5]);
+        __red3 = max(__red3, fmha_row[6]);
+        __red3 = max(__red3, fmha_row[7]);
+        __red3 = max(__red3, fmha_row[8]);
+        __red3 = max(__red3, fmha_row[9]);
+        __red3 = max(__red3, fmha_row[10]);
+        __red3 = max(__red3, fmha_row[11]);
+        __red3 = max(__red3, fmha_row[12]);
+        __red3 = max(__red3, fmha_row[13]);
+        __red3 = max(__red3, fmha_row[14]);
+        __red3 = max(__red3, fmha_row[15]);
+        fmha_max[0] = __red3;
+        fmha_row[0] = (fmha_row[0] - fmha_max[0]);
+        fmha_row[1] = (fmha_row[1] - fmha_max[0]);
+        fmha_row[2] = (fmha_row[2] - fmha_max[0]);
+        fmha_row[3] = (fmha_row[3] - fmha_max[0]);
+        fmha_row[4] = (fmha_row[4] - fmha_max[0]);
+        fmha_row[5] = (fmha_row[5] - fmha_max[0]);
+        fmha_row[6] = (fmha_row[6] - fmha_max[0]);
+        fmha_row[7] = (fmha_row[7] - fmha_max[0]);
+        fmha_row[8] = (fmha_row[8] - fmha_max[0]);
+        fmha_row[9] = (fmha_row[9] - fmha_max[0]);
+        fmha_row[10] = (fmha_row[10] - fmha_max[0]);
+        fmha_row[11] = (fmha_row[11] - fmha_max[0]);
+        fmha_row[12] = (fmha_row[12] - fmha_max[0]);
+        fmha_row[13] = (fmha_row[13] - fmha_max[0]);
+        fmha_row[14] = (fmha_row[14] - fmha_max[0]);
+        fmha_row[15] = (fmha_row[15] - fmha_max[0]);
+        fmha_row[0] = __expf(fmha_row[0]);
+        fmha_row[1] = __expf(fmha_row[1]);
+        fmha_row[2] = __expf(fmha_row[2]);
+        fmha_row[3] = __expf(fmha_row[3]);
+        fmha_row[4] = __expf(fmha_row[4]);
+        fmha_row[5] = __expf(fmha_row[5]);
+        fmha_row[6] = __expf(fmha_row[6]);
+        fmha_row[7] = __expf(fmha_row[7]);
+        fmha_row[8] = __expf(fmha_row[8]);
+        fmha_row[9] = __expf(fmha_row[9]);
+        fmha_row[10] = __expf(fmha_row[10]);
+        fmha_row[11] = __expf(fmha_row[11]);
+        fmha_row[12] = __expf(fmha_row[12]);
+        fmha_row[13] = __expf(fmha_row[13]);
+        fmha_row[14] = __expf(fmha_row[14]);
+        fmha_row[15] = __expf(fmha_row[15]);
+        float __red4 = fmha_row[0];
+        __red4 = (__red4 + fmha_row[1]);
+        __red4 = (__red4 + fmha_row[2]);
+        __red4 = (__red4 + fmha_row[3]);
+        __red4 = (__red4 + fmha_row[4]);
+        __red4 = (__red4 + fmha_row[5]);
+        __red4 = (__red4 + fmha_row[6]);
+        __red4 = (__red4 + fmha_row[7]);
+        __red4 = (__red4 + fmha_row[8]);
+        __red4 = (__red4 + fmha_row[9]);
+        __red4 = (__red4 + fmha_row[10]);
+        __red4 = (__red4 + fmha_row[11]);
+        __red4 = (__red4 + fmha_row[12]);
+        __red4 = (__red4 + fmha_row[13]);
+        __red4 = (__red4 + fmha_row[14]);
+        __red4 = (__red4 + fmha_row[15]);
+        fmha_sum[0] = __red4;
+        fmha_row[0] = (fmha_row[0] / fmha_sum[0]);
+        fmha_row[1] = (fmha_row[1] / fmha_sum[0]);
+        fmha_row[2] = (fmha_row[2] / fmha_sum[0]);
+        fmha_row[3] = (fmha_row[3] / fmha_sum[0]);
+        fmha_row[4] = (fmha_row[4] / fmha_sum[0]);
+        fmha_row[5] = (fmha_row[5] / fmha_sum[0]);
+        fmha_row[6] = (fmha_row[6] / fmha_sum[0]);
+        fmha_row[7] = (fmha_row[7] / fmha_sum[0]);
+        fmha_row[8] = (fmha_row[8] / fmha_sum[0]);
+        fmha_row[9] = (fmha_row[9] / fmha_sum[0]);
+        fmha_row[10] = (fmha_row[10] / fmha_sum[0]);
+        fmha_row[11] = (fmha_row[11] / fmha_sum[0]);
+        fmha_row[12] = (fmha_row[12] / fmha_sum[0]);
+        fmha_row[13] = (fmha_row[13] / fmha_sum[0]);
+        fmha_row[14] = (fmha_row[14] / fmha_sum[0]);
+        fmha_row[15] = (fmha_row[15] / fmha_sum[0]);
+        smem_p[threadIdx.x * 16] = __float2half(fmha_row[0]);
+        smem_p[threadIdx.x * 16 + 1] = __float2half(fmha_row[1]);
+        smem_p[threadIdx.x * 16 + 2] = __float2half(fmha_row[2]);
+        smem_p[threadIdx.x * 16 + 3] = __float2half(fmha_row[3]);
+        smem_p[threadIdx.x * 16 + 4] = __float2half(fmha_row[4]);
+        smem_p[threadIdx.x * 16 + 5] = __float2half(fmha_row[5]);
+        smem_p[threadIdx.x * 16 + 6] = __float2half(fmha_row[6]);
+        smem_p[threadIdx.x * 16 + 7] = __float2half(fmha_row[7]);
+        smem_p[threadIdx.x * 16 + 8] = __float2half(fmha_row[8]);
+        smem_p[threadIdx.x * 16 + 9] = __float2half(fmha_row[9]);
+        smem_p[threadIdx.x * 16 + 10] = __float2half(fmha_row[10]);
+        smem_p[threadIdx.x * 16 + 11] = __float2half(fmha_row[11]);
+        smem_p[threadIdx.x * 16 + 12] = __float2half(fmha_row[12]);
+        smem_p[threadIdx.x * 16 + 13] = __float2half(fmha_row[13]);
+        smem_p[threadIdx.x * 16 + 14] = __float2half(fmha_row[14]);
+        smem_p[threadIdx.x * 16 + 15] = __float2half(fmha_row[15]);
+    }
+    __syncthreads();
+    // O = P @ V, accumulated over value chunks
+    o_acc_0_0[0] = 0.0f;
+    o_acc_0_0[2] = 0.0f;
+    o_acc_0_0[1] = 0.0f;
+    o_acc_0_0[3] = 0.0f;
+    o_acc_0_1[0] = 0.0f;
+    o_acc_0_1[2] = 0.0f;
+    o_acc_0_1[1] = 0.0f;
+    o_acc_0_1[3] = 0.0f;
+    // output chunk 0: stage V rows, P @ V
+    __pipeline_memcpy_async(&smem_kv[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &V[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __syncthreads();
+    {
+        unsigned __smem_addr5 = (unsigned)__cvta_generic_to_shared(&smem_p[threadIdx.x / 8 % 2 * 128 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 16]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(o_a_frag_0))[0]), "=r"(((unsigned *)(o_a_frag_0))[2]), "=r"(((unsigned *)(o_a_frag_0))[1]), "=r"(((unsigned *)(o_a_frag_0))[3])
+            : "r"(__smem_addr5));
+    }
+    {
+        unsigned __smem_addr6 = (unsigned)__cvta_generic_to_shared(&smem_kv[threadIdx.x / 8 % 2 * 128 + threadIdx.x % 8 * 16]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(o_b_frag_0))[0]), "=r"(((unsigned *)(o_b_frag_0))[1])
+            : "r"(__smem_addr6));
+    }
+    {
+        unsigned __smem_addr7 = (unsigned)__cvta_generic_to_shared(&smem_kv[threadIdx.x / 8 % 2 * 128 + 8 + threadIdx.x % 8 * 16]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(o_b_frag_1))[0]), "=r"(((unsigned *)(o_b_frag_1))[1])
+            : "r"(__smem_addr7));
+    }
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(o_acc_0_0[0]), "+f"(o_acc_0_0[1]), "+f"(o_acc_0_0[2]), "+f"(o_acc_0_0[3])
+        : "r"(((unsigned *)(o_a_frag_0))[0]), "r"(((unsigned *)(o_a_frag_0))[2]), "r"(((unsigned *)(o_a_frag_0))[1]), "r"(((unsigned *)(o_a_frag_0))[3]), "r"(((unsigned *)(o_b_frag_0))[0]), "r"(((unsigned *)(o_b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(o_acc_0_1[0]), "+f"(o_acc_0_1[1]), "+f"(o_acc_0_1[2]), "+f"(o_acc_0_1[3])
+        : "r"(((unsigned *)(o_a_frag_0))[0]), "r"(((unsigned *)(o_a_frag_0))[2]), "r"(((unsigned *)(o_a_frag_0))[1]), "r"(((unsigned *)(o_a_frag_0))[3]), "r"(((unsigned *)(o_b_frag_1))[0]), "r"(((unsigned *)(o_b_frag_1))[1]));
+    __syncthreads();
+    // write the output tile
+    O[threadIdx.x % 32 / 4 * 16 + threadIdx.x % 32 % 4 * 2] = __float2half(o_acc_0_0[0]);
+    O[threadIdx.x % 32 / 4 * 16 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(o_acc_0_0[1]);
+    O[(threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2] = __float2half(o_acc_0_0[2]);
+    O[(threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(o_acc_0_0[3]);
+    O[threadIdx.x % 32 / 4 * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(o_acc_0_1[0]);
+    O[threadIdx.x % 32 / 4 * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(o_acc_0_1[1]);
+    O[(threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(o_acc_0_1[2]);
+    O[(threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(o_acc_0_1[3]);
+}

@@ -1,0 +1,144 @@
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void graphene_gemm_sm86_pipelined(const half *__restrict__ A, const half *__restrict__ B, half *__restrict__ C) {
+    __shared__ half smem_a0[512];
+    __shared__ half smem_a1[512];
+    __shared__ half smem_b0[256];
+    __shared__ half smem_b1[256];
+    half a_frag_0[8];
+    half a_frag_1[8];
+    half b_frag_0[4];
+    half b_frag_1[4];
+    float acc_0_0[4];
+    float acc_0_1[4];
+    float acc_1_0[4];
+    float acc_1_1[4];
+    acc_0_0[0] = 0.0f;
+    acc_0_0[2] = 0.0f;
+    acc_0_0[1] = 0.0f;
+    acc_0_0[3] = 0.0f;
+    acc_0_1[0] = 0.0f;
+    acc_0_1[2] = 0.0f;
+    acc_0_1[1] = 0.0f;
+    acc_0_1[3] = 0.0f;
+    acc_1_0[0] = 0.0f;
+    acc_1_0[2] = 0.0f;
+    acc_1_0[1] = 0.0f;
+    acc_1_0[3] = 0.0f;
+    acc_1_1[0] = 0.0f;
+    acc_1_1[2] = 0.0f;
+    acc_1_1[1] = 0.0f;
+    acc_1_1[3] = 0.0f;
+    // prologue: prefetch K-slice 0 into buffer pair 0
+    __pipeline_memcpy_async(&smem_a0[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &A[threadIdx.x / 2 * 32 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_a0[(32 + threadIdx.x) / 2 * 16 + threadIdx.x % 2 * 8], &A[(32 + threadIdx.x) / 2 * 32 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_b0[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &B[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    for (int kt2 = 0; kt2 < 1; kt2 += 1) {
+        __syncthreads();
+        // prefetch the odd slice while computing the even one
+        __pipeline_memcpy_async(&smem_a1[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &A[(kt2 * 2 + 1) * 16 + threadIdx.x / 2 * 32 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+        __pipeline_memcpy_async(&smem_a1[(32 + threadIdx.x) / 2 * 16 + threadIdx.x % 2 * 8], &A[(kt2 * 2 + 1) * 16 + (32 + threadIdx.x) / 2 * 32 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+        __pipeline_memcpy_async(&smem_b1[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &B[(kt2 * 2 + 1) * 256 + threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+        {
+            unsigned __smem_addr0 = (unsigned)__cvta_generic_to_shared(&smem_a0[threadIdx.x / 8 % 2 * 128 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+                : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+                : "r"(__smem_addr0));
+        }
+        {
+            unsigned __smem_addr1 = (unsigned)__cvta_generic_to_shared(&smem_a0[(2 + threadIdx.x / 8 % 2) * 128 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+                : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+                : "r"(__smem_addr1));
+        }
+        {
+            unsigned __smem_addr2 = (unsigned)__cvta_generic_to_shared(&smem_b0[threadIdx.x / 8 % 2 * 128 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+                : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+                : "r"(__smem_addr2));
+        }
+        {
+            unsigned __smem_addr3 = (unsigned)__cvta_generic_to_shared(&smem_b0[threadIdx.x / 8 % 2 * 128 + 8 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+                : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+                : "r"(__smem_addr3));
+        }
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+            : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+            : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+            : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+            : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+        __syncthreads();
+        // prefetch the next even slice (if any) while computing the odd one
+        if (kt2 * 2 + 2 < 2) {
+            __pipeline_memcpy_async(&smem_a0[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &A[(kt2 * 2 + 2) * 16 + threadIdx.x / 2 * 32 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+            __pipeline_memcpy_async(&smem_a0[(32 + threadIdx.x) / 2 * 16 + threadIdx.x % 2 * 8], &A[(kt2 * 2 + 2) * 16 + (32 + threadIdx.x) / 2 * 32 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+            __pipeline_memcpy_async(&smem_b0[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &B[(kt2 * 2 + 2) * 256 + threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+        }
+        {
+            unsigned __smem_addr4 = (unsigned)__cvta_generic_to_shared(&smem_a1[threadIdx.x / 8 % 2 * 128 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+                : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+                : "r"(__smem_addr4));
+        }
+        {
+            unsigned __smem_addr5 = (unsigned)__cvta_generic_to_shared(&smem_a1[(2 + threadIdx.x / 8 % 2) * 128 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+                : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+                : "r"(__smem_addr5));
+        }
+        {
+            unsigned __smem_addr6 = (unsigned)__cvta_generic_to_shared(&smem_b1[threadIdx.x / 8 % 2 * 128 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+                : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+                : "r"(__smem_addr6));
+        }
+        {
+            unsigned __smem_addr7 = (unsigned)__cvta_generic_to_shared(&smem_b1[threadIdx.x / 8 % 2 * 128 + 8 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+                : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+                : "r"(__smem_addr7));
+        }
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+            : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+            : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+            : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+            : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    }
+    __syncthreads();
+    // epilogue: write fp32 accumulators back as fp16
+    C[threadIdx.x % 32 / 4 * 16 + threadIdx.x % 32 % 4 * 2] = __float2half(acc_0_0[0]);
+    C[threadIdx.x % 32 / 4 * 16 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc_0_0[1]);
+    C[(threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2] = __float2half(acc_0_0[2]);
+    C[(threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc_0_0[3]);
+    C[threadIdx.x % 32 / 4 * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_1[0]);
+    C[threadIdx.x % 32 / 4 * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_1[1]);
+    C[(threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_1[2]);
+    C[(threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_1[3]);
+    C[(16 + threadIdx.x % 32 / 4) * 16 + threadIdx.x % 32 % 4 * 2] = __float2half(acc_1_0[0]);
+    C[(16 + threadIdx.x % 32 / 4) * 16 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc_1_0[1]);
+    C[(16 + threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2] = __float2half(acc_1_0[2]);
+    C[(16 + threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc_1_0[3]);
+    C[(16 + threadIdx.x % 32 / 4) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_1[0]);
+    C[(16 + threadIdx.x % 32 / 4) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_1[1]);
+    C[(16 + threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_1[2]);
+    C[(16 + threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_1[3]);
+}

@@ -1,0 +1,127 @@
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void graphene_gemm_bias_relu_ampere(const half *__restrict__ A, const half *__restrict__ B, half *__restrict__ C, const half *__restrict__ bias) {
+    __shared__ half smem_a[512];
+    __shared__ half smem_b[256];
+    half a_frag_0[8];
+    half a_frag_1[8];
+    half b_frag_0[4];
+    half b_frag_1[4];
+    float acc_0_0[4];
+    float acc_0_1[4];
+    float acc_1_0[4];
+    float acc_1_1[4];
+    acc_0_0[0] = 0.0f;
+    acc_0_0[2] = 0.0f;
+    acc_0_0[1] = 0.0f;
+    acc_0_0[3] = 0.0f;
+    acc_0_1[0] = 0.0f;
+    acc_0_1[2] = 0.0f;
+    acc_0_1[1] = 0.0f;
+    acc_0_1[3] = 0.0f;
+    acc_1_0[0] = 0.0f;
+    acc_1_0[2] = 0.0f;
+    acc_1_0[1] = 0.0f;
+    acc_1_0[3] = 0.0f;
+    acc_1_1[0] = 0.0f;
+    acc_1_1[2] = 0.0f;
+    acc_1_1[1] = 0.0f;
+    acc_1_1[3] = 0.0f;
+    for (int kt = 0; kt < 1; kt += 1) {
+        // stage A and B slices into shared memory
+        __pipeline_memcpy_async(&smem_a[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &A[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+        __pipeline_memcpy_async(&smem_a[(32 + threadIdx.x) / 2 * 16 + threadIdx.x % 2 * 8], &A[(32 + threadIdx.x) / 2 * 16 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+        __pipeline_memcpy_async(&smem_b[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], &B[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+        __syncthreads();
+        {
+            unsigned __smem_addr0 = (unsigned)__cvta_generic_to_shared(&smem_a[threadIdx.x / 8 % 2 * 128 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+                : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+                : "r"(__smem_addr0));
+        }
+        {
+            unsigned __smem_addr1 = (unsigned)__cvta_generic_to_shared(&smem_a[(2 + threadIdx.x / 8 % 2) * 128 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+                : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+                : "r"(__smem_addr1));
+        }
+        {
+            unsigned __smem_addr2 = (unsigned)__cvta_generic_to_shared(&smem_b[threadIdx.x / 8 % 2 * 128 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+                : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+                : "r"(__smem_addr2));
+        }
+        {
+            unsigned __smem_addr3 = (unsigned)__cvta_generic_to_shared(&smem_b[threadIdx.x / 8 % 2 * 128 + 8 + threadIdx.x % 8 * 16]);
+            asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+                : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+                : "r"(__smem_addr3));
+        }
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+            : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+            : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+            : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+        asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+            : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+            : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+        __syncthreads();
+    }
+    // epilogue: write fp32 accumulators back as fp16
+    acc_0_0[0] = (acc_0_0[0] + __half2float(bias[threadIdx.x % 32 % 4 * 2]));
+    acc_0_0[1] = (acc_0_0[1] + __half2float(bias[threadIdx.x % 32 % 4 * 2 + 1]));
+    acc_0_0[0] = max(acc_0_0[0], 0.0f);
+    acc_0_0[1] = max(acc_0_0[1], 0.0f);
+    acc_0_0[2] = (acc_0_0[2] + __half2float(bias[threadIdx.x % 32 % 4 * 2]));
+    acc_0_0[3] = (acc_0_0[3] + __half2float(bias[threadIdx.x % 32 % 4 * 2 + 1]));
+    acc_0_0[2] = max(acc_0_0[2], 0.0f);
+    acc_0_0[3] = max(acc_0_0[3], 0.0f);
+    acc_0_1[0] = (acc_0_1[0] + __half2float(bias[(8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_1[1] = (acc_0_1[1] + __half2float(bias[(8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_1[0] = max(acc_0_1[0], 0.0f);
+    acc_0_1[1] = max(acc_0_1[1], 0.0f);
+    acc_0_1[2] = (acc_0_1[2] + __half2float(bias[(8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_1[3] = (acc_0_1[3] + __half2float(bias[(8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_1[2] = max(acc_0_1[2], 0.0f);
+    acc_0_1[3] = max(acc_0_1[3], 0.0f);
+    acc_1_0[0] = (acc_1_0[0] + __half2float(bias[threadIdx.x % 32 % 4 * 2]));
+    acc_1_0[1] = (acc_1_0[1] + __half2float(bias[threadIdx.x % 32 % 4 * 2 + 1]));
+    acc_1_0[0] = max(acc_1_0[0], 0.0f);
+    acc_1_0[1] = max(acc_1_0[1], 0.0f);
+    acc_1_0[2] = (acc_1_0[2] + __half2float(bias[threadIdx.x % 32 % 4 * 2]));
+    acc_1_0[3] = (acc_1_0[3] + __half2float(bias[threadIdx.x % 32 % 4 * 2 + 1]));
+    acc_1_0[2] = max(acc_1_0[2], 0.0f);
+    acc_1_0[3] = max(acc_1_0[3], 0.0f);
+    acc_1_1[0] = (acc_1_1[0] + __half2float(bias[(8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_1[1] = (acc_1_1[1] + __half2float(bias[(8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_1[0] = max(acc_1_1[0], 0.0f);
+    acc_1_1[1] = max(acc_1_1[1], 0.0f);
+    acc_1_1[2] = (acc_1_1[2] + __half2float(bias[(8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_1[3] = (acc_1_1[3] + __half2float(bias[(8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_1[2] = max(acc_1_1[2], 0.0f);
+    acc_1_1[3] = max(acc_1_1[3], 0.0f);
+    C[threadIdx.x % 32 / 4 * 16 + threadIdx.x % 32 % 4 * 2] = __float2half(acc_0_0[0]);
+    C[threadIdx.x % 32 / 4 * 16 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc_0_0[1]);
+    C[(threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2] = __float2half(acc_0_0[2]);
+    C[(threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc_0_0[3]);
+    C[threadIdx.x % 32 / 4 * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_1[0]);
+    C[threadIdx.x % 32 / 4 * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_1[1]);
+    C[(threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_1[2]);
+    C[(threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_1[3]);
+    C[(16 + threadIdx.x % 32 / 4) * 16 + threadIdx.x % 32 % 4 * 2] = __float2half(acc_1_0[0]);
+    C[(16 + threadIdx.x % 32 / 4) * 16 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc_1_0[1]);
+    C[(16 + threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2] = __float2half(acc_1_0[2]);
+    C[(16 + threadIdx.x % 32 / 4 + 8) * 16 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc_1_0[3]);
+    C[(16 + threadIdx.x % 32 / 4) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_1[0]);
+    C[(16 + threadIdx.x % 32 / 4) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_1[1]);
+    C[(16 + threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_1[2]);
+    C[(16 + threadIdx.x % 32 / 4 + 8) * 16 + (8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_1[3]);
+}

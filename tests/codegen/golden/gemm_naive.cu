@@ -1,0 +1,18 @@
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void graphene_gemm_naive(const half *__restrict__ A, const half *__restrict__ B, half *__restrict__ C) {
+    #pragma unroll
+    for (int k = 0; k < 16; k += 1) {
+        #pragma unroll
+        for (int m = 0; m < 4; m += 1) {
+            #pragma unroll
+            for (int n = 0; n < 4; n += 1) {
+                C[blockIdx.x % 2 * 128 + blockIdx.x / 2 % 2 * 8 + threadIdx.x % 2 * 64 + threadIdx.x / 2 % 2 * 4 + m * 16 + n] += A[blockIdx.x % 2 * 128 + threadIdx.x % 2 * 64 + m * 16 + k] * B[blockIdx.x / 2 % 2 * 8 + threadIdx.x / 2 % 2 * 4 + k * 16 + n];
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void graphene_gemm_parametric(const half *__restrict__ A, const half *__restrict__ B, half *__restrict__ C, int M) {
+    #pragma unroll
+    for (int r = 0; r < 8; r += 1) {
+        #pragma unroll
+        for (int cc = 0; cc < 1; cc += 1) {
+            if (blockIdx.x % 8 * 8 + r < M) C[blockIdx.x % 8 * 256 + r * 32 + cc * 32 + threadIdx.x] = __float2half(0.0f);
+            #pragma unroll
+            for (int kk = 0; kk < 16; kk += 1) {
+                if (blockIdx.x % 8 * 8 + r < M) C[blockIdx.x % 8 * 256 + r * 32 + cc * 32 + threadIdx.x] += A[blockIdx.x % 8 * 128 + r * 16 + kk] * B[kk * 32 + cc * 32 + threadIdx.x];
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void graphene_gemm_sm70(const half *__restrict__ A, const half *__restrict__ B, half *__restrict__ C) {
+    __shared__ half smem_a[512];
+    __shared__ half smem_b[512];
+    half a_frag_qp_0[4];
+    float acc_qp_0_0[8];
+    float acc_qp_0_1[8];
+    half a_frag_qp_1[4];
+    float acc_qp_1_0[8];
+    float acc_qp_1_1[8];
+    half b_frag_qp_0[4];
+    half b_frag_qp_1[4];
+    acc_qp_0_0[0] = 0.0f;
+    acc_qp_0_0[4] = 0.0f;
+    acc_qp_0_0[1] = 0.0f;
+    acc_qp_0_0[5] = 0.0f;
+    acc_qp_0_0[2] = 0.0f;
+    acc_qp_0_0[6] = 0.0f;
+    acc_qp_0_0[3] = 0.0f;
+    acc_qp_0_0[7] = 0.0f;
+    acc_qp_0_1[0] = 0.0f;
+    acc_qp_0_1[4] = 0.0f;
+    acc_qp_0_1[1] = 0.0f;
+    acc_qp_0_1[5] = 0.0f;
+    acc_qp_0_1[2] = 0.0f;
+    acc_qp_0_1[6] = 0.0f;
+    acc_qp_0_1[3] = 0.0f;
+    acc_qp_0_1[7] = 0.0f;
+    acc_qp_1_0[0] = 0.0f;
+    acc_qp_1_0[4] = 0.0f;
+    acc_qp_1_0[1] = 0.0f;
+    acc_qp_1_0[5] = 0.0f;
+    acc_qp_1_0[2] = 0.0f;
+    acc_qp_1_0[6] = 0.0f;
+    acc_qp_1_0[3] = 0.0f;
+    acc_qp_1_0[7] = 0.0f;
+    acc_qp_1_1[0] = 0.0f;
+    acc_qp_1_1[4] = 0.0f;
+    acc_qp_1_1[1] = 0.0f;
+    acc_qp_1_1[5] = 0.0f;
+    acc_qp_1_1[2] = 0.0f;
+    acc_qp_1_1[6] = 0.0f;
+    acc_qp_1_1[3] = 0.0f;
+    acc_qp_1_1[7] = 0.0f;
+    for (int kt = 0; kt < 1; kt += 1) {
+        // stage A and B slices into shared memory (LDG+STS)
+        *reinterpret_cast<float4 *>(&smem_a[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8]) = *reinterpret_cast<const float4 *>(&A[threadIdx.x / 2 * 16 + threadIdx.x % 2 * 8]);
+        *reinterpret_cast<float4 *>(&smem_a[(32 + threadIdx.x) / 2 * 16 + threadIdx.x % 2 * 8]) = *reinterpret_cast<const float4 *>(&A[(32 + threadIdx.x) / 2 * 16 + threadIdx.x % 2 * 8]);
+        *reinterpret_cast<float4 *>(&smem_b[threadIdx.x / 4 * 32 + threadIdx.x % 4 * 8]) = *reinterpret_cast<const float4 *>(&B[threadIdx.x / 4 * 32 + threadIdx.x % 4 * 8]);
+        *reinterpret_cast<float4 *>(&smem_b[(32 + threadIdx.x) / 4 * 32 + threadIdx.x % 4 * 8]) = *reinterpret_cast<const float4 *>(&B[(32 + threadIdx.x) / 4 * 32 + threadIdx.x % 4 * 8]);
+        __syncthreads();
+        *reinterpret_cast<float2 *>(&a_frag_qp_0[0]) = *reinterpret_cast<const float2 *>(&smem_a[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4) * 16]);
+        *reinterpret_cast<float2 *>(&a_frag_qp_1[0]) = *reinterpret_cast<const float2 *>(&smem_a[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4) * 16]);
+        b_frag_qp_0[0] = smem_b[threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4];
+        b_frag_qp_0[1] = smem_b[threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 32];
+        b_frag_qp_0[2] = smem_b[threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 64];
+        b_frag_qp_0[3] = smem_b[threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 96];
+        b_frag_qp_1[0] = smem_b[16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4];
+        b_frag_qp_1[1] = smem_b[16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 32];
+        b_frag_qp_1[2] = smem_b[16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 64];
+        b_frag_qp_1[3] = smem_b[16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 96];
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_0_0[0]), "+f"(acc_qp_0_0[4]), "+f"(acc_qp_0_0[1]), "+f"(acc_qp_0_0[5]), "+f"(acc_qp_0_0[2]), "+f"(acc_qp_0_0[6]), "+f"(acc_qp_0_0[3]), "+f"(acc_qp_0_0[7])
+            : "r"(((unsigned *)(a_frag_qp_0))[0]), "r"(((unsigned *)(a_frag_qp_0))[1]), "r"(((unsigned *)(b_frag_qp_0))[0]), "r"(((unsigned *)(b_frag_qp_0))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_0_1[0]), "+f"(acc_qp_0_1[4]), "+f"(acc_qp_0_1[1]), "+f"(acc_qp_0_1[5]), "+f"(acc_qp_0_1[2]), "+f"(acc_qp_0_1[6]), "+f"(acc_qp_0_1[3]), "+f"(acc_qp_0_1[7])
+            : "r"(((unsigned *)(a_frag_qp_0))[0]), "r"(((unsigned *)(a_frag_qp_0))[1]), "r"(((unsigned *)(b_frag_qp_1))[0]), "r"(((unsigned *)(b_frag_qp_1))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_1_0[0]), "+f"(acc_qp_1_0[4]), "+f"(acc_qp_1_0[1]), "+f"(acc_qp_1_0[5]), "+f"(acc_qp_1_0[2]), "+f"(acc_qp_1_0[6]), "+f"(acc_qp_1_0[3]), "+f"(acc_qp_1_0[7])
+            : "r"(((unsigned *)(a_frag_qp_1))[0]), "r"(((unsigned *)(a_frag_qp_1))[1]), "r"(((unsigned *)(b_frag_qp_0))[0]), "r"(((unsigned *)(b_frag_qp_0))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_1_1[0]), "+f"(acc_qp_1_1[4]), "+f"(acc_qp_1_1[1]), "+f"(acc_qp_1_1[5]), "+f"(acc_qp_1_1[2]), "+f"(acc_qp_1_1[6]), "+f"(acc_qp_1_1[3]), "+f"(acc_qp_1_1[7])
+            : "r"(((unsigned *)(a_frag_qp_1))[0]), "r"(((unsigned *)(a_frag_qp_1))[1]), "r"(((unsigned *)(b_frag_qp_1))[0]), "r"(((unsigned *)(b_frag_qp_1))[1]));
+        *reinterpret_cast<float2 *>(&a_frag_qp_0[0]) = *reinterpret_cast<const float2 *>(&smem_a[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4) * 16 + 4]);
+        *reinterpret_cast<float2 *>(&a_frag_qp_1[0]) = *reinterpret_cast<const float2 *>(&smem_a[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4) * 16 + 4]);
+        b_frag_qp_0[0] = smem_b[128 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4];
+        b_frag_qp_0[1] = smem_b[128 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 32];
+        b_frag_qp_0[2] = smem_b[128 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 64];
+        b_frag_qp_0[3] = smem_b[128 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 96];
+        b_frag_qp_1[0] = smem_b[128 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4];
+        b_frag_qp_1[1] = smem_b[128 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 32];
+        b_frag_qp_1[2] = smem_b[128 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 64];
+        b_frag_qp_1[3] = smem_b[128 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 96];
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_0_0[0]), "+f"(acc_qp_0_0[4]), "+f"(acc_qp_0_0[1]), "+f"(acc_qp_0_0[5]), "+f"(acc_qp_0_0[2]), "+f"(acc_qp_0_0[6]), "+f"(acc_qp_0_0[3]), "+f"(acc_qp_0_0[7])
+            : "r"(((unsigned *)(a_frag_qp_0))[0]), "r"(((unsigned *)(a_frag_qp_0))[1]), "r"(((unsigned *)(b_frag_qp_0))[0]), "r"(((unsigned *)(b_frag_qp_0))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_0_1[0]), "+f"(acc_qp_0_1[4]), "+f"(acc_qp_0_1[1]), "+f"(acc_qp_0_1[5]), "+f"(acc_qp_0_1[2]), "+f"(acc_qp_0_1[6]), "+f"(acc_qp_0_1[3]), "+f"(acc_qp_0_1[7])
+            : "r"(((unsigned *)(a_frag_qp_0))[0]), "r"(((unsigned *)(a_frag_qp_0))[1]), "r"(((unsigned *)(b_frag_qp_1))[0]), "r"(((unsigned *)(b_frag_qp_1))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_1_0[0]), "+f"(acc_qp_1_0[4]), "+f"(acc_qp_1_0[1]), "+f"(acc_qp_1_0[5]), "+f"(acc_qp_1_0[2]), "+f"(acc_qp_1_0[6]), "+f"(acc_qp_1_0[3]), "+f"(acc_qp_1_0[7])
+            : "r"(((unsigned *)(a_frag_qp_1))[0]), "r"(((unsigned *)(a_frag_qp_1))[1]), "r"(((unsigned *)(b_frag_qp_0))[0]), "r"(((unsigned *)(b_frag_qp_0))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_1_1[0]), "+f"(acc_qp_1_1[4]), "+f"(acc_qp_1_1[1]), "+f"(acc_qp_1_1[5]), "+f"(acc_qp_1_1[2]), "+f"(acc_qp_1_1[6]), "+f"(acc_qp_1_1[3]), "+f"(acc_qp_1_1[7])
+            : "r"(((unsigned *)(a_frag_qp_1))[0]), "r"(((unsigned *)(a_frag_qp_1))[1]), "r"(((unsigned *)(b_frag_qp_1))[0]), "r"(((unsigned *)(b_frag_qp_1))[1]));
+        *reinterpret_cast<float2 *>(&a_frag_qp_0[0]) = *reinterpret_cast<const float2 *>(&smem_a[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4) * 16 + 8]);
+        *reinterpret_cast<float2 *>(&a_frag_qp_1[0]) = *reinterpret_cast<const float2 *>(&smem_a[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4) * 16 + 8]);
+        b_frag_qp_0[0] = smem_b[256 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4];
+        b_frag_qp_0[1] = smem_b[256 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 32];
+        b_frag_qp_0[2] = smem_b[256 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 64];
+        b_frag_qp_0[3] = smem_b[256 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 96];
+        b_frag_qp_1[0] = smem_b[256 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4];
+        b_frag_qp_1[1] = smem_b[256 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 32];
+        b_frag_qp_1[2] = smem_b[256 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 64];
+        b_frag_qp_1[3] = smem_b[256 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 96];
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_0_0[0]), "+f"(acc_qp_0_0[4]), "+f"(acc_qp_0_0[1]), "+f"(acc_qp_0_0[5]), "+f"(acc_qp_0_0[2]), "+f"(acc_qp_0_0[6]), "+f"(acc_qp_0_0[3]), "+f"(acc_qp_0_0[7])
+            : "r"(((unsigned *)(a_frag_qp_0))[0]), "r"(((unsigned *)(a_frag_qp_0))[1]), "r"(((unsigned *)(b_frag_qp_0))[0]), "r"(((unsigned *)(b_frag_qp_0))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_0_1[0]), "+f"(acc_qp_0_1[4]), "+f"(acc_qp_0_1[1]), "+f"(acc_qp_0_1[5]), "+f"(acc_qp_0_1[2]), "+f"(acc_qp_0_1[6]), "+f"(acc_qp_0_1[3]), "+f"(acc_qp_0_1[7])
+            : "r"(((unsigned *)(a_frag_qp_0))[0]), "r"(((unsigned *)(a_frag_qp_0))[1]), "r"(((unsigned *)(b_frag_qp_1))[0]), "r"(((unsigned *)(b_frag_qp_1))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_1_0[0]), "+f"(acc_qp_1_0[4]), "+f"(acc_qp_1_0[1]), "+f"(acc_qp_1_0[5]), "+f"(acc_qp_1_0[2]), "+f"(acc_qp_1_0[6]), "+f"(acc_qp_1_0[3]), "+f"(acc_qp_1_0[7])
+            : "r"(((unsigned *)(a_frag_qp_1))[0]), "r"(((unsigned *)(a_frag_qp_1))[1]), "r"(((unsigned *)(b_frag_qp_0))[0]), "r"(((unsigned *)(b_frag_qp_0))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_1_1[0]), "+f"(acc_qp_1_1[4]), "+f"(acc_qp_1_1[1]), "+f"(acc_qp_1_1[5]), "+f"(acc_qp_1_1[2]), "+f"(acc_qp_1_1[6]), "+f"(acc_qp_1_1[3]), "+f"(acc_qp_1_1[7])
+            : "r"(((unsigned *)(a_frag_qp_1))[0]), "r"(((unsigned *)(a_frag_qp_1))[1]), "r"(((unsigned *)(b_frag_qp_1))[0]), "r"(((unsigned *)(b_frag_qp_1))[1]));
+        *reinterpret_cast<float2 *>(&a_frag_qp_0[0]) = *reinterpret_cast<const float2 *>(&smem_a[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4) * 16 + 12]);
+        *reinterpret_cast<float2 *>(&a_frag_qp_1[0]) = *reinterpret_cast<const float2 *>(&smem_a[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4) * 16 + 12]);
+        b_frag_qp_0[0] = smem_b[384 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4];
+        b_frag_qp_0[1] = smem_b[384 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 32];
+        b_frag_qp_0[2] = smem_b[384 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 64];
+        b_frag_qp_0[3] = smem_b[384 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 96];
+        b_frag_qp_1[0] = smem_b[384 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4];
+        b_frag_qp_1[1] = smem_b[384 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 32];
+        b_frag_qp_1[2] = smem_b[384 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 64];
+        b_frag_qp_1[3] = smem_b[384 + 16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 4 + threadIdx.x / 16 % 2 * 4 + 96];
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_0_0[0]), "+f"(acc_qp_0_0[4]), "+f"(acc_qp_0_0[1]), "+f"(acc_qp_0_0[5]), "+f"(acc_qp_0_0[2]), "+f"(acc_qp_0_0[6]), "+f"(acc_qp_0_0[3]), "+f"(acc_qp_0_0[7])
+            : "r"(((unsigned *)(a_frag_qp_0))[0]), "r"(((unsigned *)(a_frag_qp_0))[1]), "r"(((unsigned *)(b_frag_qp_0))[0]), "r"(((unsigned *)(b_frag_qp_0))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_0_1[0]), "+f"(acc_qp_0_1[4]), "+f"(acc_qp_0_1[1]), "+f"(acc_qp_0_1[5]), "+f"(acc_qp_0_1[2]), "+f"(acc_qp_0_1[6]), "+f"(acc_qp_0_1[3]), "+f"(acc_qp_0_1[7])
+            : "r"(((unsigned *)(a_frag_qp_0))[0]), "r"(((unsigned *)(a_frag_qp_0))[1]), "r"(((unsigned *)(b_frag_qp_1))[0]), "r"(((unsigned *)(b_frag_qp_1))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_1_0[0]), "+f"(acc_qp_1_0[4]), "+f"(acc_qp_1_0[1]), "+f"(acc_qp_1_0[5]), "+f"(acc_qp_1_0[2]), "+f"(acc_qp_1_0[6]), "+f"(acc_qp_1_0[3]), "+f"(acc_qp_1_0[7])
+            : "r"(((unsigned *)(a_frag_qp_1))[0]), "r"(((unsigned *)(a_frag_qp_1))[1]), "r"(((unsigned *)(b_frag_qp_0))[0]), "r"(((unsigned *)(b_frag_qp_0))[1]));
+        asm volatile("mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32 {%0, %1, %2, %3, %4, %5, %6, %7}, {%8, %9}, {%10, %11}, {%0, %1, %2, %3, %4, %5, %6, %7};\n"
+            : "+f"(acc_qp_1_1[0]), "+f"(acc_qp_1_1[4]), "+f"(acc_qp_1_1[1]), "+f"(acc_qp_1_1[5]), "+f"(acc_qp_1_1[2]), "+f"(acc_qp_1_1[6]), "+f"(acc_qp_1_1[3]), "+f"(acc_qp_1_1[7])
+            : "r"(((unsigned *)(a_frag_qp_1))[0]), "r"(((unsigned *)(a_frag_qp_1))[1]), "r"(((unsigned *)(b_frag_qp_1))[0]), "r"(((unsigned *)(b_frag_qp_1))[1]));
+        __syncthreads();
+    }
+    // epilogue: write fp32 accumulators back as fp16
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4] = __float2half(acc_qp_0_0[0]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 1] = __float2half(acc_qp_0_0[1]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 2] = __float2half(acc_qp_0_0[2]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 3] = __float2half(acc_qp_0_0[3]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4] = __float2half(acc_qp_0_0[4]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 1] = __float2half(acc_qp_0_0[5]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 2] = __float2half(acc_qp_0_0[6]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 3] = __float2half(acc_qp_0_0[7]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4] = __float2half(acc_qp_0_1[0]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 1] = __float2half(acc_qp_0_1[1]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 2] = __float2half(acc_qp_0_1[2]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 3] = __float2half(acc_qp_0_1[3]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4] = __float2half(acc_qp_0_1[4]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 1] = __float2half(acc_qp_0_1[5]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 2] = __float2half(acc_qp_0_1[6]);
+    C[(threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 3] = __float2half(acc_qp_0_1[7]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4] = __float2half(acc_qp_1_0[0]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 1] = __float2half(acc_qp_1_0[1]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 2] = __float2half(acc_qp_1_0[2]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 3] = __float2half(acc_qp_1_0[3]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4] = __float2half(acc_qp_1_0[4]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 1] = __float2half(acc_qp_1_0[5]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 2] = __float2half(acc_qp_1_0[6]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 3] = __float2half(acc_qp_1_0[7]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4] = __float2half(acc_qp_1_1[0]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 1] = __float2half(acc_qp_1_1[1]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 2] = __float2half(acc_qp_1_1[2]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 3] = __float2half(acc_qp_1_1[3]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4] = __float2half(acc_qp_1_1[4]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 1] = __float2half(acc_qp_1_1[5]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 2] = __float2half(acc_qp_1_1[6]);
+    C[(16 + threadIdx.x / 4 % 2 * 8 + threadIdx.x % 4 * 2 + 1) * 32 + (16 + threadIdx.x / 8 % 2 * 8 + threadIdx.x / 16 % 2 * 4) / 4 * 4 + 3] = __float2half(acc_qp_1_1[7]);
+}

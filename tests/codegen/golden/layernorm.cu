@@ -1,0 +1,67 @@
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void graphene_layernorm(const half *__restrict__ X, const half *__restrict__ gamma, const half *__restrict__ beta, half *__restrict__ Y) {
+    float ln_part[2];
+    float ln_scalar[1];
+    float ln_peer[1];
+    float ln_mean[1];
+    float ln_rstd[1];
+    float ln_inv_h[1];
+    float ln_eps[1];
+    float ln_centered[2];
+    float ln_squares[2];
+    ln_inv_h[0] = 0.015625f;
+    ln_eps[0] = 1e-05f;
+    // each lane loads its contiguous row chunk
+    ln_part[0] = __half2float(X[(blockIdx.x % 2 * 4 + threadIdx.x / 32 % 4) * 64 + threadIdx.x % 32 * 2]);
+    ln_part[1] = __half2float(X[(blockIdx.x % 2 * 4 + threadIdx.x / 32 % 4) * 64 + threadIdx.x % 32 * 2 + 1]);
+    // mean = sum(x) / hidden, combined across lanes
+    float __red0 = ln_part[0];
+    __red0 = (__red0 + ln_part[1]);
+    ln_scalar[0] = __red0;
+    ln_peer[0] = __shfl_xor_sync(0xffffffffu, ln_scalar[0], 16);
+    ln_scalar[0] = (ln_scalar[0] + ln_peer[0]);
+    ln_peer[0] = __shfl_xor_sync(0xffffffffu, ln_scalar[0], 8);
+    ln_scalar[0] = (ln_scalar[0] + ln_peer[0]);
+    ln_peer[0] = __shfl_xor_sync(0xffffffffu, ln_scalar[0], 4);
+    ln_scalar[0] = (ln_scalar[0] + ln_peer[0]);
+    ln_peer[0] = __shfl_xor_sync(0xffffffffu, ln_scalar[0], 2);
+    ln_scalar[0] = (ln_scalar[0] + ln_peer[0]);
+    ln_peer[0] = __shfl_xor_sync(0xffffffffu, ln_scalar[0], 1);
+    ln_scalar[0] = (ln_scalar[0] + ln_peer[0]);
+    ln_mean[0] = (ln_scalar[0] * ln_inv_h[0]);
+    // var = sum((x - mean)^2) / hidden
+    ln_centered[0] = (ln_part[0] - ln_mean[0]);
+    ln_centered[1] = (ln_part[1] - ln_mean[0]);
+    ln_squares[0] = (ln_centered[0] * ln_centered[0]);
+    ln_squares[1] = (ln_centered[1] * ln_centered[1]);
+    float __red1 = ln_squares[0];
+    __red1 = (__red1 + ln_squares[1]);
+    ln_scalar[0] = __red1;
+    ln_peer[0] = __shfl_xor_sync(0xffffffffu, ln_scalar[0], 16);
+    ln_scalar[0] = (ln_scalar[0] + ln_peer[0]);
+    ln_peer[0] = __shfl_xor_sync(0xffffffffu, ln_scalar[0], 8);
+    ln_scalar[0] = (ln_scalar[0] + ln_peer[0]);
+    ln_peer[0] = __shfl_xor_sync(0xffffffffu, ln_scalar[0], 4);
+    ln_scalar[0] = (ln_scalar[0] + ln_peer[0]);
+    ln_peer[0] = __shfl_xor_sync(0xffffffffu, ln_scalar[0], 2);
+    ln_scalar[0] = (ln_scalar[0] + ln_peer[0]);
+    ln_peer[0] = __shfl_xor_sync(0xffffffffu, ln_scalar[0], 1);
+    ln_scalar[0] = (ln_scalar[0] + ln_peer[0]);
+    ln_scalar[0] = (ln_scalar[0] * ln_inv_h[0]);
+    ln_scalar[0] = (ln_scalar[0] + ln_eps[0]);
+    ln_rstd[0] = rsqrtf(ln_scalar[0]);
+    // normalise, scale and shift
+    ln_centered[0] = (ln_centered[0] * ln_rstd[0]);
+    ln_centered[1] = (ln_centered[1] * ln_rstd[0]);
+    ln_centered[0] = (ln_centered[0] * __half2float(gamma[threadIdx.x % 32 * 2]));
+    ln_centered[1] = (ln_centered[1] * __half2float(gamma[threadIdx.x % 32 * 2 + 1]));
+    ln_centered[0] = (ln_centered[0] + __half2float(beta[threadIdx.x % 32 * 2]));
+    ln_centered[1] = (ln_centered[1] + __half2float(beta[threadIdx.x % 32 * 2 + 1]));
+    Y[(blockIdx.x % 2 * 4 + threadIdx.x / 32 % 4) * 64 + threadIdx.x % 32 * 2] = __float2half(ln_centered[0]);
+    Y[(blockIdx.x % 2 * 4 + threadIdx.x / 32 % 4) * 64 + threadIdx.x % 32 * 2 + 1] = __float2half(ln_centered[1]);
+}

@@ -1,0 +1,787 @@
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void graphene_fused_mlp(const half *__restrict__ X, const half *__restrict__ W0, const half *__restrict__ W1, const half *__restrict__ bias0, const half *__restrict__ bias1, half *__restrict__ Y) {
+    __shared__ half smem_x[4096];
+    __shared__ half smem_w[4096];
+    half a_frag_0[8];
+    half a_frag_1[8];
+    half b_frag_0[4];
+    half b_frag_1[4];
+    half b_frag_2[4];
+    half b_frag_3[4];
+    float acc_0_0[4];
+    float acc_0_1[4];
+    float acc_0_2[4];
+    float acc_0_3[4];
+    float acc_1_0[4];
+    float acc_1_1[4];
+    float acc_1_2[4];
+    float acc_1_3[4];
+    // stage the block's activation rows once
+    __pipeline_memcpy_async(&smem_x[threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8], &X[threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_x[(128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], &X[(128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_x[(256 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], &X[(256 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_x[(384 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], &X[(384 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __syncthreads();
+    // layer 0: GEMM + bias + relu in registers
+    __pipeline_memcpy_async(&smem_w[threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8], &W0[threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_w[(128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], &W0[(128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_w[(256 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], &W0[(256 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_w[(384 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], &W0[(384 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    acc_0_0[0] = 0.0f;
+    acc_0_0[2] = 0.0f;
+    acc_0_0[1] = 0.0f;
+    acc_0_0[3] = 0.0f;
+    acc_0_1[0] = 0.0f;
+    acc_0_1[2] = 0.0f;
+    acc_0_1[1] = 0.0f;
+    acc_0_1[3] = 0.0f;
+    acc_0_2[0] = 0.0f;
+    acc_0_2[2] = 0.0f;
+    acc_0_2[1] = 0.0f;
+    acc_0_2[3] = 0.0f;
+    acc_0_3[0] = 0.0f;
+    acc_0_3[2] = 0.0f;
+    acc_0_3[1] = 0.0f;
+    acc_0_3[3] = 0.0f;
+    acc_1_0[0] = 0.0f;
+    acc_1_0[2] = 0.0f;
+    acc_1_0[1] = 0.0f;
+    acc_1_0[3] = 0.0f;
+    acc_1_1[0] = 0.0f;
+    acc_1_1[2] = 0.0f;
+    acc_1_1[1] = 0.0f;
+    acc_1_1[3] = 0.0f;
+    acc_1_2[0] = 0.0f;
+    acc_1_2[2] = 0.0f;
+    acc_1_2[1] = 0.0f;
+    acc_1_2[3] = 0.0f;
+    acc_1_3[0] = 0.0f;
+    acc_1_3[2] = 0.0f;
+    acc_1_3[1] = 0.0f;
+    acc_1_3[3] = 0.0f;
+    __syncthreads();
+    {
+        unsigned __smem_addr0 = (unsigned)__cvta_generic_to_shared(&smem_x[(threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 512 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+            : "r"(__smem_addr0));
+    }
+    {
+        unsigned __smem_addr1 = (unsigned)__cvta_generic_to_shared(&smem_x[((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 512 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+            : "r"(__smem_addr1));
+    }
+    {
+        unsigned __smem_addr2 = (unsigned)__cvta_generic_to_shared(&smem_w[threadIdx.x / 8 % 2 * 512 + threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+            : "r"(__smem_addr2));
+    }
+    {
+        unsigned __smem_addr3 = (unsigned)__cvta_generic_to_shared(&smem_w[threadIdx.x / 8 % 2 * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 1) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+            : "r"(__smem_addr3));
+    }
+    {
+        unsigned __smem_addr4 = (unsigned)__cvta_generic_to_shared(&smem_w[threadIdx.x / 8 % 2 * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_2))[0]), "=r"(((unsigned *)(b_frag_2))[1])
+            : "r"(__smem_addr4));
+    }
+    {
+        unsigned __smem_addr5 = (unsigned)__cvta_generic_to_shared(&smem_w[threadIdx.x / 8 % 2 * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 3) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_3))[0]), "=r"(((unsigned *)(b_frag_3))[1])
+            : "r"(__smem_addr5));
+    }
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_2[0]), "+f"(acc_0_2[1]), "+f"(acc_0_2[2]), "+f"(acc_0_2[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_3[0]), "+f"(acc_0_3[1]), "+f"(acc_0_3[2]), "+f"(acc_0_3[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_2[0]), "+f"(acc_1_2[1]), "+f"(acc_1_2[2]), "+f"(acc_1_2[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_3[0]), "+f"(acc_1_3[1]), "+f"(acc_1_3[2]), "+f"(acc_1_3[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    {
+        unsigned __smem_addr6 = (unsigned)__cvta_generic_to_shared(&smem_x[(threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 512 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+            : "r"(__smem_addr6));
+    }
+    {
+        unsigned __smem_addr7 = (unsigned)__cvta_generic_to_shared(&smem_x[((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 512 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+            : "r"(__smem_addr7));
+    }
+    {
+        unsigned __smem_addr8 = (unsigned)__cvta_generic_to_shared(&smem_w[(2 + threadIdx.x / 8 % 2) * 512 + threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+            : "r"(__smem_addr8));
+    }
+    {
+        unsigned __smem_addr9 = (unsigned)__cvta_generic_to_shared(&smem_w[(2 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 1) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+            : "r"(__smem_addr9));
+    }
+    {
+        unsigned __smem_addr10 = (unsigned)__cvta_generic_to_shared(&smem_w[(2 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_2))[0]), "=r"(((unsigned *)(b_frag_2))[1])
+            : "r"(__smem_addr10));
+    }
+    {
+        unsigned __smem_addr11 = (unsigned)__cvta_generic_to_shared(&smem_w[(2 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 3) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_3))[0]), "=r"(((unsigned *)(b_frag_3))[1])
+            : "r"(__smem_addr11));
+    }
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_2[0]), "+f"(acc_0_2[1]), "+f"(acc_0_2[2]), "+f"(acc_0_2[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_3[0]), "+f"(acc_0_3[1]), "+f"(acc_0_3[2]), "+f"(acc_0_3[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_2[0]), "+f"(acc_1_2[1]), "+f"(acc_1_2[2]), "+f"(acc_1_2[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_3[0]), "+f"(acc_1_3[1]), "+f"(acc_1_3[2]), "+f"(acc_1_3[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    {
+        unsigned __smem_addr12 = (unsigned)__cvta_generic_to_shared(&smem_x[(threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 512 + (4 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+            : "r"(__smem_addr12));
+    }
+    {
+        unsigned __smem_addr13 = (unsigned)__cvta_generic_to_shared(&smem_x[((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 512 + (4 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+            : "r"(__smem_addr13));
+    }
+    {
+        unsigned __smem_addr14 = (unsigned)__cvta_generic_to_shared(&smem_w[(4 + threadIdx.x / 8 % 2) * 512 + threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+            : "r"(__smem_addr14));
+    }
+    {
+        unsigned __smem_addr15 = (unsigned)__cvta_generic_to_shared(&smem_w[(4 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 1) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+            : "r"(__smem_addr15));
+    }
+    {
+        unsigned __smem_addr16 = (unsigned)__cvta_generic_to_shared(&smem_w[(4 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_2))[0]), "=r"(((unsigned *)(b_frag_2))[1])
+            : "r"(__smem_addr16));
+    }
+    {
+        unsigned __smem_addr17 = (unsigned)__cvta_generic_to_shared(&smem_w[(4 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 3) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_3))[0]), "=r"(((unsigned *)(b_frag_3))[1])
+            : "r"(__smem_addr17));
+    }
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_2[0]), "+f"(acc_0_2[1]), "+f"(acc_0_2[2]), "+f"(acc_0_2[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_3[0]), "+f"(acc_0_3[1]), "+f"(acc_0_3[2]), "+f"(acc_0_3[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_2[0]), "+f"(acc_1_2[1]), "+f"(acc_1_2[2]), "+f"(acc_1_2[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_3[0]), "+f"(acc_1_3[1]), "+f"(acc_1_3[2]), "+f"(acc_1_3[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    {
+        unsigned __smem_addr18 = (unsigned)__cvta_generic_to_shared(&smem_x[(threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 512 + (6 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+            : "r"(__smem_addr18));
+    }
+    {
+        unsigned __smem_addr19 = (unsigned)__cvta_generic_to_shared(&smem_x[((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 512 + (6 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+            : "r"(__smem_addr19));
+    }
+    {
+        unsigned __smem_addr20 = (unsigned)__cvta_generic_to_shared(&smem_w[(6 + threadIdx.x / 8 % 2) * 512 + threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+            : "r"(__smem_addr20));
+    }
+    {
+        unsigned __smem_addr21 = (unsigned)__cvta_generic_to_shared(&smem_w[(6 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 1) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+            : "r"(__smem_addr21));
+    }
+    {
+        unsigned __smem_addr22 = (unsigned)__cvta_generic_to_shared(&smem_w[(6 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_2))[0]), "=r"(((unsigned *)(b_frag_2))[1])
+            : "r"(__smem_addr22));
+    }
+    {
+        unsigned __smem_addr23 = (unsigned)__cvta_generic_to_shared(&smem_w[(6 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 3) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_3))[0]), "=r"(((unsigned *)(b_frag_3))[1])
+            : "r"(__smem_addr23));
+    }
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_2[0]), "+f"(acc_0_2[1]), "+f"(acc_0_2[2]), "+f"(acc_0_2[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_3[0]), "+f"(acc_0_3[1]), "+f"(acc_0_3[2]), "+f"(acc_0_3[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_2[0]), "+f"(acc_1_2[1]), "+f"(acc_1_2[2]), "+f"(acc_1_2[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_3[0]), "+f"(acc_1_3[1]), "+f"(acc_1_3[2]), "+f"(acc_1_3[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    acc_0_0[0] = (acc_0_0[0] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_0[1] = (acc_0_0[1] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_0[0] = max(acc_0_0[0], 0.0f);
+    acc_0_0[1] = max(acc_0_0[1], 0.0f);
+    acc_0_0[2] = (acc_0_0[2] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_0[3] = (acc_0_0[3] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_0[2] = max(acc_0_0[2], 0.0f);
+    acc_0_0[3] = max(acc_0_0[3], 0.0f);
+    acc_0_1[0] = (acc_0_1[0] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_1[1] = (acc_0_1[1] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_1[0] = max(acc_0_1[0], 0.0f);
+    acc_0_1[1] = max(acc_0_1[1], 0.0f);
+    acc_0_1[2] = (acc_0_1[2] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_1[3] = (acc_0_1[3] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_1[2] = max(acc_0_1[2], 0.0f);
+    acc_0_1[3] = max(acc_0_1[3], 0.0f);
+    acc_0_2[0] = (acc_0_2[0] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_2[1] = (acc_0_2[1] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_2[0] = max(acc_0_2[0], 0.0f);
+    acc_0_2[1] = max(acc_0_2[1], 0.0f);
+    acc_0_2[2] = (acc_0_2[2] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_2[3] = (acc_0_2[3] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_2[2] = max(acc_0_2[2], 0.0f);
+    acc_0_2[3] = max(acc_0_2[3], 0.0f);
+    acc_0_3[0] = (acc_0_3[0] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_3[1] = (acc_0_3[1] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_3[0] = max(acc_0_3[0], 0.0f);
+    acc_0_3[1] = max(acc_0_3[1], 0.0f);
+    acc_0_3[2] = (acc_0_3[2] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_3[3] = (acc_0_3[3] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_3[2] = max(acc_0_3[2], 0.0f);
+    acc_0_3[3] = max(acc_0_3[3], 0.0f);
+    acc_1_0[0] = (acc_1_0[0] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_0[1] = (acc_1_0[1] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_0[0] = max(acc_1_0[0], 0.0f);
+    acc_1_0[1] = max(acc_1_0[1], 0.0f);
+    acc_1_0[2] = (acc_1_0[2] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_0[3] = (acc_1_0[3] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_0[2] = max(acc_1_0[2], 0.0f);
+    acc_1_0[3] = max(acc_1_0[3], 0.0f);
+    acc_1_1[0] = (acc_1_1[0] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_1[1] = (acc_1_1[1] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_1[0] = max(acc_1_1[0], 0.0f);
+    acc_1_1[1] = max(acc_1_1[1], 0.0f);
+    acc_1_1[2] = (acc_1_1[2] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_1[3] = (acc_1_1[3] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_1[2] = max(acc_1_1[2], 0.0f);
+    acc_1_1[3] = max(acc_1_1[3], 0.0f);
+    acc_1_2[0] = (acc_1_2[0] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_2[1] = (acc_1_2[1] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_2[0] = max(acc_1_2[0], 0.0f);
+    acc_1_2[1] = max(acc_1_2[1], 0.0f);
+    acc_1_2[2] = (acc_1_2[2] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_2[3] = (acc_1_2[3] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_2[2] = max(acc_1_2[2], 0.0f);
+    acc_1_2[3] = max(acc_1_2[3], 0.0f);
+    acc_1_3[0] = (acc_1_3[0] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_3[1] = (acc_1_3[1] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_3[0] = max(acc_1_3[0], 0.0f);
+    acc_1_3[1] = max(acc_1_3[1], 0.0f);
+    acc_1_3[2] = (acc_1_3[2] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_3[3] = (acc_1_3[3] + __half2float(bias0[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_3[2] = max(acc_1_3[2], 0.0f);
+    acc_1_3[3] = max(acc_1_3[3], 0.0f);
+    __syncthreads();
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_0[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_0[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_0[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_0[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_1[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_1[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_1[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_1[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_2[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_2[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_2[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_2[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_3[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_3[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_3[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_3[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_0[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_0[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_0[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_0[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_1[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_1[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_1[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_1[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_2[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_2[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_2[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_2[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_3[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_3[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_3[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_3[3]);
+    __syncthreads();
+    // layer 1: GEMM + bias + relu in registers
+    __pipeline_memcpy_async(&smem_w[threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8], &W1[threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_w[(128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], &W1[(128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_w[(256 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], &W1[(256 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __pipeline_memcpy_async(&smem_w[(384 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], &W1[(384 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    acc_0_0[0] = 0.0f;
+    acc_0_0[2] = 0.0f;
+    acc_0_0[1] = 0.0f;
+    acc_0_0[3] = 0.0f;
+    acc_0_1[0] = 0.0f;
+    acc_0_1[2] = 0.0f;
+    acc_0_1[1] = 0.0f;
+    acc_0_1[3] = 0.0f;
+    acc_0_2[0] = 0.0f;
+    acc_0_2[2] = 0.0f;
+    acc_0_2[1] = 0.0f;
+    acc_0_2[3] = 0.0f;
+    acc_0_3[0] = 0.0f;
+    acc_0_3[2] = 0.0f;
+    acc_0_3[1] = 0.0f;
+    acc_0_3[3] = 0.0f;
+    acc_1_0[0] = 0.0f;
+    acc_1_0[2] = 0.0f;
+    acc_1_0[1] = 0.0f;
+    acc_1_0[3] = 0.0f;
+    acc_1_1[0] = 0.0f;
+    acc_1_1[2] = 0.0f;
+    acc_1_1[1] = 0.0f;
+    acc_1_1[3] = 0.0f;
+    acc_1_2[0] = 0.0f;
+    acc_1_2[2] = 0.0f;
+    acc_1_2[1] = 0.0f;
+    acc_1_2[3] = 0.0f;
+    acc_1_3[0] = 0.0f;
+    acc_1_3[2] = 0.0f;
+    acc_1_3[1] = 0.0f;
+    acc_1_3[3] = 0.0f;
+    __syncthreads();
+    {
+        unsigned __smem_addr24 = (unsigned)__cvta_generic_to_shared(&smem_x[(threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 512 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+            : "r"(__smem_addr24));
+    }
+    {
+        unsigned __smem_addr25 = (unsigned)__cvta_generic_to_shared(&smem_x[((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 512 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+            : "r"(__smem_addr25));
+    }
+    {
+        unsigned __smem_addr26 = (unsigned)__cvta_generic_to_shared(&smem_w[threadIdx.x / 8 % 2 * 512 + threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+            : "r"(__smem_addr26));
+    }
+    {
+        unsigned __smem_addr27 = (unsigned)__cvta_generic_to_shared(&smem_w[threadIdx.x / 8 % 2 * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 1) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+            : "r"(__smem_addr27));
+    }
+    {
+        unsigned __smem_addr28 = (unsigned)__cvta_generic_to_shared(&smem_w[threadIdx.x / 8 % 2 * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_2))[0]), "=r"(((unsigned *)(b_frag_2))[1])
+            : "r"(__smem_addr28));
+    }
+    {
+        unsigned __smem_addr29 = (unsigned)__cvta_generic_to_shared(&smem_w[threadIdx.x / 8 % 2 * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 3) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_3))[0]), "=r"(((unsigned *)(b_frag_3))[1])
+            : "r"(__smem_addr29));
+    }
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_2[0]), "+f"(acc_0_2[1]), "+f"(acc_0_2[2]), "+f"(acc_0_2[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_3[0]), "+f"(acc_0_3[1]), "+f"(acc_0_3[2]), "+f"(acc_0_3[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_2[0]), "+f"(acc_1_2[1]), "+f"(acc_1_2[2]), "+f"(acc_1_2[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_3[0]), "+f"(acc_1_3[1]), "+f"(acc_1_3[2]), "+f"(acc_1_3[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    {
+        unsigned __smem_addr30 = (unsigned)__cvta_generic_to_shared(&smem_x[(threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 512 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+            : "r"(__smem_addr30));
+    }
+    {
+        unsigned __smem_addr31 = (unsigned)__cvta_generic_to_shared(&smem_x[((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 512 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+            : "r"(__smem_addr31));
+    }
+    {
+        unsigned __smem_addr32 = (unsigned)__cvta_generic_to_shared(&smem_w[(2 + threadIdx.x / 8 % 2) * 512 + threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+            : "r"(__smem_addr32));
+    }
+    {
+        unsigned __smem_addr33 = (unsigned)__cvta_generic_to_shared(&smem_w[(2 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 1) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+            : "r"(__smem_addr33));
+    }
+    {
+        unsigned __smem_addr34 = (unsigned)__cvta_generic_to_shared(&smem_w[(2 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_2))[0]), "=r"(((unsigned *)(b_frag_2))[1])
+            : "r"(__smem_addr34));
+    }
+    {
+        unsigned __smem_addr35 = (unsigned)__cvta_generic_to_shared(&smem_w[(2 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 3) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_3))[0]), "=r"(((unsigned *)(b_frag_3))[1])
+            : "r"(__smem_addr35));
+    }
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_2[0]), "+f"(acc_0_2[1]), "+f"(acc_0_2[2]), "+f"(acc_0_2[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_3[0]), "+f"(acc_0_3[1]), "+f"(acc_0_3[2]), "+f"(acc_0_3[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_2[0]), "+f"(acc_1_2[1]), "+f"(acc_1_2[2]), "+f"(acc_1_2[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_3[0]), "+f"(acc_1_3[1]), "+f"(acc_1_3[2]), "+f"(acc_1_3[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    {
+        unsigned __smem_addr36 = (unsigned)__cvta_generic_to_shared(&smem_x[(threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 512 + (4 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+            : "r"(__smem_addr36));
+    }
+    {
+        unsigned __smem_addr37 = (unsigned)__cvta_generic_to_shared(&smem_x[((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 512 + (4 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+            : "r"(__smem_addr37));
+    }
+    {
+        unsigned __smem_addr38 = (unsigned)__cvta_generic_to_shared(&smem_w[(4 + threadIdx.x / 8 % 2) * 512 + threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+            : "r"(__smem_addr38));
+    }
+    {
+        unsigned __smem_addr39 = (unsigned)__cvta_generic_to_shared(&smem_w[(4 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 1) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+            : "r"(__smem_addr39));
+    }
+    {
+        unsigned __smem_addr40 = (unsigned)__cvta_generic_to_shared(&smem_w[(4 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_2))[0]), "=r"(((unsigned *)(b_frag_2))[1])
+            : "r"(__smem_addr40));
+    }
+    {
+        unsigned __smem_addr41 = (unsigned)__cvta_generic_to_shared(&smem_w[(4 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 3) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_3))[0]), "=r"(((unsigned *)(b_frag_3))[1])
+            : "r"(__smem_addr41));
+    }
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_2[0]), "+f"(acc_0_2[1]), "+f"(acc_0_2[2]), "+f"(acc_0_2[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_3[0]), "+f"(acc_0_3[1]), "+f"(acc_0_3[2]), "+f"(acc_0_3[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_2[0]), "+f"(acc_1_2[1]), "+f"(acc_1_2[2]), "+f"(acc_1_2[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_3[0]), "+f"(acc_1_3[1]), "+f"(acc_1_3[2]), "+f"(acc_1_3[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    {
+        unsigned __smem_addr42 = (unsigned)__cvta_generic_to_shared(&smem_x[(threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 512 + (6 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
+            : "r"(__smem_addr42));
+    }
+    {
+        unsigned __smem_addr43 = (unsigned)__cvta_generic_to_shared(&smem_x[((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 512 + (6 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
+            : "r"(__smem_addr43));
+    }
+    {
+        unsigned __smem_addr44 = (unsigned)__cvta_generic_to_shared(&smem_w[(6 + threadIdx.x / 8 % 2) * 512 + threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_0))[0]), "=r"(((unsigned *)(b_frag_0))[1])
+            : "r"(__smem_addr44));
+    }
+    {
+        unsigned __smem_addr45 = (unsigned)__cvta_generic_to_shared(&smem_w[(6 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 1) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_1))[0]), "=r"(((unsigned *)(b_frag_1))[1])
+            : "r"(__smem_addr45));
+    }
+    {
+        unsigned __smem_addr46 = (unsigned)__cvta_generic_to_shared(&smem_w[(6 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 2) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_2))[0]), "=r"(((unsigned *)(b_frag_2))[1])
+            : "r"(__smem_addr46));
+    }
+    {
+        unsigned __smem_addr47 = (unsigned)__cvta_generic_to_shared(&smem_w[(6 + threadIdx.x / 8 % 2) * 512 + (threadIdx.x / 32 % 4 / 2 * 4 + 3) * 8 + threadIdx.x % 8 * 64]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x2.trans.shared.b16 {%0, %1}, [%2];\n"
+            : "=r"(((unsigned *)(b_frag_3))[0]), "=r"(((unsigned *)(b_frag_3))[1])
+            : "r"(__smem_addr47));
+    }
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_0[0]), "+f"(acc_0_0[1]), "+f"(acc_0_0[2]), "+f"(acc_0_0[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_1[0]), "+f"(acc_0_1[1]), "+f"(acc_0_1[2]), "+f"(acc_0_1[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_2[0]), "+f"(acc_0_2[1]), "+f"(acc_0_2[2]), "+f"(acc_0_2[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_0_3[0]), "+f"(acc_0_3[1]), "+f"(acc_0_3[2]), "+f"(acc_0_3[3])
+        : "r"(((unsigned *)(a_frag_0))[0]), "r"(((unsigned *)(a_frag_0))[2]), "r"(((unsigned *)(a_frag_0))[1]), "r"(((unsigned *)(a_frag_0))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_0[0]), "+f"(acc_1_0[1]), "+f"(acc_1_0[2]), "+f"(acc_1_0[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_0))[0]), "r"(((unsigned *)(b_frag_0))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_1[0]), "+f"(acc_1_1[1]), "+f"(acc_1_1[2]), "+f"(acc_1_1[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_1))[0]), "r"(((unsigned *)(b_frag_1))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_2[0]), "+f"(acc_1_2[1]), "+f"(acc_1_2[2]), "+f"(acc_1_2[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_2))[0]), "r"(((unsigned *)(b_frag_2))[1]));
+    asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 {%0, %1, %2, %3}, {%4, %5, %6, %7}, {%8, %9}, {%0, %1, %2, %3};\n"
+        : "+f"(acc_1_3[0]), "+f"(acc_1_3[1]), "+f"(acc_1_3[2]), "+f"(acc_1_3[3])
+        : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
+    acc_0_0[0] = (acc_0_0[0] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_0[1] = (acc_0_0[1] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_0[0] = max(acc_0_0[0], 0.0f);
+    acc_0_0[1] = max(acc_0_0[1], 0.0f);
+    acc_0_0[2] = (acc_0_0[2] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_0[3] = (acc_0_0[3] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_0[2] = max(acc_0_0[2], 0.0f);
+    acc_0_0[3] = max(acc_0_0[3], 0.0f);
+    acc_0_1[0] = (acc_0_1[0] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_1[1] = (acc_0_1[1] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_1[0] = max(acc_0_1[0], 0.0f);
+    acc_0_1[1] = max(acc_0_1[1], 0.0f);
+    acc_0_1[2] = (acc_0_1[2] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_1[3] = (acc_0_1[3] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_1[2] = max(acc_0_1[2], 0.0f);
+    acc_0_1[3] = max(acc_0_1[3], 0.0f);
+    acc_0_2[0] = (acc_0_2[0] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_2[1] = (acc_0_2[1] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_2[0] = max(acc_0_2[0], 0.0f);
+    acc_0_2[1] = max(acc_0_2[1], 0.0f);
+    acc_0_2[2] = (acc_0_2[2] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_2[3] = (acc_0_2[3] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_2[2] = max(acc_0_2[2], 0.0f);
+    acc_0_2[3] = max(acc_0_2[3], 0.0f);
+    acc_0_3[0] = (acc_0_3[0] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_3[1] = (acc_0_3[1] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_3[0] = max(acc_0_3[0], 0.0f);
+    acc_0_3[1] = max(acc_0_3[1], 0.0f);
+    acc_0_3[2] = (acc_0_3[2] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_0_3[3] = (acc_0_3[3] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_0_3[2] = max(acc_0_3[2], 0.0f);
+    acc_0_3[3] = max(acc_0_3[3], 0.0f);
+    acc_1_0[0] = (acc_1_0[0] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_0[1] = (acc_1_0[1] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_0[0] = max(acc_1_0[0], 0.0f);
+    acc_1_0[1] = max(acc_1_0[1], 0.0f);
+    acc_1_0[2] = (acc_1_0[2] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_0[3] = (acc_1_0[3] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_0[2] = max(acc_1_0[2], 0.0f);
+    acc_1_0[3] = max(acc_1_0[3], 0.0f);
+    acc_1_1[0] = (acc_1_1[0] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_1[1] = (acc_1_1[1] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_1[0] = max(acc_1_1[0], 0.0f);
+    acc_1_1[1] = max(acc_1_1[1], 0.0f);
+    acc_1_1[2] = (acc_1_1[2] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_1[3] = (acc_1_1[3] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_1[2] = max(acc_1_1[2], 0.0f);
+    acc_1_1[3] = max(acc_1_1[3], 0.0f);
+    acc_1_2[0] = (acc_1_2[0] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_2[1] = (acc_1_2[1] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_2[0] = max(acc_1_2[0], 0.0f);
+    acc_1_2[1] = max(acc_1_2[1], 0.0f);
+    acc_1_2[2] = (acc_1_2[2] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_2[3] = (acc_1_2[3] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_2[2] = max(acc_1_2[2], 0.0f);
+    acc_1_2[3] = max(acc_1_2[3], 0.0f);
+    acc_1_3[0] = (acc_1_3[0] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_3[1] = (acc_1_3[1] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_3[0] = max(acc_1_3[0], 0.0f);
+    acc_1_3[1] = max(acc_1_3[1], 0.0f);
+    acc_1_3[2] = (acc_1_3[2] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2]));
+    acc_1_3[3] = (acc_1_3[3] + __half2float(bias1[(threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1]));
+    acc_1_3[2] = max(acc_1_3[2], 0.0f);
+    acc_1_3[3] = max(acc_1_3[3], 0.0f);
+    __syncthreads();
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_0[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_0[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_0[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_0[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_1[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_1[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_1[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_1[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_2[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_2[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_2[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_2[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_3[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_3[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_0_3[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_0_3[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_0[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_0[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_0[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_0[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_1[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_1[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_1[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 8 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_1[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_2[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_2[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_2[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 16 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_2[3]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_3[0]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_3[1]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2] = __float2half(acc_1_3[2]);
+    smem_x[(threadIdx.x / 32 % 4 % 2 * 32 + 16 + threadIdx.x % 32 / 4 + 8) * 64 + (threadIdx.x / 32 % 4 / 2 * 32 + 24 + threadIdx.x % 32 % 4 * 2) / 2 * 2 + 1] = __float2half(acc_1_3[3]);
+    __syncthreads();
+    // write final activations to global memory
+    *reinterpret_cast<float4 *>(&Y[threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8]) = *reinterpret_cast<const float4 *>(&smem_x[threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8]);
+    *reinterpret_cast<float4 *>(&Y[(128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8]) = *reinterpret_cast<const float4 *>(&smem_x[(128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8]);
+    *reinterpret_cast<float4 *>(&Y[(256 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8]) = *reinterpret_cast<const float4 *>(&smem_x[(256 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8]);
+    *reinterpret_cast<float4 *>(&Y[(384 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8]) = *reinterpret_cast<const float4 *>(&smem_x[(384 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8]);
+}

@@ -1,0 +1,26 @@
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void ldmatrix_move(const half *__restrict__ src, half *__restrict__ out) {
+    __shared__ half smem[256];
+    half regs[8];
+    __pipeline_memcpy_async(&smem[threadIdx.x % 32 * 8], &src[threadIdx.x % 32 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+    __syncthreads();
+    {
+        unsigned __smem_addr0 = (unsigned)__cvta_generic_to_shared(&smem[threadIdx.x / 16 % 2 * 128 + threadIdx.x / 8 % 2 * 8 + threadIdx.x % 8 * 16]);
+        asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
+            : "=r"(((unsigned *)(regs))[0]), "=r"(((unsigned *)(regs))[2]), "=r"(((unsigned *)(regs))[1]), "=r"(((unsigned *)(regs))[3])
+            : "r"(__smem_addr0));
+    }
+    out[threadIdx.x % 32 * 8] = regs[0];
+    out[threadIdx.x % 32 * 8 + 1] = regs[4];
+    out[threadIdx.x % 32 * 8 + 2] = regs[1];
+    out[threadIdx.x % 32 * 8 + 3] = regs[5];
+    out[threadIdx.x % 32 * 8 + 4] = regs[2];
+    out[threadIdx.x % 32 * 8 + 5] = regs[6];
+    out[threadIdx.x % 32 * 8 + 6] = regs[3];
+    out[threadIdx.x % 32 * 8 + 7] = regs[7];
+}

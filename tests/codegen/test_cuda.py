@@ -180,3 +180,50 @@ class TestStatementEmission:
         kb.param("x", (4,), FP32)
         code = CudaGenerator(AMPERE).generate(kb.build()).code
         assert ", int M)" in code
+
+
+class TestIdentifierHygiene:
+    """Generated identifiers are deterministic and collision-free."""
+
+    def _reduction_kernel(self):
+        kb = KernelBuilder("k", (1,), (4,))
+        vals = kb.alloc("vals", (4,), FP32, RF)
+        out = kb.alloc("out", (1,), FP32, RF)
+        kb.reduce("max", vals, out)
+        kb.reduce("add", vals, out)
+        return kb.build()
+
+    def test_temp_names_deterministic_across_generations(self):
+        # The temporary counter is per-generate, not process-global:
+        # re-generating the same kernel yields byte-identical text.
+        kernel = self._reduction_kernel()
+        gen = CudaGenerator(AMPERE)
+        first = gen.generate(kernel).code
+        second = gen.generate(kernel).code
+        assert first == second
+        assert "__red0" in first and "__red1" in first
+
+    def test_counter_restarts_for_each_kernel(self):
+        # A fresh kernel must start naming from __red0 again, no matter
+        # how many kernels this generator emitted before it.
+        gen = CudaGenerator(AMPERE)
+        gen.generate(self._reduction_kernel())
+        code = gen.generate(self._reduction_kernel()).code
+        assert "__red0" in code
+        assert "__red2" not in code
+
+    def test_alloc_colliding_with_param_rejected(self):
+        # KernelBuilder.alloc only guards alloc-vs-alloc; the generator
+        # must still refuse an allocation shadowing a kernel parameter.
+        kb = KernelBuilder("k", (1,), (4,))
+        kb.param("A", (4,), FP32)
+        kb.alloc("A", (4,), FP32, SH)
+        with pytest.raises(ValueError, match="duplicate identifier"):
+            CudaGenerator(AMPERE).generate(kb.build())
+
+    def test_alloc_colliding_with_symbol_rejected(self):
+        kb = KernelBuilder("k", (1,), (4,))
+        kb.symbol("M")
+        kb.alloc("M", (4,), FP32, RF)
+        with pytest.raises(ValueError, match="duplicate identifier"):
+            CudaGenerator(AMPERE).generate(kb.build())

@@ -1,0 +1,148 @@
+"""Unit tests for the C-subset CUDA emulator (lexer, parser, evaluator).
+
+The conformance suite exercises the emulator end-to-end on generated
+kernels; these tests pin down the individual language semantics —
+C truncation arithmetic, fp16 promotion, lockstep restrictions, and the
+diagnostics the emulator must raise on malformed or unsupported input —
+with small handwritten kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import KernelSource
+from repro.codegen.emulator import (
+    EmulatorError,
+    ParseError,
+    emulate,
+    parse_source,
+    tokenize,
+)
+
+
+def _kernel(body, params="int *out", grid=1, block=1, name="k"):
+    code = f"__global__ void {name}({params}) {{\n{body}\n}}\n"
+    return KernelSource(name, code, grid, block, 0)
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        toks = tokenize("x = threadIdx.x + 0x10 >> 2; // note")
+        texts = [t.text for t in toks]
+        assert "threadIdx.x" in texts  # dotted builtin stays one token
+        assert ">>" in texts           # compound operator
+        assert "0x10" in texts
+        assert not any("note" in t.text for t in toks)  # comments dropped
+
+    def test_float_suffixes(self):
+        toks = tokenize("0.5f 1e-05f 2.0")
+        kinds = [t.kind for t in toks if t.kind != "eof"]
+        assert kinds == ["float", "float", "float"]
+
+
+class TestParser:
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_source("__global__ void k(int *o) { o[0] = ; }")
+
+    def test_program_kernel_lookup(self):
+        prog = parse_source(
+            "__device__ float f(float x) { return x; }\n"
+            "__global__ void k(int *o) { o[0] = 1; }"
+        )
+        assert prog.kernel("k").is_kernel
+
+
+class TestCSemantics:
+    def test_integer_division_truncates_toward_zero(self):
+        # C: (-7)/2 == -3 and (-7)%2 == -1; Python floor-divides to -4.
+        out = np.zeros(2, dtype=np.int32)
+        emulate(_kernel("out[0] = (0 - 7) / 2;\nout[1] = (0 - 7) % 2;",
+                        params="int *out"),
+                {"out": out})
+        assert out.tolist() == [-3, -1]
+
+    def test_half_reads_promote_to_fp32(self):
+        # Arithmetic on half operands happens in fp32, rounding only on
+        # the store — the same model the simulator uses.
+        x = np.array([1.0009765625], dtype=np.float16)  # exact in fp16
+        out = np.zeros(1, dtype=np.float32)
+        emulate(_kernel(
+            "out[0] = __half2float(x[0]) * 3.0f;",
+            params="const half *x, float *out"),
+            {"x": x, "out": out})
+        expected = np.float32(np.float32(x[0])) * np.float32(3.0)
+        assert out[0] == expected
+
+    def test_store_to_half_rounds(self):
+        out = np.zeros(1, dtype=np.float16)
+        emulate(_kernel("out[0] = __float2half(1.0f / 3.0f);",
+                        params="half *out"),
+                {"out": out})
+        assert out[0] == np.float16(np.float32(1.0) / np.float32(3.0))
+
+    def test_grid_and_block_indexing(self):
+        out = np.zeros(8, dtype=np.int32)
+        emulate(_kernel("out[blockIdx.x * 4 + threadIdx.x] = "
+                        "blockIdx.x * 100 + threadIdx.x;",
+                        grid=2, block=4),
+                {"out": out})
+        assert out.tolist() == [0, 1, 2, 3, 100, 101, 102, 103]
+
+    def test_for_loop_and_compound_assign(self):
+        out = np.zeros(1, dtype=np.int32)
+        emulate(_kernel(
+            "for (int i = 0; i < 5; i += 1) {\nout[0] += i;\n}"),
+            {"out": out})
+        assert out[0] == 10
+
+    def test_if_partitions_lanes(self):
+        out = np.zeros(4, dtype=np.int32)
+        emulate(_kernel(
+            "if (threadIdx.x < 2) {\nout[threadIdx.x] = 1;\n} else {\n"
+            "out[threadIdx.x] = 2;\n}", block=4),
+            {"out": out})
+        assert out.tolist() == [1, 1, 2, 2]
+
+    def test_shared_memory_and_sync(self):
+        out = np.zeros(4, dtype=np.int32)
+        emulate(_kernel(
+            "__shared__ int s[4];\n"
+            "s[threadIdx.x] = threadIdx.x;\n"
+            "__syncthreads();\n"
+            "out[threadIdx.x] = s[3 - threadIdx.x];", block=4),
+            {"out": out})
+        assert out.tolist() == [3, 2, 1, 0]
+
+
+class TestDiagnostics:
+    def test_duplicate_declaration_rejected(self):
+        src = _kernel("int a[2];\nint a[2];\nout[0] = 0;")
+        with pytest.raises(EmulatorError, match="duplicate declaration"):
+            emulate(src, {"out": np.zeros(1, dtype=np.int32)})
+
+    def test_thread_dependent_loop_bound_rejected(self):
+        src = _kernel(
+            "for (int i = 0; i < threadIdx.x; i += 1) {\nout[0] = i;\n}",
+            block=4)
+        with pytest.raises(EmulatorError, match="threadIdx.x"):
+            emulate(src, {"out": np.zeros(1, dtype=np.int32)})
+
+    def test_unknown_asm_instruction_rejected(self):
+        src = _kernel(
+            'asm volatile("wgmma.mma_async.sync.aligned %0;\\n"'
+            ' : "+f"(out[0]) :);', params="float *out", block=32)
+        with pytest.raises(EmulatorError):
+            emulate(src, {"out": np.zeros(1, dtype=np.float32)})
+
+    def test_binding_dtype_mismatch_rejected(self):
+        # Unlike the simulator, the emulator type-checks bindings
+        # against the kernel signature.
+        src = _kernel("out[0] = 1;", params="half *out")
+        with pytest.raises(EmulatorError):
+            emulate(src, {"out": np.zeros(1, dtype=np.float32)})
+
+    def test_missing_binding_rejected(self):
+        src = _kernel("out[0] = 1;")
+        with pytest.raises((EmulatorError, KeyError)):
+            emulate(src, {})

@@ -1,0 +1,79 @@
+"""Golden-snapshot tests for generated CUDA and pretty-printed IR.
+
+Every conformance case's kernel (one per shipped family/variant) is
+printed twice — as CUDA C++ by :class:`CudaGenerator` and as IR by
+:func:`repro.ir.pretty.format_kernel` — and compared byte-for-byte
+against the checked-in snapshots in ``tests/codegen/golden/``.  A diff
+means codegen output changed: review it, then regenerate with
+
+    PYTHONPATH=src python -m pytest tests/codegen/test_golden.py \
+        --update-golden
+
+(see EXPERIMENTS.md).  Emission is deterministic per kernel — temporary
+identifiers restart from ``__red0``/``__smem_addr0`` for every
+``generate`` call — so these snapshots are stable across processes and
+orderings.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.codegen.cuda import CudaGenerator
+from repro.conformance import default_cases
+from repro.ir.pretty import format_kernel
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_CASES = {case.name: case for case in default_cases()}
+
+
+def _check_or_update(path: Path, text: str, update: bool) -> None:
+    if update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"missing golden snapshot {path.name}; run "
+            f"pytest {__file__} --update-golden to create it"
+        )
+    golden = path.read_text()
+    if golden != text:
+        import difflib
+        diff = "\n".join(difflib.unified_diff(
+            golden.splitlines(), text.splitlines(),
+            fromfile=f"golden/{path.name}", tofile="generated",
+            lineterm="", n=2,
+        ))
+        pytest.fail(
+            f"generated output diverges from golden/{path.name} "
+            f"(regenerate with --update-golden if intended):\n{diff}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(_CASES))
+def test_generated_cuda_matches_golden(name, update_golden):
+    case = _CASES[name]
+    source = CudaGenerator(case.arch).generate(case.kernel)
+    _check_or_update(GOLDEN_DIR / f"{name}.cu", source.code,
+                     update_golden)
+
+
+@pytest.mark.parametrize("name", sorted(_CASES))
+def test_pretty_ir_matches_golden(name, update_golden):
+    case = _CASES[name]
+    text = format_kernel(case.kernel)
+    if not text.endswith("\n"):
+        text += "\n"
+    _check_or_update(GOLDEN_DIR / f"{name}.ir", text, update_golden)
+
+
+def test_generation_is_deterministic():
+    """The same kernel prints identically on repeated generation (the
+    per-kernel temporary counter restarts every ``generate`` call)."""
+    case = _CASES["layernorm"]
+    first = CudaGenerator(case.arch).generate(case.kernel).code
+    second = CudaGenerator(case.arch).generate(case.kernel).code
+    assert first == second
+    assert "__red0" in first

@@ -1,0 +1,2 @@
+"""Three-way conformance tests: emulated generated CUDA vs. the
+simulator vs. numpy references (see ``repro.conformance``)."""

@@ -1,0 +1,73 @@
+"""Conformance smoke tier: every kernel family runs three ways.
+
+Each selected case is executed by (1) the C-subset emulator over the
+*generated CUDA text*, (2) the IR simulator, and (3) a numpy reference,
+and all three must agree elementwise (``repro.conformance.run_case``).
+The smoke tier — one case per family plus the negative mutation check —
+runs in the default test invocation; the remaining variant cases carry
+the ``slow`` marker and are picked up by ``-m conformance`` (or
+``-m slow``).  The same sweep is available outside pytest as
+``python -m repro.eval conformance [--self-check]``.
+"""
+
+import pytest
+
+from repro.codegen.cuda import CudaGenerator
+from repro.conformance import (
+    FAMILIES,
+    default_cases,
+    mutate_index_stride,
+    run_case,
+)
+
+pytestmark = pytest.mark.conformance
+
+_CASES = {case.name: case for case in default_cases()}
+
+
+def _one_per_family():
+    chosen = {}
+    for case in default_cases():
+        chosen.setdefault(case.family, case.name)
+    return sorted(chosen.values())
+
+
+_SMOKE = _one_per_family()
+_FULL_ONLY = sorted(set(_CASES) - set(_SMOKE))
+
+
+def test_smoke_tier_covers_every_family():
+    assert {_CASES[name].family for name in _SMOKE} == set(FAMILIES)
+
+
+@pytest.mark.parametrize("name", _SMOKE)
+def test_family_three_way_agreement(name):
+    result = run_case(_CASES[name])
+    assert result.passed, result.format_row()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", _FULL_ONLY)
+def test_variant_three_way_agreement(name):
+    result = run_case(_CASES[name])
+    assert result.passed, result.format_row()
+
+
+def test_injected_stride_mutation_is_caught():
+    """Negative control: bump one read stride in the generated source
+    and the harness must flag the case — otherwise a silently mis-printed
+    index would also slip through."""
+    case = _CASES["gemm_naive"]
+    mutant = mutate_index_stride(
+        CudaGenerator(case.arch).generate(case.kernel)
+    )
+    result = run_case(case, source=mutant)
+    assert not result.passed
+
+
+def test_mutated_source_differs_from_generated():
+    case = _CASES["gemm_naive"]
+    original = CudaGenerator(case.arch).generate(case.kernel)
+    mutant = mutate_index_stride(original)
+    assert mutant.code != original.code
+    assert mutant.name == original.name

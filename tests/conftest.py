@@ -17,6 +17,22 @@ settings.register_profile(
 )
 settings.load_profile("repro")
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden CUDA/IR snapshots under "
+             "tests/codegen/golden/ instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite golden snapshots."""
+    return request.config.getoption("--update-golden")
+
+
 #: Base seed for every randomized test.  Override with the
 #: ``REPRO_TEST_SEED`` environment variable to replay a CI failure; each
 #: test derives its own stream from the base and its node id, so one

@@ -1,11 +1,14 @@
-"""Differential fuzzing: random valid shapes, simulator vs. numpy.
+"""Differential fuzzing: random valid shapes, three executors per trial.
 
 Each trial draws a shape from the family's validity predicate (see
-``ShapeSampler`` in tests/conftest.py), builds the shipped kernel,
-executes it with the race sanitizer attached, and compares against the
-:mod:`repro.library.funcs` reference.  A failure therefore means one of
-three things — wrong numerics, a shape the builder should have rejected,
-or a memory hazard — and replays from the printed seed.
+``ShapeSampler`` in tests/conftest.py), builds the shipped kernel, and
+runs it twice — the IR on the simulator (race sanitizer attached) and
+the *generated CUDA text* on the :mod:`repro.codegen.emulator` — before
+comparing against the :mod:`repro.library.funcs` reference.  Simulator
+and emulator must agree bit-for-bit (both substitute the same fp32 math
+for tensor-core ops), so a failure means wrong numerics, a shape the
+builder should have rejected, a memory hazard, or a mis-printed index
+expression — and replays from the printed seed.
 
 The default tier runs one trial per family; ``-m slow`` sweeps more.
 """
@@ -14,6 +17,8 @@ import numpy as np
 import pytest
 
 from repro.arch import AMPERE
+from repro.codegen import CudaGenerator
+from repro.codegen.emulator import emulate
 from repro.kernels.fmha import build_fused_fmha
 from repro.kernels.gemm import build_naive_gemm
 from repro.kernels.gemm_optimized import build_ampere_tc_gemm
@@ -30,7 +35,17 @@ def _fp16(np_rng, *shape, scale=1.0):
 
 
 def _run(kernel, arrays):
+    """Simulate the IR, emulate the generated text, demand agreement."""
+    emu_arrays = {name: arr.copy() for name, arr in arrays.items()}
     Simulator(AMPERE).run(kernel, arrays, sanitize=True)
+    source = CudaGenerator(AMPERE).generate(kernel)
+    emulate(source, emu_arrays)
+    for name, arr in arrays.items():
+        np.testing.assert_array_equal(
+            arr, emu_arrays[name],
+            err_msg=(f"simulator and emulated CUDA text disagree on "
+                     f"{name!r} for kernel {source.name}"),
+        )
 
 
 def trial_naive_gemm(shapes, np_rng):
