@@ -7,7 +7,7 @@ the one that matches Apex in Figure 13.
 """
 
 from repro.arch import AMPERE
-from repro.kernels.layernorm import build_layernorm
+from repro.kernels import LayernormConfig, build
 from repro.perfmodel.counts import count_kernel
 from repro.perfmodel.model import PerfModel
 
@@ -16,10 +16,10 @@ def test_warp_per_row_decomposition_wins(run_once):
     rows, hidden = 12288, 1024
 
     def build_both():
-        warp = build_layernorm(rows, hidden, warps_per_block=4,
-                               warp_per_row=True)
-        thread = build_layernorm(rows, hidden, warps_per_block=4,
-                                 warp_per_row=False)
+        warp = build(LayernormConfig(rows, hidden, warps_per_block=4,
+                                     warp_per_row=True))
+        thread = build(LayernormConfig(rows, hidden, warps_per_block=4,
+                                       warp_per_row=False))
         return warp, thread
 
     warp, thread = run_once(build_both)

@@ -12,13 +12,13 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import AMPERE, CudaGenerator, Simulator
-from repro.kernels.gemm import build_naive_gemm
+from repro.kernels import NaiveGemmConfig, build
 
 
 def main():
     # 1. Build the Figure 8 kernel at paper scale and print its CUDA.
-    kernel = build_naive_gemm(1024, 1024, 1024, grid=(8, 8),
-                              threads=(16, 16))
+    kernel = build(NaiveGemmConfig(1024, 1024, 1024, grid=(8, 8),
+                                   threads=(16, 16)))
     source = CudaGenerator(AMPERE).generate(kernel)
     print("=" * 72)
     print(f"Generated CUDA for {source.name} "
@@ -28,7 +28,7 @@ def main():
 
     # 2. Execute the same IR functionally at a simulation-friendly size.
     m = n = k = 32
-    small = build_naive_gemm(m, n, k, grid=(2, 2), threads=(4, 4))
+    small = build(NaiveGemmConfig(m, n, k, grid=(2, 2), threads=(4, 4)))
     rng = np.random.default_rng(0)
     a = (rng.random((m, k)) * 0.1).astype(np.float16)
     b = (rng.random((k, n)) * 0.1).astype(np.float16)

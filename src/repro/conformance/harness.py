@@ -32,18 +32,17 @@ from ..codegen.cuda import CudaGenerator, KernelSource
 from ..codegen.emulator import EmulatorError, emulate
 from ..kernels.epilogue import build_gemm_epilogue
 from ..kernels.fmha import build_fused_fmha
-from ..kernels.gemm import build_naive_gemm
 from ..kernels.gemm_optimized import build_ampere_tc_gemm
 from ..kernels.gemm_parametric import build_parametric_gemm
-from ..kernels.layernorm import build_layernorm
 from ..kernels.lstm import build_fused_lstm_cell
 from ..kernels.mlp import build_fused_mlp
 from ..kernels.moves import build_ldmatrix_kernel, ldmatrix_reference
-from ..kernels.softmax import build_softmax
-from ..kernels.config import GemmConfig
+from ..kernels.config import (
+    GemmConfig, LayernormConfig, NaiveGemmConfig, SoftmaxConfig,
+)
 from ..kernels import build
 from ..library import funcs
-from ..sim import Simulator
+from ..sim import RunOptions, Simulator
 
 #: Emulator and simulator share numerics by construction; allow only
 #: fp32 round-off between them.
@@ -107,7 +106,8 @@ def default_cases(seed: int = 0) -> List[Case]:
     a, b = _fp16(rng, m, k), _fp16(rng, k, n)
     cases.append(Case(
         name="gemm_naive", family="gemm_naive",
-        kernel=build_naive_gemm(m, n, k, grid=(2, 2), threads=(2, 2)),
+        kernel=build(NaiveGemmConfig(m, n, k, grid=(2, 2),
+                                     threads=(2, 2))),
         arrays={"A": a, "B": b, "C": np.zeros((m, n), np.float16)},
         outputs=["C"], reference={"C": funcs.gemm(a, b)}, tol=0.02,
     ))
@@ -196,7 +196,7 @@ def default_cases(seed: int = 0) -> List[Case]:
     beta = _fp16(rng, hidden)
     cases.append(Case(
         name="layernorm", family="layernorm",
-        kernel=build_layernorm(rows, hidden, warps_per_block=4),
+        kernel=build(LayernormConfig(rows, hidden, warps_per_block=4)),
         arrays={"X": x, "gamma": gamma, "beta": beta,
                 "Y": np.zeros((rows, hidden), np.float16)},
         outputs=["Y"], reference={"Y": funcs.layernorm(x, gamma, beta)},
@@ -207,7 +207,7 @@ def default_cases(seed: int = 0) -> List[Case]:
     x = _fp16(rng, rows, cols, scale=8.0)
     cases.append(Case(
         name="softmax", family="softmax",
-        kernel=build_softmax(rows, cols, threads_per_block=32),
+        kernel=build(SoftmaxConfig(rows, cols, threads_per_block=32)),
         arrays={"X": x, "Y": np.zeros((rows, cols), np.float16)},
         outputs=["Y"], reference={"Y": funcs.softmax(x)}, tol=0.01,
     ))
@@ -264,17 +264,22 @@ FAMILIES = tuple(sorted({
 
 
 # -- execution ---------------------------------------------------------------------
-def run_case(case: Case, source: Optional[KernelSource] = None) -> CaseResult:
+def run_case(case: Case, source: Optional[KernelSource] = None,
+             options: Optional[RunOptions] = None) -> CaseResult:
     """Run one case all three ways and compare elementwise.
 
     ``source`` overrides the generated CUDA (used by the mutation
-    self-check); by default the kernel is printed fresh.
+    self-check); by default the kernel is printed fresh.  ``options``
+    selects the simulator engine/observers; the default sanitizes
+    (conformance doubles as a race sweep over every family).
     """
     if source is None:
         source = CudaGenerator(case.arch).generate(case.kernel)
+    if options is None:
+        options = RunOptions(sanitize=True)
     sim_arrays = {k: v.copy() for k, v in case.arrays.items()}
     Simulator(case.arch).run(case.kernel, sim_arrays,
-                             symbols=case.symbols, sanitize=True)
+                             symbols=case.symbols, options=options)
     emu_arrays = {k: v.copy() for k, v in case.arrays.items()}
     try:
         emulate(source, emu_arrays, case.symbols)
@@ -307,9 +312,10 @@ def run_case(case: Case, source: Optional[KernelSource] = None) -> CaseResult:
 
 
 def run_all(cases: Optional[Sequence[Case]] = None,
-            seed: int = 0) -> List[CaseResult]:
-    return [run_case(c) for c in (cases if cases is not None
-                                  else default_cases(seed))]
+            seed: int = 0,
+            options: Optional[RunOptions] = None) -> List[CaseResult]:
+    return [run_case(c, options=options)
+            for c in (cases if cases is not None else default_cases(seed))]
 
 
 def format_report(results: Sequence[CaseResult]) -> str:

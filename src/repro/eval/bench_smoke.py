@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -63,19 +64,13 @@ def smoke_families() -> Dict[str, Tuple["KernelConfig", float]]:
 
 def run_family(figure: str, arch="ampere", seed: int = 0) -> dict:
     """Profile one family's smoke kernel and build its artifact dict."""
-    from ..kernels import build, config_summary
+    from ..kernels import config_summary
     from ..sim import Simulator
 
     if isinstance(arch, str):
         arch = ARCHITECTURES[arch]
     cfg, smem_tol = smoke_families()[figure]
-    kernel = build(cfg)
-    rng = np.random.default_rng(seed)
-    bindings = {
-        p.name: (rng.standard_normal(p.layout.size()) * 0.25)
-        .astype(p.dtype.np_dtype)
-        for p in kernel.params
-    }
+    kernel, bindings = _smoke_problem(figure, seed)
     result = Simulator(arch).run(kernel, bindings, profile=True)
     profile = result.profile
     counts = count_kernel(kernel, arch)
@@ -111,14 +106,115 @@ def run_family(figure: str, arch="ampere", seed: int = 0) -> dict:
     }
 
 
+def _smoke_problem(figure: str, seed: int):
+    """Build one family's smoke kernel and its launch bindings."""
+    from ..kernels import build
+
+    cfg, _ = smoke_families()[figure]
+    kernel = build(cfg)
+    rng = np.random.default_rng(seed)
+    bindings = {
+        p.name: (rng.standard_normal(p.layout.size()) * 0.25)
+        .astype(p.dtype.np_dtype)
+        for p in kernel.params
+    }
+    return kernel, bindings
+
+
+def time_engines(figure: str, arch="ampere", seed: int = 0,
+                 repeats: int = 3) -> dict:
+    """Wall-time one smoke family under both execution engines.
+
+    Three numbers per figure: the scalar reference interpreter (its cost
+    is the same every run), the vectorized engine's *cold* first run on
+    a fresh :class:`~repro.sim.Simulator` (plan compilation included),
+    and its *warm* steady state (plan cached — the regime the tuner,
+    fuzzers, and conformance sweeps actually run in).  Each number is
+    the best of ``repeats`` timed runs with ``profile=True``, matching
+    how bench-smoke executes kernels.
+    """
+    from ..sim import RunOptions, Simulator
+
+    if isinstance(arch, str):
+        arch = ARCHITECTURES[arch]
+    kernel, bindings = _smoke_problem(figure, seed)
+
+    def timed(sim, options):
+        run_bindings = {k: v.copy() for k, v in bindings.items()}
+        start = time.perf_counter()
+        sim.run(kernel, run_bindings, options=options)
+        return time.perf_counter() - start
+
+    profiled = RunOptions(profile=True)
+    reference_s = min(
+        timed(Simulator(arch), profiled.merged(engine="reference"))
+        for _ in range(repeats)
+    )
+    cold_s = min(
+        timed(Simulator(arch), profiled) for _ in range(repeats)
+    )
+    warm_sim = Simulator(arch)
+    timed(warm_sim, profiled)  # compile + cache the plan
+    warm_s = min(timed(warm_sim, profiled) for _ in range(repeats))
+    return {
+        "figure": figure,
+        "kernel": kernel.name,
+        "arch": arch.name,
+        "reference_s": reference_s,
+        "vectorized_cold_s": cold_s,
+        "vectorized_warm_s": warm_s,
+        "speedup_cold": reference_s / cold_s,
+        "speedup_warm": reference_s / warm_s,
+    }
+
+
+def run_sim_speed_bench(
+    figures: Optional[List[str]] = None,
+    arch: str = "ampere",
+    outdir: str = "bench_artifacts",
+    seed: int = 0,
+    repeats: int = 3,
+) -> str:
+    """Time every smoke family on both engines; write BENCH_sim_speed.json.
+
+    The headline number is the warm (plan-cached) speedup — replaying a
+    compiled launch plan is the engine's steady state; the cold
+    first-run time is recorded alongside so compilation overhead stays
+    visible.  Returns the artifact path.
+    """
+    names = figures or sorted(smoke_families())
+    rows = [time_engines(name, arch=arch, seed=seed, repeats=repeats)
+            for name in names]
+    warm = [r["speedup_warm"] for r in rows]
+    artifact = {
+        "benchmark": "sim_speed",
+        "engines": ["reference", "vectorized"],
+        "repeats": repeats,
+        "figures": rows,
+        "summary": {
+            "min_speedup_warm": min(warm),
+            "geomean_speedup_warm": float(np.exp(np.mean(np.log(warm)))),
+            "min_speedup_cold": min(r["speedup_cold"] for r in rows),
+        },
+    }
+    os.makedirs(outdir, exist_ok=True)
+    path = os.path.join(outdir, "BENCH_sim_speed.json")
+    with open(path, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+    return path
+
+
 def run_bench_smoke(
     figures: Optional[List[str]] = None,
     arch: str = "ampere",
     outdir: str = "bench_artifacts",
     seed: int = 0,
+    sim_speed: bool = True,
 ) -> List[str]:
     """Run the smoke benchmarks and write one artifact file per family.
 
+    Also times both execution engines over the selected families and
+    writes ``BENCH_sim_speed.json`` (``sim_speed=False`` skips it).
     Returns the artifact paths; raises ``RuntimeError`` if any family's
     measured-vs-modelled check failed (after writing all artifacts, so
     the failing numbers are on disk for inspection).
@@ -141,6 +237,9 @@ def run_bench_smoke(
         paths.append(path)
         if not artifact["passed"]:
             failures.append(name)
+    if sim_speed:
+        paths.append(run_sim_speed_bench(figures=names, arch=arch,
+                                         outdir=outdir, seed=seed))
     if failures:
         raise RuntimeError(
             f"bench-smoke drift in {failures}; see artifacts in {outdir}/"
@@ -148,4 +247,7 @@ def run_bench_smoke(
     return paths
 
 
-__all__ = ["smoke_families", "run_family", "run_bench_smoke"]
+__all__ = [
+    "smoke_families", "run_family", "run_bench_smoke",
+    "time_engines", "run_sim_speed_bench",
+]

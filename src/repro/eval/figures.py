@@ -18,7 +18,8 @@ from ..arch.gpu import Architecture
 from ..kernels.fmha import build_fused_fmha
 from ..kernels.gemm_optimized import build_ampere_tc_gemm, build_volta_tc_gemm
 from ..kernels.epilogue import build_gemm_epilogue
-from ..kernels.layernorm import build_layernorm
+from ..kernels.config import LayernormConfig
+from ..kernels import build as build_kernel
 from ..kernels.lstm import build_fused_lstm_cell
 from ..kernels.mlp import build_fused_mlp
 from ..library.cublas import CuBLAS, CuBLASLt
@@ -263,7 +264,8 @@ def figure_13(
          "apex_us", "speedup_vs_eager"],
     )
     for hidden in hiddens:
-        kernel = build_layernorm(rows, hidden, warps_per_block=4)
+        kernel = build_kernel(LayernormConfig(rows, hidden,
+                                              warps_per_block=4))
         graphene = estimate_kernel(
             kernel, arch, efficiency=Efficiency(dram=0.86)
         )

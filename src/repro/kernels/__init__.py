@@ -8,8 +8,8 @@ config-dataclass convention of :mod:`repro.kernels.config`:
   without a registered tuning space fall back to the default config).
 
 ``repro.kernels.build(cfg)`` dispatches on the config type, so callers
-can hold configs as plain data.  The PR-1-era ``build_*`` entry points
-remain as thin deprecated aliases inside each module.
+can hold configs as plain data.  These two are the *only* constructor
+surface — the PR-1-era ``build_*`` entry points are gone.
 """
 
 from __future__ import annotations

@@ -10,9 +10,9 @@ the same pair
 * ``from_tuned(...) -> Kernel`` — the autotuned constructor (families
   without a registered tuning space fall back to the default config),
 
-with the original ``build_*`` entry points kept as thin deprecated
-aliases.  ``repro.kernels.build(cfg)`` dispatches on the config type,
-so call sites can treat configs as plain data (they are hashable and
+and nothing else — the original ``build_*`` entry points are retired.
+``repro.kernels.build(cfg)`` dispatches on the config type, so call
+sites can treat configs as plain data (they are hashable and
 ``asdict``-able for caches and artifacts).
 """
 

@@ -10,11 +10,8 @@ This kernel is deliberately naive; the optimized pipeline lives in
 
 from __future__ import annotations
 
-from typing import Tuple
-
 from ..frontend.builder import KernelBuilder
 from ..specs.kernel import Kernel
-from ..tensor.dtypes import FP16, DType
 from .config import NaiveGemmConfig
 
 
@@ -70,16 +67,3 @@ def from_tuned(m: int, n: int, k: int, arch: str = "ampere",
     :func:`repro.kernels.gemm_optimized.from_tuned`.
     """
     return build(NaiveGemmConfig(m, n, k))
-
-
-def build_naive_gemm(
-    m: int = 1024,
-    n: int = 1024,
-    k: int = 1024,
-    grid: Tuple[int, int] = (8, 8),
-    threads: Tuple[int, int] = (16, 16),
-    dtype: DType = FP16,
-) -> Kernel:
-    """Deprecated alias of ``build(NaiveGemmConfig(...))``."""
-    return build(NaiveGemmConfig(m, n, k, tuple(grid), tuple(threads),
-                                 dtype))

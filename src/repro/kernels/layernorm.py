@@ -32,18 +32,6 @@ def build(cfg: LayernormConfig) -> Kernel:
                                  cfg.warps_per_block * 32, cfg.name)
 
 
-def build_layernorm(
-    rows: int,
-    hidden: int,
-    warps_per_block: int = 4,
-    warp_per_row: bool = True,
-    name: str = "graphene_layernorm",
-) -> Kernel:
-    """Deprecated alias of ``build(LayernormConfig(...))``."""
-    return build(LayernormConfig(rows, hidden, warps_per_block,
-                                 warp_per_row, name))
-
-
 def _build_warp_per_row(rows, hidden, warps_per_block, name) -> Kernel:
     if hidden % 32:
         raise ValueError("hidden must be divisible by the warp size")

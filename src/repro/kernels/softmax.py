@@ -57,14 +57,3 @@ def from_tuned(rows: int, cols: int, arch: str = "ampere",
     config (kept so every kernel module exposes the same ``build``/
     ``from_tuned`` pair)."""
     return build(SoftmaxConfig(rows, cols))
-
-
-def build_softmax(
-    rows: int,
-    cols: int,
-    threads_per_block: int = 128,
-    scale: float = 1.0,
-    name: str = "graphene_softmax",
-) -> Kernel:
-    """Deprecated alias of ``build(SoftmaxConfig(...))``."""
-    return build(SoftmaxConfig(rows, cols, threads_per_block, scale, name))

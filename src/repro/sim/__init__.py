@@ -2,8 +2,11 @@
 
 from .access import TensorAccessor, accessor, compile_expr, tile_views
 from .context import ExecCtx
-from .interp import RunResult, SimulationError, Simulator
+from .errors import SimulationError
+from .interp import RunResult, Simulator
 from .machine import BankModel, Machine
+from .options import ENGINES, RunOptions, resolve_run_options
+from .plan import LaunchPlan, PlanCache
 from .profiler import KernelProfile, Profiler, SpecCounters
 from .sanitizer import (
     Sanitizer, SanitizerError, SanitizerReport, strip_barriers,
@@ -13,6 +16,8 @@ __all__ = [
     "TensorAccessor", "accessor", "compile_expr", "tile_views",
     "ExecCtx", "RunResult", "SimulationError", "Simulator",
     "BankModel", "Machine",
+    "ENGINES", "RunOptions", "resolve_run_options",
+    "LaunchPlan", "PlanCache",
     "KernelProfile", "Profiler", "SpecCounters",
     "Sanitizer", "SanitizerError", "SanitizerReport", "strip_barriers",
 ]

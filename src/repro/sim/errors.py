@@ -1,0 +1,7 @@
+"""Simulator error types (shared by the interpreter and the plan engine)."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    pass

@@ -21,7 +21,6 @@ out-of-bounds access, uninitialized read, or divergent barrier.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -38,13 +37,12 @@ from ..tensor.memspace import GL
 from ..threads.threadgroup import THREAD, ThreadGroup
 from .access import compile_expr
 from .context import ExecCtx
+from .errors import SimulationError
 from .machine import Machine
+from .options import RunOptions, resolve_run_options
+from .plan import PlanCache
 from .profiler import KernelProfile, Profiler
 from .sanitizer import Sanitizer, SanitizerError
-
-
-class SimulationError(RuntimeError):
-    pass
 
 
 @dataclass
@@ -53,10 +51,9 @@ class RunResult:
 
     ``Simulator.run`` historically returned the bare :class:`Machine`;
     with the sanitizer and profiler a launch now has three outputs, so
-    they travel together.  For one release, attribute access falls
-    through to ``machine`` (with a :class:`DeprecationWarning`) so code
-    written against the old return type keeps working — migrate to
-    ``result.machine.<attr>``.
+    they travel together.  Access the machine explicitly as
+    ``result.machine`` — the transitional attribute fall-through (which
+    warned with ``DeprecationWarning``) has been removed.
     """
 
     machine: Machine
@@ -64,22 +61,15 @@ class RunResult:
     profile: Optional[KernelProfile] = None
 
     def __getattr__(self, name):
-        if name.startswith("_"):
-            raise AttributeError(name)
-        try:
-            value = getattr(self.machine, name)
-        except AttributeError:
+        if not name.startswith("_") and hasattr(self.machine, name):
             raise AttributeError(
-                f"{type(self).__name__!s} has no attribute {name!r}"
-            ) from None
-        warnings.warn(
-            f"accessing {name!r} on RunResult is deprecated; "
-            f"Simulator.run now returns a RunResult — "
-            f"use result.machine.{name} instead",
-            DeprecationWarning,
-            stacklevel=2,
+                f"{type(self).__name__} has no attribute {name!r}: the "
+                f"machine delegation shim was removed — use "
+                f"result.machine.{name} instead"
+            )
+        raise AttributeError(
+            f"{type(self).__name__!s} has no attribute {name!r}"
         )
-        return value
 
 
 class Simulator:
@@ -90,6 +80,9 @@ class Simulator:
         self._loop_cache: Dict[int, tuple] = {}
         self._pred_cache: Dict[int, list] = {}
         self._atomic_cache: Dict[int, AtomicSpec] = {}
+        #: Compiled launch plans for the ``"vectorized"`` engine, keyed
+        #: on kernel identity + symbol/binding-shape signature.
+        self.plan_cache = PlanCache()
 
     # -- public API ----------------------------------------------------------
     def run(
@@ -98,8 +91,10 @@ class Simulator:
         bindings: Dict[str, np.ndarray],
         symbols: Optional[Dict[str, int]] = None,
         *,
-        sanitize=False,
-        profile=False,
+        options: Optional[RunOptions] = None,
+        sanitize=None,
+        profile=None,
+        engine=None,
     ) -> "RunResult":
         """Launch ``kernel`` over numpy-backed global buffers.
 
@@ -107,6 +102,10 @@ class Simulator:
         place for outputs, exactly like buffers passed to a CUDA kernel).
         Returns a :class:`RunResult` carrying the machine for
         post-mortem inspection plus any sanitizer/profiler output.
+
+        Behaviour is controlled by a :class:`~repro.sim.options.RunOptions`
+        (``options=``); the ``sanitize``/``profile``/``engine`` keywords
+        are explicit per-knob overrides of it.
 
         ``sanitize=True`` attaches a race/memory sanitizer (see
         :mod:`repro.sim.sanitizer`) and raises :class:`SanitizerError`
@@ -117,7 +116,16 @@ class Simulator:
         ``profile=True`` attaches an instruction profiler (see
         :mod:`repro.sim.profiler`); the measured Nsight-style counters
         are returned as the result's ``profile``.
+
+        ``engine="vectorized"`` (the default) executes through a cached
+        compiled launch plan (:mod:`repro.sim.plan`);
+        ``engine="reference"`` runs the scalar interpreter.  Both are
+        bit-identical, including profiler counters and sanitizer
+        reports.
         """
+        opts = resolve_run_options(
+            options, sanitize=sanitize, profile=profile, engine=engine
+        )
         # Compiled-closure caches key on id(stmt); scoping them to one
         # run keeps a recycled id from a garbage-collected kernel from
         # resurrecting a stale closure (ids are unique only among live
@@ -126,8 +134,8 @@ class Simulator:
         self._pred_cache.clear()
         self._atomic_cache.clear()
         machine = Machine()
-        sanitizer = Sanitizer() if sanitize else None
-        profiler = Profiler() if profile else None
+        sanitizer = Sanitizer() if opts.sanitize else None
+        profiler = Profiler() if opts.profile else None
         machine.sanitizer = sanitizer
         machine.profiler = profiler
         symbols = dict(symbols or {})
@@ -156,17 +164,22 @@ class Simulator:
             if sanitizer is not None:
                 sanitizer.declare(alloc.buffer, alloc.mem, cosize)
         block_size = kernel.block_size()
-        for bid in range(kernel.grid_size()):
-            if sanitizer is not None:
-                sanitizer.begin_block(bid)
-            if profiler is not None:
-                profiler.begin_block(bid)
-            env = dict(symbols)
-            env["blockIdx.x"] = bid
-            self._exec_block_stmts(
-                kernel.body, env, bid, [], machine, block_size
-            )
-        if sanitizer is not None and sanitize != "report":
+        if opts.engine == "vectorized":
+            plan = self.plan_cache.lookup(kernel, self.arch, symbols,
+                                          bindings)
+            plan.replay(machine, symbols, sanitizer, profiler)
+        else:
+            for bid in range(kernel.grid_size()):
+                if sanitizer is not None:
+                    sanitizer.begin_block(bid)
+                if profiler is not None:
+                    profiler.begin_block(bid)
+                env = dict(symbols)
+                env["blockIdx.x"] = bid
+                self._exec_block_stmts(
+                    kernel.body, env, bid, [], machine, block_size
+                )
+        if sanitizer is not None and opts.sanitize != "report":
             sanitizer.raise_if_dirty()
         kernel_profile = None
         if profiler is not None:

@@ -1,0 +1,86 @@
+"""The one run-options surface for simulated launches.
+
+``Simulator.run``, the tuner gate and the conformance harness all used
+to grow their own keyword lists (``sanitize=``, ``profile=``, ``seed=``,
+...).  :class:`RunOptions` is the single carrier: construct one and hand
+it to any of them.  The legacy keywords remain accepted for one release
+and are mapped explicitly onto an options value via :func:`resolve_run_options`
+— never through ``**kwargs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+#: The execution engines ``Simulator.run`` can dispatch to.
+ENGINES = ("vectorized", "reference")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How one simulated launch should execute.
+
+    * ``sanitize`` — ``False`` (off), ``True`` (raise on findings) or
+      ``"report"`` (collect findings without raising); see
+      :mod:`repro.sim.sanitizer`.
+    * ``profile`` — attach the instruction profiler
+      (:mod:`repro.sim.profiler`) and return its counters.
+    * ``engine`` — ``"vectorized"`` (compiled launch plans,
+      :mod:`repro.sim.plan`; the default) or ``"reference"`` (the scalar
+      interpreter).  Both are bit-identical; the reference engine exists
+      as the semantics ground truth and cross-check target.
+    * ``seed`` — RNG seed for callers that generate problem data (the
+      tuner gate and the conformance harness); ``Simulator.run`` itself
+      draws no random numbers and ignores it.
+    """
+
+    sanitize: Union[bool, str] = False
+    profile: bool = False
+    engine: str = "vectorized"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+
+    def merged(self, *, sanitize=None, profile=None, engine=None,
+               seed=None) -> "RunOptions":
+        """A copy with any explicitly-given legacy keyword applied."""
+        changes = {}
+        if sanitize is not None:
+            changes["sanitize"] = sanitize
+        if profile is not None:
+            changes["profile"] = profile
+        if engine is not None:
+            changes["engine"] = engine
+        if seed is not None:
+            changes["seed"] = seed
+        return replace(self, **changes) if changes else self
+
+
+def resolve_run_options(
+    options: Optional[RunOptions] = None,
+    *,
+    sanitize=None,
+    profile=None,
+    engine=None,
+    seed=None,
+) -> RunOptions:
+    """Merge an optional :class:`RunOptions` with legacy keywords.
+
+    Explicit keywords win over the options value (so call sites can
+    share one options object and override a single knob).
+    """
+    base = options if options is not None else RunOptions()
+    if not isinstance(base, RunOptions):
+        raise TypeError(
+            f"options must be a RunOptions, got {type(base).__name__}"
+        )
+    return base.merged(sanitize=sanitize, profile=profile, engine=engine,
+                       seed=seed)
+
+
+__all__ = ["RunOptions", "resolve_run_options", "ENGINES"]

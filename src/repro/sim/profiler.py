@@ -46,6 +46,8 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..tensor.memspace import GL, SH
 from .machine import SMEM_BANK_BYTES, SMEM_BANKS
 
@@ -77,6 +79,34 @@ def split_segments(offsets: Sequence[int], itemsize: int) -> List[List[int]]:
     return segments
 
 
+def _segment_runs(offsets, itemsize: int) -> List[Tuple[int, int]]:
+    """:func:`split_segments`, compactly: ``(first_offset, length)`` runs.
+
+    Segments are runs of *consecutive* offsets, so only the first offset
+    and the element count are needed for sector/bank accounting.  The
+    greedy cap at :data:`MAX_VECTOR_BYTES` matches ``split_segments``
+    exactly.
+    """
+    max_elems = max(1, MAX_VECTOR_BYTES // itemsize)
+    arr = np.asarray(offsets)
+    n = arr.shape[0]
+    if n == 1:
+        return [(int(arr[0]), 1)]
+    breaks = np.flatnonzero(arr[1:] != arr[:-1] + 1) + 1
+    out: List[Tuple[int, int]] = []
+    prev = 0
+    for b in (*breaks.tolist(), n):
+        run = b - prev
+        start = int(arr[prev])
+        while run > max_elems:
+            out.append((start, max_elems))
+            start += max_elems
+            run -= max_elems
+        out.append((start, run))
+        prev = b
+    return out
+
+
 class SpecCounters:
     """Aggregated counters for one atomic spec (one table row per label)."""
 
@@ -90,6 +120,10 @@ class SpecCounters:
         "shared_load_bank_conflicts", "shared_store_bank_conflicts",
         "active_lanes", "lane_slots",
     )
+
+    #: Mutable counter fields, in declaration order — the shape of the
+    #: delta vectors exchanged by exec_snapshot/exec_delta/apply_exec.
+    COUNTER_FIELDS = __slots__[3:]
 
     def __init__(self, label: str, instruction: str, width: int):
         self.label = label
@@ -165,6 +199,17 @@ class SpecCounters:
         return (f"SpecCounters({self.label!r}, issues={self.issues}, "
                 f"gl={self.global_transactions}, sh={self.shared_transactions}, "
                 f"conflicts={self.bank_conflicts})")
+
+
+EXEC_DELTA_FIELDS = SpecCounters.COUNTER_FIELDS
+#: Indices of the four transaction counters inside a delta vector —
+#: their sum is what _account returned, i.e. the event duration.
+_EXEC_DELTA_TX = tuple(
+    EXEC_DELTA_FIELDS.index(f) for f in (
+        "global_load_transactions", "global_store_transactions",
+        "shared_load_transactions", "shared_store_transactions",
+    )
+)
 
 
 class KernelProfile:
@@ -403,13 +448,27 @@ class Profiler:
 
     def record(self, tensor, lane: int, offsets: Sequence[int],
                kind: str) -> None:
-        """One lane's element accesses (physical offsets, post-mask)."""
-        if self._cur is None or not offsets:
+        """One lane's element accesses (physical offsets, post-mask).
+
+        ``offsets`` may be a list or a numpy array — the plan engine
+        feeds rows of its precomputed index arrays through the same
+        funnel, so both engines charge identical counters.
+        """
+        if self._cur is None or len(offsets) == 0:
             return
         self._records.append(
             (tensor.mem, tensor.buffer, tensor.dtype.bytes, kind, lane,
-             list(offsets))
+             offsets)
         )
+
+    def exec_records(self) -> Optional[list]:
+        """The active execution's record sink (None outside begin/end).
+
+        The plan engine hoists a tensor's ``(mem, buffer, itemsize)``
+        once per emission entry and appends :meth:`record`-shaped
+        tuples here directly, skipping the per-lane call overhead.
+        """
+        return None if self._cur is None else self._records
 
     def barrier(self, scope: str) -> None:
         self._barriers[scope] = self._barriers.get(scope, 0) + 1
@@ -434,6 +493,40 @@ class Profiler:
         transactions = self._account(counters, records)
         self._advance(label, max(1, transactions))
 
+    # -- replayed executions ------------------------------------------------
+    # The counter/timeline effect of one begin_exec..end_exec cycle is a
+    # pure function of its record stream.  The plan engine's charge
+    # cache captures that effect once (as a per-field delta vector) and
+    # replays it for executions whose index arrays are provably the
+    # same objects, skipping the per-record accounting loop.
+    def exec_snapshot(self, label: str) -> Optional[tuple]:
+        """Current counter values for ``label`` (None if unseen)."""
+        counters = self._specs.get(label)
+        if counters is None:
+            return None
+        return tuple(getattr(counters, f) for f in EXEC_DELTA_FIELDS)
+
+    def exec_delta(self, label: str, before: Optional[tuple]) -> tuple:
+        """Per-field counter change since :meth:`exec_snapshot`."""
+        after = self.exec_snapshot(label)
+        if before is None:
+            return after
+        return tuple(a - b for a, b in zip(after, before))
+
+    def apply_exec(self, label: str, instruction: str, width: int,
+                   delta: tuple) -> None:
+        """Replay one execution's captured counter/timeline effect."""
+        counters = self._specs.get(label)
+        if counters is None:
+            counters = self._specs[label] = SpecCounters(
+                label, instruction, width
+            )
+        for field, change in zip(EXEC_DELTA_FIELDS, delta):
+            if change:
+                setattr(counters, field, getattr(counters, field) + change)
+        transactions = sum(delta[i] for i in _EXEC_DELTA_TX)
+        self._advance(label, max(1, transactions))
+
     def finish(self, kernel_name: str, grid_size: int,
                block_size: int) -> KernelProfile:
         profile = KernelProfile(kernel_name, grid_size, block_size)
@@ -448,17 +541,27 @@ class Profiler:
         """Charge one lane-group execution's records; return transactions."""
         groups: Dict[tuple, List[tuple]] = {}
         for mem, buffer, itemsize, kind, lane, offsets in records:
-            if mem != GL and mem != SH:
+            # Identity first: tensors carry the GL/SH/RF singletons, so
+            # the label-equality fallback only runs for foreign copies.
+            if mem is SH:
+                is_shared = True
+            elif mem is GL:
+                is_shared = False
+            elif mem == SH:
+                is_shared = True
+            elif mem == GL:
+                is_shared = False
+            else:
                 continue  # register-file traffic costs no memory transactions
-            key = (mem == SH, buffer, kind, lane // WARP_SIZE)
+            key = (is_shared, buffer, kind, lane // WARP_SIZE)
             groups.setdefault(key, []).append((itemsize, offsets))
         total = 0
         for (is_shared, _buffer, kind, _warp), recs in groups.items():
-            per_record = [(itemsize, split_segments(offsets, itemsize))
+            per_record = [(itemsize, _segment_runs(offsets, itemsize))
                           for itemsize, offsets in recs]
             n_instr = max(len(segs) for _, segs in per_record)
             for si in range(n_instr):
-                parts = [(itemsize, segs[si])
+                parts = [(itemsize, *segs[si])
                          for itemsize, segs in per_record if si < len(segs)]
                 if is_shared:
                     total += self._charge_shared(counters, kind, parts)
@@ -471,12 +574,12 @@ class Profiler:
         """One warp-level global instruction: count distinct 32B sectors."""
         sectors = set()
         nbytes = 0
-        for itemsize, seg in parts:
-            lo = seg[0] * itemsize
-            hi = (seg[-1] + 1) * itemsize - 1
+        for itemsize, lo_off, count in parts:
+            lo = lo_off * itemsize
+            hi = (lo_off + count) * itemsize - 1
             sectors.update(range(lo // GLOBAL_SECTOR_BYTES,
                                  hi // GLOBAL_SECTOR_BYTES + 1))
-            nbytes += len(seg) * itemsize
+            nbytes += count * itemsize
         if kind == "read":
             counters.global_load_transactions += len(sectors)
             counters.global_load_bytes += nbytes
@@ -491,13 +594,13 @@ class Profiler:
         total = 0
         wave: List[tuple] = []
         wave_bytes = 0
-        for itemsize, seg in parts:
-            seg_bytes = len(seg) * itemsize
+        for itemsize, lo_off, count in parts:
+            seg_bytes = count * itemsize
             if wave and wave_bytes + seg_bytes > SMEM_WAVEFRONT_BYTES:
                 total += self._flush_wavefront(counters, kind, wave,
                                                wave_bytes)
                 wave, wave_bytes = [], 0
-            wave.append((itemsize, seg))
+            wave.append((itemsize, lo_off, count))
             wave_bytes += seg_bytes
         if wave:
             total += self._flush_wavefront(counters, kind, wave, wave_bytes)
@@ -505,14 +608,15 @@ class Profiler:
 
     def _flush_wavefront(self, counters: SpecCounters, kind: str,
                          wave, wave_bytes: int) -> int:
+        # A segment's elements are consecutive, so its 4-byte words are
+        # the contiguous range between its first and last byte.
         banks: Dict[int, set] = {}
-        for itemsize, seg in wave:
-            for off in seg:
-                byte = off * itemsize
-                for word in range(byte // SMEM_BANK_BYTES,
-                                  (byte + itemsize - 1) // SMEM_BANK_BYTES
-                                  + 1):
-                    banks.setdefault(word % SMEM_BANKS, set()).add(word)
+        for itemsize, lo_off, count in wave:
+            lo_byte = lo_off * itemsize
+            hi_byte = (lo_off + count) * itemsize - 1
+            for word in range(lo_byte // SMEM_BANK_BYTES,
+                              hi_byte // SMEM_BANK_BYTES + 1):
+                banks.setdefault(word % SMEM_BANKS, set()).add(word)
         degree = max((len(words) for words in banks.values()), default=1)
         if kind == "read":
             counters.shared_load_transactions += degree

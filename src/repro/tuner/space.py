@@ -21,7 +21,8 @@ from ..kernels.gemm_optimized import (
     build_ampere_tc_gemm, build_ampere_tc_gemm_pipelined,
     build_volta_tc_gemm, validate_gemm_config,
 )
-from ..kernels.layernorm import build_layernorm
+from ..kernels.config import LayernormConfig
+from ..kernels.layernorm import build as build_layernorm_cfg
 from ..kernels.mlp import build_fused_mlp
 from ..layout.swizzle import IDENTITY_SWIZZLE, Swizzle
 from ..library import funcs
@@ -373,12 +374,12 @@ class LayernormSpace(ConfigSpace):
     def build(self, candidate, shape) -> Kernel:
         mode = "wpr" if candidate.params["warp_per_row"] else "tpr"
         wpb = candidate.params["warps_per_block"]
-        return build_layernorm(
+        return build_layernorm_cfg(LayernormConfig(
             shape["rows"], shape["hidden"],
             warps_per_block=wpb,
             warp_per_row=candidate.params["warp_per_row"],
             name=f"graphene_layernorm_{mode}_w{wpb}",
-        )
+        ))
 
     def coarse_key(self, candidate):
         return ("warp_per_row", candidate.params["warp_per_row"])

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..arch.gpu import Architecture
-from ..sim import SanitizerError, SimulationError, Simulator
+from ..sim import RunOptions, SanitizerError, SimulationError, Simulator
 from .search import RankedCandidate
 from .space import Candidate, ConfigSpace
 
@@ -54,21 +54,27 @@ def check_candidate(
     shape: Dict[str, int],
     seed: int = 0,
     profile: bool = False,
+    options: Optional[RunOptions] = None,
 ) -> GateResult:
     """Execute one candidate at its small verification shape.
 
     ``profile=True`` attaches the run's measured counters
     (:class:`repro.sim.KernelProfile`) to the returned
     :class:`GateResult`, so tuner reports can show measured bank
-    conflicts next to the oracle's modelled ones.
+    conflicts next to the oracle's modelled ones.  ``options`` carries
+    the remaining run settings (engine, seed of the run itself); the
+    gate always forces ``sanitize=True`` on top of it — an unsanitized
+    gate would defeat its purpose.
     """
+    if options is None:
+        options = RunOptions()
+    options = options.merged(sanitize=True, profile=profile)
     kernel_profile = None
     try:
         vshape = space.verification_shape(candidate, shape)
         kernel = space.build(candidate, vshape)
         bindings, checks = space.verification_problem(candidate, vshape, seed)
-        result = Simulator(arch).run(kernel, bindings, sanitize=True,
-                                     profile=profile)
+        result = Simulator(arch).run(kernel, bindings, options=options)
         kernel_profile = result.profile
     except SanitizerError as exc:
         return GateResult(candidate, False, None,
@@ -105,6 +111,7 @@ def run_gate(
     shape: Dict[str, int],
     top_k: int = 3,
     seed: int = 0,
+    options: Optional[RunOptions] = None,
 ) -> Tuple[RankedCandidate, List[GateResult]]:
     """Verify the leaderboard's top-k; return the best passing config.
 
@@ -118,7 +125,8 @@ def run_gate(
     for i, rc in enumerate(ranked):
         if i >= top_k and winner is not None:
             break
-        result = check_candidate(space, arch, rc.candidate, shape, seed)
+        result = check_candidate(space, arch, rc.candidate, shape, seed,
+                                 options=options)
         results.append(result)
         if result.passed and winner is None:
             winner = rc

@@ -15,7 +15,7 @@ import numpy as np
 from repro.arch import AMPERE
 from repro.codegen import CudaGenerator
 from repro.codegen.emulator import emulate
-from repro.kernels.gemm import build_naive_gemm
+from repro.kernels import NaiveGemmConfig, build
 from repro.sim import Simulator
 
 
@@ -30,7 +30,8 @@ def _operands(m, n, k, seed):
 class TestGeneratedGemmExecutes:
     def test_cuda_text_computes_the_gemm(self):
         m = n = k = 16
-        kernel = build_naive_gemm(m, n, k, grid=(2, 2), threads=(2, 2))
+        kernel = build(NaiveGemmConfig(m, n, k, grid=(2, 2),
+                                       threads=(2, 2)))
         source = CudaGenerator(AMPERE).generate(kernel)
         a, b, c = _operands(m, n, k, seed=0)
         emulate(source, {"A": a, "B": b, "C": c})
@@ -47,7 +48,8 @@ class TestGeneratedGemmExecutes:
         meaningful.
         """
         m = n = k = 16
-        kernel = build_naive_gemm(m, n, k, grid=(2, 2), threads=(2, 2))
+        kernel = build(NaiveGemmConfig(m, n, k, grid=(2, 2),
+                                       threads=(2, 2)))
         a, b, c = _operands(m, n, k, seed=1)
         Simulator(AMPERE).run(
             kernel, {"A": a, "B": b, "C": c}, sanitize=True
@@ -60,7 +62,8 @@ class TestGeneratedGemmExecutes:
         must agree elementwise — both round through fp16 identically, so
         the comparison is exact, far tighter than either vs. numpy."""
         m = n = k = 16
-        kernel = build_naive_gemm(m, n, k, grid=(2, 2), threads=(2, 2))
+        kernel = build(NaiveGemmConfig(m, n, k, grid=(2, 2),
+                                       threads=(2, 2)))
         source = CudaGenerator(AMPERE).generate(kernel)
         a, b, c_sim = _operands(m, n, k, seed=2)
         c_emu = c_sim.copy()

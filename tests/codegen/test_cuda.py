@@ -8,7 +8,7 @@ from repro.arch import AMPERE, VOLTA
 from repro.codegen import CudaGenerator
 from repro.frontend.builder import KernelBuilder
 from repro.ir.expr import Const, Var
-from repro.kernels.gemm import build_naive_gemm
+from repro.kernels import NaiveGemmConfig, build
 from repro.kernels.gemm_optimized import build_ampere_tc_gemm, build_volta_tc_gemm
 from repro.kernels.moves import build_ldmatrix_kernel
 from repro.tensor import FP16, FP32, RF, SH
@@ -24,7 +24,7 @@ class TestNaiveGemm:
 
     def setup_method(self):
         self.code = CudaGenerator(AMPERE).generate(
-            build_naive_gemm(1024, 1024, 1024)
+            build(NaiveGemmConfig(1024, 1024, 1024))
         ).code
 
     def test_signature(self):

@@ -10,11 +10,15 @@ import json
 
 import pytest
 
-from repro.eval.bench_smoke import run_bench_smoke, run_family, smoke_families
+from repro.eval.bench_smoke import (
+    run_bench_smoke, run_family, run_sim_speed_bench, smoke_families,
+    time_engines,
+)
 
 
 def test_single_family_artifact(tmp_path):
-    paths = run_bench_smoke(["fig13"], outdir=str(tmp_path))
+    paths = run_bench_smoke(["fig13"], outdir=str(tmp_path),
+                            sim_speed=False)
     assert [p.endswith("BENCH_fig13.json") for p in paths] == [True]
     artifact = json.loads(open(paths[0]).read())
     assert artifact["passed"] is True
@@ -33,6 +37,30 @@ def test_families_cover_every_figure_bench():
     assert set(smoke_families()) == {
         "fig09", "fig10", "fig11", "fig12", "fig13", "fig14"
     }
+
+
+def test_vectorized_not_slower_than_reference():
+    """The plan engine must never lose to the scalar interpreter.
+
+    Two smoke shapes keep this tier-1 fast; the margin on both is wide
+    (cold >3x, warm >10x in steady state), so a strict comparison is
+    safe against timer noise.
+    """
+    for figure in ("fig09", "fig13"):
+        row = time_engines(figure, repeats=2)
+        assert row["vectorized_warm_s"] < row["reference_s"], row
+        assert row["vectorized_cold_s"] < row["reference_s"], row
+
+
+def test_sim_speed_artifact(tmp_path):
+    path = run_sim_speed_bench(["fig13"], outdir=str(tmp_path), repeats=2)
+    assert path.endswith("BENCH_sim_speed.json")
+    artifact = json.loads(open(path).read())
+    assert artifact["engines"] == ["reference", "vectorized"]
+    (row,) = artifact["figures"]
+    assert row["figure"] == "fig13"
+    assert row["reference_s"] > 0 and row["vectorized_warm_s"] > 0
+    assert artifact["summary"]["min_speedup_warm"] == row["speedup_warm"]
 
 
 @pytest.mark.slow

@@ -1,13 +1,14 @@
 """Tests for the Graphene IR pretty-printer."""
 
 from repro.ir.pretty import format_kernel, format_spec
-from repro.kernels.gemm import build_naive_gemm
+from repro.kernels import NaiveGemmConfig, build
 from repro.kernels.moves import build_ldmatrix_kernel
 
 
 class TestNaiveGemmListing:
     def setup_method(self):
-        self.text = format_kernel(build_naive_gemm(1024, 1024, 1024))
+        self.text = format_kernel(build(NaiveGemmConfig(1024, 1024,
+                                                        1024)))
 
     def test_parameter_declarations(self):
         assert "%A:[(1024,1024):(1024,1)].fp16.GL" in self.text

@@ -6,10 +6,9 @@ import pytest
 
 from repro.arch import AMPERE
 from repro.kernels.fmha import build_fused_fmha
-from repro.kernels.layernorm import build_layernorm
 from repro.kernels.lstm import build_fused_lstm_cell
 from repro.kernels.mlp import build_fused_mlp
-from repro.kernels.softmax import build_softmax
+from repro.kernels import LayernormConfig, SoftmaxConfig, build
 from repro.library import funcs
 from repro.sim import Simulator
 
@@ -89,8 +88,8 @@ class TestLayernorm:
     @pytest.mark.parametrize("warp_per_row", [True, False])
     def test_matches_reference(self, warp_per_row):
         rows, hidden = (8, 64) if warp_per_row else (128, 32)
-        kwargs = dict(warps_per_block=4, warp_per_row=warp_per_row)
-        kernel = build_layernorm(rows, hidden, **kwargs)
+        kernel = build(LayernormConfig(rows, hidden, warps_per_block=4,
+                                       warp_per_row=warp_per_row))
         x = random_fp16(rows, hidden)
         gamma = (RNG.random(hidden) * 2).astype(np.float16)
         beta = random_fp16(hidden)
@@ -105,7 +104,7 @@ class TestLayernorm:
         """Variance ~ 0: output must collapse to beta (eps prevents
         division blowups)."""
         rows, hidden = 8, 64
-        kernel = build_layernorm(rows, hidden, warps_per_block=4)
+        kernel = build(LayernormConfig(rows, hidden, warps_per_block=4))
         x = np.full((rows, hidden), 3.0, dtype=np.float16)
         gamma = np.ones(hidden, dtype=np.float16)
         beta = random_fp16(hidden)
@@ -118,12 +117,12 @@ class TestLayernorm:
 
     def test_hidden_must_divide_warp(self):
         with pytest.raises(ValueError):
-            build_layernorm(8, 60, warps_per_block=4)
+            build(LayernormConfig(8, 60, warps_per_block=4))
 
 
 class TestSoftmax:
     def test_matches_reference(self):
-        kernel = build_softmax(64, 32, threads_per_block=32)
+        kernel = build(SoftmaxConfig(64, 32, threads_per_block=32))
         x = random_fp16(64, 32, scale=8.0)
         y = np.zeros((64, 32), dtype=np.float16)
         Simulator(AMPERE).run(kernel, {"X": x, "Y": y})
@@ -131,7 +130,7 @@ class TestSoftmax:
         assert np.abs(y.astype(np.float32) - ref).max() < 0.01
 
     def test_rows_sum_to_one(self):
-        kernel = build_softmax(32, 16, threads_per_block=32)
+        kernel = build(SoftmaxConfig(32, 16, threads_per_block=32))
         x = random_fp16(32, 16, scale=20.0)  # large values: stability
         y = np.zeros((32, 16), dtype=np.float16)
         Simulator(AMPERE).run(kernel, {"X": x, "Y": y})
@@ -139,7 +138,8 @@ class TestSoftmax:
         assert np.abs(sums - 1.0).max() < 0.01
 
     def test_scale_applied(self):
-        kernel = build_softmax(32, 16, threads_per_block=32, scale=0.5)
+        kernel = build(SoftmaxConfig(32, 16, threads_per_block=32,
+                                     scale=0.5))
         x = random_fp16(32, 16, scale=4.0)
         y = np.zeros((32, 16), dtype=np.float16)
         Simulator(AMPERE).run(kernel, {"X": x, "Y": y})

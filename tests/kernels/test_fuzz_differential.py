@@ -20,12 +20,12 @@ from repro.arch import AMPERE
 from repro.codegen import CudaGenerator
 from repro.codegen.emulator import emulate
 from repro.kernels.fmha import build_fused_fmha
-from repro.kernels.gemm import build_naive_gemm
 from repro.kernels.gemm_optimized import build_ampere_tc_gemm
-from repro.kernels.layernorm import build_layernorm
 from repro.kernels.lstm import build_fused_lstm_cell
 from repro.kernels.mlp import build_fused_mlp
-from repro.kernels.softmax import build_softmax
+from repro.kernels import (
+    LayernormConfig, NaiveGemmConfig, SoftmaxConfig, build,
+)
 from repro.library import funcs
 from repro.sim import Simulator
 
@@ -53,8 +53,9 @@ def trial_naive_gemm(shapes, np_rng):
     a = _fp16(np_rng, cfg["m"], cfg["k"])
     b = _fp16(np_rng, cfg["k"], cfg["n"])
     c = np.zeros((cfg["m"], cfg["n"]), dtype=np.float16)
-    kernel = build_naive_gemm(cfg["m"], cfg["n"], cfg["k"],
-                              grid=cfg["grid"], threads=cfg["threads"])
+    kernel = build(NaiveGemmConfig(cfg["m"], cfg["n"], cfg["k"],
+                                   grid=tuple(cfg["grid"]),
+                                   threads=tuple(cfg["threads"])))
     _run(kernel, {"A": a, "B": b, "C": c})
     return c, funcs.gemm(a, b), 0.02
 
@@ -78,8 +79,8 @@ def trial_layernorm(shapes, np_rng):
     gamma = (np_rng.random(cfg["hidden"]) * 2).astype(np.float16)
     beta = _fp16(np_rng, cfg["hidden"])
     y = np.zeros((cfg["rows"], cfg["hidden"]), dtype=np.float16)
-    kernel = build_layernorm(cfg["rows"], cfg["hidden"],
-                             warps_per_block=cfg["warps_per_block"])
+    kernel = build(LayernormConfig(cfg["rows"], cfg["hidden"],
+                                   warps_per_block=cfg["warps_per_block"]))
     _run(kernel, {"X": x, "gamma": gamma, "beta": beta, "Y": y})
     return y, funcs.layernorm(x, gamma, beta), 0.02
 
@@ -88,8 +89,8 @@ def trial_softmax(shapes, np_rng):
     cfg = shapes.softmax()
     x = _fp16(np_rng, cfg["rows"], cfg["cols"], scale=8.0)
     y = np.zeros((cfg["rows"], cfg["cols"]), dtype=np.float16)
-    kernel = build_softmax(cfg["rows"], cfg["cols"],
-                           threads_per_block=cfg["threads_per_block"])
+    kernel = build(SoftmaxConfig(cfg["rows"], cfg["cols"],
+                                 threads_per_block=cfg["threads_per_block"]))
     _run(kernel, {"X": x, "Y": y})
     return y, funcs.softmax(x), 0.01
 

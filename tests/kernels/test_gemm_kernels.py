@@ -10,7 +10,7 @@ import pytest
 
 from repro.arch import AMPERE, VOLTA
 from repro.kernels.epilogue import build_gemm_epilogue
-from repro.kernels.gemm import build_naive_gemm
+from repro.kernels import NaiveGemmConfig, build
 from repro.kernels.gemm_optimized import (
     build_ampere_tc_gemm, build_volta_tc_gemm,
 )
@@ -36,7 +36,8 @@ class TestNaiveGemm:
     def test_matches_numpy(self):
         m = n = k = 32
         a, b = random_fp16(m, k), random_fp16(k, n)
-        kernel = build_naive_gemm(m, n, k, grid=(2, 2), threads=(4, 4))
+        kernel = build(NaiveGemmConfig(m, n, k, grid=(2, 2),
+                                       threads=(4, 4)))
         c = run_gemm(kernel, AMPERE, a, b)
         ref = a.astype(np.float32) @ b.astype(np.float32)
         assert np.abs(c - ref).max() < 0.01
@@ -44,14 +45,16 @@ class TestNaiveGemm:
     def test_rectangular(self):
         m, n, k = 16, 32, 8
         a, b = random_fp16(m, k), random_fp16(k, n)
-        kernel = build_naive_gemm(m, n, k, grid=(2, 2), threads=(2, 4))
+        kernel = build(NaiveGemmConfig(m, n, k, grid=(2, 2),
+                                       threads=(2, 4)))
         c = run_gemm(kernel, AMPERE, a, b)
         ref = a.astype(np.float32) @ b.astype(np.float32)
         assert np.abs(c - ref).max() < 0.01
 
     def test_invalid_tiling_rejected(self):
         with pytest.raises(ValueError):
-            build_naive_gemm(30, 32, 32, grid=(4, 4), threads=(4, 4))
+            build(NaiveGemmConfig(30, 32, 32, grid=(4, 4),
+                                  threads=(4, 4)))
 
 
 class TestAmpereTensorCoreGemm:

@@ -3,9 +3,8 @@
 import pytest
 
 from repro.arch import AMPERE, VOLTA
-from repro.kernels.gemm import build_naive_gemm
 from repro.kernels.gemm_optimized import build_ampere_tc_gemm, build_volta_tc_gemm
-from repro.kernels.layernorm import build_layernorm
+from repro.kernels import LayernormConfig, NaiveGemmConfig, build
 from repro.perfmodel.counts import count_kernel
 
 
@@ -49,7 +48,8 @@ class TestGemmCounts:
         assert counts.unique_write_bytes == m * n * 2
 
     def test_naive_gemm_is_fma(self):
-        kernel = build_naive_gemm(64, 64, 64, grid=(2, 2), threads=(4, 4))
+        kernel = build(NaiveGemmConfig(64, 64, 64, grid=(2, 2),
+                                       threads=(4, 4)))
         counts = count_kernel(kernel, AMPERE)
         assert counts.tensor_flops == 0
         assert counts.fma_flops == 2 * 64 ** 3
@@ -73,7 +73,7 @@ class TestGemmCounts:
 class TestBandwidthBoundCounts:
     def test_layernorm_traffic(self):
         rows, hidden = 1024, 256
-        kernel = build_layernorm(rows, hidden, warps_per_block=4)
+        kernel = build(LayernormConfig(rows, hidden, warps_per_block=4))
         counts = count_kernel(kernel, AMPERE)
         # Read x once, write y once; gamma/beta re-reads are raw traffic
         # with a small unique footprint.

@@ -1,0 +1,236 @@
+"""Compiled launch plans: cache semantics and engine bit-exactness.
+
+The vectorized engine (:mod:`repro.sim.plan`) must be indistinguishable
+from the scalar reference interpreter — not just in output arrays but in
+every observable: final machine state (including the bank model),
+profiler counters and event timeline, and sanitizer reports.  These
+tests pin that equivalence over the conformance case library, a small
+fuzz corpus, and barrier-stripped racy mutants, and pin the plan
+cache's keying rules (kernel identity + symbol bindings + binding
+shapes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.conformance.harness import Case, default_cases
+from repro.kernels import LayernormConfig, NaiveGemmConfig, SoftmaxConfig, build
+from repro.library import funcs
+from repro.sim import PlanCache, RunOptions, Simulator, strip_barriers
+from repro.sim.profiler import SpecCounters
+
+CASES = {c.name: c for c in default_cases()}
+
+
+# -- observable signatures ----------------------------------------------------------
+def _profile_sig(profile):
+    if profile is None:
+        return None
+    spec_rows = {
+        label: tuple(getattr(c, a) for a in SpecCounters.__slots__)
+        for label, c in profile.specs.items()
+    }
+    return (profile.kernel_name, profile.grid_size, profile.block_size,
+            spec_rows, dict(profile.barriers), tuple(profile.events),
+            profile.dropped_events)
+
+
+def _san_sig(san):
+    if san is None:
+        return None
+    return (
+        [(r.kind, r.buffer, str(r.mem), r.element, r.threads, r.block,
+          r.epoch, r.spec, r.detail) for r in san.reports],
+        san.suppressed,
+    )
+
+
+def _machine_sig(machine):
+    def table(t):
+        return {k: (v.dtype.str, v.shape, v.tobytes()) for k, v in t.items()}
+
+    bm = machine.bank_model
+    return (table(machine._global), table(machine._shared),
+            table(machine._regs),
+            (bm.accesses, bm.transactions, bm.worst_degree))
+
+
+def _run_engine(case: Case, engine: str, sanitize="report"):
+    arrays = {k: v.copy() for k, v in case.arrays.items()}
+    result = Simulator(case.arch).run(
+        case.kernel, arrays, symbols=case.symbols,
+        options=RunOptions(sanitize=sanitize, profile=True, engine=engine),
+    )
+    return (
+        {k: v.tobytes() for k, v in arrays.items()},
+        _machine_sig(result.machine),
+        _profile_sig(result.profile),
+        _san_sig(result.sanitizer),
+    )
+
+
+def _assert_engines_match(case: Case, sanitize="report"):
+    ref = _run_engine(case, "reference", sanitize)
+    vec = _run_engine(case, "vectorized", sanitize)
+    assert ref[0] == vec[0], f"{case.name}: output arrays differ"
+    assert ref[1] == vec[1], f"{case.name}: machine state differs"
+    assert ref[2] == vec[2], f"{case.name}: profiler output differs"
+    assert ref[3] == vec[3], f"{case.name}: sanitizer reports differ"
+
+
+# -- conformance sweep --------------------------------------------------------------
+class TestEngineBitExact:
+    """Both engines agree on every observable, for every shipped family."""
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_conformance_case(self, name):
+        _assert_engines_match(CASES[name])
+
+
+class TestRacyMutants:
+    """Sanitizer findings are identical across engines on broken kernels.
+
+    Stripping barriers manufactures genuine shared-memory races; the
+    vectorized engine must report the *same* hazards (same kind, buffer,
+    element, thread pair, epoch, spec) the scalar interpreter does.
+    """
+
+    @pytest.mark.parametrize("name", ["gemm_ampere", "layernorm", "mlp"])
+    def test_barrier_stripped(self, name):
+        case = CASES[name]
+        mutant = Case(**{**case.__dict__, "kernel": strip_barriers(case.kernel)})
+        _assert_engines_match(mutant)
+
+
+# -- fuzz corpus --------------------------------------------------------------------
+def _fuzz_cases(count=4, seed=2024):
+    """Small random problems over the scalar-loop kernel families."""
+    rng = np.random.default_rng(seed)
+    cases = []
+    for i in range(count):
+        kind = i % 3
+        if kind == 0:
+            m, n, k = (int(rng.integers(1, 3)) * 8 for _ in range(3))
+            a = (rng.random((m, k)) - 0.5).astype(np.float16)
+            b = (rng.random((k, n)) - 0.5).astype(np.float16)
+            kernel = build(NaiveGemmConfig(m, n, k, grid=(2, 2),
+                                           threads=(2, 2)))
+            arrays = {"A": a, "B": b, "C": np.zeros((m, n), np.float16)}
+            name = f"fuzz_gemm_{m}x{n}x{k}"
+        elif kind == 1:
+            rows, hidden = int(rng.integers(2, 6)), 32 * int(rng.integers(1, 3))
+            x = (rng.random((rows, hidden)) - 0.5).astype(np.float16)
+            kernel = build(LayernormConfig(rows, hidden, warps_per_block=2))
+            arrays = {"X": x,
+                      "gamma": (rng.random(hidden) * 2).astype(np.float16),
+                      "beta": (rng.random(hidden) - 0.5).astype(np.float16),
+                      "Y": np.zeros((rows, hidden), np.float16)}
+            name = f"fuzz_layernorm_{rows}x{hidden}"
+        else:
+            rows = 4 * int(rng.integers(1, 4))
+            cols = int(rng.integers(4, 12))
+            x = (rng.random((rows, cols)) - 0.5).astype(np.float16)
+            kernel = build(SoftmaxConfig(rows, cols, threads_per_block=4))
+            arrays = {"X": x, "Y": np.zeros((rows, cols), np.float16)}
+            name = f"fuzz_softmax_{rows}x{cols}"
+        cases.append(Case(name=name, family="fuzz", kernel=kernel,
+                          arrays=arrays, outputs=[], reference={}, tol=0.0))
+    return cases
+
+
+class TestFuzzCrossCheck:
+    """Randomized shapes: engines stay bit-exact on every observable."""
+
+    @pytest.mark.parametrize("case", _fuzz_cases(),
+                             ids=lambda c: c.name)
+    def test_fuzz_case(self, case):
+        _assert_engines_match(case)
+
+
+# -- plan-cache semantics -----------------------------------------------------------
+def _gemm_problem(m=16, n=16, k=16, seed=0):
+    rng = np.random.default_rng(seed)
+    a = (rng.random((m, k)) - 0.5).astype(np.float16)
+    b = (rng.random((k, n)) - 0.5).astype(np.float16)
+    kernel = build(NaiveGemmConfig(m, n, k, grid=(2, 2), threads=(2, 2)))
+    return kernel, {"A": a, "B": b, "C": np.zeros((m, n), np.float16)}
+
+
+class TestPlanCache:
+    def test_repeat_run_hits(self):
+        case = CASES["gemm_naive"]
+        sim = Simulator(case.arch)
+        for _ in range(3):
+            arrays = {k: v.copy() for k, v in case.arrays.items()}
+            sim.run(case.kernel, arrays, symbols=case.symbols)
+        assert sim.plan_cache.misses == 1
+        assert sim.plan_cache.hits == 2
+
+    def test_symbol_rebinding_misses(self):
+        case = CASES["gemm_parametric"]
+        sim = Simulator(case.arch)
+        for m_sym in (28, 12, 28):
+            arrays = {k: v.copy() for k, v in case.arrays.items()}
+            sim.run(case.kernel, arrays, symbols={"M": m_sym})
+        # Two distinct symbol bindings -> two plans; the third run
+        # re-uses the M=28 plan.
+        assert sim.plan_cache.misses == 2
+        assert sim.plan_cache.hits == 1
+
+    def test_binding_shape_change_invalidates(self):
+        kernel, small = _gemm_problem(m=16, n=16, k=16)
+        sim = Simulator(CASES["gemm_naive"].arch)
+        sim.run(kernel, small)
+        # Same kernel object but larger A/B/C buffers: the cached plan's
+        # flat offsets were computed against the old extents, so the key
+        # must treat the new shapes as a different launch.
+        _, big = _gemm_problem(m=32, n=32, k=32)
+        sim.run(kernel, big)
+        assert sim.plan_cache.misses == 2
+        assert sim.plan_cache.hits == 0
+
+    def test_kernel_identity_keys(self):
+        kernel_a, arrays = _gemm_problem()
+        kernel_b, _ = _gemm_problem()
+        assert kernel_a is not kernel_b
+        sim = Simulator(CASES["gemm_naive"].arch)
+        sim.run(kernel_a, {k: v.copy() for k, v in arrays.items()})
+        sim.run(kernel_b, {k: v.copy() for k, v in arrays.items()})
+        assert sim.plan_cache.misses == 2
+        assert sim.plan_cache.hits == 0
+
+    def test_reference_engine_bypasses_cache(self):
+        case = CASES["gemm_naive"]
+        sim = Simulator(case.arch)
+        arrays = {k: v.copy() for k, v in case.arrays.items()}
+        sim.run(case.kernel, arrays, options=RunOptions(engine="reference"))
+        assert sim.plan_cache.misses == 0
+        assert sim.plan_cache.hits == 0
+
+    def test_lru_eviction(self):
+        case = CASES["gemm_naive"]
+        sim = Simulator(case.arch)
+        sim.plan_cache = PlanCache(maxsize=2)
+        kernels = [
+            build(NaiveGemmConfig(16, 16, 16, grid=(2, 2), threads=(2, 2)))
+            for _ in range(3)
+        ]
+        arrays = case.arrays
+        for kernel in kernels:
+            sim.run(kernel, {k: v.copy() for k, v in arrays.items()})
+        # Oldest plan evicted: re-running kernels[0] recompiles.
+        sim.run(kernels[0], {k: v.copy() for k, v in arrays.items()})
+        assert sim.plan_cache.misses == 4
+        assert sim.plan_cache.hits == 0
+
+    def test_cached_replay_stays_correct(self):
+        kernel, arrays = _gemm_problem()
+        sim = Simulator(CASES["gemm_naive"].arch)
+        expected = funcs.gemm(arrays["A"], arrays["B"])
+        for _ in range(2):
+            run_arrays = {k: v.copy() for k, v in arrays.items()}
+            sim.run(kernel, run_arrays)
+            np.testing.assert_allclose(
+                run_arrays["C"].astype(np.float32), expected, atol=0.02
+            )
+        assert sim.plan_cache.hits == 1

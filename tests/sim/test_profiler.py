@@ -115,12 +115,11 @@ class TestRunResultApi:
                                        profile=True)
         assert isinstance(result.profile, KernelProfile)
 
-    def test_machine_delegation_warns(self):
+    def test_machine_delegation_removed(self):
         kernel = build(NaiveGemmConfig(32, 32, 32, (2, 2), (4, 4)))
         result = Simulator(AMPERE).run(kernel, _bindings(kernel))
-        with pytest.warns(DeprecationWarning):
-            delegated = result.shared_bytes(0)
-        assert delegated == result.machine.shared_bytes(0)
+        with pytest.raises(AttributeError, match="result.machine.shared_bytes"):
+            result.shared_bytes(0)
 
     def test_unknown_attribute_raises(self):
         kernel = build(NaiveGemmConfig(32, 32, 32, (2, 2), (4, 4)))

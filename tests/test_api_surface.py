@@ -1,0 +1,84 @@
+"""The v1 API surface: no deprecation debt left anywhere in repro.*.
+
+The RunResult delegation shim and the PR-1-era ``build_*`` kernel
+aliases are gone; nothing importable under :mod:`repro` may emit a
+``DeprecationWarning``.  This test turns those warnings into errors
+while importing every submodule and exercising a representative
+workload, so any future shim has to be introduced deliberately.
+"""
+
+import importlib
+import pkgutil
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def _all_submodules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+class TestNoDeprecationWarnings:
+    def test_import_everything(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in _all_submodules():
+                importlib.import_module(name)
+
+    def test_representative_workload(self):
+        from repro.arch import AMPERE
+        from repro.kernels import NaiveGemmConfig, build
+        from repro.sim import RunOptions, Simulator
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            kernel = build(NaiveGemmConfig(16, 16, 16, grid=(2, 2),
+                                           threads=(2, 2)))
+            rng = np.random.default_rng(0)
+            arrays = {
+                "A": (rng.random((16, 16)) - 0.5).astype(np.float16),
+                "B": (rng.random((16, 16)) - 0.5).astype(np.float16),
+                "C": np.zeros((16, 16), np.float16),
+            }
+            sim = Simulator(AMPERE)
+            # Both the options object and the explicit legacy keywords.
+            result = sim.run(kernel, arrays,
+                             options=RunOptions(sanitize=True, profile=True))
+            assert result.profile is not None
+            result = sim.run(kernel, arrays, sanitize=True, profile=True,
+                             engine="reference")
+            assert result.profile is not None
+
+
+class TestRetiredSurface:
+    def test_kernel_aliases_gone(self):
+        from repro.kernels import gemm, layernorm, softmax
+
+        assert not hasattr(gemm, "build_naive_gemm")
+        assert not hasattr(layernorm, "build_layernorm")
+        assert not hasattr(softmax, "build_softmax")
+        for module in (gemm, layernorm, softmax):
+            assert hasattr(module, "build")
+            assert hasattr(module, "from_tuned")
+
+    def test_run_result_delegation_gone(self):
+        from repro.arch import AMPERE
+        from repro.kernels import NaiveGemmConfig, build
+        from repro.sim import Simulator
+
+        kernel = build(NaiveGemmConfig(16, 16, 16, grid=(2, 2),
+                                       threads=(2, 2)))
+        arrays = {
+            "A": np.zeros((16, 16), np.float16),
+            "B": np.zeros((16, 16), np.float16),
+            "C": np.zeros((16, 16), np.float16),
+        }
+        result = Simulator(AMPERE).run(kernel, arrays)
+        with pytest.raises(AttributeError, match=r"result\.machine\."):
+            result.shared_bytes
