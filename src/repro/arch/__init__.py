@@ -1,9 +1,9 @@
 """GPU architectures: atomic-spec tables and hardware parameters."""
 
 from .ampere import AMPERE
-from .gpu import Architecture
+from .gpu import Architecture, architecture
 from .volta import VOLTA
 
 ARCHITECTURES = {"volta": VOLTA, "ampere": AMPERE}
 
-__all__ = ["AMPERE", "VOLTA", "Architecture", "ARCHITECTURES"]
+__all__ = ["AMPERE", "VOLTA", "Architecture", "ARCHITECTURES", "architecture"]

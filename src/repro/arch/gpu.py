@@ -56,6 +56,11 @@ class Architecture:
     def __setattr__(self, *a):
         raise AttributeError("Architecture is immutable")
 
+    def __reduce__(self):
+        # Architectures pickle by name and unpickle to the registry
+        # singleton, so atomic executor functions never serialize.
+        return (architecture, (self.name,))
+
     def supports(self, atomic_name: str) -> bool:
         return any(a.name == atomic_name for a in self.atomics)
 
@@ -67,3 +72,23 @@ class Architecture:
 
     def __repr__(self):
         return f"Architecture({self.name}, sm{self.sm})"
+
+
+def architecture(name: str) -> Architecture:
+    """Look up a registered architecture.
+
+    Accepts both the registry key (``"ampere"``) and the descriptive
+    ``Architecture.name`` (``"RTX A6000"``) — pickling reduces by the
+    latter.
+    """
+    from . import ARCHITECTURES  # deferred: ampere/volta import this module
+
+    found = ARCHITECTURES.get(name)
+    if found is None:
+        for arch in ARCHITECTURES.values():
+            if arch.name == name:
+                return arch
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {sorted(ARCHITECTURES)}"
+        )
+    return found

@@ -9,6 +9,8 @@ Usage::
     python -m repro.eval bench-smoke fig09 --outdir bench_artifacts
     python -m repro.eval conformance        # emulated CUDA vs sim vs numpy
     python -m repro.eval conformance --self-check   # + mutation sweep
+    python -m repro.eval serve-bench        # captured-graph serving benchmark
+    python -m repro.eval serve-bench --requests 200 --outdir bench_artifacts
 """
 
 from __future__ import annotations
@@ -42,6 +44,38 @@ def _main_bench_smoke(argv) -> int:
         return 1
     for path in paths:
         print(f"wrote {path}")
+    return 0
+
+
+def _main_serve_bench(argv) -> int:
+    from .serve_bench import run_serve_bench
+
+    outdir = "bench_artifacts"
+    n_requests = 120
+    seed = 0
+    workers = 4
+    for flag, cast in (("--outdir", str), ("--requests", int),
+                       ("--seed", int), ("--workers", int)):
+        if flag in argv:
+            i = argv.index(flag)
+            value = cast(argv[i + 1])
+            argv = argv[:i] + argv[i + 2:]
+            if flag == "--outdir":
+                outdir = value
+            elif flag == "--requests":
+                n_requests = value
+            elif flag == "--seed":
+                seed = value
+            else:
+                workers = value
+    try:
+        path = run_serve_bench(n_requests=n_requests, seed=seed,
+                               outdir=outdir, max_workers=workers,
+                               families=argv or None)
+    except (KeyError, RuntimeError) as exc:
+        print(exc)
+        return 1
+    print(f"wrote {path}")
     return 0
 
 
@@ -95,12 +129,14 @@ def main(argv) -> int:
         return _main_bench_smoke(argv[1:])
     if argv and argv[0] == "conformance":
         return _main_conformance(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        return _main_serve_bench(argv[1:])
     names = argv or sorted(ALL_FIGURES)
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
         print(f"unknown figures: {unknown}; available: "
               f"{sorted(ALL_FIGURES)} plus 'profile', 'bench-smoke', "
-              f"and 'conformance'")
+              f"'conformance', and 'serve-bench'")
         return 2
     for name in names:
         print(ALL_FIGURES[name]().format_table())

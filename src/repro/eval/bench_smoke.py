@@ -204,6 +204,56 @@ def run_sim_speed_bench(
     return path
 
 
+def run_fig15_bench(arch: str = "ampere",
+                    outdir: str = "bench_artifacts") -> str:
+    """Evaluate figure 15 (end-to-end network speedups); write its artifact.
+
+    Figure 15 is the paper's whole-network result and has no per-kernel
+    smoke family of its own, so the artifact serializes the
+    :class:`~repro.eval.report.FigureReport` directly: the network rows
+    plus a ``passed`` flag mirroring the report's paper-bound checks.
+    """
+    from .figures import figure_15
+
+    report = figure_15(arch_name=arch)
+    speedups = report.column("speedup_pct")
+    fractions = report.column("fmha_fraction_pct")
+    paper_max = max(report.column("paper_max_pct"))
+    # The paper claims up to 59% end-to-end, with speedup tracking each
+    # network's attention-time fraction.  Pass if every network gains,
+    # none exceeds the paper bound by more than the usual 15% modelling
+    # tolerance, and the speedup/fraction ranking agrees.
+    by_fraction = sorted(range(len(speedups)), key=fractions.__getitem__)
+    ranking_ok = all(
+        speedups[a] <= speedups[b] * 1.05
+        for a, b in zip(by_fraction, by_fraction[1:])
+    )
+    artifact = {
+        "benchmark": "fig15",
+        "figure": report.figure,
+        "title": report.title,
+        "arch": arch,
+        "columns": report.columns,
+        "rows": report.rows,
+        "notes": report.notes,
+        "summary": {
+            "networks": len(report.rows),
+            "max_speedup_pct": max(speedups),
+            "paper_max_pct": paper_max,
+            "speedup_tracks_fmha_fraction": ranking_ok,
+        },
+        "passed": (
+            ranking_ok
+            and all(0.0 < s <= paper_max * 1.15 for s in speedups)
+        ),
+    }
+    os.makedirs(outdir, exist_ok=True)
+    path = os.path.join(outdir, "BENCH_fig15.json")
+    with open(path, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+    return path
+
+
 def run_bench_smoke(
     figures: Optional[List[str]] = None,
     arch: str = "ampere",
@@ -214,10 +264,12 @@ def run_bench_smoke(
     """Run the smoke benchmarks and write one artifact file per family.
 
     Also times both execution engines over the selected families and
-    writes ``BENCH_sim_speed.json`` (``sim_speed=False`` skips it).
-    Returns the artifact paths; raises ``RuntimeError`` if any family's
-    measured-vs-modelled check failed (after writing all artifacts, so
-    the failing numbers are on disk for inspection).
+    writes ``BENCH_sim_speed.json`` (``sim_speed=False`` skips it), and
+    evaluates the end-to-end figure-15 report into ``BENCH_fig15.json``
+    when no family filter is given.  Returns the artifact paths; raises
+    ``RuntimeError`` if any family's measured-vs-modelled check failed
+    (after writing all artifacts, so the failing numbers are on disk
+    for inspection).
     """
     families = smoke_families()
     names = figures or sorted(families)
@@ -240,6 +292,8 @@ def run_bench_smoke(
     if sim_speed:
         paths.append(run_sim_speed_bench(figures=names, arch=arch,
                                          outdir=outdir, seed=seed))
+    if figures is None:
+        paths.append(run_fig15_bench(arch=arch, outdir=outdir))
     if failures:
         raise RuntimeError(
             f"bench-smoke drift in {failures}; see artifacts in {outdir}/"
@@ -249,5 +303,5 @@ def run_bench_smoke(
 
 __all__ = [
     "smoke_families", "run_family", "run_bench_smoke",
-    "time_engines", "run_sim_speed_bench",
+    "time_engines", "run_sim_speed_bench", "run_fig15_bench",
 ]

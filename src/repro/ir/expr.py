@@ -16,12 +16,14 @@ from __future__ import annotations
 import math
 from typing import Iterator, Mapping, Optional, Tuple, Union
 
+from ..pickling import PickleBySlots
+
 IntLike = Union[int, "IntExpr"]
 
 _UNBOUNDED = (0, None)
 
 
-class IntExpr:
+class IntExpr(PickleBySlots):
     """Base class for symbolic non-negative integer expressions.
 
     Instances are immutable and hashable.  Arithmetic operators build new

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..pickling import PickleBySlots
 from .expr import IntExpr, Var, as_expr
 
 
-class Stmt:
+class Stmt(PickleBySlots):
     """Base class for body statements."""
 
     __slots__ = ()

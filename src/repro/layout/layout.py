@@ -12,11 +12,12 @@ from __future__ import annotations
 from typing import Iterator, Optional, Tuple, Union
 
 from ..ir.expr import IntExpr
+from ..pickling import PickleBySlots
 from . import inttuple as it
 from .inttuple import IntTuple
 
 
-class Layout:
+class Layout(PickleBySlots):
     """An immutable (shape, stride) pair with congruent structure."""
 
     __slots__ = ("shape", "stride")

@@ -12,10 +12,11 @@ from __future__ import annotations
 from typing import Union
 
 from ..ir.expr import IntExpr
+from ..pickling import PickleBySlots
 from .layout import Layout
 
 
-class Swizzle:
+class Swizzle(PickleBySlots):
     """The functor ``o -> o XOR (((o >> (base+shift)) & mask) << base)``.
 
     ``bits``  — number of address bits participating in the XOR,
@@ -63,7 +64,7 @@ class Swizzle:
 IDENTITY_SWIZZLE = Swizzle(0, 0, 0)
 
 
-class SwizzledLayout:
+class SwizzledLayout(PickleBySlots):
     """A base layout post-composed with a swizzle permutation.
 
     The logical shape is the base layout's shape; only the physical

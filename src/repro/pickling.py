@@ -1,0 +1,65 @@
+"""Pickle support for the immutable IR object graph.
+
+Graphene IR nodes (expressions, statements, layouts, tensors, specs,
+kernels) are immutable ``__slots__`` classes whose ``__setattr__``
+raises.  Python's default unpickler restores slot state through
+``setattr``, so without help every IR class would refuse to unpickle.
+:class:`PickleBySlots` gives the whole hierarchy a uniform state
+protocol that bypasses the immutability guard with
+``object.__setattr__`` — the same door the constructors use.
+
+Interned singletons (dtypes, memory spaces, scalar ops, architectures)
+instead reduce to a registry lookup by name, so identity-compared
+values stay identical after a round trip and callables they carry
+(numpy lambdas, atomic executors) never cross the pickle boundary.
+
+This is what lets kernels, :class:`~repro.sim.plan.LaunchPlan`\\ s and
+:class:`~repro.serve.CapturedGraph`\\ s travel to worker processes.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Tuple
+
+
+def slot_names(cls) -> Tuple[str, ...]:
+    """Every ``__slots__`` entry of ``cls`` and its bases, base-first."""
+    names = []
+    for klass in reversed(cls.__mro__):
+        for name in getattr(klass, "__slots__", ()):
+            if name not in ("__weakref__", "__dict__"):
+                names.append(name)
+    return tuple(names)
+
+
+class PickleBySlots:
+    """Mixin: pickle an immutable ``__slots__`` class by slot state."""
+
+    __slots__ = ()
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = {}
+        for name in slot_names(type(self)):
+            value = getattr(self, name)
+            if type(value) is str:
+                # Canonicalize: non-identifier strings ('threadIdx.x')
+                # are not auto-interned, so equal names at different
+                # construction sites would otherwise pickle with
+                # different sharing and destabilize the fingerprint.
+                value = sys.intern(value)
+            state[name] = value
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for name, value in state.items():
+            if type(value) is str:
+                # Re-intern loaded strings: builders use interned
+                # constants, so without this a round-tripped graph
+                # loses string sharing and its re-pickle (and thus its
+                # structural fingerprint) would drift.
+                value = sys.intern(value)
+            object.__setattr__(self, name, value)
+
+
+__all__ = ["PickleBySlots", "slot_names"]

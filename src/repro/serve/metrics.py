@@ -1,0 +1,144 @@
+"""Serving metrics: latency distributions, throughput, cache health.
+
+Everything here is thread-safe: worker threads record into a shared
+:class:`ServerMetrics` under one lock, and ``snapshot()`` returns plain
+dicts/floats so callers (benchmarks, tests) never hold references into
+live state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class LatencyStats:
+    """A bounded reservoir of latency samples with percentile queries.
+
+    Keeps the most recent ``maxlen`` samples (serving benchmarks care
+    about steady-state tails, not startup transients).  Percentiles use
+    the nearest-rank method on a sorted copy — O(n log n) per query,
+    fine at reservoir sizes.
+    """
+
+    def __init__(self, maxlen: int = 4096):
+        self.maxlen = maxlen
+        self.count = 0
+        self.total = 0.0
+        self._samples: List[float] = []
+        self._next = 0  # ring-buffer write cursor once full
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if len(self._samples) < self.maxlen:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._next] = seconds
+            self._next = (self._next + 1) % self.maxlen
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p90_ms": self.percentile(90) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+        }
+
+
+class ServerMetrics:
+    """All counters one :class:`~repro.serve.server.KernelServer` keeps."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started_at = time.perf_counter()
+        self.requests_submitted = 0
+        self.requests_completed = 0
+        self.requests_failed = 0
+        self.batches = 0
+        self.batched_requests = 0  # requests that shared a batch (size>1)
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        self.latency = LatencyStats()
+        self.replay = LatencyStats()
+        self.cold_capture = LatencyStats()
+        self.warm_replay = LatencyStats()
+
+    # -- recording (thread-safe) ----------------------------------------------
+    def on_submit(self) -> None:
+        with self._lock:
+            self.requests_submitted += 1
+            self.queue_depth += 1
+            self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+
+    def on_dequeue(self, n: int = 1) -> None:
+        with self._lock:
+            self.queue_depth -= n
+
+    def on_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            if size > 1:
+                self.batched_requests += size
+
+    def on_complete(self, latency_s: float, replay_s: float) -> None:
+        with self._lock:
+            self.requests_completed += 1
+            self.latency.record(latency_s)
+            self.replay.record(replay_s)
+
+    def on_failure(self) -> None:
+        with self._lock:
+            self.requests_failed += 1
+
+    def on_capture(self, seconds: float) -> None:
+        with self._lock:
+            self.cold_capture.record(seconds)
+
+    def on_warm_replay(self, seconds: float) -> None:
+        with self._lock:
+            self.warm_replay.record(seconds)
+
+    # -- reporting -------------------------------------------------------------
+    def requests_per_second(self, elapsed_s: Optional[float] = None) -> float:
+        if elapsed_s is None:
+            elapsed_s = time.perf_counter() - self.started_at
+        return self.requests_completed / elapsed_s if elapsed_s > 0 else 0.0
+
+    def snapshot(self, graph_cache=None) -> Dict[str, object]:
+        with self._lock:
+            out: Dict[str, object] = {
+                "requests_submitted": self.requests_submitted,
+                "requests_completed": self.requests_completed,
+                "requests_failed": self.requests_failed,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "queue_depth": self.queue_depth,
+                "max_queue_depth": self.max_queue_depth,
+                "requests_per_second": self.requests_per_second(),
+                "latency": self.latency.snapshot(),
+                "replay": self.replay.snapshot(),
+                "cold_capture": self.cold_capture.snapshot(),
+                "warm_replay": self.warm_replay.snapshot(),
+            }
+        if graph_cache is not None:
+            out["graph_cache"] = graph_cache.snapshot()
+        return out
+
+
+__all__ = ["LatencyStats", "ServerMetrics"]

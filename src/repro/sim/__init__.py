@@ -3,10 +3,12 @@
 from .access import TensorAccessor, accessor, compile_expr, tile_views
 from .context import ExecCtx
 from .errors import SimulationError
-from .interp import RunResult, Simulator
+from .interp import RunResult, Simulator, bind_launch
 from .machine import BankModel, Machine
 from .options import ENGINES, RunOptions, resolve_run_options
-from .plan import LaunchPlan, PlanCache
+from .plan import (
+    CacheStats, LaunchPlan, PlanCache, kernel_fingerprint, plan_cache_key,
+)
 from .profiler import KernelProfile, Profiler, SpecCounters
 from .sanitizer import (
     Sanitizer, SanitizerError, SanitizerReport, strip_barriers,
@@ -14,10 +16,11 @@ from .sanitizer import (
 
 __all__ = [
     "TensorAccessor", "accessor", "compile_expr", "tile_views",
-    "ExecCtx", "RunResult", "SimulationError", "Simulator",
+    "ExecCtx", "RunResult", "SimulationError", "Simulator", "bind_launch",
     "BankModel", "Machine",
     "ENGINES", "RunOptions", "resolve_run_options",
-    "LaunchPlan", "PlanCache",
+    "CacheStats", "LaunchPlan", "PlanCache", "kernel_fingerprint",
+    "plan_cache_key",
     "KernelProfile", "Profiler", "SpecCounters",
     "Sanitizer", "SanitizerError", "SanitizerReport", "strip_barriers",
 ]

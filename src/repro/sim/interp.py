@@ -21,6 +21,7 @@ out-of-bounds access, uninitialized read, or divergent barrier.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -72,17 +73,83 @@ class RunResult:
         )
 
 
+def bind_launch(kernel, bindings, symbols, machine, sanitizer=None):
+    """Set up one launch: check symbols, bind params, declare allocations.
+
+    The launch-setup contract shared by ``Simulator.run`` and the serve
+    layer's graph capture (:mod:`repro.serve.graph`): every kernel
+    symbol must be bound, every parameter tensor gets its numpy array
+    bound as a global buffer, and every ``Allocate`` in the body gets
+    its backing buffer declared (swizzled tensors round their window up
+    to a power of two so XOR'd offsets stay in range).
+    """
+    missing = [v.name for v in kernel.symbols if v.name not in symbols]
+    if missing:
+        raise SimulationError(f"unbound kernel symbols: {missing}")
+    for param in kernel.params:
+        if param.name not in bindings:
+            raise SimulationError(f"missing binding for {param!r}")
+        machine.bind_global(param.buffer, bindings[param.name])
+        if sanitizer is not None:
+            sanitizer.declare(param.buffer, GL,
+                              int(np.asarray(bindings[param.name]).size))
+    for alloc in kernel.allocations():
+        cosize = alloc.layout.cosize()
+        if not isinstance(cosize, int):
+            raise SimulationError(
+                f"Allocate of symbolic tensor {alloc!r} is unsupported"
+            )
+        if not alloc.swizzle.is_identity():
+            window = 1
+            while window < cosize:
+                window <<= 1
+            cosize = window
+        machine.declare(alloc.buffer, alloc.dtype, cosize)
+        if sanitizer is not None:
+            sanitizer.declare(alloc.buffer, alloc.mem, cosize)
+
+
 class Simulator:
-    """Executes kernels functionally against an architecture's atomics."""
+    """Executes kernels functionally against an architecture's atomics.
+
+    One simulator may be shared across threads: the compiled-closure
+    caches below are per-thread, and :class:`~repro.sim.plan.PlanCache`
+    is internally locked.
+    """
 
     def __init__(self, arch):
         self.arch = arch
-        self._loop_cache: Dict[int, tuple] = {}
-        self._pred_cache: Dict[int, list] = {}
-        self._atomic_cache: Dict[int, AtomicSpec] = {}
+        # Per-thread compiled-closure caches (keyed on id(stmt)): the
+        # reference interpreter clears them at the top of each run, so
+        # sharing them across threads would corrupt a concurrent run.
+        self._tls = threading.local()
         #: Compiled launch plans for the ``"vectorized"`` engine, keyed
-        #: on kernel identity + symbol/binding-shape signature.
+        #: on kernel fingerprint + symbol/binding-shape signature.
         self.plan_cache = PlanCache()
+
+    @property
+    def _loop_cache(self) -> Dict[int, tuple]:
+        try:
+            return self._tls.loop_cache
+        except AttributeError:
+            self._tls.loop_cache = {}
+            return self._tls.loop_cache
+
+    @property
+    def _pred_cache(self) -> Dict[int, list]:
+        try:
+            return self._tls.pred_cache
+        except AttributeError:
+            self._tls.pred_cache = {}
+            return self._tls.pred_cache
+
+    @property
+    def _atomic_cache(self) -> Dict[int, "AtomicSpec"]:
+        try:
+            return self._tls.atomic_cache
+        except AttributeError:
+            self._tls.atomic_cache = {}
+            return self._tls.atomic_cache
 
     # -- public API ----------------------------------------------------------
     def run(
@@ -139,30 +206,7 @@ class Simulator:
         machine.sanitizer = sanitizer
         machine.profiler = profiler
         symbols = dict(symbols or {})
-        missing = [v.name for v in kernel.symbols if v.name not in symbols]
-        if missing:
-            raise SimulationError(f"unbound kernel symbols: {missing}")
-        for param in kernel.params:
-            if param.name not in bindings:
-                raise SimulationError(f"missing binding for {param!r}")
-            machine.bind_global(param.buffer, bindings[param.name])
-            if sanitizer is not None:
-                sanitizer.declare(param.buffer, GL,
-                                  int(np.asarray(bindings[param.name]).size))
-        for alloc in kernel.allocations():
-            cosize = alloc.layout.cosize()
-            if not isinstance(cosize, int):
-                raise SimulationError(
-                    f"Allocate of symbolic tensor {alloc!r} is unsupported"
-                )
-            if not alloc.swizzle.is_identity():
-                window = 1
-                while window < cosize:
-                    window <<= 1
-                cosize = window
-            machine.declare(alloc.buffer, alloc.dtype, cosize)
-            if sanitizer is not None:
-                sanitizer.declare(alloc.buffer, alloc.mem, cosize)
+        bind_launch(kernel, bindings, symbols, machine, sanitizer)
         block_size = kernel.block_size()
         if opts.engine == "vectorized":
             plan = self.plan_cache.lookup(kernel, self.arch, symbols,

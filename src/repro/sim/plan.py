@@ -33,8 +33,11 @@ flushed/reloaded around the call.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -697,7 +700,7 @@ class _Replay:
     """Mutable per-block state while replaying one compiled plan."""
 
     __slots__ = ("plan", "machine", "san", "prof", "bid", "regfile",
-                 "all_lanes", "_aranges", "_pending")
+                 "all_lanes", "_aranges", "_pending", "_trace")
 
     def __init__(self, plan, machine, san, prof, bid):
         self.plan = plan
@@ -709,6 +712,9 @@ class _Replay:
         self.all_lanes = np.arange(plan.nthreads, dtype=np.int64)
         self._aranges: Dict[int, np.ndarray] = {}
         self._pending: Optional[list] = None
+        #: Optional trace recorder (:mod:`repro.sim.trace`) capturing
+        #: resolved leaf executions during an observers-off replay.
+        self._trace = None
 
     # -- predicates ------------------------------------------------------------
     def all_rows(self, gp) -> np.ndarray:
@@ -739,8 +745,12 @@ class _Replay:
 
     def active_rows(self, gp, env, preds):
         if not preds:
-            return self.all_rows(gp)
-        return np.flatnonzero(self._active(gp.lane_arr, env, preds))
+            rows = self.all_rows(gp)
+        else:
+            rows = np.flatnonzero(self._active(gp.lane_arr, env, preds))
+        if self._trace is not None:
+            self._trace.on_rows(rows)
+        return rows
 
     def block_active(self, env, preds):
         return self._active(self.all_lanes, env, preds)
@@ -756,7 +766,13 @@ class _Replay:
         if san is not None:
             san.enter_spec(sp.label)
         if san is None and prof is None:
+            trace = self._trace
+            if trace is None:
+                for gp in sp.groups:
+                    self._exec_group(sp, gp, env, preds)
+                return
             for gp in sp.groups:
+                trace.begin_leaf(sp, gp)
                 self._exec_group(sp, gp, env, preds)
             return
         for gi, gp in enumerate(sp.groups):
@@ -846,6 +862,9 @@ class _Replay:
                 self.machine.bank_model.record_batch(offs_eff * vp.itemsize)
         if mask_sel is not None:
             values = np.where(mask_sel, values, fill).astype(buf.dtype)
+        if self._trace is not None:
+            self._trace.on_read(vp, offs_eff, mask_sel,
+                                lane_ids if vp.is_rf else None, fill)
         return values, (vp.tensor, "read", offs_sel, mask_sel, rows,
                         offs, mask)
 
@@ -871,6 +890,7 @@ class _Replay:
                 buf[lane_ids[:, None], offs_sel] = \
                     values.astype(buf.dtype, copy=False)
             else:
+                lane_ids = None
                 buf = self.machine.buffer(
                     tensor.mem, tensor.buffer, tensor.dtype, self.bid, 0,
                     int(offs_sel.max()) + 1,
@@ -879,10 +899,14 @@ class _Replay:
                 if vp.is_sh:
                     self.machine.bank_model.record_batch(
                         offs_sel * vp.itemsize)
+            if self._trace is not None:
+                self._trace.on_write_plain(vp, offs_sel, lane_ids)
             return (tensor, "write", offs_sel, None, rows, offs, mask)
         mask_sel = mask if take_all else mask[rows]
         keep = mask_sel.any(axis=1)
         if not keep.any():
+            if self._trace is not None:
+                self._trace.on_write_skip()
             return None
         if not keep.all():
             rows = rows[keep]
@@ -903,6 +927,7 @@ class _Replay:
                                        offs_sel.shape)[mask_sel]
             buf[lane_mat, flat_offs] = flat_vals
         else:
+            lane_mat = None
             buf = self.machine.buffer(
                 tensor.mem, tensor.buffer, tensor.dtype, self.bid, 0,
                 int(flat_offs.max()) + 1,
@@ -910,6 +935,9 @@ class _Replay:
             buf[flat_offs] = flat_vals
             if vp.is_sh:
                 self.machine.bank_model.record_batch(offs_sel * vp.itemsize)
+        if self._trace is not None:
+            self._trace.on_write_masked(vp, offs_sel, mask_sel, keep,
+                                        flat_offs, lane_mat)
         return (tensor, "write", offs_sel, mask_sel, rows, offs, mask)
 
     # -- observer feed ---------------------------------------------------------
@@ -999,6 +1027,58 @@ class _Replay:
                             (mem, buffer, nbytes, kind, lane, live))
 
 
+# -- kernel identity -----------------------------------------------------------
+#: id(kernel) -> (kernel, fingerprint).  The strong kernel reference
+#: keeps the id from being recycled while its fingerprint is cached.
+_FINGERPRINTS: Dict[int, Tuple[object, str]] = {}
+_FINGERPRINT_CACHE_ENTRIES = 256
+
+
+def kernel_fingerprint(kernel) -> str:
+    """Deterministic structural identity of a kernel.
+
+    The sha256 of the kernel's pickle serialization: two structurally
+    identical kernels (same specs, layouts, launch shape, symbols) get
+    the same fingerprint even when they are distinct objects, and the
+    fingerprint survives process boundaries — unlike ``id()``, it is a
+    valid persistent cache key.
+    """
+    cached = _FINGERPRINTS.get(id(kernel))
+    if cached is not None and cached[0] is kernel:
+        return cached[1]
+    digest = hashlib.sha256(
+        pickle.dumps(kernel, protocol=4)).hexdigest()
+    if len(_FINGERPRINTS) >= _FINGERPRINT_CACHE_ENTRIES:
+        _FINGERPRINTS.clear()
+    _FINGERPRINTS[id(kernel)] = (kernel, digest)
+    return digest
+
+
+class CacheStats:
+    """Hit/miss/eviction counters shared by the plan and graph caches."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self):
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions})")
+
+
 # -- the launch plan and its cache ---------------------------------------------
 class LaunchPlan:
     """A kernel's decomposition tree compiled for vectorized replay."""
@@ -1011,6 +1091,13 @@ class LaunchPlan:
         self.nthreads = kernel.block_size()
         self.grid_size = kernel.grid_size()
         self.root = self._compile_block(kernel.body)
+
+    def __reduce__(self):
+        # The compiled node tree holds closures (compile_expr) that
+        # cannot pickle; the kernel and arch can, and compilation is
+        # deterministic — so a plan serializes as its inputs and
+        # recompiles on load.
+        return (LaunchPlan, (self.kernel, self.arch))
 
     # -- compilation -----------------------------------------------------------
     def _compile_block(self, stmts) -> _Seq:
@@ -1058,9 +1145,16 @@ class LaunchPlan:
         return _SpecNode(_SpecPlan(spec, self))
 
     # -- replay ----------------------------------------------------------------
-    def replay(self, machine, symbols, sanitizer, profiler) -> None:
-        """Run the plan over every block of the grid."""
-        for bid in range(self.grid_size):
+    def replay(self, machine, symbols, sanitizer, profiler,
+               blocks: Optional[Sequence[int]] = None) -> None:
+        """Run the plan over the grid (or a subset of its blocks).
+
+        ``blocks`` selects which block ids to execute; blocks are
+        independent, so a caller may shard the grid across machines
+        sharing the same global arrays.  Observers (sanitizer/profiler)
+        are order-sensitive and only valid for a full in-order replay.
+        """
+        for bid in (range(self.grid_size) if blocks is None else blocks):
             if sanitizer is not None:
                 sanitizer.begin_block(bid)
             if profiler is not None:
@@ -1072,52 +1166,85 @@ class LaunchPlan:
             run.regfile.flush()
 
 
-class PlanCache:
-    """LRU cache of compiled launch plans, one per ``Simulator``.
+def plan_cache_key(kernel, arch, symbols: dict, bindings: dict) -> tuple:
+    """The deterministic cache key for one (kernel, launch) pairing.
 
-    Keys combine kernel identity, symbol bindings, and the shapes of
-    the bound parameter arrays — re-running the same kernel object with
-    the same bindings is a hit; changing symbol values or a binding's
-    shape recompiles.  Entries hold a strong reference to their kernel
-    so a recycled ``id()`` can never resurrect a stale plan (the entry
-    is also verified with an ``is`` check on lookup).
+    Built from the kernel's structural fingerprint rather than its
+    ``id()``, so two structurally identical kernels share one compiled
+    plan and the key is stable across processes (it contains only
+    strings, names and shape tuples — it pickles as-is).
+    """
+    return (
+        kernel_fingerprint(kernel),
+        arch.name,
+        tuple(sorted(symbols.items())),
+        tuple(sorted(
+            (name, tuple(np.shape(array)))
+            for name, array in bindings.items()
+        )),
+    )
+
+
+class PlanCache:
+    """Thread-safe LRU cache of compiled launch plans.
+
+    Keys combine the kernel's structural fingerprint, the architecture,
+    symbol bindings, and the shapes of the bound parameter arrays —
+    re-running an equivalent kernel with the same bindings is a hit;
+    changing symbol values or a binding's shape recompiles.  Counters
+    live in :class:`CacheStats` (``stats``), with ``hits`` / ``misses``
+    / ``evictions`` mirrored as properties.
     """
 
     def __init__(self, maxsize: int = 8):
         self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, LaunchPlan]" = OrderedDict()
 
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    @property
+    def evictions(self) -> int:
+        return self.stats.evictions
+
     def lookup(self, kernel, arch, symbols: dict, bindings: dict) -> LaunchPlan:
-        key = (
-            id(kernel),
-            tuple(sorted(symbols.items())),
-            tuple(sorted(
-                (name, tuple(np.shape(array)))
-                for name, array in bindings.items()
-            )),
-        )
-        plan = self._entries.get(key)
-        if plan is not None and plan.kernel is kernel:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return plan
-        self.misses += 1
+        key = plan_cache_key(kernel, arch, symbols, bindings)
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return plan
+            self.stats.misses += 1
+        # Compile outside the lock: plans for distinct kernels build
+        # concurrently.  Two threads racing on the same key both build
+        # an identical plan and the second insert wins — value-equal,
+        # so the race is benign.
         plan = LaunchPlan(kernel, arch)
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
         return plan
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
 
 
 __all__ = [
-    "LaunchPlan", "PlanCache", "ViewPlan", "VIEW_CACHE_ENTRIES",
+    "CacheStats", "LaunchPlan", "PlanCache", "ViewPlan",
+    "VIEW_CACHE_ENTRIES", "kernel_fingerprint", "plan_cache_key",
 ]

@@ -16,12 +16,13 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from ..ir.stmt import Block, Stmt
+from ..pickling import PickleBySlots
 from ..tensor.tensor import Tensor
 from ..threads.threadgroup import ThreadGroup
 from .ops import ScalarOp
 
 
-class Spec:
+class Spec(PickleBySlots):
     """Base class for all specifications.
 
     ``exec_config`` lists the thread tensors executing this spec from

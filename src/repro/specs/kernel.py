@@ -13,13 +13,14 @@ from typing import Optional, Sequence, Tuple
 
 from ..ir.expr import Var
 from ..ir.stmt import Block, SpecStmt, walk
+from ..pickling import PickleBySlots
 from ..tensor.memspace import GL
 from ..tensor.tensor import Tensor
 from ..threads.threadgroup import BLOCK, THREAD, ThreadGroup
 from .base import Allocate, Spec
 
 
-class Kernel:
+class Kernel(PickleBySlots):
     """A complete, launchable Graphene kernel."""
 
     __slots__ = ("name", "grid", "block", "params", "body", "symbols")

@@ -36,6 +36,11 @@ class ScalarOp:
     def __call__(self, *args):
         return self.np_fn(*args)
 
+    def __reduce__(self):
+        # Ops intern by name: round-tripping restores the registry
+        # object, so the (unpicklable) numpy lambdas never serialize.
+        return (scalar_op, (self.name,))
+
     def c_expr(self, *operands: str) -> str:
         return self.c_template.format(*operands)
 

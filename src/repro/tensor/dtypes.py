@@ -26,6 +26,10 @@ class DType:
     def __setattr__(self, *a):
         raise AttributeError("DType is immutable")
 
+    def __reduce__(self):
+        # Dtypes intern by name; unpickling restores the singleton.
+        return (dtype, (self.name,))
+
     @property
     def bytes(self) -> int:
         return self.bits // 8

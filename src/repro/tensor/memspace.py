@@ -22,6 +22,10 @@ class MemSpace:
     def __setattr__(self, *a):
         raise AttributeError("MemSpace is immutable")
 
+    def __reduce__(self):
+        # Memory spaces intern by label; unpickling restores GL/SH/RF.
+        return (memspace, (self.label,))
+
     def __eq__(self, other):
         return isinstance(other, MemSpace) and other.label == self.label
 

@@ -21,6 +21,7 @@ from ..layout import inttuple as it
 from ..layout.algebra import LayoutAlgebraError, composition, logical_divide
 from ..layout.layout import Layout, row_major
 from ..layout.swizzle import IDENTITY_SWIZZLE, Swizzle
+from ..pickling import PickleBySlots
 from .dtypes import DType
 from .memspace import GL, RF, SH, MemSpace
 
@@ -28,7 +29,7 @@ TileSize = Union[int, Layout, None]
 Coord = Union[int, IntExpr]
 
 
-class DimGuard:
+class DimGuard(PickleBySlots):
     """Predication info for one logical dimension (paper Section 3.4).
 
     ``origin`` is the root-tensor coordinate of this view's first element
@@ -52,7 +53,7 @@ class DimGuard:
         return f"Guard({self.origin!r}+i<{self.extent!r})"
 
 
-class Tile:
+class Tile(PickleBySlots):
     """The element type of a tiled tensor: a nested shape."""
 
     __slots__ = ("layout", "element", "tile_sizes")
@@ -74,7 +75,7 @@ class Tile:
         return self.format()
 
 
-class Tensor:
+class Tensor(PickleBySlots):
     """A named, laid-out, typed, memory-space-labelled tensor view."""
 
     __slots__ = (

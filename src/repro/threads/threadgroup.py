@@ -19,6 +19,7 @@ from ..ir.expr import Const, IntExpr, Var, as_expr
 from ..layout import inttuple as it
 from ..layout.algebra import composition
 from ..layout.layout import Layout
+from ..pickling import PickleBySlots
 from ..tensor.tensor import Tile, TileSize, _divide_dim, _modes_to_layout
 
 #: Scalar types of the two fundamental CUDA hierarchies.
@@ -29,7 +30,7 @@ BLOCK = "block"
 FLAT_INDEX_VAR = {THREAD: "threadIdx.x", BLOCK: "blockIdx.x"}
 
 
-class ThreadGroup:
+class ThreadGroup(PickleBySlots):
     """A tensor of processing elements (threads or blocks).
 
     The layout maps logical group coordinates to *flat hardware indices*

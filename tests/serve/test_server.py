@@ -1,0 +1,112 @@
+"""KernelServer behavior: concurrency, mixed families, metrics, errors."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import KernelServer, serve_catalog, zipf_schedule
+from repro.sim import RunOptions, Simulator
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return serve_catalog(seed=0)
+
+
+def _family(catalog, name):
+    for fam in catalog:
+        if fam.name == name:
+            return fam
+    raise LookupError(name)
+
+
+def test_concurrent_submissions_from_many_threads(catalog):
+    fam = _family(catalog, "gemm_naive")
+    rng = np.random.default_rng(0)
+    problems = [fam.make_bindings(rng) for _ in range(12)]
+    sim = Simulator(fam.arch)
+    expected = []
+    for problem in problems:
+        ref = sim.run(fam.kernel,
+                      {k: v.copy() for k, v in problem.items()},
+                      symbols=fam.symbols,
+                      options=RunOptions(engine="vectorized"))
+        expected.append({out: ref.machine.global_array(out).copy()
+                         for out in fam.outputs})
+    with KernelServer([fam], max_workers=4) as server:
+        results = [None] * len(problems)
+
+        def issue(i):
+            results[i] = server.request(fam.name, problems[i], timeout=60)
+
+        threads = [threading.Thread(target=issue, args=(i,))
+                   for i in range(len(problems))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    for result, ref in zip(results, expected):
+        for out, arr in ref.items():
+            np.testing.assert_array_equal(
+                result.outputs[out].reshape(-1), arr)
+    assert server.metrics.requests_completed == len(problems)
+    assert server.metrics.requests_failed == 0
+    # One signature -> exactly one capture, everything else warm hits.
+    assert server.graph_cache.snapshot()["entries"] == 1
+
+
+def test_mixed_family_zipf_traffic(catalog):
+    schedule = zipf_schedule(catalog, 30, seed=1)
+    with KernelServer(catalog, max_workers=4) as server:
+        futures = [server.submit(fam.name, bindings)
+                   for fam, bindings in schedule]
+        results = [f.result(timeout=120) for f in futures]
+    assert server.metrics.requests_failed == 0
+    assert {r.family for r in results} <= {f.name for f in catalog}
+    snap = server.metrics.snapshot(server.graph_cache)
+    assert snap["requests_completed"] == 30
+    assert snap["graph_cache"]["entries"] >= 1
+    assert snap["latency"]["count"] == 30
+    assert snap["warm_replay"]["count"] > 0
+
+
+def test_eviction_under_tiny_budget(catalog):
+    fams = catalog[:3]
+    # Budget below two graphs' footprint: the cache must evict and the
+    # server must still answer every request correctly.
+    with KernelServer(fams, budget_bytes=1, max_workers=2) as server:
+        for _ in range(2):
+            for fam in fams:
+                rng = np.random.default_rng(7)
+                result = server.request(fam.name, fam.make_bindings(rng),
+                                        timeout=120)
+                assert result.family == fam.name
+    assert server.metrics.requests_failed == 0
+    snap = server.graph_cache.snapshot()
+    assert snap["entries"] == 1  # never evicts the newest entry
+    assert snap["evictions"] >= 2
+
+
+def test_unknown_family_and_bad_bindings(catalog):
+    fam = _family(catalog, "softmax")
+    with KernelServer([fam]) as server:
+        with pytest.raises(KeyError, match="unknown family"):
+            server.submit("nope", {})
+        bad = fam.make_bindings(np.random.default_rng(0))
+        name = next(iter(bad))
+        bad[name] = bad[name][:1]  # wrong shape -> replay must fail
+        future = server.submit(fam.name, bad)
+        with pytest.raises(Exception):
+            future.result(timeout=60)
+    assert server.metrics.requests_failed >= 1
+
+
+def test_submit_after_close_raises(catalog):
+    fam = _family(catalog, "moves")
+    server = KernelServer([fam])
+    server.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        server.submit(fam.name, fam.make_bindings(np.random.default_rng(0)))

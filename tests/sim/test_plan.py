@@ -10,13 +10,18 @@ cache's keying rules (kernel identity + symbol bindings + binding
 shapes).
 """
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.conformance.harness import Case, default_cases
 from repro.kernels import LayernormConfig, NaiveGemmConfig, SoftmaxConfig, build
 from repro.library import funcs
-from repro.sim import PlanCache, RunOptions, Simulator, strip_barriers
+from repro.sim import (
+    LaunchPlan, PlanCache, RunOptions, Simulator, kernel_fingerprint,
+    plan_cache_key, strip_barriers,
+)
 from repro.sim.profiler import SpecCounters
 
 CASES = {c.name: c for c in default_cases()}
@@ -189,10 +194,23 @@ class TestPlanCache:
         assert sim.plan_cache.misses == 2
         assert sim.plan_cache.hits == 0
 
-    def test_kernel_identity_keys(self):
+    def test_structurally_identical_kernels_share_a_plan(self):
+        # Cache keys use the kernel's structural fingerprint, not its
+        # id(): two separately-built but identical kernels hit the same
+        # compiled plan.
         kernel_a, arrays = _gemm_problem()
         kernel_b, _ = _gemm_problem()
         assert kernel_a is not kernel_b
+        sim = Simulator(CASES["gemm_naive"].arch)
+        sim.run(kernel_a, {k: v.copy() for k, v in arrays.items()})
+        sim.run(kernel_b, {k: v.copy() for k, v in arrays.items()})
+        assert sim.plan_cache.misses == 1
+        assert sim.plan_cache.hits == 1
+
+    def test_structurally_distinct_kernels_miss(self):
+        kernel_a, arrays = _gemm_problem()
+        kernel_b = build(
+            NaiveGemmConfig(16, 16, 16, grid=(2, 2), threads=(4, 2)))
         sim = Simulator(CASES["gemm_naive"].arch)
         sim.run(kernel_a, {k: v.copy() for k, v in arrays.items()})
         sim.run(kernel_b, {k: v.copy() for k, v in arrays.items()})
@@ -208,20 +226,21 @@ class TestPlanCache:
         assert sim.plan_cache.hits == 0
 
     def test_lru_eviction(self):
-        case = CASES["gemm_naive"]
-        sim = Simulator(case.arch)
+        sim = Simulator(CASES["gemm_naive"].arch)
         sim.plan_cache = PlanCache(maxsize=2)
-        kernels = [
-            build(NaiveGemmConfig(16, 16, 16, grid=(2, 2), threads=(2, 2)))
-            for _ in range(3)
-        ]
-        arrays = case.arrays
-        for kernel in kernels:
+        problems = [_gemm_problem(m=m) for m in (16, 32, 48)]
+        for kernel, arrays in problems:
             sim.run(kernel, {k: v.copy() for k, v in arrays.items()})
-        # Oldest plan evicted: re-running kernels[0] recompiles.
-        sim.run(kernels[0], {k: v.copy() for k, v in arrays.items()})
+        assert sim.plan_cache.evictions == 1
+        # Oldest plan evicted: re-running problems[0] recompiles.
+        kernel, arrays = problems[0]
+        sim.run(kernel, {k: v.copy() for k, v in arrays.items()})
         assert sim.plan_cache.misses == 4
         assert sim.plan_cache.hits == 0
+        assert sim.plan_cache.evictions == 2
+        assert sim.plan_cache.stats.snapshot() == {
+            "hits": 0, "misses": 4, "evictions": 2,
+        }
 
     def test_cached_replay_stays_correct(self):
         kernel, arrays = _gemm_problem()
@@ -234,3 +253,50 @@ class TestPlanCache:
                 run_arrays["C"].astype(np.float32), expected, atol=0.02
             )
         assert sim.plan_cache.hits == 1
+
+
+class TestPlanPickling:
+    """Satellite contract: plans and their cache keys cross pickle."""
+
+    @pytest.mark.parametrize(
+        "name", ["gemm_naive", "gemm_ampere", "gemm_parametric", "softmax",
+                 "layernorm", "fmha"])
+    def test_kernel_round_trips(self, name):
+        case = CASES[name]
+        blob = pickle.dumps(case.kernel, protocol=4)
+        kernel = pickle.loads(blob)
+        assert kernel.name == case.kernel.name
+        assert kernel.grid_size() == case.kernel.grid_size()
+        assert kernel.block_size() == case.kernel.block_size()
+        # Structural identity survives the round trip.
+        assert kernel_fingerprint(kernel) == kernel_fingerprint(case.kernel)
+
+    def test_launch_plan_round_trips_and_replays(self):
+        case = CASES["gemm_naive"]
+        plan = LaunchPlan(case.kernel, case.arch)
+        restored = pickle.loads(pickle.dumps(plan, protocol=4))
+        assert restored.grid_size == plan.grid_size
+        assert restored.nthreads == plan.nthreads
+        assert restored.arch is case.arch  # registry singleton
+        # The restored plan must produce the exact same run outputs.
+        sim = Simulator(case.arch)
+        expected = {k: v.copy() for k, v in case.arrays.items()}
+        sim.run(case.kernel, expected, symbols=case.symbols)
+        got = {k: v.copy() for k, v in case.arrays.items()}
+        sim2 = Simulator(case.arch)
+        sim2.plan_cache._entries[plan_cache_key(
+            restored.kernel, case.arch, dict(case.symbols or {}), got
+        )] = restored
+        sim2.run(restored.kernel, got, symbols=case.symbols)
+        assert sim2.plan_cache.hits == 1  # replayed the restored plan
+        for name in case.outputs:
+            np.testing.assert_array_equal(got[name], expected[name])
+
+    def test_cache_key_is_picklable_and_deterministic(self):
+        kernel_a, arrays = _gemm_problem()
+        kernel_b, _ = _gemm_problem()
+        arch = CASES["gemm_naive"].arch
+        key_a = plan_cache_key(kernel_a, arch, {}, arrays)
+        key_b = plan_cache_key(kernel_b, arch, {}, arrays)
+        assert key_a == key_b  # no id()-derived parts
+        assert pickle.loads(pickle.dumps(key_a)) == key_a
