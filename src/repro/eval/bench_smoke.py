@@ -204,6 +204,136 @@ def run_sim_speed_bench(
     return path
 
 
+def time_plan_compile(figure: str, arch="ampere", seed: int = 0,
+                      repeats: int = 3) -> dict:
+    """Cold index-compile time for one family, linear vs expression.
+
+    One run under ``"auto"`` collects every tensor view the family's
+    launch plan enumerates; the measurement then recompiles that exact
+    view population from scratch under each mode — ``"auto"`` compiles
+    power-of-two views of :data:`~repro.sim.access.LINEAR_MIN_SIZE`
+    elements or more through the F2 bit-matrix path, ``"expression"``
+    walks coordinates through the layout algebra on every view.  The
+    rest of plan compilation (runner selection, fragment index maps) is
+    mode-independent, so this isolates exactly what the F2 engine
+    changes.  Best-of-``repeats``.
+    """
+    from ..sim import RunOptions, Simulator, access
+    from ..sim.access import TensorAccessor, index_compiler
+
+    if isinstance(arch, str):
+        arch = ARCHITECTURES[arch]
+    kernel, bindings = _smoke_problem(figure, seed)
+
+    with index_compiler("auto"):
+        Simulator(arch).run(kernel, bindings,
+                            options=RunOptions(engine="vectorized"))
+        built = list(access._ACCESSOR_CACHE.values())
+        tensors = [a.tensor for a in built]
+        linear_accessors = sum(a.compiled_via == "linear" for a in built)
+
+    def compile_all(mode):
+        best = None
+        for _ in range(repeats):
+            with index_compiler(mode):
+                start = time.perf_counter()
+                for tensor in tensors:
+                    TensorAccessor(tensor)
+                elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    auto_s = compile_all("auto")
+    expression_s = compile_all("expression")
+    return {
+        "figure": figure,
+        "kernel": kernel.name,
+        "arch": arch.name,
+        "index_compile_auto_s": auto_s,
+        "index_compile_expression_s": expression_s,
+        "speedup": expression_s / auto_s,
+        "linear_accessors": linear_accessors,
+        "total_accessors": len(tensors),
+    }
+
+
+def _large_view_probes(repeats: int) -> List[dict]:
+    """Compile whole staging-buffer-sized views both ways.
+
+    The families' launch plans slice tensors into small per-thread
+    fragments, where the two index paths cost about the same; the F2
+    path's compile-time win appears on whole-tile views — the regime
+    block-level planning and the fuzzers' conformance sweeps hit.
+    """
+    from ..layout import Layout
+    from ..sim.access import TensorAccessor, index_compiler
+    from ..tensor.dtypes import FP16
+    from ..tensor.memspace import GL
+    from ..tensor.tensor import Tensor
+
+    probes = []
+    for rows, cols in ((32, 32), (64, 64), (128, 128)):
+        tensor = Tensor("probe", Layout((rows, cols), (cols, 1)), FP16, GL,
+                        buffer="probe")
+        times = {}
+        for mode in ("auto", "expression"):
+            best = None
+            for _ in range(repeats):
+                with index_compiler(mode):
+                    start = time.perf_counter()
+                    TensorAccessor(tensor)
+                    elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            times[mode] = best
+        probes.append({
+            "shape": [rows, cols],
+            "index_compile_auto_s": times["auto"],
+            "index_compile_expression_s": times["expression"],
+            "speedup": times["expression"] / times["auto"],
+        })
+    return probes
+
+
+def run_plan_compile_bench(
+    figures: Optional[List[str]] = None,
+    arch: str = "ampere",
+    outdir: str = "bench_artifacts",
+    seed: int = 0,
+    repeats: int = 3,
+) -> str:
+    """Cold-compile every smoke family both ways; write
+    ``BENCH_plan_compile.json``.
+
+    The artifact records, per family, the time to compile the family's
+    full accessor population with the F2 linear index path enabled
+    (``auto``) and disabled (``expression``), plus how many of the
+    accessors the linear path actually compiled.  Returns the artifact
+    path.
+    """
+    names = figures or sorted(smoke_families())
+    rows = [time_plan_compile(name, arch=arch, seed=seed, repeats=repeats)
+            for name in names]
+    speedups = [r["speedup"] for r in rows]
+    artifact = {
+        "benchmark": "plan_compile",
+        "modes": ["auto", "expression"],
+        "repeats": repeats,
+        "figures": rows,
+        "probes": _large_view_probes(repeats),
+        "summary": {
+            "min_speedup": min(speedups),
+            "geomean_speedup": float(np.exp(np.mean(np.log(speedups)))),
+            "linear_accessors": sum(r["linear_accessors"] for r in rows),
+            "total_accessors": sum(r["total_accessors"] for r in rows),
+        },
+    }
+    os.makedirs(outdir, exist_ok=True)
+    path = os.path.join(outdir, "BENCH_plan_compile.json")
+    with open(path, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+    return path
+
+
 def run_fig15_bench(arch: str = "ampere",
                     outdir: str = "bench_artifacts") -> str:
     """Evaluate figure 15 (end-to-end network speedups); write its artifact.
@@ -260,13 +390,16 @@ def run_bench_smoke(
     outdir: str = "bench_artifacts",
     seed: int = 0,
     sim_speed: bool = True,
+    plan_compile: bool = True,
 ) -> List[str]:
     """Run the smoke benchmarks and write one artifact file per family.
 
     Also times both execution engines over the selected families and
-    writes ``BENCH_sim_speed.json`` (``sim_speed=False`` skips it), and
-    evaluates the end-to-end figure-15 report into ``BENCH_fig15.json``
-    when no family filter is given.  Returns the artifact paths; raises
+    writes ``BENCH_sim_speed.json`` (``sim_speed=False`` skips it),
+    times cold plan compilation with the F2 linear index path on and
+    off into ``BENCH_plan_compile.json`` (``plan_compile=False``
+    skips it), and evaluates the end-to-end figure-15 report into
+    ``BENCH_fig15.json`` when no family filter is given.  Returns the artifact paths; raises
     ``RuntimeError`` if any family's measured-vs-modelled check failed
     (after writing all artifacts, so the failing numbers are on disk
     for inspection).
@@ -292,6 +425,9 @@ def run_bench_smoke(
     if sim_speed:
         paths.append(run_sim_speed_bench(figures=names, arch=arch,
                                          outdir=outdir, seed=seed))
+    if plan_compile:
+        paths.append(run_plan_compile_bench(figures=names, arch=arch,
+                                            outdir=outdir, seed=seed))
     if figures is None:
         paths.append(run_fig15_bench(arch=arch, outdir=outdir))
     if failures:
@@ -304,4 +440,5 @@ def run_bench_smoke(
 __all__ = [
     "smoke_families", "run_family", "run_bench_smoke",
     "time_engines", "run_sim_speed_bench", "run_fig15_bench",
+    "time_plan_compile", "run_plan_compile_bench",
 ]

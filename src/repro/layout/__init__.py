@@ -10,8 +10,18 @@ from .algebra import (
     divide_mode, logical_product, right_inverse, factor_offsets,
 )
 from .swizzle import Swizzle, SwizzledLayout, IDENTITY_SWIZZLE
+from .linear import (
+    LinearLayout, LinearLayoutError, to_linear, from_linear,
+    swizzle_to_linear, linearizable, canonical_key, canonical_layout_tag,
+    bank_group_matrix, prove_conflict_free, store_safe,
+    synthesize_bank_swizzle,
+)
 
 __all__ = [
+    "LinearLayout", "LinearLayoutError", "to_linear", "from_linear",
+    "swizzle_to_linear", "linearizable", "canonical_key",
+    "canonical_layout_tag", "bank_group_matrix", "prove_conflict_free",
+    "store_safe", "synthesize_bank_swizzle",
     "IntTuple", "flatten", "product", "congruent", "crd2idx", "idx2crd",
     "compact_col_major", "compact_row_major", "format_int_tuple",
     "Layout", "make_layout", "row_major", "col_major",

@@ -1,0 +1,529 @@
+"""Linear layouts: the F2 bit-matrix form of power-of-two layouts.
+
+A Graphene/CuTe layout whose leaf shapes are powers of two and whose
+strides are powers of two (or zero) maps coordinate *bits* to offset
+*bits* with no carries: writing the colexicographic linear index in
+binary, each input bit lands on exactly one offset bit, so integer
+addition of the per-mode contributions degenerates to XOR.  Such a
+layout — and any CuTe XOR :class:`~repro.layout.swizzle.Swizzle`
+post-composed onto it — is therefore a *linear map over F2* and can be
+represented as a bit matrix ("Linear Layouts", Zhou et al.; see
+PAPERS.md).  On that form, composition is matrix multiplication,
+inversion is Gaussian elimination, complements are basis extension,
+equivalence is literal equality of matrices, and whole index arrays
+evaluate by bit-twiddling lane vectors instead of walking coordinates.
+
+The matrix is stored column-wise: ``cols[i]`` is the integer bitmask of
+the image of input basis vector ``e_i`` (the offset of linear index
+``1 << i``).  Evaluation of index ``x`` XORs the columns selected by
+the set bits of ``x``.
+
+Not every layout is linear: a stride that is not a power of two makes
+distinct input bits collide on shared offset bits through carries
+(``Layout(4, 3)`` maps index 3 to 9, but XORing the images of bits 0
+and 1 gives ``3 ^ 6 = 5``).  :func:`to_linear` raises
+:class:`LinearLayoutError` for those; callers fall back to the general
+coordinate algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..pickling import PickleBySlots
+from . import inttuple as it
+from .layout import Layout
+from .swizzle import IDENTITY_SWIZZLE, Swizzle
+
+
+class LinearLayoutError(Exception):
+    """A layout/swizzle has no exact F2 linear representation."""
+
+
+def _is_pow2(value: int) -> bool:
+    return isinstance(value, int) and value > 0 and value & (value - 1) == 0
+
+
+class LinearLayout(PickleBySlots):
+    """An F2-linear map from ``in_bits`` index bits to offset bits.
+
+    Immutable; ``cols[i]`` is the offset of input ``1 << i``.
+    ``out_bits`` is the height of the matrix — the number of offset
+    bits the map may touch (columns must fit below it).
+    """
+
+    __slots__ = ("in_bits", "out_bits", "cols")
+
+    def __init__(self, in_bits: int, out_bits: int,
+                 cols: Sequence[int]):
+        cols = tuple(int(c) for c in cols)
+        if in_bits < 0 or len(cols) != in_bits:
+            raise ValueError(
+                f"need exactly {in_bits} columns, got {len(cols)}")
+        if any(c < 0 or c >> out_bits for c in cols):
+            raise ValueError(
+                f"columns {cols} do not fit in {out_bits} offset bits")
+        object.__setattr__(self, "in_bits", in_bits)
+        object.__setattr__(self, "out_bits", int(out_bits))
+        object.__setattr__(self, "cols", cols)
+
+    def __setattr__(self, *a):
+        raise AttributeError("LinearLayout is immutable")
+
+    # -- construction ---------------------------------------------------------
+    @staticmethod
+    def identity(bits: int) -> "LinearLayout":
+        return LinearLayout(bits, bits, [1 << i for i in range(bits)])
+
+    @staticmethod
+    def zero(in_bits: int, out_bits: int = 0) -> "LinearLayout":
+        return LinearLayout(in_bits, out_bits, [0] * in_bits)
+
+    # -- structure ------------------------------------------------------------
+    def size(self) -> int:
+        """Number of inputs (the domain is ``[0, size())``)."""
+        return 1 << self.in_bits
+
+    def cosize(self) -> int:
+        """One past the largest offset the map produces (max-XOR).
+
+        Greedy max-XOR needs a basis where each vector owns a distinct
+        *highest* set bit (the usual xor-basis), not the lowest-bit
+        pivots the inversion routines use.
+        """
+        basis: Dict[int, int] = {}
+        for col in self.cols:
+            cur = col
+            while cur:
+                high = cur.bit_length() - 1
+                owner = basis.get(high)
+                if owner is None:
+                    basis[high] = cur
+                    break
+                cur ^= owner
+        top = 0
+        for high in sorted(basis, reverse=True):
+            if top ^ basis[high] > top:
+                top ^= basis[high]
+        return top + 1
+
+    def rank(self) -> int:
+        """Rank of the matrix over F2."""
+        basis: List[int] = []
+        for col in self.cols:
+            col = _reduce(col, basis)
+            if col:
+                basis.append(col)
+        return len(basis)
+
+    def is_injective(self) -> bool:
+        return self.rank() == self.in_bits
+
+    def is_permutation(self) -> bool:
+        """True when the map is a bijection of ``[0, 2**in_bits)``."""
+        return (self.in_bits == self.out_bits
+                and self.rank() == self.in_bits)
+
+    # -- evaluation -----------------------------------------------------------
+    def __call__(self, index: int) -> int:
+        out = 0
+        for i, col in enumerate(self.cols):
+            if (index >> i) & 1:
+                out ^= col
+        return out
+
+    def apply_to_range(self, count: Optional[int] = None) -> np.ndarray:
+        """Offsets of indices ``0..count`` as one vectorized sweep.
+
+        This is the plan-compiler fast path: one XOR-accumulate per
+        *input bit* over the whole lane vector replaces a Python-level
+        coordinate walk per *element*.
+        """
+        n = self.size() if count is None else int(count)
+        idx = np.arange(n, dtype=np.int64)
+        out = np.zeros(n, dtype=np.int64)
+        for i, col in enumerate(self.cols):
+            if col and i < 63:
+                np.bitwise_xor(out, np.where(idx & (1 << i), col, 0), out)
+        return out
+
+    def offsets(self) -> Tuple[int, ...]:
+        return tuple(int(v) for v in self.apply_to_range())
+
+    # -- algebra --------------------------------------------------------------
+    def compose(self, other: "LinearLayout") -> "LinearLayout":
+        """``self after other``: the map ``x -> self(other(x))``."""
+        if other.out_bits > self.in_bits:
+            raise LinearLayoutError(
+                f"cannot compose: inner map produces {other.out_bits} "
+                f"bits, outer consumes {self.in_bits}")
+        return LinearLayout(other.in_bits, self.out_bits,
+                            [self(c) for c in other.cols])
+
+    def __matmul__(self, other: "LinearLayout") -> "LinearLayout":
+        return self.compose(other)
+
+    def concat(self, other: "LinearLayout") -> "LinearLayout":
+        """Direct sum on inputs: ``other``'s inputs above this map's.
+
+        Mirrors appending layout modes: the new input bits feed
+        ``other`` and XOR its image on top.
+        """
+        out_bits = max(self.out_bits, other.out_bits)
+        return LinearLayout(self.in_bits + other.in_bits, out_bits,
+                            self.cols + other.cols)
+
+    def inverse(self) -> "LinearLayout":
+        """The exact inverse of a square invertible map.
+
+        Raises :class:`LinearLayoutError` for singular or non-square
+        maps.  (A square injective map's left inverse is two-sided.)
+        """
+        if self.in_bits != self.out_bits:
+            raise LinearLayoutError(
+                f"only square maps invert ({self.in_bits} -> "
+                f"{self.out_bits} bits)")
+        return self.left_inverse()
+
+    def left_inverse(self) -> "LinearLayout":
+        """A map ``L`` with ``L.compose(self) == identity`` (injective
+        maps only): recovers the index from the offset.
+
+        Maintains a reduced-echelon basis of (column, input-tag) pairs
+        under the invariant ``self(tag) == column``; in reduced form
+        each pivot bit appears in exactly one basis column, so tag
+        lookup by pivot bit is a linear left inverse on the image.
+        """
+        if not self.is_injective():
+            raise LinearLayoutError(
+                "left inverse needs an injective map")
+        pivots: List[Tuple[int, int]] = []  # (reduced column, tag)
+        for i, col in enumerate(self.cols):
+            tag = 1 << i
+            for pcol, ptag in pivots:
+                if col & (pcol & -pcol):
+                    col ^= pcol
+                    tag ^= ptag
+            pb = col & -col  # col != 0: the map is injective
+            pivots = [
+                (pcol ^ col, ptag ^ tag) if pcol & pb else (pcol, ptag)
+                for pcol, ptag in pivots
+            ]
+            pivots.append((col, tag))
+        out_cols = [0] * self.out_bits
+        for pcol, ptag in pivots:
+            out_cols[(pcol & -pcol).bit_length() - 1] = ptag
+        return LinearLayout(self.out_bits, self.in_bits, out_cols)
+
+    def complement(self, total_bits: Optional[int] = None) -> "LinearLayout":
+        """A basis for offset bits the image misses (CuTe complement).
+
+        Returns a map ``C`` whose image is a subspace disjoint from
+        this map's image with ``image(self) (+) image(C)`` covering all
+        ``total_bits`` offset bits (defaults to ``out_bits``).  Columns
+        are chosen greedily from unit vectors in increasing order, so a
+        one-hot (ordinary layout) input yields the familiar sorted
+        missing-stride complement.
+        """
+        total = self.out_bits if total_bits is None else int(total_bits)
+        if total < self.out_bits:
+            raise LinearLayoutError(
+                f"complement space of {total} bits cannot contain a "
+                f"{self.out_bits}-bit image")
+        basis: List[int] = []
+        for col in self.cols:
+            col = _reduce(col, basis)
+            if col:
+                basis.append(col)
+        if len(basis) != self.in_bits:
+            raise LinearLayoutError(
+                "complement of a non-injective map is ill-defined")
+        extra: List[int] = []
+        for bit in range(total):
+            cand = _reduce(1 << bit, basis)
+            if cand:
+                basis.append(cand)
+                extra.append(1 << bit)
+        return LinearLayout(len(extra), total, extra)
+
+    # -- comparison / display -------------------------------------------------
+    def canonical(self) -> "LinearLayout":
+        """Strip unused high offset bits (the canonical spelling)."""
+        needed = 0
+        for c in self.cols:
+            needed = max(needed, c.bit_length())
+        return LinearLayout(self.in_bits, needed, self.cols)
+
+    def __eq__(self, other):
+        return (isinstance(other, LinearLayout)
+                and other.in_bits == self.in_bits
+                and other.cols == self.cols)
+
+    def __hash__(self):
+        return hash(("LinearLayout", self.in_bits, self.cols))
+
+    def __repr__(self):
+        cols = ",".join(format(c, "x") for c in self.cols)
+        return f"F2[{self.in_bits}->{self.out_bits}:{cols}]"
+
+
+def _reduce(vec: int, basis: List[int]) -> int:
+    """Reduce ``vec`` against a lowest-set-bit-pivot basis."""
+    for b in basis:
+        if vec & (b & -b):
+            vec ^= b
+    return vec
+
+
+# -- Layout/Swizzle conversion -------------------------------------------------
+
+def swizzle_to_linear(swizzle: Swizzle, bits: int) -> LinearLayout:
+    """A Swizzle as a square F2 permutation of ``bits`` offset bits."""
+    span = swizzle.base + swizzle.shift + swizzle.bits
+    bits = max(int(bits), span if not swizzle.is_identity() else 0)
+    return LinearLayout(bits, bits,
+                        [swizzle(1 << i) for i in range(bits)])
+
+
+def linearizable(layout: Layout, swizzle: Swizzle = IDENTITY_SWIZZLE) -> bool:
+    """True when ``to_linear`` will succeed for this view."""
+    try:
+        to_linear(layout, swizzle)
+        return True
+    except LinearLayoutError:
+        return False
+
+
+def to_linear(layout: Layout,
+              swizzle: Swizzle = IDENTITY_SWIZZLE) -> LinearLayout:
+    """The exact F2 matrix of ``swizzle o layout`` (colex indexing).
+
+    Requires every leaf shape to be a concrete power of two and every
+    stride a concrete power of two or zero; raises
+    :class:`LinearLayoutError` otherwise.  The returned map satisfies
+    ``lin(i) == swizzle(layout(i))`` for every linear index ``i``.
+    """
+    shape = layout.shape
+    stride = layout.stride
+    if shape == () or (it.is_tuple(shape) and not it.flatten(shape)):
+        base = LinearLayout.zero(0)
+    else:
+        cols: List[int] = []
+        for s, d in zip(it.flatten(shape), it.flatten(stride)):
+            if not isinstance(s, int) or not isinstance(d, int):
+                raise LinearLayoutError(
+                    f"symbolic layout {layout!r} is not F2-linear")
+            if not _is_pow2(s):
+                raise LinearLayoutError(
+                    f"shape leaf {s} of {layout!r} is not a power of two")
+            if d != 0 and not _is_pow2(d):
+                raise LinearLayoutError(
+                    f"stride leaf {d} of {layout!r} is not a power of "
+                    f"two; carries break linearity")
+            for j in range(s.bit_length() - 1):
+                cols.append(d << j)
+        live = [c for c in cols if c]
+        if len(set(live)) != len(live):
+            # Two input bits landing on one offset bit add with a
+            # carry (e.g. strides 32 and 128 under a shape-8 mode both
+            # reach bit 7): integer + and XOR then disagree.
+            raise LinearLayoutError(
+                f"{layout!r} reuses offset bits across modes; carries "
+                f"break linearity")
+        needed = max((c.bit_length() for c in cols), default=0)
+        base = LinearLayout(len(cols), needed, cols)
+    if swizzle.is_identity():
+        return base
+    sw = swizzle_to_linear(swizzle, base.out_bits)
+    return sw.compose(
+        LinearLayout(base.in_bits, sw.in_bits, base.cols))
+
+
+#: Swizzle families tried by :func:`from_linear`, cheapest first.
+_FROM_LINEAR_SWIZZLES = 4  # max bits searched
+
+
+def from_linear(lin: LinearLayout) -> Tuple[Layout, Swizzle]:
+    """Factor an F2 matrix back into ``(Layout, Swizzle)``.
+
+    A matrix is expressible as ``Swizzle o Layout`` exactly when some
+    CuTe-family swizzle ``S`` makes ``S o M`` *monomial* (every column
+    zero or one-hot) — then the monomial part factors into
+    (shape, stride) modes, and ``S`` (an involution) is the swizzle.
+    Raises :class:`LinearLayoutError` when no such factorization
+    exists within the searched family.
+    """
+    if _is_monomial(lin):
+        return _factor_monomial(lin), IDENTITY_SWIZZLE
+    out_bits = lin.out_bits
+    for bits in range(1, _FROM_LINEAR_SWIZZLES):
+        for base in range(out_bits):
+            for shift in range(bits, out_bits - base - bits + 1):
+                sw = Swizzle(bits, base, shift)
+                cand = swizzle_to_linear(sw, out_bits)
+                unswizzled = cand.compose(lin)  # S^-1 = S (involution)
+                if _is_monomial(unswizzled):
+                    return _factor_monomial(unswizzled), sw
+    raise LinearLayoutError(
+        f"{lin!r} does not factor as Swizzle o Layout within the "
+        f"CuTe swizzle family")
+
+
+def _is_monomial(lin: LinearLayout) -> bool:
+    return all(c == 0 or c & (c - 1) == 0 for c in lin.cols)
+
+
+def _factor_monomial(lin: LinearLayout) -> Layout:
+    """Group one-hot columns into (shape, stride) modes."""
+    if lin.in_bits == 0:
+        return Layout(1, 0)
+    shapes: List[int] = []
+    strides: List[int] = []
+    for col in lin.cols:
+        if shapes and col == strides[-1] * shapes[-1]:
+            shapes[-1] *= 2
+        else:
+            shapes.append(2)
+            strides.append(col)
+    if len(shapes) == 1:
+        return Layout(shapes[0], strides[0])
+    return Layout(tuple(shapes), tuple(strides))
+
+
+# -- canonical equivalence keys ------------------------------------------------
+
+def canonical_key(layout: Layout,
+                  swizzle: Swizzle = IDENTITY_SWIZZLE) -> tuple:
+    """A hashable key equal for equivalently-*acting* view spellings.
+
+    Two (layout, swizzle) pairs get the same key exactly when they
+    produce the same physical offset for every linear index — the
+    contract elementwise specs (Move/Init) actually depend on.  For
+    power-of-two views this is the F2 matrix itself, so nested/flat/
+    coalesced spellings and swizzles folded into the layout all
+    collapse; other views fall back to the coalesced spelling, which
+    is still sequence-preserving but only catches mergeable-mode
+    respellings.
+    """
+    try:
+        lin = to_linear(layout, swizzle).canonical()
+        return ("f2", lin.in_bits, lin.cols)
+    except LinearLayoutError:
+        merged = layout.coalesce()
+        return ("raw", merged.shape, merged.stride,
+                (swizzle.bits, swizzle.base, swizzle.shift))
+
+
+def canonical_layout_tag(layout: Layout,
+                         swizzle: Swizzle = IDENTITY_SWIZZLE) -> str:
+    """A short stable string form of :func:`canonical_key` (cache keys)."""
+    kind, *rest = canonical_key(layout, swizzle)
+    return f"{kind}:" + "/".join(str(r).replace(" ", "") for r in rest)
+
+
+# -- bank-conflict-free swizzle synthesis --------------------------------------
+
+#: Shared-memory geometry (Ampere): 32 banks x 4 bytes, 128-byte
+#: wavefronts, 16-byte ldmatrix row segments.
+SMEM_SEGMENT_BYTES = 16
+SMEM_WAVEFRONT_BYTES = 128
+LDMATRIX_ROWS = 8
+
+
+def bank_group_matrix(row_elems: int, swizzle: Swizzle,
+                      elem_bytes: int = 2) -> LinearLayout:
+    """The map from ldmatrix row-index bits to wavefront bank groups.
+
+    One ldmatrix wavefront reads the 8 16-byte rows of one 8x8 tile;
+    each row is a 16-byte-aligned segment covering the 4 consecutive
+    banks of its *group* — element-offset bits
+    ``[log2(16/elem_bytes), log2(128/elem_bytes))``.  The wavefront is
+    conflict-free iff the 8 rows land in 8 distinct groups.  Row ``r``
+    of a tile sits at element offset ``base + r * row_elems`` with the
+    variable bits disjoint from ``base``'s, so over F2 the group of
+    row ``r`` is ``const XOR (P o S o A) r``: this function returns
+    ``P o S o A`` (A embeds the 3 row bits at the row-stride position,
+    S is the swizzle, P projects the group field).
+    """
+    if not _is_pow2(row_elems):
+        raise LinearLayoutError(f"row length {row_elems} is not a power "
+                                f"of two")
+    seg_elems = SMEM_SEGMENT_BYTES // elem_bytes
+    wave_elems = SMEM_WAVEFRONT_BYTES // elem_bytes
+    glo = seg_elems.bit_length() - 1       # first group bit
+    ghi = wave_elems.bit_length() - 1      # one past last group bit
+    k = row_elems.bit_length() - 1
+    row_bits = LDMATRIX_ROWS.bit_length() - 1
+    addr_bits = max(k + row_bits, ghi,
+                    swizzle.base + swizzle.shift + swizzle.bits)
+    embed = LinearLayout(row_bits, addr_bits,
+                         [1 << (k + j) for j in range(row_bits)])
+    sw = swizzle_to_linear(swizzle, addr_bits)
+    project = LinearLayout(
+        addr_bits, ghi - glo,
+        [(1 << (b - glo)) if glo <= b < ghi else 0
+         for b in range(addr_bits)])
+    return project.compose(sw).compose(embed)
+
+
+def prove_conflict_free(row_elems: int, swizzle: Swizzle,
+                        elem_bytes: int = 2) -> bool:
+    """The rank certificate: ldmatrix wavefronts on swizzled rows of
+    ``row_elems`` elements are conflict-free *by construction* iff the
+    bank-group matrix has full rank (the 8 rows hit 8 distinct groups,
+    each group's 4 words in its own 4 banks)."""
+    mat = bank_group_matrix(row_elems, swizzle, elem_bytes)
+    return mat.rank() == mat.in_bits
+
+
+def store_safe(swizzle: Swizzle, elem_bytes: int = 2) -> bool:
+    """True when the swizzle cannot introduce conflicts on contiguous
+    stores: a contiguous 128-byte store wavefront varies exactly the
+    group-field bits, so any swizzle sourcing only bits at or above
+    the wavefront span XORs a per-wavefront constant into the group —
+    a bijection that preserves all-groups-distinct."""
+    if swizzle.is_identity():
+        return True
+    wave_elems = SMEM_WAVEFRONT_BYTES // elem_bytes
+    return swizzle.base + swizzle.shift >= wave_elems.bit_length() - 1
+
+
+def synthesize_bank_swizzle(row_elems: int,
+                            elem_bytes: int = 2) -> Optional[Swizzle]:
+    """Construct the provably conflict-free swizzle for fp16-style rows.
+
+    Solves for the cheapest CuTe-family swizzle whose bank-group
+    matrix has full rank (see :func:`prove_conflict_free`) while
+    leaving 16-byte segments intact (``base = log2(16/elem_bytes)``)
+    and staying conflict-free on contiguous stores
+    (:func:`store_safe`).  Returns ``None`` when rows are not a power
+    of two, or when the identity already has full rank (nothing to
+    permute): the caller keeps the unswizzled layout either way.
+    """
+    if not _is_pow2(row_elems):
+        return None
+    if prove_conflict_free(row_elems, IDENTITY_SWIZZLE, elem_bytes):
+        return None
+    seg_bits = (SMEM_SEGMENT_BYTES // elem_bytes).bit_length() - 1
+    k = row_elems.bit_length() - 1
+    if k < seg_bits + 1:
+        return None  # rows shorter than two segments: nothing to do
+    for bits in range(1, 4):
+        for shift in range(bits, k + 1):
+            if shift + bits > k:
+                continue  # source field past the 8-row tile's bits
+            sw = Swizzle(bits, seg_bits, shift)
+            if store_safe(sw, elem_bytes) and \
+                    prove_conflict_free(row_elems, sw, elem_bytes):
+                return sw
+    return None
+
+
+__all__ = [
+    "LinearLayout", "LinearLayoutError", "to_linear", "from_linear",
+    "swizzle_to_linear", "linearizable", "canonical_key",
+    "canonical_layout_tag", "bank_group_matrix", "prove_conflict_free",
+    "store_safe", "synthesize_bank_swizzle",
+]

@@ -1,6 +1,9 @@
 """The functional GPU simulator (hardware substitute; see DESIGN.md)."""
 
-from .access import TensorAccessor, accessor, compile_expr, tile_views
+from .access import (
+    TensorAccessor, accessor, clear_accessor_caches, compile_expr,
+    get_index_compiler, index_compiler, set_index_compiler, tile_views,
+)
 from .context import ExecCtx
 from .errors import SimulationError
 from .interp import RunResult, Simulator, bind_launch
@@ -15,7 +18,9 @@ from .sanitizer import (
 )
 
 __all__ = [
-    "TensorAccessor", "accessor", "compile_expr", "tile_views",
+    "TensorAccessor", "accessor", "clear_accessor_caches",
+    "compile_expr", "get_index_compiler", "index_compiler",
+    "set_index_compiler", "tile_views",
     "ExecCtx", "RunResult", "SimulationError", "Simulator", "bind_launch",
     "BankModel", "Machine",
     "ENGINES", "RunOptions", "resolve_run_options",

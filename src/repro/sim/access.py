@@ -4,16 +4,28 @@ A tensor view in the IR is a fixed object whose offset expression contains
 symbolic loop/thread variables.  For speed, each view is compiled once
 into closures: a base-offset evaluator, the constant per-element offsets
 of its (concrete) shape, and guard evaluators for predicated views.
+
+Power-of-two views take the *linear* (F2) compile path: the relative
+offset array is produced by XOR-accumulating whole lane vectors — one
+numpy operation per layout *bit* instead of one coordinate walk per
+*element* (see :mod:`repro.layout.linear`).  Views the F2 form cannot
+represent (non-power-of-two shapes, non-power-of-two strides, symbolic
+leaves) fall back to the per-element expression path; both paths
+produce bit-identical offset lists.  ``set_index_compiler`` /
+``index_compiler`` select the path globally, mainly so differential
+tests and the plan-compile benchmark can pin one side.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..ir.expr import Add, Const, FloorDiv, IntExpr, Mod, Mul, Sub, Var
 from ..layout import inttuple as it
+from ..layout.linear import LinearLayoutError, to_linear
 from ..tensor.tensor import Tensor, Tile
 
 
@@ -40,16 +52,62 @@ def compile_expr(expr: IntExpr) -> Callable[[dict], int]:
     raise TypeError(f"cannot compile expression {expr!r}")
 
 
+#: Index-compiler mode: "auto" tries the F2 linear path and falls back,
+#: "expression" always walks coordinates through the layout algebra.
+_INDEX_MODES = ("auto", "expression")
+_index_mode = "auto"
+
+#: The F2 path has fixed setup cost (bit-matrix construction plus a
+#: vectorized apply); below this view size the coordinate walk is
+#: cheaper, so "auto" keeps it.  Measured crossover: size 8.
+LINEAR_MIN_SIZE = 8
+
+
+def get_index_compiler() -> str:
+    return _index_mode
+
+
+def set_index_compiler(mode: str) -> None:
+    """Select the accessor compile path and drop compiled accessors."""
+    global _index_mode
+    if mode not in _INDEX_MODES:
+        raise ValueError(
+            f"unknown index compiler {mode!r}; choose from {_INDEX_MODES}")
+    _index_mode = mode
+    clear_accessor_caches()
+
+
+@contextmanager
+def index_compiler(mode: str):
+    """Temporarily pin the accessor compile path (tests/benchmarks)."""
+    previous = _index_mode
+    set_index_compiler(mode)
+    try:
+        yield
+    finally:
+        set_index_compiler(previous)
+
+
+def clear_accessor_caches() -> None:
+    """Forget all compiled accessors and tile views (cold-start state)."""
+    _ACCESSOR_CACHE.clear()
+    _CACHE_KEEPALIVE.clear()
+    _TILE_VIEWS.clear()
+
+
 class TensorAccessor:
     """Pre-compiled element enumeration for one tensor view.
 
     ``offsets(env)`` returns the physical (post-swizzle) element offsets
     of the view's elements in colexicographic coordinate order;
     ``mask(env)`` returns per-element validity under the view's guards.
+    ``compiled_via`` records which path built the offset table
+    (``"linear"`` or ``"expression"``).
     """
 
     __slots__ = (
         "tensor", "_base", "_rel", "_coords", "_guards", "size",
+        "compiled_via",
     )
 
     def __init__(self, tensor: Tensor):
@@ -65,31 +123,41 @@ class TensorAccessor:
         self.tensor = tensor
         self.size = size
         self._base = compile_expr(tensor.offset)
+        coords = None
+        rel = None
+        compiled_via = "expression"
         if shape == ():
-            coords = [()]
             rel = [0]
-        else:
+        elif _index_mode == "auto" and size >= LINEAR_MIN_SIZE:
+            try:
+                lin = to_linear(tensor.layout)
+            except LinearLayoutError:
+                lin = None
+            if lin is not None:
+                rel = lin.apply_to_range(size).tolist()
+                compiled_via = "linear"
+        if rel is None:
             coords = list(it.iter_coords(shape))
             rel = [tensor.layout(c) for c in coords]
             if any(not isinstance(r, int) for r in rel):
                 raise TypeError(
                     f"tensor {tensor!r} has symbolic strides; cannot simulate"
                 )
-        swizzle = tensor.swizzle
         self._rel = rel
         self._coords = coords
+        self.compiled_via = compiled_via
         guards: List[Tuple[Callable, Callable, List[int]]] = []
         if tensor.guards is not None:
-            dims = it.as_tuple(shape) if shape != () else ()
             for d, guard in enumerate(tensor.guards):
                 if guard is None:
                     continue
                 origin = compile_expr(guard.origin)
                 extent = compile_expr(guard.extent)
                 # Logical coordinate along dim d for each element.
-                dim_coords = [
-                    _dim_coord(c, d) for c in coords
-                ]
+                if coords is not None:
+                    dim_coords = [_dim_coord(c, d) for c in coords]
+                else:
+                    dim_coords = _dim_coords_vec(shape, size, d)
                 guards.append((origin, extent, dim_coords))
         self._guards = guards
 
@@ -131,6 +199,25 @@ def _dim_coord(coord, dim: int) -> int:
         # Hierarchical dims do not participate in ragged-guard logic.
         raise TypeError("guards on hierarchical dimensions are unsupported")
     return entry
+
+
+def _dim_coords_vec(shape, size: int, dim: int) -> List[int]:
+    """Vectorized :func:`_dim_coord` over all colex coordinates.
+
+    Mode ``dim``'s coordinate cycles with period ``prod(dims[:dim])``
+    (mode 0 fastest); matches the per-coordinate walk bit for bit,
+    including the TypeError contract for hierarchical guard dims.
+    """
+    dims = it.as_tuple(shape) if shape != () else ()
+    if dim >= len(dims):
+        return [0] * size
+    entry = dims[dim]
+    if it.is_tuple(entry):
+        raise TypeError("guards on hierarchical dimensions are unsupported")
+    pre = 1
+    for mode in dims[:dim]:
+        pre *= it.product(mode)
+    return ((np.arange(size) // pre) % entry).tolist()
 
 
 _ACCESSOR_CACHE: Dict[int, TensorAccessor] = {}

@@ -14,8 +14,9 @@ subsumes this module's per-access accounting.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
+from ..layout.linear import LinearLayoutError, bank_group_matrix
 from ..tensor.tensor import Tensor
 from .machine import SMEM_BANK_BYTES, SMEM_BANKS
 
@@ -35,6 +36,48 @@ def access_degree(lane_byte_offsets: Sequence[Sequence[int]]) -> int:
     return max((len(words) for words in banks.values()), default=1)
 
 
+def linear_ldmatrix_degree(smem: Tensor, row_tile: int = 0,
+                           col_tile: int = 0) -> Optional[int]:
+    """ldmatrix conflict degree by F2 rank, or None when inapplicable.
+
+    For a flat row-major fp16 staging buffer at offset 0, the address
+    of tile row ``r`` decomposes into bit-disjoint fields (tile base,
+    row index, in-row column), so integer addition is XOR and the
+    eight rows' bank groups form a coset of the bank-group matrix's
+    image: exactly ``2**rank`` distinct groups, each serialising its
+    ``2**(3-rank)`` aligned segments one word per bank.  The degree is
+    therefore ``2**(3 - rank)`` for *every* tile of the buffer —
+    no enumeration needed.  Preconditions the argument relies on
+    (power-of-two row length, zero base offset, in-range tile) return
+    None; callers fall back to offset enumeration.
+    """
+    layout = smem.layout
+    shape, stride = layout.shape, layout.stride
+    if (
+        smem.guards is not None
+        or not isinstance(shape, tuple) or len(shape) != 2
+        or not all(isinstance(s, int) for s in shape)
+        or stride != (shape[1], 1)
+        or smem.dtype.bytes != 2
+    ):
+        return None
+    rows, cols = shape
+    if rows < 8 or cols < 8 or cols & (cols - 1):
+        return None
+    if (row_tile + 1) * 8 > rows or (col_tile + 1) * 8 > cols:
+        return None
+    try:
+        if smem.offset.evaluate({}) != 0:
+            return None
+    except (KeyError, TypeError, AttributeError):
+        return None
+    try:
+        mat = bank_group_matrix(cols, smem.swizzle, smem.dtype.bytes)
+    except LinearLayoutError:
+        return None
+    return 1 << (3 - mat.rank())
+
+
 def ldmatrix_conflict_degree(smem: Tensor, row_tile: int = 0,
                              col_tile: int = 0) -> int:
     """Conflict degree of one ldmatrix 8x8 fp16 matrix load.
@@ -42,7 +85,20 @@ def ldmatrix_conflict_degree(smem: Tensor, row_tile: int = 0,
     The instruction reads eight 16-byte rows of the ``(row_tile,
     col_tile)`` 8x8 sub-tile of ``smem`` (which may be swizzled); the
     degree is 1 when all eight rows land in distinct bank groups.
+    Buffers the F2 model covers are scored by rank
+    (:func:`linear_ldmatrix_degree`); anything else enumerates
+    physical offsets (:func:`enumerated_ldmatrix_degree`).
     """
+    degree = linear_ldmatrix_degree(smem, row_tile, col_tile)
+    if degree is not None:
+        return degree
+    return enumerated_ldmatrix_degree(smem, row_tile, col_tile)
+
+
+def enumerated_ldmatrix_degree(smem: Tensor, row_tile: int = 0,
+                               col_tile: int = 0) -> int:
+    """:func:`ldmatrix_conflict_degree` by brute-force offset
+    enumeration — the reference the F2 fast path is checked against."""
     itemsize = smem.dtype.bytes
     lane_offsets: List[List[int]] = []
     for row in range(8):

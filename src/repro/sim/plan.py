@@ -34,7 +34,9 @@ flushed/reloaded around the call.
 from __future__ import annotations
 
 import hashlib
+import io
 import pickle
+import sys
 import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -45,9 +47,11 @@ from ..arch import fragments as frag
 from ..arch import ptx
 from ..ir.stmt import Barrier, Block, Comment, ForLoop, If, SpecStmt
 from ..layout import inttuple as it
+from ..layout.linear import LinearLayoutError, to_linear
 from ..specs.atomic import match_atomic
-from ..specs.base import Allocate
+from ..specs.base import Allocate, Init, Move
 from ..tensor.memspace import GL, RF, SH
+from ..tensor.tensor import Tensor, Tile
 from .access import accessor, compile_expr, tile_views
 from .context import ExecCtx
 from .errors import SimulationError
@@ -1034,20 +1038,78 @@ _FINGERPRINTS: Dict[int, Tuple[object, str]] = {}
 _FINGERPRINT_CACHE_ENTRIES = 256
 
 
+def _canonical_view(tensor):
+    """Replace an elementwise-spec operand view by its F2 canonical form.
+
+    A Move/Init executes its operand views purely through their colex
+    offset *sequences*: two spellings with the same physical offset map
+    (nested vs flat modes, coalesced runs, swizzles folded into the
+    layout) behave identically in every observable way — numerics,
+    profiler segments, sanitizer records.  For such views the layout/
+    swizzle spelling is erased into the F2 bit matrix so equivalent
+    spellings fingerprint (and therefore plan-cache and graph-cache)
+    identically.  Guarded, tiled, or non-power-of-two views are left
+    untouched: their semantics depend on more than the sequence.
+    """
+    if not isinstance(tensor, Tensor) or isinstance(tensor.element, Tile):
+        return tensor
+    guards = tensor.guards
+    if guards is not None and any(g is not None for g in guards):
+        return tensor
+    try:
+        lin = to_linear(tensor.layout, tensor.swizzle).canonical()
+    except LinearLayoutError:
+        return tensor
+    # Intern the strings like PickleBySlots.__getstate__ does: the
+    # token must memo-share its names with the rest of the dump, or
+    # the fingerprint would depend on which equal string object the
+    # process happened to intern first.
+    return ("__f2view__", sys.intern(tensor.name), tensor.element,
+            tensor.mem, sys.intern(tensor.buffer), tensor.offset,
+            lin.in_bits, lin.cols)
+
+
+class _CanonicalPickler(pickle.Pickler):
+    """Fingerprint pickler: canonicalizes elementwise operand spellings.
+
+    Move/Init operand views and Allocate declarations are erased to
+    their F2 form: a Move/Init is observable only through its offset
+    sequences, and an Allocate only through its buffer's extent
+    (the cosize, identical for F2-equal maps), memspace and dtype.
+    """
+
+    def reducer_override(self, obj):
+        if isinstance(obj, (Move, Init, Allocate)):
+            state = obj.__getstate__()
+            for key in ("inputs", "outputs"):
+                views = state.get(key)
+                if views:
+                    state[key] = tuple(_canonical_view(t) for t in views)
+            payload = (type(obj).__name__, tuple(
+                sorted(state.items(), key=lambda kv: kv[0])))
+            return (tuple, (payload,))
+        return NotImplemented
+
+
 def kernel_fingerprint(kernel) -> str:
     """Deterministic structural identity of a kernel.
 
-    The sha256 of the kernel's pickle serialization: two structurally
-    identical kernels (same specs, layouts, launch shape, symbols) get
-    the same fingerprint even when they are distinct objects, and the
-    fingerprint survives process boundaries — unlike ``id()``, it is a
-    valid persistent cache key.
+    The sha256 of the kernel's canonical pickle serialization: two
+    structurally identical kernels (same specs, layouts, launch shape,
+    symbols) get the same fingerprint even when they are distinct
+    objects, and the fingerprint survives process boundaries — unlike
+    ``id()``, it is a valid persistent cache key.  Elementwise-spec
+    operand views are canonicalized to their F2 form first (see
+    :func:`_canonical_view`), so kernels that differ only in how a
+    Move/Init view's layout is spelled share a fingerprint — and with
+    it a compiled plan and a captured graph.
     """
     cached = _FINGERPRINTS.get(id(kernel))
     if cached is not None and cached[0] is kernel:
         return cached[1]
-    digest = hashlib.sha256(
-        pickle.dumps(kernel, protocol=4)).hexdigest()
+    buffer = io.BytesIO()
+    _CanonicalPickler(buffer, protocol=4).dump(kernel)
+    digest = hashlib.sha256(buffer.getvalue()).hexdigest()
     if len(_FINGERPRINTS) >= _FINGERPRINT_CACHE_ENTRIES:
         _FINGERPRINTS.clear()
     _FINGERPRINTS[id(kernel)] = (kernel, digest)

@@ -41,9 +41,26 @@ class TuningCache:
     # -- keys ---------------------------------------------------------------
     @staticmethod
     def make_key(family: str, shape: Dict[str, int], dtype: str,
-                 arch: str) -> str:
+                 arch: str, layout=None, swizzle=None) -> str:
+        """The cache key for one tuning problem.
+
+        ``layout`` (a :class:`~repro.layout.layout.Layout`, optionally
+        with a ``swizzle``) describes a problem whose operand layout is
+        part of its identity — e.g. tuning against a pre-swizzled or
+        custom-strided input.  It is keyed by *canonical form*
+        (:func:`repro.layout.linear.canonical_layout_tag`), so two
+        callers spelling the same physical layout differently (nested
+        vs flat modes, coalesced runs, equivalent swizzles) share one
+        entry instead of re-tuning.
+        """
         dims = ",".join(f"{k}={shape[k]}" for k in sorted(shape))
-        return f"{family}|{dims}|dtype={dtype}|arch={arch}"
+        key = f"{family}|{dims}|dtype={dtype}|arch={arch}"
+        if layout is not None:
+            from ..layout.linear import canonical_layout_tag
+            from ..layout.swizzle import IDENTITY_SWIZZLE
+            tag = canonical_layout_tag(layout, swizzle or IDENTITY_SWIZZLE)
+            key += f"|layout={tag}"
+        return key
 
     # -- persistence --------------------------------------------------------
     def _empty(self) -> Dict:

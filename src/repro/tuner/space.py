@@ -24,6 +24,9 @@ from ..kernels.gemm_optimized import (
 from ..kernels.config import LayernormConfig
 from ..kernels.layernorm import build as build_layernorm_cfg
 from ..kernels.mlp import build_fused_mlp
+from ..layout.linear import (
+    LinearLayoutError, prove_conflict_free, synthesize_bank_swizzle,
+)
 from ..layout.swizzle import IDENTITY_SWIZZLE, Swizzle
 from ..library import funcs
 from ..specs.kernel import Kernel
@@ -136,16 +139,29 @@ class ConfigSpace:
 def swizzle_for_row(row_elems: int) -> Optional[Swizzle]:
     """Bank-spreading XOR swizzle for fp16 rows of ``row_elems`` values.
 
-    ldmatrix reads 16-byte (8-element) row chunks, so the permutation
-    leaves the low 3 offset bits alone (``base=3``) and XORs up to three
-    8-group index bits with the row index bits directly above the row
-    boundary — the CuTe ``Swizzle<bits, 3, shift>`` family.  Rows
-    shorter than two chunks have nothing to permute.
+    *Synthesized, not searched*: delegates to
+    :func:`repro.layout.linear.synthesize_bank_swizzle`, which solves
+    for the cheapest CuTe ``Swizzle<bits, 3, shift>`` whose bank-group
+    matrix has full rank over F2 — the certificate that every ldmatrix
+    wavefront touches all eight bank groups.  (The earlier closed-form
+    guess ``shift = log2(rows) - 3`` sourced its XOR field from *inside*
+    the 128-byte wavefront for 16/32-element rows, provably leaving
+    rank deficient — the simulator measured those "swizzled" layouts at
+    the same conflict count as naive row-major.)  Returns ``None`` when
+    rows are not a power of two or the identity layout is already
+    conflict-free.
     """
-    if row_elems < 16 or row_elems & (row_elems - 1):
-        return None
-    shift = row_elems.bit_length() - 1 - 3
-    return Swizzle(min(3, shift), 3, shift)
+    return synthesize_bank_swizzle(row_elems)
+
+
+def certified_conflict_free(row_elems: int) -> bool:
+    """True when the synthesized (or identity) swizzle for these rows
+    carries the full-rank no-bank-conflict certificate."""
+    try:
+        swizzle = synthesize_bank_swizzle(row_elems) or IDENTITY_SWIZZLE
+        return prove_conflict_free(row_elems, swizzle)
+    except LinearLayoutError:
+        return False
 
 
 def _random_fp16(rng, *shape):
@@ -185,7 +201,13 @@ class GemmSpace(ConfigSpace):
         warp_grids: Optional[Sequence[Tuple[int, int]]] = None,
         # Swizzled first: beam search judges a coarse group by its first
         # member, which must be the optimistic (conflict-free) variant.
-        swizzles: Sequence[bool] = (True, False),
+        # The default "auto" halves the space: when the F2 rank
+        # certificate proves the synthesized swizzle conflict-free for
+        # a tile's staging rows there is nothing to search — the
+        # unswizzled variant is dominated by construction — so only the
+        # swizzled candidate is enumerated; tiles without a certificate
+        # fall back to searching both.
+        swizzles: Sequence = ("auto",),
         stage_counts: Sequence[int] = (1, 2),
     ):
         self.block_tiles = tuple(block_tiles) if block_tiles else None
@@ -210,12 +232,30 @@ class GemmSpace(ConfigSpace):
                     if not self._ampere_valid(m, n, k, block_tile,
                                               warp_grid, stages, arch):
                         continue
-                    for swizzle in self.swizzles:
+                    for swizzle in self._swizzle_axis(block_tile):
                         yield Candidate(
                             self.family, block_tile=block_tile,
                             warp_grid=warp_grid, swizzle=swizzle,
                             stages=stages,
                         )
+
+    def _swizzle_axis(self, block_tile) -> Tuple[bool, ...]:
+        """The swizzle choices actually worth enumerating for a tile."""
+        axis: List[bool] = []
+        for choice in self.swizzles:
+            if choice == "auto":
+                _, bn, bk = block_tile
+                if certified_conflict_free(bk) and \
+                        certified_conflict_free(bn):
+                    expanded = (True,)
+                else:
+                    expanded = (True, False)
+            else:
+                expanded = (choice,)
+            for value in expanded:
+                if value not in axis:
+                    axis.append(value)
+        return tuple(axis)
 
     def _ampere_valid(self, m, n, k, block_tile, warp_grid, stages,
                       arch) -> bool:

@@ -55,19 +55,19 @@ __global__ void graphene_gemm_sm86(const half *__restrict__ A, const half *__res
     acc_1_3[3] = 0.0f;
     for (int kt = 0; kt < 1; kt += 1) {
         // stage A and B slices into shared memory
-        __pipeline_memcpy_async(&smem_a[((threadIdx.x / 4 * 32 + threadIdx.x % 4 * 8) ^ ((((threadIdx.x / 4 * 32 + threadIdx.x % 4 * 8) >> 5) & 3) << 3))], &A[threadIdx.x / 4 * 32 + threadIdx.x % 4 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
-        __pipeline_memcpy_async(&smem_a[(((128 + threadIdx.x) / 4 * 32 + threadIdx.x % 4 * 8) ^ (((((128 + threadIdx.x) / 4 * 32 + threadIdx.x % 4 * 8) >> 5) & 3) << 3))], &A[(128 + threadIdx.x) / 4 * 32 + threadIdx.x % 4 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+        __pipeline_memcpy_async(&smem_a[((threadIdx.x / 4 * 32 + threadIdx.x % 4 * 8) ^ ((((threadIdx.x / 4 * 32 + threadIdx.x % 4 * 8) >> 6) & 3) << 3))], &A[threadIdx.x / 4 * 32 + threadIdx.x % 4 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
+        __pipeline_memcpy_async(&smem_a[(((128 + threadIdx.x) / 4 * 32 + threadIdx.x % 4 * 8) ^ (((((128 + threadIdx.x) / 4 * 32 + threadIdx.x % 4 * 8) >> 6) & 3) << 3))], &A[(128 + threadIdx.x) / 4 * 32 + threadIdx.x % 4 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
         __pipeline_memcpy_async(&smem_b[((threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8) ^ ((((threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8) >> 6) & 7) << 3))], &B[threadIdx.x / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
         __pipeline_memcpy_async(&smem_b[(((128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8) ^ (((((128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8) >> 6) & 7) << 3))], &B[(128 + threadIdx.x) / 8 * 64 + threadIdx.x % 8 * 8], 16); // cp.async.cg.shared.global [fp16 x8]
         __syncthreads();
         {
-            unsigned __smem_addr0 = (unsigned)__cvta_generic_to_shared(&smem_a[(((threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 256 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 32) ^ (((((threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 256 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 32) >> 5) & 3) << 3))]);
+            unsigned __smem_addr0 = (unsigned)__cvta_generic_to_shared(&smem_a[(((threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 256 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 32) ^ (((((threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 256 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 32) >> 6) & 3) << 3))]);
             asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
                 : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
                 : "r"(__smem_addr0));
         }
         {
-            unsigned __smem_addr1 = (unsigned)__cvta_generic_to_shared(&smem_a[((((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 256 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 32) ^ ((((((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 256 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 32) >> 5) & 3) << 3))]);
+            unsigned __smem_addr1 = (unsigned)__cvta_generic_to_shared(&smem_a[((((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 256 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 32) ^ ((((((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 256 + threadIdx.x / 16 % 2 * 8 + threadIdx.x % 8 * 32) >> 6) & 3) << 3))]);
             asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
                 : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
                 : "r"(__smem_addr1));
@@ -121,13 +121,13 @@ __global__ void graphene_gemm_sm86(const half *__restrict__ A, const half *__res
             : "+f"(acc_1_3[0]), "+f"(acc_1_3[1]), "+f"(acc_1_3[2]), "+f"(acc_1_3[3])
             : "r"(((unsigned *)(a_frag_1))[0]), "r"(((unsigned *)(a_frag_1))[2]), "r"(((unsigned *)(a_frag_1))[1]), "r"(((unsigned *)(a_frag_1))[3]), "r"(((unsigned *)(b_frag_3))[0]), "r"(((unsigned *)(b_frag_3))[1]));
         {
-            unsigned __smem_addr6 = (unsigned)__cvta_generic_to_shared(&smem_a[(((threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 256 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 32) ^ (((((threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 256 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 32) >> 5) & 3) << 3))]);
+            unsigned __smem_addr6 = (unsigned)__cvta_generic_to_shared(&smem_a[(((threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 256 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 32) ^ (((((threadIdx.x / 32 % 4 % 2 * 4 + threadIdx.x / 8 % 2) * 256 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 32) >> 6) & 3) << 3))]);
             asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
                 : "=r"(((unsigned *)(a_frag_0))[0]), "=r"(((unsigned *)(a_frag_0))[2]), "=r"(((unsigned *)(a_frag_0))[1]), "=r"(((unsigned *)(a_frag_0))[3])
                 : "r"(__smem_addr6));
         }
         {
-            unsigned __smem_addr7 = (unsigned)__cvta_generic_to_shared(&smem_a[((((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 256 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 32) ^ ((((((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 256 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 32) >> 5) & 3) << 3))]);
+            unsigned __smem_addr7 = (unsigned)__cvta_generic_to_shared(&smem_a[((((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 256 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 32) ^ ((((((threadIdx.x / 32 % 4 % 2 * 2 + 1) * 2 + threadIdx.x / 8 % 2) * 256 + (2 + threadIdx.x / 16 % 2) * 8 + threadIdx.x % 8 * 32) >> 6) & 3) << 3))]);
             asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 {%0, %1, %2, %3}, [%4];\n"
                 : "=r"(((unsigned *)(a_frag_1))[0]), "=r"(((unsigned *)(a_frag_1))[2]), "=r"(((unsigned *)(a_frag_1))[1]), "=r"(((unsigned *)(a_frag_1))[3])
                 : "r"(__smem_addr7));

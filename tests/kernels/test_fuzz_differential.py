@@ -19,6 +19,7 @@ import pytest
 from repro.arch import AMPERE
 from repro.codegen import CudaGenerator
 from repro.codegen.emulator import emulate
+from repro.conformance import default_cases
 from repro.kernels.fmha import build_fused_fmha
 from repro.kernels.gemm_optimized import build_ampere_tc_gemm
 from repro.kernels.lstm import build_fused_lstm_cell
@@ -27,7 +28,7 @@ from repro.kernels import (
     LayernormConfig, NaiveGemmConfig, SoftmaxConfig, build,
 )
 from repro.library import funcs
-from repro.sim import Simulator
+from repro.sim import RunOptions, Simulator, index_compiler
 
 
 def _fp16(np_rng, *shape, scale=1.0):
@@ -175,3 +176,108 @@ def test_fuzz_sweep(family, shapes, rng):
     for _ in range(6):
         np_rng = np.random.default_rng(rng.randrange(2 ** 31))
         _check(FAMILIES[family], shapes, np_rng)
+
+
+# -- linear (F2) vs expression index-compiler differential ----------------
+#
+# The simulator compiles each tensor view's offset table either by
+# XOR-accumulating bit-matrix lane vectors (the F2 path, power-of-two
+# views only) or by walking coordinates through the layout algebra.
+# The two paths must be observationally indistinguishable: same output
+# bits, same profiler counters, same sanitizer verdicts.  Non-pow2
+# views must fall back silently rather than fail.
+
+_CASES = {c.name: c for c in default_cases(seed=0)}
+#: Tier-1 runs a representative subset; -m slow sweeps the corpus.
+_LINEAR_FAST = ["gemm_ampere_swizzled", "softmax", "fmha"]
+
+
+def _profile_signature(profile):
+    return (
+        sorted((label, {s: getattr(c, s) for s in c.__slots__})
+               for label, c in profile.specs.items()),
+        profile.barriers,
+        profile.events,
+    )
+
+
+def _observe(case, mode):
+    arrays = {k: np.array(v, copy=True) for k, v in case.arrays.items()}
+    with index_compiler(mode):
+        run = Simulator(case.arch).run(
+            case.kernel, arrays, symbols=case.symbols,
+            options=RunOptions(engine="vectorized", sanitize="report",
+                               profile=True))
+    return arrays, run
+
+
+def _linear_differential(name):
+    case = _CASES[name]
+    expr_arrays, expr_run = _observe(case, "expression")
+    auto_arrays, auto_run = _observe(case, "auto")
+    for key in expr_arrays:
+        np.testing.assert_array_equal(
+            expr_arrays[key].view(np.uint8), auto_arrays[key].view(np.uint8),
+            err_msg=f"index-compiler paths disagree on {key!r} in {name}")
+    assert _profile_signature(expr_run.profile) == \
+        _profile_signature(auto_run.profile), \
+        f"profiler counters differ between index-compiler paths in {name}"
+    assert len(expr_run.sanitizer.reports) == \
+        len(auto_run.sanitizer.reports), \
+        f"sanitizer verdicts differ between index-compiler paths in {name}"
+
+
+@pytest.mark.parametrize("name", _LINEAR_FAST)
+def test_linear_path_differential_fast(name):
+    """F2 vs expression paths bit-identical on key conformance cases."""
+    _linear_differential(name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name", [n for n in sorted(_CASES) if n not in _LINEAR_FAST])
+def test_linear_path_differential_corpus(name):
+    """The rest of the conformance corpus (run with -m slow)."""
+    _linear_differential(name)
+
+
+def test_linear_path_taken_and_fallback():
+    """Pow2 views compile via the F2 path; non-pow2 views fall back."""
+    from repro.layout import Layout
+    from repro.sim.access import TensorAccessor
+    from repro.tensor.dtypes import FP16
+    from repro.tensor.memspace import GL
+    from repro.tensor.tensor import Tensor
+
+    pow2 = Tensor("a", Layout((16, 32), (32, 1)), FP16, GL)
+    ragged = Tensor("b", Layout((6, 10), (10, 1)), FP16, GL)
+    with index_compiler("auto"):
+        assert TensorAccessor(pow2).compiled_via == "linear"
+        assert TensorAccessor(ragged).compiled_via == "expression"
+        # Both enumerate the same physical offsets as the raw layout.
+        for t in (pow2, ragged):
+            acc = TensorAccessor(t)
+            assert acc.offsets({}) == list(t.layout.offsets())
+    with index_compiler("expression"):
+        assert TensorAccessor(pow2).compiled_via == "expression"
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_linear_path_differential_fuzz(family, shapes, rng):
+    """One random valid shape per family, simulated under both
+    index-compiler paths; outputs must be bit-identical even when some
+    drawn dimensions are non-pow2 (those views fall back per-view)."""
+    import random
+    shape_seed = rng.randrange(2 ** 31)
+    data_seed = rng.randrange(2 ** 31)
+    sampler = type(shapes)
+    with index_compiler("expression"):
+        got_expr, _, _ = FAMILIES[family](
+            sampler(random.Random(shape_seed)),
+            np.random.default_rng(data_seed))
+    with index_compiler("auto"):
+        got_auto, _, _ = FAMILIES[family](
+            sampler(random.Random(shape_seed)),
+            np.random.default_rng(data_seed))
+    np.testing.assert_array_equal(got_expr.view(np.uint8),
+                                  got_auto.view(np.uint8))

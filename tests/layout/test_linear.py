@@ -1,0 +1,273 @@
+"""Property gauntlet for the F2 linear-layout engine.
+
+Random power-of-two layouts and swizzles are drawn from the shared
+``rng`` fixture (tests/conftest.py prints the replay seed) and checked
+pointwise against the ordinary layout algebra: ``to_linear`` must agree
+with the coordinate walk on every element or refuse, the GF(2) matrix
+identities (inverse, left-inverse, complement, composition) must hold
+exactly, and ``from_linear`` must round-trip.  These are the CuTe
+layout laws of paper Section 3 restated over bit matrices.
+"""
+
+import pytest
+
+from repro.layout import Layout
+from repro.layout import inttuple as it
+from repro.layout.linear import (
+    LinearLayout, LinearLayoutError, canonical_key, from_linear,
+    linearizable, swizzle_to_linear, to_linear,
+)
+from repro.layout.swizzle import IDENTITY_SWIZZLE, Swizzle
+
+TRIALS = 40
+
+
+def pow2_compact(rng, max_rank=4, max_total_bits=8):
+    """A random permuted-compact power-of-two layout (a bijection)."""
+    rank = rng.randint(1, max_rank)
+    bits = [rng.randint(0, 3) for _ in range(rank)]
+    while sum(bits) > max_total_bits:
+        bits[rng.randrange(rank)] = 0
+    shape = tuple(1 << b for b in bits)
+    order = list(range(rank))
+    rng.shuffle(order)
+    stride = [0] * rank
+    acc = 1
+    for mode in order:
+        stride[mode] = acc
+        acc *= shape[mode]
+    return Layout(shape, tuple(stride))
+
+
+def pow2_strided(rng, max_rank=3, max_dim_bits=3, max_stride_bits=5):
+    """A random power-of-two layout; offset bits may collide (in which
+    case ``to_linear`` must refuse rather than mis-model carries)."""
+    rank = rng.randint(1, max_rank)
+    shape = tuple(1 << rng.randint(0, max_dim_bits) for _ in range(rank))
+    stride = tuple(
+        0 if rng.random() < 0.15 else 1 << rng.randint(0, max_stride_bits)
+        for _ in range(rank)
+    )
+    return Layout(shape, stride)
+
+
+def random_swizzle(rng, max_addr_bits=10):
+    bits = rng.randint(1, 3)
+    base = rng.randint(0, 4)
+    shift = rng.randint(bits, max_addr_bits - base - bits)
+    return Swizzle(bits, base, shift)
+
+
+def random_matrix(rng, in_bits=None, out_bits=None):
+    in_bits = rng.randint(0, 6) if in_bits is None else in_bits
+    out_bits = rng.randint(in_bits, in_bits + 3) if out_bits is None \
+        else out_bits
+    cols = [rng.randrange(1 << out_bits) for _ in range(in_bits)]
+    return LinearLayout(in_bits, out_bits, cols)
+
+
+def random_invertible(rng, bits=None):
+    """A random invertible square bit matrix (rejection-sampled)."""
+    bits = rng.randint(1, 6) if bits is None else bits
+    while True:
+        mat = random_matrix(rng, bits, bits)
+        if mat.is_permutation():
+            return mat
+
+
+class TestToLinearPointwise:
+    def test_matches_layout_on_every_element(self, rng):
+        for _ in range(TRIALS):
+            layout = pow2_compact(rng)
+            lin = to_linear(layout)
+            offsets = [layout(c) for c in it.iter_coords(layout.shape)]
+            assert lin.offsets() == tuple(offsets)
+            assert lin.apply_to_range().tolist() == offsets
+
+    def test_matches_swizzled_layout_or_refuses(self, rng):
+        agreed = refused = 0
+        for _ in range(TRIALS * 3):
+            layout = pow2_strided(rng)
+            swizzle = random_swizzle(rng)
+            try:
+                lin = to_linear(layout, swizzle)
+            except LinearLayoutError:
+                refused += 1
+                assert not linearizable(layout, swizzle)
+                continue
+            agreed += 1
+            assert linearizable(layout, swizzle)
+            expected = [swizzle(layout(c))
+                        for c in it.iter_coords(layout.shape)]
+            assert lin.offsets() == tuple(expected)
+        # The sampler must exercise both verdicts for the test to
+        # mean anything.
+        assert agreed and refused
+
+    def test_carry_layouts_are_rejected(self):
+        # Strides 32 and 128 under shape-8 modes both produce offset
+        # bit 7: integer addition carries where XOR cancels, so the
+        # F2 form must refuse (the original motivating counterexample).
+        layout = Layout((8, 4, 8, 4), (0, 128, 32, 64))
+        assert not linearizable(layout)
+        with pytest.raises(LinearLayoutError, match="carries"):
+            to_linear(layout)
+
+    def test_non_pow2_is_rejected(self):
+        for layout in (Layout((3,), (1,)), Layout((4, 6), (6, 1)),
+                       Layout((8,), (3,))):
+            assert not linearizable(layout)
+            with pytest.raises(LinearLayoutError):
+                to_linear(layout)
+
+
+class TestMatrixAlgebra:
+    def test_compose_with_inverse_is_identity(self, rng):
+        for _ in range(TRIALS):
+            mat = random_invertible(rng)
+            ident = LinearLayout.identity(mat.in_bits)
+            assert mat.compose(mat.inverse()) == ident
+            assert mat.inverse().compose(mat) == ident
+
+    def test_left_inverse_recovers_inputs(self, rng):
+        for _ in range(TRIALS):
+            mat = random_matrix(rng)
+            if not mat.is_injective():
+                continue
+            left = mat.left_inverse()
+            for i in range(mat.size()):
+                assert left(mat(i)) == i
+
+    def test_compose_is_pointwise_composition(self, rng):
+        for _ in range(TRIALS):
+            inner = random_matrix(rng)
+            outer = random_matrix(rng, inner.out_bits)
+            both = outer.compose(inner)
+            for i in range(inner.size()):
+                assert both(i) == outer(inner(i))
+
+    def test_apply_to_range_matches_call(self, rng):
+        for _ in range(TRIALS):
+            mat = random_matrix(rng)
+            assert mat.apply_to_range().tolist() == \
+                [mat(i) for i in range(mat.size())]
+
+    def test_rank_injectivity_and_cosize_agree(self, rng):
+        for _ in range(TRIALS):
+            mat = random_matrix(rng)
+            image = {mat(i) for i in range(mat.size())}
+            assert len(image) == 1 << mat.rank()
+            assert mat.is_injective() == (len(image) == mat.size())
+            assert mat.cosize() == max(image) + 1
+
+
+class TestComplement:
+    def test_disjoint_and_complete(self, rng):
+        for _ in range(TRIALS):
+            mat = random_matrix(rng)
+            if not mat.is_injective():
+                continue
+            total = mat.out_bits + rng.randint(0, 2)
+            comp = mat.complement(total)
+            # CuTe complement laws: images intersect only at 0 and
+            # their direct sum enumerates every offset exactly once.
+            image = {mat(i) for i in range(mat.size())}
+            comp_image = {comp(i) for i in range(comp.size())}
+            assert image & comp_image == {0}
+            combined = mat.concat(comp)
+            assert combined.in_bits == total
+            assert combined.is_permutation()
+            assert sorted(combined.offsets()) == list(range(1 << total))
+
+    def test_complement_of_layout_matches_missing_strides(self):
+        # [(4,8):(8,64)] misses strides {1,2,4,32}: the complement of
+        # its F2 form is exactly the layout of those missing strides.
+        lin = to_linear(Layout((4, 8), (8, 64)))
+        comp = lin.complement(9)
+        assert comp.offsets() == tuple(
+            sum(b * s for b, s in zip((i & 1, i >> 1 & 1, i >> 2 & 1),
+                                      (1, 2, 4)) ) + (i >> 3) * 32
+            for i in range(16))
+
+    def test_non_injective_complement_raises(self):
+        mat = LinearLayout(2, 3, [1, 1])
+        with pytest.raises(LinearLayoutError):
+            mat.complement()
+
+
+class TestSwizzleBridge:
+    def test_swizzle_matrix_matches_pointwise(self, rng):
+        for _ in range(TRIALS):
+            sw = random_swizzle(rng)
+            lin = swizzle_to_linear(sw, 10)
+            for i in range(1 << 10):
+                assert lin(i) == sw(i)
+
+    def test_swizzle_matrix_is_involution(self, rng):
+        for _ in range(TRIALS):
+            sw = random_swizzle(rng)
+            lin = swizzle_to_linear(sw, 10)
+            assert lin.compose(lin) == LinearLayout.identity(10)
+
+
+class TestFromLinear:
+    def test_round_trips_compact_layouts(self, rng):
+        for _ in range(TRIALS):
+            layout = pow2_compact(rng)
+            lin = to_linear(layout)
+            back_layout, back_sw = from_linear(lin)
+            assert to_linear(back_layout, back_sw) == lin
+
+    def test_round_trips_swizzled_layouts(self, rng):
+        done = 0
+        for _ in range(TRIALS * 2):
+            layout = pow2_compact(rng, max_rank=2, max_total_bits=8)
+            sw = Swizzle(rng.randint(1, 2), rng.randint(0, 3),
+                         rng.randint(2, 4))
+            try:
+                lin = to_linear(layout, sw)
+            except LinearLayoutError:
+                continue
+            back_layout, back_sw = from_linear(lin)
+            assert to_linear(back_layout, back_sw) == lin
+            done += 1
+        assert done > TRIALS // 2
+
+
+class TestCanonicalKey:
+    def test_equivalent_spellings_share_a_key(self):
+        # Flat, nested, and coalesced spellings of row-major 8x4.
+        spellings = [
+            Layout((8, 4), (4, 1)),
+            Layout(((2, 4), 4), ((4, 8), 1)),
+            Layout((8, 2, 2), (4, 1, 2)),
+        ]
+        keys = {canonical_key(s) for s in spellings}
+        assert len(keys) == 1
+
+    def test_different_maps_get_different_keys(self, rng):
+        for _ in range(TRIALS):
+            a, b = pow2_compact(rng), pow2_compact(rng)
+            la, lb = to_linear(a), to_linear(b)
+            if la == lb:
+                assert canonical_key(a) == canonical_key(b)
+            else:
+                assert canonical_key(a) != canonical_key(b)
+
+    def test_biting_swizzle_changes_the_key(self):
+        layout = Layout((8, 8), (8, 1))   # 64 elements: bits 0..5
+        nosw = canonical_key(layout)
+        # Sw<1,3,2> sources bit 5 — present in a 6-bit domain: bites.
+        assert canonical_key(layout, Swizzle(1, 3, 2)) != nosw
+        # Sw<1,3,3> sources bit 6 — always zero here: a no-op, so the
+        # canonical form correctly collapses it onto the plain key.
+        assert canonical_key(layout, Swizzle(1, 3, 3)) == nosw
+        # On a 128-element domain bit 6 exists and the same swizzle
+        # bites.
+        wide = Layout((16, 8), (8, 1))
+        assert canonical_key(wide, Swizzle(1, 3, 3)) != canonical_key(wide)
+
+    def test_non_pow2_layouts_fall_back_but_still_key(self):
+        key = canonical_key(Layout((3, 5), (5, 1)))
+        assert key[0] == "raw"
+        assert key == canonical_key(Layout((3, 5), (5, 1)))

@@ -5,7 +5,8 @@ import threading
 import numpy as np
 import pytest
 
-from repro.serve import KernelServer, serve_catalog, zipf_schedule
+from repro.serve import KernelServer, ServeFamily, serve_catalog, \
+    zipf_schedule
 from repro.sim import RunOptions, Simulator
 
 pytestmark = pytest.mark.serve
@@ -102,6 +103,47 @@ def test_unknown_family_and_bad_bindings(catalog):
         with pytest.raises(Exception):
             future.result(timeout=60)
     assert server.metrics.requests_failed >= 1
+
+
+def test_respelled_families_share_one_graph_entry():
+    """Two families whose kernels spell the same layout differently
+    (flat vs nested modes — identical offset sequences) dedupe onto a
+    single graph-cache entry: one capture, then warm hits, and both
+    families' requests replay correctly."""
+    from repro.arch import AMPERE
+    from tests.serve.test_dedupe import FLAT, NESTED, PERMUTED, build_copy
+
+    def family(name, spelling):
+        kern = build_copy(spelling, name="respell")
+        x = np.zeros((4, 8), dtype=np.float16)
+        return ServeFamily(name, kern, AMPERE, {}, ("Y",),
+                           {"X": x, "Y": x})
+
+    fams = [family("copy_flat", FLAT), family("copy_nested", NESTED)]
+    rng = np.random.default_rng(3)
+    with KernelServer(fams, max_workers=2) as server:
+        for _ in range(2):
+            for fam in fams:
+                bindings = fam.make_bindings(rng)
+                x = bindings["X"].copy()
+                result = server.request(fam.name, bindings, timeout=60)
+                np.testing.assert_array_equal(
+                    result.outputs["Y"].reshape(4, 8), x)
+    snap = server.graph_cache.snapshot()
+    assert snap["entries"] == 1
+    assert snap["misses"] == 1
+    assert snap["hits"] == 3
+    assert server.metrics.requests_failed == 0
+
+    # A genuinely different offset sequence still gets its own entry.
+    fams.append(family("copy_permuted", PERMUTED))
+    with KernelServer(fams, max_workers=2) as server:
+        for fam in fams:
+            server.request(fam.name, fam.make_bindings(rng), timeout=60)
+    snap = server.graph_cache.snapshot()
+    assert snap["entries"] == 2
+    assert snap["misses"] == 2
+    assert snap["hits"] == 1
 
 
 def test_submit_after_close_raises(catalog):

@@ -82,6 +82,46 @@ class TestKeySensitivity:
         assert self._key() != self._key(family="mlp")
 
 
+class TestLayoutTaggedKeys:
+    """Layout-aware keys canonicalize through the F2 engine: spelling
+    the same physical layout differently must not fragment the cache."""
+
+    def _key(self, layout=None, swizzle=None):
+        return TuningCache.make_key(
+            "gemm", {"m": 256, "n": 256, "k": 128}, "fp16", "ampere",
+            layout=layout, swizzle=swizzle)
+
+    def test_no_layout_keeps_plain_key(self):
+        assert "|layout=" not in self._key()
+
+    def test_equivalent_spellings_share_a_key(self):
+        from repro.layout import Layout
+        flat = self._key(Layout((8, 4), (4, 1)))
+        nested = self._key(Layout(((2, 4), 4), ((4, 8), 1)))
+        assert "|layout=" in flat
+        assert flat == nested
+
+    def test_permuted_spelling_changes_key(self):
+        from repro.layout import Layout
+        assert self._key(Layout((8, 4), (4, 1))) != \
+            self._key(Layout((8, 4), (1, 8)))
+
+    def test_biting_swizzle_changes_key(self):
+        from repro.layout import Layout
+        from repro.layout.swizzle import Swizzle
+        layout = Layout((8, 8), (8, 1))
+        assert self._key(layout, Swizzle(1, 3, 2)) != self._key(layout)
+        # A swizzle sourcing bits beyond the 64-element domain is a
+        # no-op and must collapse onto the plain-layout key.
+        assert self._key(layout, Swizzle(1, 3, 3)) == self._key(layout)
+
+    def test_non_pow2_layout_still_keys_stably(self):
+        from repro.layout import Layout
+        odd = Layout((3, 5), (5, 1))
+        assert self._key(odd) == self._key(odd)
+        assert "|layout=raw" in self._key(odd)
+
+
 class TestCorruptionRecovery:
     def test_garbage_file_degrades_to_empty(self, tmp_path):
         path = tmp_path / "cache.json"
