@@ -12,12 +12,20 @@ A reproduction of Hagedorn et al., ASPLOS 2023.  The public API:
 * :mod:`repro.arch` — SM70/SM86 atomic-spec tables;
 * :mod:`repro.perfmodel` — the analytical performance model;
 * :mod:`repro.kernels` — the paper's evaluation kernels;
+* :mod:`repro.graph` — the whole-network fusion compiler;
 * :mod:`repro.eval` — figure-by-figure evaluation harness.
+
+The stable v1 graph API is three calls::
+
+    net = repro.network("BERT-base")        # op graph for a named network
+    net.lower("ampere", tune=True)          # partition, fuse, autotune
+    run = net.run()                         # execute + verify vs numpy
 """
 
 from .arch import AMPERE, ARCHITECTURES, VOLTA, Architecture
 from .codegen import CudaGenerator, KernelSource
 from .frontend.builder import KernelBuilder
+from .graph import Network, network
 from .layout import Layout, Swizzle, col_major, row_major
 from .sim import (
     KernelProfile, Machine, RunResult, SimulationError, Simulator,
@@ -31,7 +39,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AMPERE", "ARCHITECTURES", "VOLTA", "Architecture",
     "CudaGenerator", "KernelSource", "KernelBuilder",
-    "Layout", "Swizzle", "col_major", "row_major",
+    "Layout", "Network", "network", "Swizzle", "col_major", "row_major",
     "KernelProfile", "Machine", "RunResult", "SimulationError",
     "Simulator", "Kernel",
     "FP16", "FP32", "GL", "INT32", "RF", "SH", "Tensor", "tensor",

@@ -1,109 +1,133 @@
 """Regenerate the paper's evaluation from the command line.
 
-Usage::
+One subcommand per evaluation mode, sharing ``--out-dir``/``--arch``/
+``--seed``::
 
-    python -m repro.eval                    # all figures
-    python -m repro.eval fig11 fig14
-    python -m repro.eval profile            # perfmodel calibration report
-    python -m repro.eval bench-smoke        # profiled smoke benchmarks
-    python -m repro.eval bench-smoke fig09 --outdir bench_artifacts
-    python -m repro.eval conformance        # emulated CUDA vs sim vs numpy
-    python -m repro.eval conformance --self-check   # + mutation sweep
-    python -m repro.eval serve-bench        # captured-graph serving benchmark
-    python -m repro.eval serve-bench --requests 200 --outdir bench_artifacts
+    python -m repro.eval figures                # all figures
+    python -m repro.eval figures fig11 fig15
+    python -m repro.eval profile                # perfmodel calibration
+    python -m repro.eval conformance --self-check
+    python -m repro.eval bench-smoke --out-dir bench_artifacts
+    python -m repro.eval serve-bench --requests 200
+    python -m repro.eval graph-bench            # executed network bench
+
+``python -m repro.eval <command> --help`` documents each subcommand.
+The pre-subcommand spellings (bare figure names, ``--outdir``) keep
+working with a deprecation note.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
-from .figures import ALL_FIGURES
+
+def _common_parser(out_dir: bool = False) -> argparse.ArgumentParser:
+    """The options every subcommand shares."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--arch", default="ampere",
+                        help="target architecture (default: ampere)")
+    common.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for generated problem data")
+    if out_dir:
+        common.add_argument(
+            "--out-dir", "--outdir", dest="out_dir",
+            default="bench_artifacts", metavar="DIR",
+            help="artifact output directory (default: bench_artifacts)",
+        )
+    return common
 
 
-def _main_profile(argv) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="command")
+    plain, with_out = _common_parser(), _common_parser(out_dir=True)
+
+    p = sub.add_parser("figures", parents=[plain],
+                       help="print evaluation figure tables")
+    p.add_argument("names", nargs="*", metavar="figure",
+                   help="figure names (default: all)")
+
+    sub.add_parser("profile", parents=[plain],
+                   help="perfmodel calibration report (measured vs modelled)")
+
+    p = sub.add_parser("conformance", parents=[plain],
+                       help="emulated CUDA vs simulator vs numpy")
+    p.add_argument("cases", nargs="*", metavar="case",
+                   help="case names (default: all)")
+    p.add_argument("--self-check", action="store_true",
+                   help="also run the stride-mutation negative control")
+
+    p = sub.add_parser("bench-smoke", parents=[with_out],
+                       help="profiled smoke benchmarks per kernel family")
+    p.add_argument("figures", nargs="*", metavar="figure",
+                   help="family names, e.g. fig09 (default: all)")
+
+    p = sub.add_parser("serve-bench", parents=[with_out],
+                       help="captured-graph serving benchmark")
+    p.add_argument("families", nargs="*", metavar="family",
+                   help="request families (default: all)")
+    p.add_argument("--requests", type=int, default=120,
+                   help="number of requests (default: 120)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="serving worker threads (default: 4)")
+
+    p = sub.add_parser(
+        "graph-bench", parents=[with_out],
+        help="execute the Figure 15 networks end to end via repro.graph",
+    )
+    p.add_argument("networks", nargs="*", metavar="network",
+                   help="network names (default: all five + decode)")
+    p.add_argument("--no-tune", action="store_true",
+                   help="skip the autotuner gate for GEMM tiles")
+
+    return parser
+
+
+def _cmd_figures(args) -> int:
+    from .figures import ALL_FIGURES
+
+    names = args.names or sorted(ALL_FIGURES)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}; available: "
+              f"{sorted(ALL_FIGURES)}")
+        return 2
+    for name in names:
+        print(ALL_FIGURES[name]().format_table())
+        print()
+    return 0
+
+
+def _cmd_profile(args) -> int:
     from ..perfmodel import calibrate
 
-    arch = argv[0] if argv else "ampere"
-    report = calibrate(arch)
+    report = calibrate(args.arch)
     print(report.format_table())
     return 0 if report.passed else 1
 
 
-def _main_bench_smoke(argv) -> int:
-    from .bench_smoke import run_bench_smoke
-
-    outdir = "bench_artifacts"
-    if "--outdir" in argv:
-        i = argv.index("--outdir")
-        outdir = argv[i + 1]
-        argv = argv[:i] + argv[i + 2:]
-    try:
-        paths = run_bench_smoke(figures=argv or None, outdir=outdir)
-    except (KeyError, RuntimeError) as exc:
-        print(exc)
-        return 1
-    for path in paths:
-        print(f"wrote {path}")
-    return 0
-
-
-def _main_serve_bench(argv) -> int:
-    from .serve_bench import run_serve_bench
-
-    outdir = "bench_artifacts"
-    n_requests = 120
-    seed = 0
-    workers = 4
-    for flag, cast in (("--outdir", str), ("--requests", int),
-                       ("--seed", int), ("--workers", int)):
-        if flag in argv:
-            i = argv.index(flag)
-            value = cast(argv[i + 1])
-            argv = argv[:i] + argv[i + 2:]
-            if flag == "--outdir":
-                outdir = value
-            elif flag == "--requests":
-                n_requests = value
-            elif flag == "--seed":
-                seed = value
-            else:
-                workers = value
-    try:
-        path = run_serve_bench(n_requests=n_requests, seed=seed,
-                               outdir=outdir, max_workers=workers,
-                               families=argv or None)
-    except (KeyError, RuntimeError) as exc:
-        print(exc)
-        return 1
-    print(f"wrote {path}")
-    return 0
-
-
-def _main_conformance(argv) -> int:
+def _cmd_conformance(args) -> int:
     from ..codegen.cuda import CudaGenerator
     from ..conformance import (
         default_cases, format_report, mutate_index_stride, run_case,
     )
 
-    seed = 0
-    if "--seed" in argv:
-        i = argv.index("--seed")
-        seed = int(argv[i + 1])
-        argv = argv[:i] + argv[i + 2:]
-    self_check = "--self-check" in argv
-    names = [a for a in argv if a != "--self-check"]
-    cases = default_cases(seed)
-    if names:
-        unknown = set(names) - {c.name for c in cases}
+    cases = default_cases(args.seed)
+    if args.cases:
+        unknown = set(args.cases) - {c.name for c in cases}
         if unknown:
             print(f"unknown cases: {sorted(unknown)}; available: "
                   f"{[c.name for c in cases]}")
             return 2
-        cases = [c for c in cases if c.name in names]
+        cases = [c for c in cases if c.name in args.cases]
     results = [run_case(c) for c in cases]
     print(format_report(results))
     ok = all(r.passed for r in results)
-    if self_check:
+    if args.self_check:
         # Negative control: every case must FAIL once a read stride in
         # its generated source is mutated, or the harness has no teeth.
         undetected = []
@@ -122,26 +146,80 @@ def _main_conformance(argv) -> int:
     return 0 if ok else 1
 
 
-def main(argv) -> int:
-    if argv and argv[0] == "profile":
-        return _main_profile(argv[1:])
-    if argv and argv[0] == "bench-smoke":
-        return _main_bench_smoke(argv[1:])
-    if argv and argv[0] == "conformance":
-        return _main_conformance(argv[1:])
-    if argv and argv[0] == "serve-bench":
-        return _main_serve_bench(argv[1:])
-    names = argv or sorted(ALL_FIGURES)
-    unknown = [n for n in names if n not in ALL_FIGURES]
-    if unknown:
-        print(f"unknown figures: {unknown}; available: "
-              f"{sorted(ALL_FIGURES)} plus 'profile', 'bench-smoke', "
-              f"'conformance', and 'serve-bench'")
-        return 2
-    for name in names:
-        print(ALL_FIGURES[name]().format_table())
-        print()
+def _cmd_bench_smoke(args) -> int:
+    from .bench_smoke import run_bench_smoke
+
+    try:
+        paths = run_bench_smoke(figures=args.figures or None,
+                                arch=args.arch, outdir=args.out_dir,
+                                seed=args.seed)
+    except (KeyError, RuntimeError) as exc:
+        print(exc)
+        return 1
+    for path in paths:
+        print(f"wrote {path}")
     return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from .serve_bench import run_serve_bench
+
+    try:
+        path = run_serve_bench(n_requests=args.requests, seed=args.seed,
+                               outdir=args.out_dir,
+                               max_workers=args.workers,
+                               families=args.families or None)
+    except (KeyError, RuntimeError) as exc:
+        print(exc)
+        return 1
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_graph_bench(args) -> int:
+    from .graph_bench import run_graph_bench
+
+    try:
+        path = run_graph_bench(networks=args.networks or None,
+                               arch=args.arch, seed=args.seed,
+                               tune=not args.no_tune, outdir=args.out_dir)
+    except (KeyError, RuntimeError) as exc:
+        print(exc)
+        return 1
+    print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "profile": _cmd_profile,
+    "conformance": _cmd_conformance,
+    "bench-smoke": _cmd_bench_smoke,
+    "serve-bench": _cmd_serve_bench,
+    "graph-bench": _cmd_graph_bench,
+}
+
+
+def _upgrade_legacy_argv(argv):
+    """Map pre-subcommand invocations onto the subcommand tree.
+
+    ``python -m repro.eval`` and ``python -m repro.eval fig11 fig15``
+    predate the argparse tree; they keep working (as ``figures``) with
+    a deprecation note.
+    """
+    if not argv:
+        return ["figures"]
+    if argv[0] in _COMMANDS or argv[0] in ("-h", "--help"):
+        return list(argv)
+    print("note: bare figure names are deprecated; use "
+          f"'python -m repro.eval figures {' '.join(argv)}'",
+          file=sys.stderr)
+    return ["figures"] + list(argv)
+
+
+def main(argv) -> int:
+    args = build_parser().parse_args(_upgrade_legacy_argv(argv))
+    return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":

@@ -430,6 +430,15 @@ def run_bench_smoke(
                                             outdir=outdir, seed=seed))
     if figures is None:
         paths.append(run_fig15_bench(arch=arch, outdir=outdir))
+        # Reduced graph phase: compile + execute one encoder and the
+        # decode scenario end to end (every group bit-checked).
+        from .graph_bench import run_graph_bench
+
+        paths.append(run_graph_bench(
+            networks=["DistilBERT", "GPT-2-decode"], arch=arch, seed=seed,
+            tune=False, outdir=outdir,
+            filename="BENCH_networks_smoke.json",
+        ))
     if failures:
         raise RuntimeError(
             f"bench-smoke drift in {failures}; see artifacts in {outdir}/"

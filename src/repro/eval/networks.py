@@ -1,14 +1,20 @@
-"""Transformer-network op graphs for end-to-end inference (Figure 15).
+"""Transformer-network inference timing for Figure 15 (modelled mode).
 
-Each network is modelled as its per-layer operator mix; times come from
-the library cost models (regular PyTorch inference) with Graphene's
-fused FMHA kernel optionally swapped in for the attention block —
-exactly the paper's custom-operator injection experiment.
+Each network's operator structure comes from the same op graph the
+whole-network fusion compiler executes (:mod:`repro.graph`); this
+module walks one layer of that graph and prices each node with the
+library cost models (regular PyTorch inference), with Graphene's fused
+FMHA kernel optionally swapped in for the attention block — exactly the
+paper's custom-operator injection experiment.
+
+This is the ``attribution = "modelled"`` path: times come from cost
+tables, not executed kernels.  The executed path — same graphs, lowered
+and run on the simulator — lives in :mod:`repro.eval.graph_bench`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, NamedTuple
+from typing import Dict, NamedTuple, Optional
 
 from ..arch.gpu import Architecture
 from ..library.cublas import CuBLAS
@@ -37,7 +43,17 @@ NETWORKS = {
 
 
 class InferenceModel:
-    """Per-layer operator timing for transformer inference."""
+    """Per-layer operator timing for transformer inference.
+
+    Delegates the network *structure* to :func:`repro.graph.encoder_graph`
+    and prices each op node with the library cost models.  Pointwise
+    epilogues and head reshapes cost zero here: the library GEMM folds
+    its bias and the PyTorch attention time already covers the
+    surrounding reshapes.
+    """
+
+    #: Times come from library cost models, not executed kernels.
+    attribution = "modelled"
 
     def __init__(self, arch: Architecture):
         self.arch = arch
@@ -45,27 +61,39 @@ class InferenceModel:
         self.torch = PyTorchRef(arch)
         self.dnn = CuDNN(arch)
 
+    def _node_seconds(self, node) -> float:
+        """Library cost of one op-graph node (see class docstring)."""
+        attrs = node.attrs
+        if node.kind == "gemm":
+            return self.blas.gemm_seconds(attrs["m"], attrs["n"], attrs["k"])
+        if node.kind == "attention":
+            return self.torch.unfused_attention_seconds(
+                attrs["heads"], attrs["batch"], attrs["seq"],
+                attrs["head_dim"],
+            )
+        if node.kind == "layernorm":
+            return self.torch.layernorm_seconds(
+                attrs["rows"], attrs["hidden"], impl="fused"
+            )
+        if node.kind == "residual":
+            return self.dnn.pointwise_seconds(attrs["rows"] * attrs["cols"])
+        return 0.0
+
     def layer_times(self, cfg: TransformerConfig) -> Dict[str, float]:
-        tokens = cfg.batch * cfg.seq
-        h = cfg.hidden
-        head_dim = h // cfg.heads
+        from ..graph import encoder_graph
+
+        graph = encoder_graph(cfg._replace(layers=1))
         times = {
-            "qkv_proj": self.blas.gemm_seconds(tokens, 3 * h, h),
-            "attention": self.torch.unfused_attention_seconds(
-                cfg.heads, cfg.batch, cfg.seq, head_dim
-            ),
-            "out_proj": self.blas.gemm_seconds(tokens, h, h),
-            "ffn_up": self.blas.gemm_seconds(tokens, cfg.ff_mult * h, h),
-            "ffn_down": self.blas.gemm_seconds(tokens, h, cfg.ff_mult * h),
-            "layernorms": 2 * self.torch.layernorm_seconds(
-                tokens, h, impl="fused"
-            ),
-            "residuals": 2 * self.dnn.pointwise_seconds(tokens * h),
+            "qkv_proj": 0.0, "attention": 0.0, "out_proj": 0.0,
+            "ffn_up": 0.0, "ffn_down": 0.0, "layernorms": 0.0,
+            "residuals": 0.0,
         }
+        for node in graph.nodes:
+            times[node.role] += self._node_seconds(node)
         return times
 
     def network_time(self, cfg: TransformerConfig,
-                     fmha_seconds: float = None) -> float:
+                     fmha_seconds: Optional[float] = None) -> float:
         """End-to-end inference time; ``fmha_seconds`` (per full
         attention block, all heads) replaces the PyTorch attention."""
         times = self.layer_times(cfg)

@@ -1,0 +1,41 @@
+"""``repro.graph``: the whole-network fusion compiler.
+
+The stable v1 graph API is three calls::
+
+    net = repro.graph.network("BERT-base")    # typed op-graph IR
+    net.lower("ampere", tune=True)            # fuse + pick kernels
+    run = net.run()                           # execute, verified
+
+Layers (each importable on its own):
+
+* :mod:`repro.graph.op` — the typed op-graph IR (nodes, edges, DAG
+  validation, alias-aware storage resolution);
+* :mod:`repro.graph.network` — transformer graph constructors for the
+  Figure 15 networks plus the KV-cache decode scenario, and the
+  :func:`network` / :class:`Network` facade;
+* :mod:`repro.graph.fuse` — fusion partitioning with legality checks;
+* :mod:`repro.graph.lower` — fusion groups onto library kernels, cost
+  model guided, optionally through the autotuner gate;
+* :mod:`repro.graph.reference` — bit-exact numpy mirrors of the kernel
+  arithmetic;
+* :mod:`repro.graph.executor` — end-to-end simulated execution with
+  per-group bitwise verification and measured-counter attribution.
+"""
+
+from .executor import GroupCheckError, GroupResult, NetworkRun, execute
+from .fuse import FusionGroup, GROUP_KINDS, check_partition, partition, \
+    schedule
+from .lower import BufferRef, GroupLowering, Launch, LoweredNetwork, \
+    lower_network
+from .network import DECODE_SCENARIO, DecodeConfig, Network, \
+    REDUCED_NETWORKS, decode_graph, encoder_graph, network
+from .op import GraphError, OP_KINDS, OpGraph, OpNode, TensorSpec
+
+__all__ = [
+    "BufferRef", "DECODE_SCENARIO", "DecodeConfig", "FusionGroup",
+    "GROUP_KINDS", "GraphError", "GroupCheckError", "GroupLowering",
+    "GroupResult", "Launch", "LoweredNetwork", "Network", "NetworkRun",
+    "OP_KINDS", "OpGraph", "OpNode", "REDUCED_NETWORKS", "TensorSpec",
+    "check_partition", "decode_graph", "encoder_graph", "execute",
+    "lower_network", "network", "partition", "schedule",
+]

@@ -1,0 +1,232 @@
+"""Fusion partitioning: carve the op graph into lowerable groups.
+
+The partitioner walks the graph in topological order and greedily forms
+the fusion patterns the kernel library can serve with a *fused*
+alternative — GEMM + pointwise epilogue, the split/attention/merge
+block, residual + layernorm, and the decode-step cache/attention pair.
+Everything else becomes a singleton group.
+
+Forming a group only *proposes* fusion: each group records whether a
+fused lowering is legal (``fusible``); the lowering picks fused vs
+unfused per group, guided by the cost model (:mod:`repro.graph.lower`).
+
+Legality for a fused pattern requires the internal edges (produced and
+consumed entirely inside the group) to have no outside consumers and
+not be graph outputs — a fused kernel does not materialize them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from .op import GraphError, OpGraph, OpNode
+
+#: Group kinds the lowering knows how to serve.
+GROUP_KINDS = frozenset({
+    "gemm_epilogue",          # gemm [+ bias_act]
+    "dyn_gemm_epilogue",      # gemm_dynamic [+ bias_act] (decode)
+    "attention_block",        # split_heads + attention + merge_heads
+    "decode_attention_block", # cache_append + decode_attention + merge
+    "residual_layernorm",     # residual + layernorm
+    "single",                 # any lone op
+})
+
+
+@dataclass
+class FusionGroup:
+    """A set of nodes lowered together, with optional fused alternative."""
+
+    name: str
+    kind: str
+    nodes: List[OpNode]
+    #: True when a fused lowering exists and is legal for this group.
+    fusible: bool = False
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    internal: List[str] = field(default_factory=list)
+
+    @property
+    def node_names(self) -> List[str]:
+        return [n.name for n in self.nodes]
+
+    def __repr__(self):
+        return (f"FusionGroup({self.name!r}, {self.kind}, "
+                f"nodes={self.node_names}, fusible={self.fusible})")
+
+
+def _classify_edges(graph: OpGraph, nodes: Sequence[OpNode]):
+    """Split the edges a node set touches into inputs/outputs/internal."""
+    members = {n.name for n in nodes}
+    produced: Set[str] = set()
+    read: Set[str] = set()
+    for n in nodes:
+        produced.update(n.outputs.values())
+        read.update(n.inputs.values())
+    inputs = sorted(read - produced)
+    outputs, internal = [], []
+    for edge in sorted(produced):
+        outside = [c for c in graph.consumers(edge)
+                   if c.name not in members]
+        if outside or edge in graph.outputs:
+            outputs.append(edge)
+        else:
+            internal.append(edge)
+    return inputs, outputs, internal
+
+
+def _single_consumer(graph: OpGraph, edge: str, by: OpNode) -> bool:
+    cons = graph.consumers(edge)
+    return (len(cons) == 1 and cons[0].name == by.name
+            and edge not in graph.outputs)
+
+
+def partition(graph: OpGraph) -> List[FusionGroup]:
+    """Greedy pattern-match over the topo order into fusion groups."""
+    taken: Set[str] = set()
+    groups: List[FusionGroup] = []
+
+    def take(kind: str, nodes: List[OpNode], fusible: bool) -> None:
+        inputs, outputs, internal = _classify_edges(graph, nodes)
+        groups.append(FusionGroup(nodes[0].name, kind, nodes,
+                                  fusible=fusible, inputs=inputs,
+                                  outputs=outputs, internal=internal))
+        taken.update(n.name for n in nodes)
+
+    for node in graph.nodes:
+        if node.name in taken:
+            continue
+        if node.kind in ("gemm", "gemm_dynamic"):
+            out = node.outputs["c"]
+            cons = graph.consumers(out)
+            nxt = cons[0] if len(cons) == 1 else None
+            if (nxt is not None and nxt.kind == "bias_act"
+                    and nxt.inputs["x"] == out
+                    and _single_consumer(graph, out, nxt)):
+                kind = ("gemm_epilogue" if node.kind == "gemm"
+                        else "dyn_gemm_epilogue")
+                # The parametric decode GEMM has no fused-epilogue
+                # kernel in the library; its group lowers unfused only.
+                take(kind, [node, nxt], fusible=node.kind == "gemm")
+                continue
+            take("gemm_epilogue" if node.kind == "gemm"
+                 else "dyn_gemm_epilogue", [node], fusible=False)
+            continue
+        if node.kind == "split_heads":
+            attn = merge = None
+            q_cons = graph.consumers(node.outputs["q"])
+            if len(q_cons) == 1 and q_cons[0].kind == "attention":
+                cand = q_cons[0]
+                if all(_single_consumer(graph, node.outputs[p], cand)
+                       for p in ("q", "k", "v")):
+                    o_cons = graph.consumers(cand.outputs["o"])
+                    if (len(o_cons) == 1
+                            and o_cons[0].kind == "merge_heads"
+                            and _single_consumer(graph, cand.outputs["o"],
+                                                 o_cons[0])):
+                        attn, merge = cand, o_cons[0]
+            if attn is not None:
+                take("attention_block", [node, attn, merge], fusible=True)
+                continue
+            take("single", [node], fusible=False)
+            continue
+        if node.kind == "cache_append":
+            attn = merge = None
+            kc1 = node.outputs["k_cache"]
+            cons = [c for c in graph.consumers(kc1)
+                    if c.kind == "decode_attention"]
+            if len(cons) == 1:
+                cand = cons[0]
+                o_cons = graph.consumers(cand.outputs["o"])
+                if (len(o_cons) == 1 and o_cons[0].kind == "merge_heads"
+                        and _single_consumer(graph, cand.outputs["o"],
+                                             o_cons[0])):
+                    attn, merge = cand, o_cons[0]
+            if attn is not None:
+                take("decode_attention_block", [node, attn, merge],
+                     fusible=True)
+                continue
+            take("single", [node], fusible=False)
+            continue
+        if node.kind == "residual":
+            out = node.outputs["y"]
+            cons = graph.consumers(out)
+            if (len(cons) == 1 and cons[0].kind == "layernorm"
+                    and cons[0].inputs["x"] == out
+                    and _single_consumer(graph, out, cons[0])):
+                take("residual_layernorm", [node, cons[0]], fusible=True)
+                continue
+            take("single", [node], fusible=False)
+            continue
+        take("single", [node], fusible=False)
+
+    check_partition(graph, groups)
+    return groups
+
+
+def check_partition(graph: OpGraph, groups: Sequence[FusionGroup]) -> None:
+    """Legality: total cover, no overlap, and an acyclic group DAG."""
+    seen: Dict[str, str] = {}
+    for g in groups:
+        if g.kind not in GROUP_KINDS:
+            raise GraphError(f"group {g.name!r} has unknown kind {g.kind!r}")
+        for n in g.nodes:
+            if n.name in seen:
+                raise GraphError(
+                    f"node {n.name!r} in groups {seen[n.name]!r} and "
+                    f"{g.name!r}"
+                )
+            seen[n.name] = g.name
+    missing = [n.name for n in graph.nodes if n.name not in seen]
+    if missing:
+        raise GraphError(f"nodes not covered by any group: {missing}")
+
+    # Group-level DAG: an edge produced in one group and read in another
+    # orders the two; a cycle means the partition is not schedulable.
+    owner = {n: g.name for g in groups for n in g.node_names}
+    indeg = {g.name: 0 for g in groups}
+    succs: Dict[str, Set[str]] = {g.name: set() for g in groups}
+    for g in groups:
+        for edge in g.inputs:
+            prod = graph.producer(edge)
+            if prod is None:
+                continue
+            src = owner[prod.name]
+            if src != g.name and g.name not in succs[src]:
+                succs[src].add(g.name)
+                indeg[g.name] += 1
+    ready = [name for name, d in indeg.items() if d == 0]
+    done = 0
+    while ready:
+        cur = ready.pop()
+        done += 1
+        for succ in succs[cur]:
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+    if done != len(groups):
+        stuck = sorted(name for name, d in indeg.items() if d > 0)
+        raise GraphError(f"cycle among fusion groups: {stuck}")
+
+    # Fused lowerings must not need to materialize externally-read edges.
+    for g in groups:
+        if not g.fusible:
+            continue
+        for edge in g.internal:
+            members = set(g.node_names)
+            outside = [c.name for c in graph.consumers(edge)
+                       if c.name not in members]
+            if outside or edge in graph.outputs:
+                raise GraphError(
+                    f"group {g.name!r} marked fusible but internal edge "
+                    f"{edge!r} is read outside the group"
+                )
+
+
+def schedule(graph: OpGraph, groups: Sequence[FusionGroup]
+             ) -> List[FusionGroup]:
+    """Groups in a data-dependency-respecting execution order."""
+    pos = {}
+    for g in groups:
+        pos[g.name] = max(graph.nodes.index(n) for n in g.nodes)
+    return sorted(groups, key=lambda g: pos[g.name])

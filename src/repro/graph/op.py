@@ -1,0 +1,197 @@
+"""The typed op-graph IR of the whole-network fusion compiler.
+
+A network is a DAG of :class:`OpNode` over named tensor edges
+(:class:`TensorSpec`).  Nodes are small — a GEMM, a pointwise epilogue,
+a head shuffle, an attention block — so the fusion partitioner
+(:mod:`repro.graph.fuse`) has real choices to make; the lowering
+(:mod:`repro.graph.lower`) maps each fusion group onto the kernel
+library.
+
+Edges are identified by name.  Every edge has exactly one producer
+(graph inputs have none); an edge may alias another (the KV-cache
+update produces a new SSA name over the same storage), which the
+executor resolves to one shared buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Op kinds the lowering understands.
+OP_KINDS = frozenset({
+    "gemm",             # C[m,n] = A[m,k] @ B[k,n]
+    "gemm_dynamic",     # symbolic-M GEMM (decode projections)
+    "bias_act",         # Y = act(X + bias), standalone epilogue
+    "residual",         # Y = X + R
+    "layernorm",        # Y = layernorm(X) * gamma + beta
+    "split_heads",      # QKV -> per-head Q/K/V row bands
+    "attention",        # O = softmax(Q K^T / sqrt(d)) V, per head
+    "merge_heads",      # per-head O -> [tokens, hidden]
+    "cache_append",     # decode-step K/V rows into the KV cache
+    "decode_attention", # single-query attention over the KV cache
+})
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """One named edge: a logical tensor with shape and dtype."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "fp16"
+    #: Name of the edge whose storage this edge reuses (SSA over a
+    #: mutated buffer, e.g. the updated KV cache).
+    alias_of: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OpNode:
+    """One operator: a kind, named input/output ports, and attributes."""
+
+    name: str
+    kind: str
+    #: port -> edge name (ports are per-kind, e.g. gemm has a/b -> c).
+    inputs: Dict[str, str]
+    outputs: Dict[str, str]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    #: Attribution bucket (qkv_proj/attention/.../layernorms/residuals).
+    role: str = ""
+
+    def __post_init__(self):
+        if self.kind not in OP_KINDS:
+            raise ValueError(
+                f"unknown op kind {self.kind!r} (node {self.name!r}); "
+                f"known: {sorted(OP_KINDS)}"
+            )
+
+
+class GraphError(ValueError):
+    pass
+
+
+class OpGraph:
+    """A validated operator DAG over named tensor edges."""
+
+    def __init__(
+        self,
+        name: str,
+        tensors: Sequence[TensorSpec],
+        nodes: Sequence[OpNode],
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+    ):
+        self.name = name
+        self.tensors: Dict[str, TensorSpec] = {t.name: t for t in tensors}
+        self.nodes: List[OpNode] = list(nodes)
+        self.inputs: List[str] = list(inputs)
+        self.outputs: List[str] = list(outputs)
+        self._validate()
+        self.nodes = self._toposort()
+
+    # -- structure queries ----------------------------------------------------
+    def producer(self, edge: str) -> Optional[OpNode]:
+        return self._producers.get(edge)
+
+    def consumers(self, edge: str) -> List[OpNode]:
+        return self._consumers.get(edge, [])
+
+    def node(self, name: str) -> OpNode:
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise KeyError(name)
+
+    def edge(self, name: str) -> TensorSpec:
+        return self.tensors[name]
+
+    def storage(self, edge: str) -> str:
+        """Follow ``alias_of`` chains to the edge owning the storage."""
+        spec = self.tensors[edge]
+        seen = {edge}
+        while spec.alias_of is not None:
+            nxt = spec.alias_of
+            if nxt in seen:
+                raise GraphError(f"alias cycle through edge {edge!r}")
+            seen.add(nxt)
+            spec = self.tensors[nxt]
+        return spec.name
+
+    # -- validation -----------------------------------------------------------
+    def _validate(self) -> None:
+        if len(self.tensors) != len(set(self.tensors)):
+            raise GraphError("duplicate edge names")
+        names = [n.name for n in self.nodes]
+        if len(names) != len(set(names)):
+            raise GraphError("duplicate node names")
+        self._producers: Dict[str, OpNode] = {}
+        self._consumers: Dict[str, List[OpNode]] = {}
+        for node in self.nodes:
+            for port, edge in node.inputs.items():
+                if edge not in self.tensors:
+                    raise GraphError(
+                        f"{node.name}.{port} reads undeclared edge {edge!r}"
+                    )
+                self._consumers.setdefault(edge, []).append(node)
+            for port, edge in node.outputs.items():
+                if edge not in self.tensors:
+                    raise GraphError(
+                        f"{node.name}.{port} writes undeclared edge {edge!r}"
+                    )
+                if edge in self._producers:
+                    raise GraphError(
+                        f"edge {edge!r} has two producers "
+                        f"({self._producers[edge].name}, {node.name})"
+                    )
+                self._producers[edge] = node
+        for edge in self.inputs:
+            if edge in self._producers:
+                raise GraphError(f"graph input {edge!r} has a producer")
+        for edge in self.outputs:
+            if edge not in self.tensors:
+                raise GraphError(f"graph output {edge!r} undeclared")
+        for node in self.nodes:
+            for port, edge in node.inputs.items():
+                if edge not in self._producers and edge not in self.inputs:
+                    raise GraphError(
+                        f"{node.name}.{port} reads edge {edge!r} that is "
+                        f"neither produced nor a graph input"
+                    )
+        for edge in self.tensors.values():
+            if edge.alias_of is not None:
+                if edge.alias_of not in self.tensors:
+                    raise GraphError(
+                        f"edge {edge.name!r} aliases undeclared "
+                        f"{edge.alias_of!r}"
+                    )
+                self.storage(edge.name)  # raises on alias cycles
+
+    def _toposort(self) -> List[OpNode]:
+        """Topological node order (raises :class:`GraphError` on cycles)."""
+        indeg = {n.name: 0 for n in self.nodes}
+        succs: Dict[str, List[str]] = {n.name: [] for n in self.nodes}
+        for node in self.nodes:
+            for edge in node.inputs.values():
+                prod = self._producers.get(edge)
+                if prod is not None and prod.name != node.name:
+                    succs[prod.name].append(node.name)
+                    indeg[node.name] += 1
+        by_name = {n.name: n for n in self.nodes}
+        # Stable: prefer original declaration order among ready nodes.
+        order: List[OpNode] = []
+        ready = [n.name for n in self.nodes if indeg[n.name] == 0]
+        while ready:
+            cur = ready.pop(0)
+            order.append(by_name[cur])
+            for succ in succs[cur]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            stuck = sorted(set(by_name) - {n.name for n in order})
+            raise GraphError(f"cycle through nodes {stuck}")
+        return order
+
+    def __repr__(self):
+        return (f"OpGraph({self.name!r}, {len(self.nodes)} nodes, "
+                f"{len(self.tensors)} edges)")

@@ -1,0 +1,255 @@
+"""Bit-exact numpy mirrors of the kernel library's arithmetic.
+
+Every fusion group the lowering emits carries a reference callable
+built from these mirrors; the executor replays each group's inputs
+through the mirror and demands ``np.array_equal`` with the simulated
+result — not a tolerance check.
+
+Bit-exactness holds because each mirror performs the *same* float
+operations in the *same* order as the simulator's semantics:
+
+* tensor-core GEMMs accumulate fp32 per (16, 8) output tile over
+  ascending 16-wide k chunks (``MmaSemantics.compute`` does one dense
+  fp32 ``a @ b + c`` per mma), so the mirror replays exactly that tile
+  loop with ``np.ascontiguousarray`` operands;
+* thread-level reductions fold element-at-a-time in lane order
+  (:func:`seq_fold`), never pairwise like ``np.sum``;
+* scalar math reuses the very ``np_fn`` the simulator executes
+  (:func:`repro.specs.ops.scalar_op`);
+* fp16 rounding happens exactly where a kernel stores through an fp16
+  register or buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..specs.ops import scalar_op
+
+f32 = np.float32
+f16 = np.float16
+
+
+def seq_fold(op, a: np.ndarray, axis: int) -> np.ndarray:
+    """Sequential (left) fold along ``axis`` — the simulator's reduce."""
+    a = np.moveaxis(a, axis, 0)
+    out = a[0].copy()
+    for i in range(1, a.shape[0]):
+        out = op(out, a[i])
+    return out
+
+
+def tc_gemm_f32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """fp32 result of the tensor-core GEMM's exact mma tile schedule."""
+    m, k = a.shape
+    n = b.shape[1]
+    a32, b32 = a.astype(f32), b.astype(f32)
+    c = np.zeros((m, n), f32)
+    for k0 in range(0, k, 16):
+        for m0 in range(0, m, 16):
+            at = np.ascontiguousarray(a32[m0:m0 + 16, k0:k0 + 16])
+            for n0 in range(0, n, 8):
+                bt = np.ascontiguousarray(b32[k0:k0 + 16, n0:n0 + 8])
+                c[m0:m0 + 16, n0:n0 + 8] = (
+                    at @ bt + c[m0:m0 + 16, n0:n0 + 8])
+    return c
+
+
+def gemm_ref(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The optimized tensor-core GEMM (fp32 accumulate, fp16 store)."""
+    return tc_gemm_f32(a, b).astype(f16)
+
+
+def gemm_epilogue_ref(a: np.ndarray, b: np.ndarray,
+                      bias: Optional[np.ndarray],
+                      activation: Optional[str]) -> np.ndarray:
+    """GEMM + fused pointwise epilogue (bias add, then activation)."""
+    v = tc_gemm_f32(a, b)
+    if bias is not None:
+        v = v + bias.astype(f32)
+    if activation is not None:
+        v = scalar_op(activation).np_fn(v)
+    return v.astype(f16)
+
+
+def naive_gemm_ref(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The naive thread GEMM: per-k fp32 fma, fp16 round each step."""
+    m, n = a.shape[0], b.shape[1]
+    ref = np.zeros((m, n), f16)
+    for kk in range(a.shape[1]):
+        ref = (ref.astype(f32)
+               + a[:, kk:kk + 1].astype(f32)
+               * b[kk:kk + 1, :].astype(f32)).astype(f16)
+    return ref
+
+
+# The parametric (symbolic-M) GEMM initializes C to zero on-kernel and
+# runs the same per-k fma loop as the naive GEMM.
+parametric_gemm_ref = naive_gemm_ref
+
+
+def bias_act_ref(x: np.ndarray, bias: Optional[np.ndarray],
+                 residual: Optional[np.ndarray],
+                 activation: Optional[str]) -> np.ndarray:
+    """Standalone epilogue kernel: fp32 bias, then residual, then act."""
+    v = x.astype(f32)
+    if bias is not None:
+        v = v + bias.astype(f32)
+    if residual is not None:
+        v = v + residual.astype(f32)
+    if activation is not None:
+        v = scalar_op(activation).np_fn(v)
+    return v.astype(f16)
+
+
+def softmax_ref(x: np.ndarray, scale: float) -> np.ndarray:
+    """Row softmax with the kernel's sequential max/sum folds."""
+    v = x.astype(f32) * f32(scale)
+    mx = seq_fold(np.maximum, v, axis=1)
+    e = np.exp(v - mx[:, None])
+    sm = seq_fold(np.add, e, axis=1)
+    return (e / sm[:, None]).astype(f16)
+
+
+def _butterfly(p: np.ndarray) -> np.ndarray:
+    """The warp shfl-xor allreduce over lanes (axis 1 of (rows, 32))."""
+    lanes = np.arange(32)
+    for mask in (16, 8, 4, 2, 1):
+        p = p + p[:, lanes ^ mask]
+    return p
+
+
+def layernorm_ref(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                  residual: Optional[np.ndarray] = None) -> np.ndarray:
+    """Warp-per-row layernorm (optionally with fused residual add)."""
+    rows, hidden = x.shape
+    chunk = hidden // 32
+    part = x.astype(f32).reshape(rows, 32, chunk)
+    if residual is not None:
+        part = part + residual.astype(f32).reshape(rows, 32, chunk)
+    inv_h = f32(1.0 / hidden)
+    sums = _butterfly(seq_fold(np.add, part, axis=2))
+    mean = sums * inv_h
+    centered = part - mean[:, :, None]
+    var = _butterfly(seq_fold(np.add, np.square(centered), axis=2)) * inv_h
+    rstd = 1.0 / np.sqrt(var + f32(1e-5))
+    out = centered * rstd[:, :, None]
+    out = out * gamma.astype(f32).reshape(32, chunk)[None]
+    out = out + beta.astype(f32).reshape(32, chunk)[None]
+    return out.reshape(rows, hidden).astype(f16)
+
+
+def split_heads_ref(qkv: np.ndarray, batch: int, heads: int, seq: int,
+                    head_dim: int, which: int) -> np.ndarray:
+    """One of Q/K/V (``which`` in 0..2) as per-head row bands."""
+    out = np.zeros((batch * heads * seq, head_dim), f16)
+    for b_i in range(batch):
+        for h_i in range(heads):
+            cols = slice((which * heads + h_i) * head_dim,
+                         (which * heads + h_i + 1) * head_dim)
+            out[(b_i * heads + h_i) * seq:(b_i * heads + h_i + 1) * seq] = \
+                qkv[b_i * seq:(b_i + 1) * seq, cols]
+    return out
+
+
+def merge_heads_ref(o: np.ndarray, batch: int, heads: int, seq: int,
+                    head_dim: int) -> np.ndarray:
+    """Per-head row bands back to [tokens, hidden]."""
+    out = np.zeros((batch * seq, heads * head_dim), f16)
+    for b_i in range(batch):
+        for h_i in range(heads):
+            out[b_i * seq:(b_i + 1) * seq,
+                h_i * head_dim:(h_i + 1) * head_dim] = \
+                o[(b_i * heads + h_i) * seq:(b_i * heads + h_i + 1) * seq]
+    return out
+
+
+def transpose_ref(x: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(x.T)
+
+
+def fmha_ref(q: np.ndarray, k: np.ndarray, v: np.ndarray, bh: int,
+             seq: int, head_dim: int, kv_chunk: int = 16) -> np.ndarray:
+    """The fused tensor-core FMHA, per head band, per 16-row q block."""
+    scale = f32(1.0 / float(head_dim) ** 0.5)
+    ref = np.zeros((bh * seq, head_dim), f16)
+    for h in range(bh):
+        Q = q[h * seq:(h + 1) * seq]
+        K = k[h * seq:(h + 1) * seq]
+        V = v[h * seq:(h + 1) * seq]
+        for qb in range(seq // 16):
+            Qt = Q[qb * 16:(qb + 1) * 16]
+            S = np.zeros((16, seq), f32)
+            for ci in range(seq // kv_chunk):
+                Kc = K[ci * kv_chunk:(ci + 1) * kv_chunk]
+                Sc = np.zeros((16, kv_chunk), f32)
+                for ki in range(head_dim // 16):
+                    at = np.ascontiguousarray(
+                        Qt[:, ki * 16:(ki + 1) * 16].astype(f32))
+                    for ni in range(kv_chunk // 8):
+                        bt = np.ascontiguousarray(
+                            Kc[ni * 8:(ni + 1) * 8,
+                               ki * 16:(ki + 1) * 16].astype(f32).T)
+                        Sc[:, ni * 8:(ni + 1) * 8] = (
+                            at @ bt + Sc[:, ni * 8:(ni + 1) * 8])
+                S[:, ci * kv_chunk:(ci + 1) * kv_chunk] = Sc
+            srow = S * scale
+            mx = seq_fold(np.maximum, srow, axis=1)
+            e = np.exp(srow - mx[:, None])
+            sm = seq_fold(np.add, e, axis=1)
+            P = (e / sm[:, None]).astype(f16)
+            O32 = np.zeros((16, head_dim), f32)
+            for ci in range(seq // kv_chunk):
+                Vc = V[ci * kv_chunk:(ci + 1) * kv_chunk]
+                for ki in range(kv_chunk // 16):
+                    gk = ci * kv_chunk + ki * 16
+                    at = np.ascontiguousarray(P[:, gk:gk + 16].astype(f32))
+                    for ni in range(head_dim // 8):
+                        bt = np.ascontiguousarray(
+                            Vc[ki * 16:(ki + 1) * 16,
+                               ni * 8:(ni + 1) * 8].astype(f32))
+                        O32[:, ni * 8:(ni + 1) * 8] = (
+                            at @ bt + O32[:, ni * 8:(ni + 1) * 8])
+            ref[h * seq + qb * 16:h * seq + (qb + 1) * 16] = \
+                O32.astype(f16)
+    return ref
+
+
+def cache_append_ref(qkv: np.ndarray, k_cache: np.ndarray,
+                     v_cache: np.ndarray, heads: int, head_dim: int,
+                     context: int, pos: int):
+    """The decode step's K/V rows written into ring slot ``pos``."""
+    kc, vc = k_cache.copy(), v_cache.copy()
+    for h_i in range(heads):
+        kc[h_i * context + pos] = \
+            qkv[0, (heads + h_i) * head_dim:(heads + h_i + 1) * head_dim]
+        vc[h_i * context + pos] = \
+            qkv[0, (2 * heads + h_i) * head_dim:
+                (2 * heads + h_i + 1) * head_dim]
+    return kc, vc
+
+
+def decode_fmha_ref(qkv: np.ndarray, k_cache: np.ndarray,
+                    v_cache: np.ndarray, heads: int, context: int,
+                    head_dim: int) -> np.ndarray:
+    """Single-query attention over the full KV-cache band, per head."""
+    scale = f32(1.0 / float(head_dim) ** 0.5)
+    out = np.zeros((heads, head_dim), f16)
+    for h_i in range(heads):
+        qh = qkv[0, h_i * head_dim:(h_i + 1) * head_dim].astype(f32)
+        kh = k_cache[h_i * context:(h_i + 1) * context].astype(f32)
+        s = seq_fold(np.add, qh[None] * kh, axis=1) * scale
+        mx = s[0]
+        for i in range(1, context):
+            mx = np.maximum(mx, s[i])
+        e = np.exp(s - mx)
+        sm = e[0]
+        for i in range(1, context):
+            sm = sm + e[i]
+        p = (e / sm).astype(f16)
+        vh = v_cache[h_i * context:(h_i + 1) * context].astype(f32)
+        pv = p.astype(f32)[:, None] * vh
+        out[h_i] = seq_fold(np.add, pv, axis=0).astype(f16)
+    return out

@@ -17,12 +17,14 @@ from __future__ import annotations
 from ..specs.kernel import Kernel
 from . import (
     epilogue, fmha, gemm, gemm_optimized, gemm_parametric, layernorm,
-    lstm, mlp, moves, softmax,
+    lstm, mlp, moves, pointwise, softmax,
 )
 from .config import (
-    FmhaConfig, GemmConfig, GemmEpilogueConfig, KernelConfig,
-    LayernormConfig, LdmatrixMoveConfig, LstmConfig, MlpConfig,
-    NaiveGemmConfig, ParametricGemmConfig, SoftmaxConfig, config_summary,
+    BiasActConfig, CacheAppendConfig, DecodeFmhaConfig, FmhaConfig,
+    GemmConfig, GemmEpilogueConfig, KernelConfig, LayernormConfig,
+    LdmatrixMoveConfig, LstmConfig, MergeHeadsConfig, MlpConfig,
+    NaiveGemmConfig, ParametricGemmConfig, ResidualLayernormConfig,
+    SoftmaxConfig, SplitHeadsConfig, TransposeConfig, config_summary,
 )
 
 #: Config type -> family module ``build`` function.
@@ -37,6 +39,13 @@ BUILDERS = {
     LstmConfig: lstm.build,
     FmhaConfig: fmha.build,
     LdmatrixMoveConfig: moves.build,
+    BiasActConfig: pointwise.build_bias_act,
+    TransposeConfig: pointwise.build_transpose,
+    SplitHeadsConfig: pointwise.build_split_heads,
+    MergeHeadsConfig: pointwise.build_merge_heads,
+    CacheAppendConfig: pointwise.build_cache_append,
+    DecodeFmhaConfig: fmha.build_decode_fmha,
+    ResidualLayernormConfig: layernorm.build_residual_layernorm,
 }
 
 #: Family key -> config type (the inverse view, for CLI/artifact use).
@@ -59,5 +68,7 @@ __all__ = [
     "KernelConfig", "NaiveGemmConfig", "GemmConfig",
     "ParametricGemmConfig", "GemmEpilogueConfig", "LayernormConfig",
     "MlpConfig", "SoftmaxConfig", "LstmConfig", "FmhaConfig",
-    "LdmatrixMoveConfig",
+    "LdmatrixMoveConfig", "BiasActConfig", "TransposeConfig",
+    "SplitHeadsConfig", "MergeHeadsConfig", "CacheAppendConfig",
+    "DecodeFmhaConfig", "ResidualLayernormConfig",
 ]

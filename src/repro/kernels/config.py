@@ -180,6 +180,111 @@ class LdmatrixMoveConfig(KernelConfig):
     name: str = "ldmatrix_move"
 
 
+@dataclass(frozen=True)
+class BiasActConfig(KernelConfig):
+    """Row-wise pointwise epilogue as a standalone kernel.
+
+    ``Y = act(X + bias + R)`` with every term optional — the unfused
+    counterpart of the Figure 10 fused epilogue, used by the graph
+    lowering's library-style (unfused) pipelines.
+    """
+
+    family: ClassVar[str] = "bias_act"
+    rows: int = 128
+    cols: int = 128
+    bias: bool = True
+    activation: Optional[str] = None
+    residual: bool = False
+    name: str = "graphene_bias_act"
+
+
+@dataclass(frozen=True)
+class TransposeConfig(KernelConfig):
+    """``Y[c, r] = X[r, c]`` (materialises K^T for unfused attention)."""
+
+    family: ClassVar[str] = "transpose"
+    rows: int = 64
+    cols: int = 64
+    name: str = "graphene_transpose"
+
+
+@dataclass(frozen=True)
+class SplitHeadsConfig(KernelConfig):
+    """Unpack a packed QKV projection into per-head Q/K/V row bands.
+
+    ``QKV`` is ``[batch*seq, 3*heads*head_dim]`` (column blocks Q|K|V,
+    each split by head); outputs are ``[batch*heads*seq, head_dim]``
+    with one contiguous ``seq``-row band per (batch, head) — the layout
+    the FMHA kernels consume.
+    """
+
+    family: ClassVar[str] = "split_heads"
+    batch: int = 1
+    heads: int = 2
+    seq: int = 32
+    head_dim: int = 32
+    name: str = "graphene_split_heads"
+
+
+@dataclass(frozen=True)
+class MergeHeadsConfig(KernelConfig):
+    """Repack per-head attention outputs into ``[batch*seq, hidden]``."""
+
+    family: ClassVar[str] = "merge_heads"
+    batch: int = 1
+    heads: int = 2
+    seq: int = 32
+    head_dim: int = 32
+    name: str = "graphene_merge_heads"
+
+
+@dataclass(frozen=True)
+class CacheAppendConfig(KernelConfig):
+    """Write one decode step's K/V rows into the per-head KV cache.
+
+    Reads the packed single-token QKV projection (row 0) and scatters
+    the K and V head chunks to position ``pos`` of each head's
+    ``context``-row cache band.
+    """
+
+    family: ClassVar[str] = "cache_append"
+    heads: int = 2
+    head_dim: int = 32
+    context: int = 128
+    pos: int = 0
+    qkv_rows: int = 1
+    name: str = "graphene_cache_append"
+
+
+@dataclass(frozen=True)
+class DecodeFmhaConfig(KernelConfig):
+    """Single-query attention over a KV cache (serving decode step).
+
+    Batch-1, long-context and memory-bound: one block per head, one
+    thread per cached position.  The query row is read directly from
+    the packed QKV projection output (row 0), so no separate Q-extract
+    kernel is needed.
+    """
+
+    family: ClassVar[str] = "decode_fmha"
+    heads: int = 2
+    context: int = 128
+    head_dim: int = 32
+    qkv_rows: int = 1
+    name: str = "graphene_decode_fmha"
+
+
+@dataclass(frozen=True)
+class ResidualLayernormConfig(KernelConfig):
+    """Fused ``Y = layernorm(X + R)`` (the graph's LN+residual group)."""
+
+    family: ClassVar[str] = "residual_layernorm"
+    rows: int = 128
+    hidden: int = 128
+    warps_per_block: int = 1
+    name: str = "graphene_residual_layernorm"
+
+
 def config_summary(cfg: KernelConfig) -> str:
     """One-line ``family(field=value, ...)`` rendering for reports."""
     parts = ", ".join(
@@ -192,5 +297,7 @@ __all__ = [
     "KernelConfig", "NaiveGemmConfig", "GemmConfig",
     "ParametricGemmConfig", "GemmEpilogueConfig", "LayernormConfig",
     "MlpConfig", "SoftmaxConfig", "LstmConfig", "FmhaConfig",
-    "LdmatrixMoveConfig", "config_summary",
+    "LdmatrixMoveConfig", "BiasActConfig", "TransposeConfig",
+    "SplitHeadsConfig", "MergeHeadsConfig", "CacheAppendConfig",
+    "DecodeFmhaConfig", "ResidualLayernormConfig", "config_summary",
 ]

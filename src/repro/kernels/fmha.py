@@ -23,7 +23,7 @@ from ..ir.expr import Const, Var
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16, FP32
 from ..tensor.memspace import RF, SH
-from .config import FmhaConfig
+from .config import DecodeFmhaConfig, FmhaConfig
 from .gemm_optimized import _stage_to_shared
 from .tc_common import WarpMmaEngine
 
@@ -141,4 +141,75 @@ def build_fused_fmha(
     row_base = (bh * seq) + qt * q_tile
     for view, row, col in o_engine.acc_entries(o_accs, row_base, 0):
         kb.move(view, o_pairs[row, col // 2])
+    return kb.build()
+
+
+def build_decode_fmha(cfg: DecodeFmhaConfig) -> Kernel:
+    """Single-query attention over a KV cache (the serving decode step).
+
+    ``O[h] = softmax(q_h K_h^T / sqrt(d)) V_h`` with one cached K/V row
+    per position: batch-1, long-context, memory-bound.  One block per
+    head; thread ``t`` computes the score against cache position ``t``
+    (and output channel ``t`` in the value pass).  The query row is
+    read directly from row 0 of the packed QKV projection output, so
+    the decode path needs no separate Q-extract kernel.
+    """
+    heads, ctx, hd = cfg.heads, cfg.context, cfg.head_dim
+    if ctx < hd:
+        raise ValueError("context must cover head_dim (one thread per "
+                         "position doubles as one per output channel)")
+    if ctx > 1024:
+        raise ValueError("context exceeds the 1024-thread block")
+    scale = 1.0 / float(hd) ** 0.5
+
+    kb = KernelBuilder(cfg.name, (heads,), (ctx,))
+    qkv = kb.param("QKV", (cfg.qkv_rows, 3 * heads * hd), FP16)
+    kc = kb.param("K_cache", (heads * ctx, hd), FP16)
+    vc = kb.param("V_cache", (heads * ctx, hd), FP16)
+    o = kb.param("O", (heads, hd), FP16)
+    h_i = kb.grid.indices()[0]
+    t = Var("threadIdx.x")
+
+    smem_s = kb.alloc("dec_s", (ctx,), FP32, SH)
+    smem_p = kb.alloc("dec_p", (ctx,), FP16, SH)
+
+    kb.comment("scores: thread t owns cache position t")
+    qvec = kb.alloc("dec_q", (hd,), FP32, RF)
+    kvec = kb.alloc("dec_k", (hd,), FP32, RF)
+    sval = kb.alloc("dec_sval", (1,), FP32, RF)
+    scale_t = kb.alloc("dec_scale", (1,), FP32, RF)
+    kb.init(scale_t, scale)
+    kb.move(qkv.tile((1, hd))[0, h_i], qvec)
+    kb.move(kc.tile((1, None))[h_i * ctx + t, 0], kvec)
+    kb.binary("mul", qvec, kvec, kvec)
+    kb.reduce("add", kvec, sval)
+    kb.binary("mul", sval, scale_t, sval)
+    kb.move(sval, smem_s.tile((1,))[t])
+    kb.sync()
+
+    kb.comment("softmax over the context scores (single thread)")
+    vals = kb.alloc("dec_row", (ctx,), FP32, RF)
+    rmax = kb.alloc("dec_max", (1,), FP32, RF)
+    rsum = kb.alloc("dec_sum", (1,), FP32, RF)
+    with kb.when([(t, Const(1))]):
+        kb.move(smem_s, vals)
+        kb.reduce("max", vals, rmax)
+        kb.binary("sub", vals, rmax, vals)
+        kb.unary("exp", vals, vals)
+        kb.reduce("add", vals, rsum)
+        kb.binary("div", vals, rsum, vals)
+        kb.move(vals, smem_p)
+    kb.sync()
+
+    kb.comment("value pass: thread t owns output channel t")
+    vvec = kb.alloc("dec_v", (ctx,), FP32, RF)
+    pvec = kb.alloc("dec_pv", (ctx,), FP32, RF)
+    oval = kb.alloc("dec_oval", (1,), FP32, RF)
+    v_head = vc.tile((ctx, None))
+    with kb.when([(t, Const(hd))]):
+        kb.move(v_head[h_i, 0].tile((None, 1))[0, t], vvec)
+        kb.move(smem_p, pvec)
+        kb.binary("mul", pvec, vvec, pvec)
+        kb.reduce("add", pvec, oval)
+        kb.move(oval, o.tile((1, 1))[h_i, t])
     return kb.build()

@@ -18,7 +18,7 @@ from ..ir.expr import Const, Var
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16, FP32
 from ..tensor.memspace import RF
-from .config import LayernormConfig
+from .config import LayernormConfig, ResidualLayernormConfig
 
 EPS = 1e-5
 
@@ -32,7 +32,14 @@ def build(cfg: LayernormConfig) -> Kernel:
                                  cfg.warps_per_block * 32, cfg.name)
 
 
-def _build_warp_per_row(rows, hidden, warps_per_block, name) -> Kernel:
+def build_residual_layernorm(cfg: ResidualLayernormConfig) -> Kernel:
+    """Fused ``Y = layernorm(X + R)`` (the graph's LN+residual group)."""
+    return _build_warp_per_row(cfg.rows, cfg.hidden, cfg.warps_per_block,
+                               cfg.name, residual=True)
+
+
+def _build_warp_per_row(rows, hidden, warps_per_block, name,
+                        residual=False) -> Kernel:
     if hidden % 32:
         raise ValueError("hidden must be divisible by the warp size")
     chunk = hidden // 32
@@ -43,6 +50,7 @@ def _build_warp_per_row(rows, hidden, warps_per_block, name) -> Kernel:
     kb = KernelBuilder(name, (rows // rows_per_block,),
                        (warps_per_block * 32,))
     x = kb.param("X", (rows, hidden), FP16)
+    res = kb.param("R", (rows, hidden), FP16) if residual else None
     gamma = kb.param("gamma", (hidden,), FP16)
     beta = kb.param("beta", (hidden,), FP16)
     y = kb.param("Y", (rows, hidden), FP16)
@@ -71,6 +79,10 @@ def _build_warp_per_row(rows, hidden, warps_per_block, name) -> Kernel:
 
     kb.comment("each lane loads its contiguous row chunk")
     kb.move(x_chunks[row, lane], part)
+    if res is not None:
+        r_part = kb.alloc("ln_res", (chunk,), FP32, RF)
+        kb.move(res.tile((1, chunk))[row, lane], r_part)
+        kb.binary("add", part, r_part, part)
 
     def warp_allreduce():
         """Butterfly-sum `scalar` across the warp via shfl.sync.bfly."""

@@ -1,0 +1,139 @@
+"""Pointwise and data-movement kernels for whole-network lowering.
+
+The graph compiler (:mod:`repro.graph`) stitches networks out of the
+figure kernels plus the small glue kernels here: standalone bias/
+activation/residual epilogues (the *unfused* counterparts of the fused
+Figure 10 epilogue), a transpose (materialising K^T for the unfused
+attention baseline), the head split/merge shuffles around attention,
+and the KV-cache append of the decode-serving scenario.
+
+All of them are memory-bound element or chunk movers: one thread per
+element (or per ``head_dim`` chunk), fp32 pointwise math, fp16
+round-on-store — numerics that a numpy mirror reproduces bit-exactly.
+"""
+
+from __future__ import annotations
+
+from ..frontend.builder import KernelBuilder
+from ..ir.expr import Const, Var
+from ..specs.kernel import Kernel
+from ..tensor.dtypes import FP16, FP32
+from ..tensor.memspace import RF
+from .config import (
+    BiasActConfig, CacheAppendConfig, MergeHeadsConfig, SplitHeadsConfig,
+    TransposeConfig,
+)
+
+#: Simulated per-block thread ceiling (the CUDA hardware limit).
+MAX_THREADS = 1024
+
+
+def build_bias_act(cfg: BiasActConfig) -> Kernel:
+    """``Y = act(X + bias + R)``; one thread per element."""
+    rows, cols = cfg.rows, cfg.cols
+    if cols > MAX_THREADS:
+        raise ValueError(f"cols={cols} exceeds the {MAX_THREADS}-thread block")
+    if not (cfg.bias or cfg.activation or cfg.residual):
+        raise ValueError("bias_act with no bias/activation/residual is a copy")
+    kb = KernelBuilder(cfg.name, (rows,), (cols,))
+    x = kb.param("X", (rows, cols), FP16)
+    bias = kb.param("bias", (cols,), FP16) if cfg.bias else None
+    res = kb.param("R", (rows, cols), FP16) if cfg.residual else None
+    y = kb.param("Y", (rows, cols), FP16)
+    r = kb.grid.indices()[0]
+    t = Var("threadIdx.x")
+
+    val = kb.alloc("pw_val", (1,), FP32, RF)
+    x_el = x.tile((1, 1))
+    y_el = y.tile((1, 1))
+    kb.move(x_el[r, t], val)
+    if bias is not None:
+        kb.binary("add", val, bias.tile((1,))[t], val)
+    if res is not None:
+        kb.binary("add", val, res.tile((1, 1))[r, t], val)
+    if cfg.activation is not None:
+        kb.unary(cfg.activation, val, val)
+    kb.move(val, y_el[r, t])
+    return kb.build()
+
+
+def build_transpose(cfg: TransposeConfig) -> Kernel:
+    """``Y[c, r] = X[r, c]``; one thread per element of a source row."""
+    rows, cols = cfg.rows, cfg.cols
+    if cols > MAX_THREADS:
+        raise ValueError(f"cols={cols} exceeds the {MAX_THREADS}-thread block")
+    kb = KernelBuilder(cfg.name, (rows,), (cols,))
+    x = kb.param("X", (rows, cols), FP16)
+    y = kb.param("Y", (cols, rows), FP16)
+    r = kb.grid.indices()[0]
+    t = Var("threadIdx.x")
+    val = kb.alloc("tr_val", (1,), FP16, RF)
+    kb.move(x.tile((1, 1))[r, t], val)
+    kb.move(val, y.tile((1, 1))[t, r])
+    return kb.build()
+
+
+def build_split_heads(cfg: SplitHeadsConfig) -> Kernel:
+    """Unpack ``QKV [b*seq, 3*h]`` into per-head Q/K/V row bands.
+
+    One block per (head, batch), one thread per sequence position; each
+    thread moves three contiguous ``head_dim`` chunks.
+    """
+    b, heads, seq, hd = cfg.batch, cfg.heads, cfg.seq, cfg.head_dim
+    if seq > MAX_THREADS:
+        raise ValueError(f"seq={seq} exceeds the {MAX_THREADS}-thread block")
+    hidden = heads * hd
+    kb = KernelBuilder(cfg.name, (heads, b), (seq,))
+    qkv = kb.param("QKV", (b * seq, 3 * hidden), FP16)
+    outs = [kb.param(n, (b * heads * seq, hd), FP16) for n in ("Q", "K", "V")]
+    h_i, b_i = kb.grid.indices()
+    t = Var("threadIdx.x")
+
+    qkv_chunks = qkv.tile((1, hd))
+    src_row = b_i * seq + t
+    dst_row = (b_i * heads + h_i) * seq + t
+    for which, out in enumerate(outs):
+        kb.move(qkv_chunks[src_row, Const(which * heads) + h_i],
+                out.tile((1, None))[dst_row, 0])
+    return kb.build()
+
+
+def build_merge_heads(cfg: MergeHeadsConfig) -> Kernel:
+    """Repack per-head ``O [b*heads*seq, hd]`` into ``[b*seq, hidden]``."""
+    b, heads, seq, hd = cfg.batch, cfg.heads, cfg.seq, cfg.head_dim
+    if seq > MAX_THREADS:
+        raise ValueError(f"seq={seq} exceeds the {MAX_THREADS}-thread block")
+    kb = KernelBuilder(cfg.name, (heads, b), (seq,))
+    o = kb.param("O", (b * heads * seq, hd), FP16)
+    y = kb.param("Y", (b * seq, heads * hd), FP16)
+    h_i, b_i = kb.grid.indices()
+    t = Var("threadIdx.x")
+    src_row = (b_i * heads + h_i) * seq + t
+    kb.move(o.tile((1, None))[src_row, 0],
+            y.tile((1, hd))[b_i * seq + t, h_i])
+    return kb.build()
+
+
+def build_cache_append(cfg: CacheAppendConfig) -> Kernel:
+    """Scatter one decode step's K/V head chunks into the KV cache.
+
+    ``QKV`` row 0 holds the packed single-token projection; position
+    ``pos`` of each head's ``context``-row cache band receives its K
+    and V chunks.  One block per head, one thread per channel.
+    """
+    heads, hd, ctx, pos = cfg.heads, cfg.head_dim, cfg.context, cfg.pos
+    if not 0 <= pos < ctx:
+        raise ValueError(f"pos={pos} outside the {ctx}-row cache band")
+    kb = KernelBuilder(cfg.name, (heads,), (hd,))
+    qkv = kb.param("QKV", (cfg.qkv_rows, 3 * heads * hd), FP16)
+    kc = kb.param("K_cache", (heads * ctx, hd), FP16)
+    vc = kb.param("V_cache", (heads * ctx, hd), FP16)
+    h_i = kb.grid.indices()[0]
+    t = Var("threadIdx.x")
+
+    qkv_el = qkv.tile((1, 1))
+    val = kb.alloc("ca_val", (1,), FP16, RF)
+    for which, dst in ((1, kc), (2, vc)):
+        kb.move(qkv_el[0, (Const(which * heads) + h_i) * hd + t], val)
+        kb.move(val, dst.tile((1, 1))[h_i * ctx + pos, t])
+    return kb.build()

@@ -70,7 +70,7 @@ class TestFigureRegistry:
     def test_all_figures_registered(self):
         assert set(ALL_FIGURES) == {
             "fig9", "fig9_tuned", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15", "profile",
+            "fig14", "fig15", "fig15_executed", "profile",
         }
 
 

@@ -1,0 +1,107 @@
+"""Fusion-partition legality properties across every network graph."""
+
+import pytest
+
+from repro.graph import (
+    DECODE_SCENARIO, GROUP_KINDS, REDUCED_NETWORKS, FusionGroup,
+    GraphError, check_partition, decode_graph, encoder_graph, network,
+    partition, schedule,
+)
+
+pytestmark = pytest.mark.graph
+
+ALL_GRAPHS = sorted(REDUCED_NETWORKS) + [DECODE_SCENARIO.name]
+
+
+@pytest.fixture(params=ALL_GRAPHS)
+def graph(request):
+    return network(request.param).graph
+
+
+class TestPartitionProperties:
+    def test_every_node_in_exactly_one_group(self, graph):
+        groups = partition(graph)
+        owners = [n for g in groups for n in g.node_names]
+        assert sorted(owners) == sorted(n.name for n in graph.nodes)
+        assert len(owners) == len(set(owners))
+
+    def test_known_kinds_and_edge_classes(self, graph):
+        for g in partition(graph):
+            assert g.kind in GROUP_KINDS
+            members = set(g.node_names)
+            # Internal edges of fusible groups never escape the group.
+            if g.fusible:
+                for edge in g.internal:
+                    outside = [c.name for c in graph.consumers(edge)
+                               if c.name not in members]
+                    assert not outside and edge not in graph.outputs
+            # Inputs are read, never produced, inside the group.
+            produced = {e for n in g.nodes for e in n.outputs.values()}
+            assert not set(g.inputs) & produced
+
+    def test_schedule_respects_dependencies(self, graph):
+        groups = schedule(graph, partition(graph))
+        available = set(graph.inputs)
+        for g in groups:
+            for edge in g.inputs:
+                assert edge in available, (
+                    f"group {g.name} reads {edge} before it is produced"
+                )
+            for n in g.nodes:
+                available.update(n.outputs.values())
+
+    def test_check_partition_accepts_own_output(self, graph):
+        check_partition(graph, partition(graph))
+
+
+class TestPartitionShapes:
+    def test_encoder_group_kinds(self):
+        graph = encoder_graph(REDUCED_NETWORKS["DistilBERT"])
+        kinds = sorted(g.kind for g in partition(graph))
+        assert kinds == ["attention_block"] + ["gemm_epilogue"] * 4 + \
+            ["residual_layernorm"] * 2
+        assert all(g.fusible for g in partition(graph))
+
+    def test_decode_group_kinds(self):
+        graph = decode_graph(DECODE_SCENARIO)
+        groups = partition(graph)
+        kinds = sorted(g.kind for g in groups)
+        assert kinds == ["decode_attention_block"] + \
+            ["dyn_gemm_epilogue"] * 4 + ["residual_layernorm"] * 2
+        # The parametric decode GEMM has no fused epilogue kernel.
+        for g in groups:
+            assert g.fusible == (g.kind != "dyn_gemm_epilogue")
+
+
+class TestCheckPartitionRejects:
+    def test_missing_node(self):
+        graph = encoder_graph(REDUCED_NETWORKS["DistilBERT"])
+        groups = partition(graph)[1:]
+        with pytest.raises(GraphError, match="not covered"):
+            check_partition(graph, groups)
+
+    def test_overlapping_groups(self):
+        graph = encoder_graph(REDUCED_NETWORKS["DistilBERT"])
+        groups = partition(graph)
+        with pytest.raises(GraphError, match="in groups"):
+            check_partition(graph, groups + [groups[0]])
+
+    def test_unknown_group_kind(self):
+        graph = encoder_graph(REDUCED_NETWORKS["DistilBERT"])
+        groups = partition(graph)
+        bad = FusionGroup("bad", "megakernel", groups[0].nodes)
+        with pytest.raises(GraphError, match="unknown kind"):
+            check_partition(graph, [bad] + groups[1:])
+
+    def test_escaping_internal_edge(self):
+        graph = encoder_graph(REDUCED_NETWORKS["DistilBERT"])
+        groups = partition(graph)
+        gemm = next(g for g in groups if g.kind == "gemm_epilogue")
+        # Claim the group's produced epilogue output is internal: the
+        # downstream consumer now reads an unmaterialized edge.
+        bad = FusionGroup(gemm.name, gemm.kind, gemm.nodes, fusible=True,
+                          inputs=gemm.inputs, outputs=[],
+                          internal=gemm.internal + gemm.outputs)
+        rest = [g for g in groups if g.name != gemm.name]
+        with pytest.raises(GraphError, match="read outside"):
+            check_partition(graph, [bad] + rest)

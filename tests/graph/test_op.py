@@ -1,0 +1,132 @@
+"""Op-graph IR validation: producers, aliases, toposort, rejection."""
+
+import pytest
+
+from repro.graph import (
+    DECODE_SCENARIO, REDUCED_NETWORKS, GraphError, OpGraph, OpNode,
+    TensorSpec, decode_graph, encoder_graph,
+)
+
+pytestmark = pytest.mark.graph
+
+
+def _t(name, *shape, alias_of=None):
+    return TensorSpec(name, shape, "fp16", alias_of=alias_of)
+
+
+def _residual(name, x, r, y):
+    return OpNode(name, "residual", {"x": x, "r": r}, {"y": y},
+                  {"rows": 4, "cols": 4})
+
+
+class TestValidation:
+    def test_minimal_graph(self):
+        g = OpGraph("g", [_t("a", 4, 4), _t("b", 4, 4), _t("c", 4, 4)],
+                    [_residual("add", "a", "b", "c")], ["a", "b"], ["c"])
+        assert g.producer("c").name == "add"
+        assert g.producer("a") is None
+        assert [n.name for n in g.consumers("a")] == ["add"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown op kind"):
+            OpNode("bad", "conv3d", {"x": "a"}, {"y": "b"})
+
+    def test_two_producers_rejected(self):
+        nodes = [_residual("p1", "a", "b", "c"),
+                 _residual("p2", "a", "b", "c")]
+        with pytest.raises(GraphError, match="two producers"):
+            OpGraph("g", [_t("a", 4, 4), _t("b", 4, 4), _t("c", 4, 4)],
+                    nodes, ["a", "b"], ["c"])
+
+    def test_undeclared_edge_rejected(self):
+        with pytest.raises(GraphError, match="undeclared"):
+            OpGraph("g", [_t("a", 4, 4), _t("c", 4, 4)],
+                    [_residual("add", "a", "ghost", "c")], ["a"], ["c"])
+
+    def test_unproduced_read_rejected(self):
+        # "b" is declared but neither produced nor a graph input.
+        with pytest.raises(GraphError, match="neither produced"):
+            OpGraph("g", [_t("a", 4, 4), _t("b", 4, 4), _t("c", 4, 4)],
+                    [_residual("add", "a", "b", "c")], ["a"], ["c"])
+
+    def test_produced_input_rejected(self):
+        with pytest.raises(GraphError, match="has a producer"):
+            OpGraph("g", [_t("a", 4, 4), _t("b", 4, 4), _t("c", 4, 4)],
+                    [_residual("add", "a", "b", "c")],
+                    ["a", "b", "c"], ["c"])
+
+    def test_cycle_rejected(self):
+        tensors = [_t("a", 4, 4), _t("x", 4, 4), _t("y", 4, 4)]
+        nodes = [_residual("n1", "a", "y", "x"),
+                 _residual("n2", "a", "x", "y")]
+        with pytest.raises(GraphError, match="cycle"):
+            OpGraph("g", tensors, nodes, ["a"], ["x"])
+
+
+class TestAliases:
+    def test_storage_follows_chain(self):
+        tensors = [_t("a", 4, 4), _t("b", 4, 4),
+                   _t("a1", 4, 4, alias_of="a"),
+                   _t("a2", 4, 4, alias_of="a1")]
+        g = OpGraph("g", tensors,
+                    [_residual("n1", "a", "b", "a1"),
+                     _residual("n2", "a1", "b", "a2")],
+                    ["a", "b"], ["a2"])
+        assert g.storage("a2") == "a"
+        assert g.storage("a1") == "a"
+        assert g.storage("a") == "a"
+
+    def test_alias_to_undeclared_rejected(self):
+        with pytest.raises(GraphError, match="aliases undeclared"):
+            OpGraph("g", [_t("a", 4, 4), _t("b", 4, 4),
+                          _t("c", 4, 4, alias_of="ghost")],
+                    [_residual("add", "a", "b", "c")], ["a", "b"], ["c"])
+
+
+class TestToposort:
+    def test_declaration_order_is_stable(self):
+        g = OpGraph(
+            "g",
+            [_t("a", 4, 4), _t("b", 4, 4), _t("u", 4, 4), _t("v", 4, 4)],
+            [_residual("first", "a", "b", "u"),
+             _residual("second", "a", "b", "v")],
+            ["a", "b"], ["u", "v"],
+        )
+        assert [n.name for n in g.nodes] == ["first", "second"]
+
+    def test_out_of_order_declaration_is_sorted(self):
+        g = OpGraph(
+            "g",
+            [_t("a", 4, 4), _t("b", 4, 4), _t("u", 4, 4), _t("v", 4, 4)],
+            [_residual("late", "u", "b", "v"),
+             _residual("early", "a", "b", "u")],
+            ["a", "b"], ["v"],
+        )
+        assert [n.name for n in g.nodes] == ["early", "late"]
+
+
+class TestNetworkGraphs:
+    @pytest.mark.parametrize("name", sorted(REDUCED_NETWORKS))
+    def test_encoder_topo_and_roles(self, name):
+        g = encoder_graph(REDUCED_NETWORKS[name])
+        # 15 nodes per layer: 4 gemm+bias pairs, 3 attention, 2x2 res+ln.
+        assert len(g.nodes) == 15 * REDUCED_NETWORKS[name].layers
+        roles = {n.role for n in g.nodes}
+        assert roles == {"qkv_proj", "attention", "out_proj", "ffn_up",
+                         "ffn_down", "layernorms", "residuals"}
+        seen = set(g.inputs)
+        for node in g.nodes:
+            for edge in node.inputs.values():
+                assert edge in seen, f"{node.name} reads {edge} early"
+            seen.update(node.outputs.values())
+        assert g.outputs == ["l0.ln2"] or g.outputs[0].endswith(".ln2")
+
+    def test_decode_graph_aliases_cache(self):
+        g = decode_graph(DECODE_SCENARIO)
+        assert g.storage("l0.k_cache1") == "l0.k_cache"
+        assert g.storage("l0.v_cache1") == "l0.v_cache"
+        assert "l0.k_cache" in g.inputs and "l0.v_cache" in g.inputs
+        kinds = [n.kind for n in g.nodes]
+        assert "cache_append" in kinds and "decode_attention" in kinds
+        assert "gemm" not in kinds  # decode projections are symbolic-M
+        assert kinds.count("gemm_dynamic") == 4 * DECODE_SCENARIO.layers

@@ -1,0 +1,75 @@
+"""Tier-1 smoke for the stable v1 graph API (the three-call facade)."""
+
+import pytest
+
+import repro
+from repro.graph import DECODE_SCENARIO, Network, NetworkRun, network
+
+pytestmark = pytest.mark.graph
+
+
+class TestFacade:
+    def test_three_calls_end_to_end(self):
+        net = repro.network("DistilBERT")
+        lowered = net.lower("ampere")
+        run = net.run()
+        assert isinstance(net, Network)
+        assert isinstance(run, NetworkRun)
+        assert run.passed and run.attribution == "executed"
+        assert lowered is net._lowered
+
+    def test_top_level_reexport(self):
+        assert repro.network is network
+        assert "network" in repro.__all__ and "Network" in repro.__all__
+
+    def test_run_lowers_lazily(self):
+        net = network("DistilBERT")
+        assert net._lowered is None
+        run = net.run()
+        assert net._lowered is not None and run.passed
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="GPT-2-decode"):
+            network("AlexNet")
+
+    def test_custom_config_accepted(self):
+        cfg = DECODE_SCENARIO._replace(context=64, pos=0)
+        net = network(cfg)
+        assert net.name == cfg.name
+        assert net.graph.edge("l0.k_cache").shape == (
+            cfg.heads * 64, cfg.hidden // cfg.heads)
+
+    def test_full_flag_gives_paper_shapes(self):
+        from repro.eval import NETWORKS
+
+        net = network("BERT-base", full=True)
+        assert net.cfg == NETWORKS["BERT-base"]
+        assert len(net.graph.nodes) == 15 * NETWORKS["BERT-base"].layers
+
+
+class TestModelledDelegation:
+    def test_inference_model_is_modelled_attribution(self):
+        from repro.arch import AMPERE
+        from repro.eval import NETWORKS, InferenceModel
+
+        model = InferenceModel(AMPERE)
+        assert model.attribution == "modelled"
+        times = model.layer_times(NETWORKS["BERT-base"])
+        assert set(times) == {"qkv_proj", "attention", "out_proj",
+                              "ffn_up", "ffn_down", "layernorms",
+                              "residuals"}
+        assert all(t >= 0 for t in times.values())
+
+    def test_layer_times_price_the_op_graph(self):
+        """The modelled path walks the same graph the executed path
+        runs: doubling the hidden size must raise every GEMM bucket."""
+        from repro.arch import AMPERE
+        from repro.eval import NETWORKS, InferenceModel
+
+        model = InferenceModel(AMPERE)
+        cfg = NETWORKS["BERT-base"]
+        small = model.layer_times(cfg)
+        big = model.layer_times(cfg._replace(hidden=2 * cfg.hidden,
+                                             heads=2 * cfg.heads))
+        for bucket in ("qkv_proj", "out_proj", "ffn_up", "ffn_down"):
+            assert big[bucket] > small[bucket]

@@ -1,0 +1,30 @@
+"""Repo-wide annotation lint.
+
+A parameter annotated ``x: float = None`` lies about its type — the
+default makes it ``Optional[float]``.  One slipped into the eval layer
+once (``fmha_seconds``); this sweep keeps the class of bug out.
+"""
+
+import pathlib
+import re
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+# "name: <non-Optional annotation> = None" in a def/dataclass context.
+_BARE_NONE_DEFAULT = re.compile(
+    r":\s*(?!Optional\b)(?!.*Optional\[)"
+    r"(int|float|str|bool|bytes|complex)\s*=\s*None\b"
+)
+
+
+def test_no_bare_none_defaults():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if _BARE_NONE_DEFAULT.search(line):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: "
+                                 f"{line.strip()}")
+    assert not offenders, (
+        "non-Optional annotations with a None default:\n"
+        + "\n".join(offenders)
+    )
