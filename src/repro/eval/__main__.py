@@ -10,6 +10,7 @@ One subcommand per evaluation mode, sharing ``--out-dir``/``--arch``/
     python -m repro.eval bench-smoke --out-dir bench_artifacts
     python -m repro.eval serve-bench --requests 200
     python -m repro.eval graph-bench            # executed network bench
+    python -m repro.eval tuner-bench            # tune-all fleet benchmark
 
 ``python -m repro.eval <command> --help`` documents each subcommand.
 The pre-subcommand spellings (bare figure names, ``--outdir``) keep
@@ -83,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="network names (default: all five + decode)")
     p.add_argument("--no-tune", action="store_true",
                    help="skip the autotuner gate for GEMM tiles")
+
+    p = sub.add_parser(
+        "tuner-bench", parents=[with_out],
+        help="tune-all fleet benchmark (serial vs parallel vs transfer)",
+    )
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-fleet width (default: cpu count, min 2)")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced smoke roster")
 
     return parser
 
@@ -190,6 +200,20 @@ def _cmd_graph_bench(args) -> int:
     return 0
 
 
+def _cmd_tuner_bench(args) -> int:
+    from .tuner_bench import run_tuner_bench
+
+    try:
+        path = run_tuner_bench(arch=args.arch, workers=args.workers,
+                               outdir=args.out_dir, quick=args.quick,
+                               seed=args.seed)
+    except (KeyError, RuntimeError) as exc:
+        print(exc)
+        return 1
+    print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "profile": _cmd_profile,
@@ -197,6 +221,7 @@ _COMMANDS = {
     "bench-smoke": _cmd_bench_smoke,
     "serve-bench": _cmd_serve_bench,
     "graph-bench": _cmd_graph_bench,
+    "tuner-bench": _cmd_tuner_bench,
 }
 
 

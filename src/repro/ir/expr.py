@@ -185,6 +185,17 @@ class _BinOp(IntExpr):
             # same associative operator.
             same_assoc = isinstance(child, _BinOp) and child.op == self.op \
                 and self.op in ("+", "*")
+            if same_assoc and self.op == "*":
+                # Flattening a * (b / c * d) to a * b / c * d moves the
+                # floor division: only safe when the child's left spine
+                # is pure multiplication.
+                spine = child
+                while isinstance(spine, _BinOp) \
+                        and spine._prec() == self.precedence:
+                    if spine.op != "*":
+                        same_assoc = False
+                        break
+                    spine = spine.lhs
             need = not same_assoc
         return f"({text})" if need else text
 

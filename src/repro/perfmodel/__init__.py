@@ -1,7 +1,8 @@
 """Analytical GPU performance model (hardware substitute)."""
 
 from .calibrate import (
-    CalibrationReport, CalibrationRow, calibrate, calibration_cases,
+    CalibrationReport, CalibrationRow, FittedCoefficients, FittedOracle,
+    calibrate, calibration_cases, fit_coefficients, rank_agreement,
 )
 from .counts import KernelCounts, count_kernel
 from .model import (
@@ -11,8 +12,9 @@ from .model import (
 )
 
 __all__ = [
-    "CalibrationReport", "CalibrationRow", "calibrate",
-    "calibration_cases",
+    "CalibrationReport", "CalibrationRow", "FittedCoefficients",
+    "FittedOracle", "calibrate", "calibration_cases", "fit_coefficients",
+    "rank_agreement",
     "KernelCounts", "count_kernel", "CostBreakdown", "Efficiency",
     "KernelEstimate", "LIBRARY_CLASS", "PerfModel", "SCALAR_FRAGMENT",
     "bank_conflict_degree", "estimate_kernel", "fused_time",

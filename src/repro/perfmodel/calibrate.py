@@ -228,8 +228,201 @@ def calibrate(
     return report
 
 
+# -- cost-model refinement -----------------------------------------------
+#
+# Beyond pass/fail drift checking, the same measured-vs-modelled pairs
+# can *refine* the model: fit scale coefficients mapping the count
+# model's predictions onto the profiler's measurements and cost with
+# the corrected quantities.  The tuner feeds the fitted oracle back
+# into search (``tune(..., oracle=FittedOracle(...))``), closing the
+# paper's "automated search" loop with a measurement-informed ranking.
+
+
+@dataclass(frozen=True)
+class FittedCoefficients:
+    """Scale factors regressed from calibration measurements.
+
+    Each coefficient is a least-squares-through-origin slope of
+    measured against modelled values over the calibration kernels
+    (slope 1.0 = the analytical model is exact):
+
+    * ``dram_scale`` — measured global bytes per modelled DRAM byte;
+    * ``smem_scale`` — measured shared bytes per modelled shared byte;
+    * ``conflict_penalty`` — measured excess conflict degree per
+      modelled excess degree (the static 8x8-fragment model's
+      ``degree - 1`` against the profiler's worst measured degree);
+    * ``issue_scale`` — profiler-counted instruction issues per
+      modelled instruction (captures predication/vectorization slack
+      the count model charges nominally).
+    """
+
+    dram_scale: float = 1.0
+    smem_scale: float = 1.0
+    conflict_penalty: float = 1.0
+    issue_scale: float = 1.0
+    #: Calibration kernels the fit consumed.
+    samples: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "dram_scale": round(self.dram_scale, 6),
+            "smem_scale": round(self.smem_scale, 6),
+            "conflict_penalty": round(self.conflict_penalty, 6),
+            "issue_scale": round(self.issue_scale, 6),
+            "samples": self.samples,
+        }
+
+
+def _fit_through_origin(pairs: List[Tuple[float, float]],
+                        default: float = 1.0) -> float:
+    """Least-squares slope of ``y = c * x`` through the origin."""
+    num = sum(x * y for x, y in pairs)
+    den = sum(x * x for x, _ in pairs)
+    return num / den if den > 0.0 else default
+
+
+def fit_coefficients(
+    arch: "Architecture | str" = "ampere",
+    cases: Optional[List[Tuple[str, "KernelConfig", float, bool]]] = None,
+    seed: int = 0,
+) -> FittedCoefficients:
+    """Regress the refinement coefficients from profiled calibration runs.
+
+    Runs the same kernels :func:`calibrate` drifts against, but instead
+    of judging the model it fits the correction: every profiled counter
+    (global bytes, shared bytes, conflict degree, instruction issues)
+    is paired with the analytical prediction and the per-resource
+    scale is the least-squares slope through the origin.
+    """
+    from ..kernels import build
+    from ..sim import Simulator
+
+    if isinstance(arch, str):
+        arch = ARCHITECTURES[arch]
+    dram: List[Tuple[float, float]] = []
+    smem: List[Tuple[float, float]] = []
+    conflict: List[Tuple[float, float]] = []
+    issues: List[Tuple[float, float]] = []
+    sampled = 0
+    for name, cfg, _smem_tol, check_conflicts in (
+            cases if cases is not None else calibration_cases()):
+        kernel = build(cfg)
+        result = Simulator(arch).run(kernel, _bindings(kernel, seed),
+                                     profile=True)
+        profile = result.profile
+        counts = count_kernel(kernel, arch)
+        sampled += 1
+        dram.append((counts.dram_read_bytes + counts.dram_write_bytes,
+                     float(profile.global_load_bytes
+                           + profile.global_store_bytes)))
+        if counts.smem_bytes or profile.shared_bytes:
+            smem.append((counts.smem_bytes, float(profile.shared_bytes)))
+        static_degree = bank_conflict_degree(kernel)
+        if check_conflicts and static_degree > 1.0:
+            measured = profile.worst_conflict_degree("ldmatrix")
+            conflict.append((static_degree - 1.0, max(0.0, measured - 1.0)))
+        if counts.instructions and profile.issues(""):
+            issues.append((counts.instructions, float(profile.issues(""))))
+    return FittedCoefficients(
+        dram_scale=_fit_through_origin(dram),
+        smem_scale=_fit_through_origin(smem),
+        conflict_penalty=_fit_through_origin(conflict),
+        issue_scale=_fit_through_origin(issues),
+        samples=sampled,
+    )
+
+
+class FittedOracle:
+    """A tuner oracle costing with calibration-fitted coefficients.
+
+    Drop-in for :func:`repro.tuner.search.perfmodel_oracle`: callable
+    as ``oracle(kernel, arch) -> CostBreakdown``.  The roofline runs
+    with the DRAM/shared-memory components scaled by the fitted
+    byte-count corrections, the bank-conflict penalty replaced by the
+    fitted excess-degree slope, and an additive issue-overhead term —
+    fitted instruction issues charged at the architecture's warp issue
+    rate — that separates candidates the pure bandwidth roofline ties.
+    Holds only plain floats, so it pickles to fleet workers.
+    """
+
+    def __init__(self, coefficients: FittedCoefficients):
+        self.coefficients = coefficients
+
+    #: FP32 FLOPs one warp-level FMA issue retires (32 lanes x mul+add):
+    #: converts the architecture's FMA peak into a warp issue rate.
+    _FLOPS_PER_ISSUE = 64.0
+
+    def issue_seconds(self, instructions: float, arch: Architecture) -> float:
+        """Seconds the fitted issue stream needs at the warp issue rate."""
+        issue_rate = arch.fp32_tflops * 1e12 / self._FLOPS_PER_ISSUE
+        return instructions * self.coefficients.issue_scale / issue_rate
+
+    def __call__(self, kernel, arch: Architecture):
+        from .model import (
+            CostBreakdown, Efficiency, LIBRARY_CLASS, KernelEstimate,
+            PerfModel, bank_conflict_degree,
+        )
+
+        c = self.coefficients
+        counts = count_kernel(kernel, arch)
+        static = bank_conflict_degree(kernel)
+        fitted_degree = 1.0 + max(0.0, c.conflict_penalty) * (static - 1.0)
+        base = LIBRARY_CLASS
+        # Scaling measured = c * modelled bytes is equivalent to
+        # dividing the achievable-efficiency envelope by c.
+        eff = Efficiency(
+            tensor=base.tensor, fma=base.fma,
+            dram=base.dram / max(c.dram_scale, 1e-9),
+            smem=base.smem / max(c.smem_scale, 1e-9),
+        )
+        est = PerfModel(arch).estimate_counts(
+            counts, kernel.name, efficiency=eff,
+            bank_conflict_factor=fitted_degree,
+        )
+        seconds = est.seconds + self.issue_seconds(counts.instructions, arch)
+        fitted = KernelEstimate(
+            kernel.name, seconds, est.compute_seconds, est.dram_seconds,
+            est.smem_seconds, est.launch_seconds, counts, arch,
+        )
+        return CostBreakdown(
+            name=kernel.name,
+            time_seconds=fitted.total_seconds,
+            kernel_seconds=fitted.seconds,
+            flops=counts.total_flops,
+            tensor_flops=counts.tensor_flops,
+            dram_bytes=counts.dram_bytes,
+            smem_bytes=counts.smem_bytes,
+            smem_bank_conflicts=fitted_degree,
+            compute_fraction=fitted.compute_fraction,
+            memory_fraction=fitted.memory_fraction,
+            estimate=fitted,
+            counts=counts,
+        )
+
+
+def rank_agreement(ranking_a: List[str], ranking_b: List[str]) -> float:
+    """Pairwise order agreement between two rankings of the same items.
+
+    The fraction of unordered label pairs both rankings order the same
+    way (a Kendall-tau-style statistic mapped to ``[0, 1]``; 1.0 =
+    identical order, 0.5 = uncorrelated).  Only labels present in both
+    rankings participate; fewer than two shared labels yield 1.0.
+    """
+    common = [label for label in ranking_a if label in set(ranking_b)]
+    pos_b = {label: i for i, label in enumerate(ranking_b)}
+    total = 0
+    agree = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            total += 1
+            if pos_b[common[i]] < pos_b[common[j]]:
+                agree += 1
+    return agree / total if total else 1.0
+
+
 __all__ = [
     "DEFAULT_TOLERANCE", "FMHA_SMEM_TOLERANCE",
-    "CalibrationRow", "CalibrationReport",
-    "calibrate", "calibration_cases",
+    "CalibrationRow", "CalibrationReport", "FittedCoefficients",
+    "FittedOracle", "calibrate", "calibration_cases", "fit_coefficients",
+    "rank_agreement",
 ]

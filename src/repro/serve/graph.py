@@ -36,6 +36,7 @@ from ..sim.profiler import Profiler
 from ..sim.sanitizer import Sanitizer
 from ..sim.trace import record_trace
 from ..tensor.memspace import GL
+from .pool import shard_ranges
 
 
 class GraphKey:
@@ -301,13 +302,7 @@ class CapturedGraph:
             return self._copy_out()
         self._copy_in(bindings)
         self._reset_machine()
-        shards: List[range] = []
-        base, extra = divmod(self.grid_size, nshards)
-        lo = 0
-        for i in range(nshards):
-            hi = lo + base + (1 if i < extra else 0)
-            shards.append(range(lo, hi))
-            lo = hi
+        shards = shard_ranges(self.grid_size, nshards)
 
         def run_shard(blocks):
             machine = Machine()

@@ -1,0 +1,47 @@
+"""Work-sharding utilities shared by the serve layer and the tuner fleet.
+
+Both consumers split an ordered sequence of independent work items into
+balanced contiguous shards — the serve layer shards a captured graph's
+grid blocks across its shard pool
+(:meth:`repro.serve.graph.CapturedGraph.replay_sharded`), the tuner
+fleet shards a candidate batch across worker processes
+(:mod:`repro.tuner.fleet`).  Contiguity matters for determinism: each
+shard preserves the input order, so concatenating per-shard results in
+shard order reproduces the serial order exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def shard_ranges(total: int, nshards: int) -> List[range]:
+    """Split ``range(total)`` into ``nshards`` balanced contiguous runs.
+
+    Sizes differ by at most one (the first ``total % nshards`` shards
+    are one longer); concatenating the runs in order yields
+    ``range(total)``.  ``nshards`` is clamped to ``[1, total]`` (no
+    empty shards), except ``total == 0`` which returns no shards.
+    """
+    if total <= 0:
+        return []
+    nshards = max(1, min(int(nshards), total))
+    base, extra = divmod(total, nshards)
+    shards: List[range] = []
+    lo = 0
+    for i in range(nshards):
+        hi = lo + base + (1 if i < extra else 0)
+        shards.append(range(lo, hi))
+        lo = hi
+    return shards
+
+
+def shard_sequence(items: Sequence[T], nshards: int) -> List[List[T]]:
+    """Split ``items`` into balanced contiguous chunks, order preserved."""
+    return [[items[i] for i in block]
+            for block in shard_ranges(len(items), nshards)]
+
+
+__all__ = ["shard_ranges", "shard_sequence"]

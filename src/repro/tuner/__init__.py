@@ -34,6 +34,11 @@ from .search import (
 )
 from .space import Candidate, ConfigSpace, GemmSpace, LayernormSpace, \
     MlpSpace, SPACES, get_space, swizzle_for_row
+from . import families as _families  # noqa: F401  registers the other spaces
+from .families import (
+    FmhaSpace, GemmEpilogueSpace, LstmSpace, MovesSpace, NaiveGemmSpace,
+    ParametricGemmSpace, SoftmaxSpace,
+)
 from .verify import GateError, GateResult, check_candidate, run_gate
 
 #: Extra architecture aliases accepted anywhere an arch is named.
@@ -77,6 +82,10 @@ class TuningResult:
     cache_key: Optional[str] = None
     cache_stats: Optional[Dict[str, int]] = None
     search_stats: Optional[Dict[str, int]] = None
+    #: True when a transfer-seeded search produced the winner.
+    transferred: bool = False
+    #: Labels of the cached neighbour winners that seeded the search.
+    seeded_from: List[str] = field(default_factory=list)
 
     def build_kernel(self) -> Kernel:
         """Instantiate the winning configuration at full problem scale."""
@@ -93,6 +102,10 @@ def _resolve_cache(cache) -> Optional[TuningCache]:
     return TuningCache(cache)
 
 
+#: Cached neighbour winners consulted when ``transfer=True``.
+TRANSFER_NEIGHBOURS = 2
+
+
 def tune(
     family: str,
     shape: Dict[str, int],
@@ -106,6 +119,8 @@ def tune(
     oracle: Optional[Oracle] = None,
     seed: int = 0,
     force: bool = False,
+    workers: int = 1,
+    transfer: bool = False,
 ) -> TuningResult:
     """Select the best verified configuration for one kernel launch.
 
@@ -113,81 +128,148 @@ def tune(
     default on-disk cache, overridable via ``GRAPHENE_TUNER_CACHE``) or
     ``False`` (no persistence).  ``force=True`` re-tunes even on a
     cache hit.  ``search`` is ``"beam"`` (default) or ``"exhaustive"``.
+
+    ``workers > 1`` shards candidate evaluation and the correctness
+    gate across a process fleet (:mod:`repro.tuner.fleet`) — the
+    leaderboard and verdicts are bit-identical to the serial path.
+    ``transfer=True`` consults the cache's nearest neighbouring shapes
+    (:meth:`TuningCache.nearest_entries`) and, when any exist, runs a
+    seed-only search (``beam=0``) expanding just the transferred
+    winners' coarse groups instead of cold-searching the space; a seed
+    whose group is illegal here, or whose expansion fails the
+    correctness gate, falls back to the cold ``search`` path.
     """
     space = space or get_space(family)
     shape = space.validate_shape(shape)
     architecture = resolve_arch(arch)
     cache_obj = _resolve_cache(cache)
+    #: Close deferred stats only for caches this call constructed.
+    owns_cache = cache_obj is not None and not isinstance(cache, TuningCache)
     key = TuningCache.make_key(
         space.family, shape, space.dtype, architecture.name
     )
 
-    if cache_obj is not None and not force:
-        entry = cache_obj.get(key)
-        if entry is not None:
-            winner = space.candidate_from_params(entry["params"])
+    try:
+        if cache_obj is not None and not force:
+            entry = cache_obj.get(key)
+            if entry is not None:
+                winner = space.candidate_from_params(entry["params"])
+                return TuningResult(
+                    family=space.family, shape=shape, arch=architecture,
+                    space=space, winner=winner,
+                    score_seconds=entry["score_us"] * 1e-6,
+                    launches=entry.get("launches", 1), cost=None,
+                    cache_hit=True, cache_key=key,
+                    cache_stats=cache_obj.stats,
+                )
+
+        seeds: List[Candidate] = []
+        if transfer and cache_obj is not None:
+            for _nkey, entry, _distance in cache_obj.nearest_entries(
+                    key, k=TRANSFER_NEIGHBOURS):
+                try:
+                    seeds.append(space.candidate_from_params(entry["params"]))
+                except (KeyError, TypeError, ValueError):
+                    continue  # stale entry from an older space revision
+
+        from .fleet import FleetEvaluator, run_gate_fleet
+
+        def finish(result, transferred, via_gate_fleet, evaluator):
+            if not result.ranked:
+                raise TuningError(
+                    f"the {space.family} space is empty for shape {shape} "
+                    f"on {architecture.name} ({result.total_candidates} raw "
+                    f"candidates, {len(result.skipped)} skipped)"
+                )
+            if via_gate_fleet:
+                winner_rc, gate_results = run_gate_fleet(
+                    space, architecture, result.ranked, shape, top_k=top_k,
+                    seed=seed, evaluator=evaluator,
+                )
+            else:
+                winner_rc, gate_results = run_gate(
+                    space, architecture, result.ranked, shape, top_k=top_k,
+                    seed=seed,
+                )
+            if cache_obj is not None:
+                cache_obj.put(key, {
+                    "family": space.family,
+                    "label": winner_rc.candidate.label,
+                    "params": winner_rc.candidate.json_params(),
+                    "score_us": winner_rc.score_seconds * 1e6,
+                    "launches": winner_rc.launches,
+                    "tflops": winner_rc.cost.tflops(),
+                    "smem_bank_conflicts":
+                        winner_rc.cost.smem_bank_conflicts,
+                    "searched": result.evaluated,
+                })
             return TuningResult(
                 family=space.family, shape=shape, arch=architecture,
-                space=space, winner=winner,
-                score_seconds=entry["score_us"] * 1e-6,
-                launches=entry.get("launches", 1), cost=None,
-                cache_hit=True, cache_key=key,
-                cache_stats=cache_obj.stats,
+                space=space, winner=winner_rc.candidate,
+                score_seconds=winner_rc.score_seconds,
+                launches=winner_rc.launches, cost=winner_rc.cost,
+                ranked=result.ranked, gate_results=gate_results,
+                cache_hit=False, cache_key=key,
+                cache_stats=cache_obj.stats if cache_obj is not None
+                else None,
+                search_stats={
+                    "total_candidates": result.total_candidates,
+                    "evaluated": result.evaluated,
+                    "pruned": result.pruned,
+                    "skipped": len(result.skipped),
+                },
+                transferred=transferred,
+                seeded_from=list(result.seeded_from),
             )
 
-    if search == "beam":
-        result = beam_search(space, shape, architecture, beam=beam,
-                             oracle=oracle)
-    elif search == "exhaustive":
-        result = exhaustive_search(space, shape, architecture, oracle=oracle)
-    else:
-        raise TuningError(
-            f"unknown search driver {search!r}; use 'beam' or 'exhaustive'"
-        )
-    if not result.ranked:
-        raise TuningError(
-            f"the {space.family} space is empty for shape {shape} on "
-            f"{architecture.name} ({result.total_candidates} raw "
-            f"candidates, {len(result.skipped)} skipped)"
-        )
+        parallel = workers > 1
+        with FleetEvaluator(workers) if parallel else _null_context() \
+                as fleet:
+            if seeds:
+                try:
+                    result = beam_search(
+                        space, shape, architecture, beam=0, oracle=oracle,
+                        evaluator=fleet, seeds=seeds,
+                    )
+                    return finish(result, True, parallel, fleet)
+                except (ValueError, GateError):
+                    # No seed group legal here, or every transferred
+                    # expansion failed verification: cold-search.
+                    pass
+            if search == "beam":
+                result = beam_search(space, shape, architecture, beam=beam,
+                                     oracle=oracle, evaluator=fleet)
+            elif search == "exhaustive":
+                result = exhaustive_search(space, shape, architecture,
+                                           oracle=oracle, evaluator=fleet)
+            else:
+                raise TuningError(
+                    f"unknown search driver {search!r}; use 'beam' or "
+                    f"'exhaustive'"
+                )
+            return finish(result, False, parallel, fleet)
+    finally:
+        if owns_cache:
+            cache_obj.close()
 
-    winner_rc, gate_results = run_gate(
-        space, architecture, result.ranked, shape, top_k=top_k, seed=seed
-    )
 
-    if cache_obj is not None:
-        cache_obj.put(key, {
-            "family": space.family,
-            "label": winner_rc.candidate.label,
-            "params": winner_rc.candidate.json_params(),
-            "score_us": winner_rc.score_seconds * 1e6,
-            "launches": winner_rc.launches,
-            "tflops": winner_rc.cost.tflops(),
-            "smem_bank_conflicts": winner_rc.cost.smem_bank_conflicts,
-            "searched": result.evaluated,
-        })
+class _null_context:
+    """Stands in for a fleet when tuning runs serially."""
 
-    return TuningResult(
-        family=space.family, shape=shape, arch=architecture, space=space,
-        winner=winner_rc.candidate, score_seconds=winner_rc.score_seconds,
-        launches=winner_rc.launches, cost=winner_rc.cost,
-        ranked=result.ranked, gate_results=gate_results,
-        cache_hit=False, cache_key=key,
-        cache_stats=cache_obj.stats if cache_obj is not None else None,
-        search_stats={
-            "total_candidates": result.total_candidates,
-            "evaluated": result.evaluated,
-            "pruned": result.pruned,
-            "skipped": len(result.skipped),
-        },
-    )
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
 
 
 __all__ = [
-    "ARCH_ALIASES", "Candidate", "ConfigSpace", "GateError", "GateResult",
-    "GemmSpace", "LayernormSpace", "MlpSpace", "Oracle", "RankedCandidate",
-    "SPACES", "SearchResult", "TuningCache", "TuningError", "TuningResult",
-    "beam_search", "check_candidate", "default_cache_path",
+    "ARCH_ALIASES", "Candidate", "ConfigSpace", "FmhaSpace", "GateError",
+    "GateResult", "GemmEpilogueSpace", "GemmSpace", "LayernormSpace",
+    "LstmSpace", "MlpSpace", "MovesSpace", "NaiveGemmSpace", "Oracle",
+    "ParametricGemmSpace", "RankedCandidate", "SPACES", "SearchResult",
+    "SoftmaxSpace", "TRANSFER_NEIGHBOURS", "TuningCache", "TuningError",
+    "TuningResult", "beam_search", "check_candidate", "default_cache_path",
     "exhaustive_search", "get_space", "perfmodel_oracle", "resolve_arch",
     "run_gate", "swizzle_for_row", "tune",
 ]

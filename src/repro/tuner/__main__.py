@@ -5,6 +5,12 @@ Usage::
     python -m repro.tuner gemm --arch sm86 --m 5376 --n 5376 --k 2048
     python -m repro.tuner layernorm --rows 12288 --hidden 1024
     python -m repro.tuner mlp --m 4096 --hidden 128 --layers 20
+    python -m repro.tuner fmha --batch-heads 16 --seq 512 --head-dim 64
+    python -m repro.tuner tune-all --workers 4 --transfer
+
+``tune-all`` sweeps every registered family over the benchmark roster
+three ways (serial / parallel fleet / parallel+transfer) and writes
+``BENCH_tuner.json``; see :mod:`repro.eval.tuner_bench`.
 """
 
 from __future__ import annotations
@@ -13,8 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import TuningError, get_space, resolve_arch, tune
-from .space import GemmSpace
+from . import SPACES, TuningError, get_space, resolve_arch, tune
 from .verify import GateError
 
 
@@ -35,23 +40,35 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.tuner",
         description="Search a kernel family's Graphene decomposition "
         "space; rank with the performance model; verify the winners in "
-        "the functional simulator.",
+        "the functional simulator.  'tune-all' benchmarks the whole "
+        "roster (serial vs fleet vs fleet+transfer).",
     )
-    parser.add_argument("family", choices=("gemm", "layernorm", "mlp"))
+    parser.add_argument("family", choices=sorted(SPACES) + ["tune-all"])
     parser.add_argument("--arch", default="sm86",
                         help="ampere/sm86 or volta/sm70 (default sm86)")
-    parser.add_argument("--m", type=int, help="GEMM/MLP rows")
+    parser.add_argument("--m", type=int, help="GEMM/MLP/LSTM rows")
     parser.add_argument("--n", type=int, help="GEMM columns")
     parser.add_argument("--k", type=int, help="GEMM reduction depth")
-    parser.add_argument("--rows", type=int, help="layernorm rows")
+    parser.add_argument("--rows", type=int, help="layernorm/softmax rows")
+    parser.add_argument("--cols", type=int, help="softmax columns")
     parser.add_argument("--hidden", type=int, help="layernorm/MLP width")
     parser.add_argument("--layers", type=int, help="MLP layer count")
+    parser.add_argument("--batch-heads", type=int,
+                        help="FMHA batch x heads product")
+    parser.add_argument("--seq", type=int, help="FMHA sequence length")
+    parser.add_argument("--head-dim", type=int, help="FMHA head dimension")
     parser.add_argument("--search", choices=("beam", "exhaustive"),
                         default="beam")
     parser.add_argument("--beam", type=int, default=6,
                         help="surviving coarse groups in beam search")
     parser.add_argument("--top", type=int, default=3,
                         help="candidates the correctness gate executes")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-fleet width for evaluation and the "
+                        "gate (1 = serial)")
+    parser.add_argument("--transfer", action="store_true",
+                        help="seed the search from the nearest cached "
+                        "shapes (cross-shape transfer)")
     parser.add_argument("--rows-shown", type=int, default=10,
                         help="leaderboard rows to print")
     parser.add_argument("--cache", default=None,
@@ -66,15 +83,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--block-tiles", type=str, default=None,
                         help="restrict GEMM block tiles, e.g. "
                         "'128x128x32,64x64x32'")
+    parser.add_argument("--out-dir", default="bench_artifacts",
+                        help="tune-all: artifact directory")
+    parser.add_argument("--quick", action="store_true",
+                        help="tune-all: the reduced smoke roster")
     return parser
 
 
-#: The paper's Figure 9 problem sizes, used when shape flags are omitted.
+#: The paper's Figure 9 problem sizes (and roster-scale sizes for the
+#: families the paper benchmarks at one shape), used when shape flags
+#: are omitted.
 _DEFAULT_SHAPES = {
     ("gemm", "ampere"): {"m": 5376, "n": 5376, "k": 2048},
     ("gemm", "volta"): {"m": 5120, "n": 5120, "k": 2048},
+    ("gemm_epilogue", None): {"m": 2048, "n": 2048, "k": 512},
+    ("gemm_naive", None): {"m": 512, "n": 512, "k": 128},
+    ("gemm_parametric", None): {"m": 1000, "n": 256, "k": 128},
     ("layernorm", None): {"rows": 12288, "hidden": 1024},
     ("mlp", None): {"m": 4096, "hidden": 128, "layers": 12},
+    ("lstm", None): {"m": 1024, "n": 1024, "k": 256},
+    ("softmax", None): {"rows": 4096, "cols": 1024},
+    ("fmha", None): {"batch_heads": 16, "seq": 512, "head_dim": 64},
+    ("moves", None): {},
 }
 
 
@@ -86,7 +116,10 @@ def _shape_from_args(args, arch) -> dict:
     )
     provided = {
         "m": args.m, "n": args.n, "k": args.k,
-        "rows": args.rows, "hidden": args.hidden, "layers": args.layers,
+        "rows": args.rows, "cols": args.cols,
+        "hidden": args.hidden, "layers": args.layers,
+        "batch_heads": args.batch_heads, "seq": args.seq,
+        "head_dim": args.head_dim,
     }
     shape = dict(defaults)
     shape.update({k: v for k, v in provided.items() if v is not None})
@@ -118,9 +151,41 @@ def _format_leaderboard(result, rows_shown: int) -> str:
     return "\n".join(lines)
 
 
+def _main_tune_all(args) -> int:
+    from ..eval.tuner_bench import run_tuner_bench
+
+    workers = args.workers if args.workers > 1 else None
+    path = run_tuner_bench(
+        arch=args.arch, workers=workers, outdir=args.out_dir,
+        quick=args.quick, seed=args.seed, transfer=True,
+    )
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    modes = payload["modes"]
+    print(f"tune-all over {payload['families']} families "
+          f"({payload['tuned_shapes']} shapes) on {payload['arch']}, "
+          f"{payload['workers']} workers")
+    print(f"  serial:            {modes['serial']['wall_seconds']:8.2f}s")
+    print(f"  parallel:          {modes['parallel']['wall_seconds']:8.2f}s "
+          f"(identical to serial: "
+          f"{modes['parallel']['identical_to_serial']})")
+    print(f"  parallel+transfer: "
+          f"{modes['parallel_transfer']['wall_seconds']:8.2f}s")
+    print(f"speedup vs serial: "
+          f"{payload['speedup_parallel_transfer_vs_serial']}x "
+          f"(target {payload['target_speedup']}x, "
+          f"meets: {payload['meets_target']})")
+    print(f"wrote {path}")
+    return 0 if payload["meets_target"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.family == "tune-all":
+            return _main_tune_all(args)
         arch = resolve_arch(args.arch)
         space_kwargs = {}
         if args.family == "gemm" and args.block_tiles:
@@ -134,7 +199,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = tune(
             args.family, shape, arch, space=space, cache=cache,
             search=args.search, beam=args.beam, top_k=args.top,
-            seed=args.seed, force=args.force,
+            seed=args.seed, force=args.force, workers=args.workers,
+            transfer=args.transfer,
         )
     except (TuningError, GateError, ValueError,
             argparse.ArgumentTypeError) as exc:
@@ -153,6 +219,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{stats['total_candidates']} candidates "
             f"({stats['pruned']} beam-pruned, {stats['skipped']} skipped)"
         )
+        if result.transferred:
+            print(f"transfer-seeded from: "
+                  f"{', '.join(result.seeded_from)}")
         print()
         print(_format_leaderboard(result, args.rows_shown))
         print()

@@ -6,14 +6,29 @@ so a crashed or concurrent run can never leave a half-written file; a
 corrupted or unreadable file degrades to an empty cache (the caller
 re-tunes and the next put rewrites it).  Hit/miss counters persist in
 the file itself, so cache effectiveness is visible across processes.
+
+Persistence is *deferred*: lookups only mutate in-memory state and set
+a dirty flag; the file is written on :meth:`TuningCache.put` and
+:meth:`TuningCache.flush`/:meth:`TuningCache.close` (the cache is also
+a context manager).  A read-heavy tuning session therefore performs at
+most one write — earlier revisions rewrote the whole file on every
+``get``, which made cache lookups the slowest part of a warm run.
+
+Beyond exact lookups, the cache supports *cross-shape transfer*:
+:meth:`TuningCache.nearest_entries` parses the canonical keys back into
+structured ``(family, shape, dtype, arch)`` records and returns the
+cached winners of the nearest neighbouring shapes, which the tuner uses
+to seed beam search instead of cold-searching every new problem.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 #: Environment override for the default on-disk location.
 CACHE_ENV_VAR = "GRAPHENE_TUNER_CACHE"
@@ -26,17 +41,83 @@ def default_cache_path() -> str:
     return os.environ.get(CACHE_ENV_VAR, DEFAULT_CACHE_FILENAME)
 
 
+@dataclass(frozen=True)
+class ParsedKey:
+    """One cache key parsed back into its structured components."""
+
+    family: str
+    shape: Dict[str, int]
+    dtype: str
+    arch: str
+    layout: Optional[str] = None
+
+    @property
+    def shape_axes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.shape))
+
+
+def parse_key(key: str) -> Optional[ParsedKey]:
+    """Parse a :meth:`TuningCache.make_key` string; None if malformed."""
+    parts = key.split("|")
+    if len(parts) < 4:
+        return None
+    family, dims, dtype, arch = parts[0], parts[1], parts[2], parts[3]
+    if not dtype.startswith("dtype=") or not arch.startswith("arch="):
+        return None
+    layout = None
+    if len(parts) >= 5:
+        if not parts[4].startswith("layout="):
+            return None
+        layout = parts[4][len("layout="):]
+    shape: Dict[str, int] = {}
+    if dims:
+        for item in dims.split(","):
+            name, _, value = item.partition("=")
+            try:
+                shape[name] = int(value)
+            except ValueError:
+                return None
+    return ParsedKey(family=family, shape=shape,
+                     dtype=dtype[len("dtype="):], arch=arch[len("arch="):],
+                     layout=layout)
+
+
+def key_distance(a: ParsedKey, b: ParsedKey) -> Optional[float]:
+    """Shape distance between two comparable tuning problems.
+
+    Euclidean distance in log2 space over the shared shape axes —
+    doubling any one dimension costs 1.0 regardless of its absolute
+    magnitude, so ``(m=512, k=64)`` is as near to ``(m=1024, k=64)`` as
+    ``(m=4096, k=64)`` is to ``(m=8192, k=64)``.  Symmetric by
+    construction.  Returns ``None`` for problems that are not
+    transferable at all: different family/dtype/arch/layout or
+    different shape axes.
+    """
+    if (a.family != b.family or a.dtype != b.dtype or a.arch != b.arch
+            or a.layout != b.layout or a.shape_axes != b.shape_axes):
+        return None
+    total = 0.0
+    for axis in a.shape_axes:
+        va, vb = a.shape[axis], b.shape[axis]
+        if va <= 0 or vb <= 0:
+            return None
+        total += (math.log2(va) - math.log2(vb)) ** 2
+    return math.sqrt(total)
+
+
 class TuningCache:
     """JSON-backed map from tuning keys to winning configurations.
 
     ``path=None`` keeps the cache purely in memory (used by the figure
-    benches, which must not touch the filesystem).
+    benches, which must not touch the filesystem).  Usable as a context
+    manager; :meth:`close` flushes deferred stats updates.
     """
 
     def __init__(self, path: Optional[str] = None):
         self.path = os.fspath(path) if path is not None else None
         self.recovered_from_corruption = False
         self._data = self._load()
+        self._dirty = False
 
     # -- keys ---------------------------------------------------------------
     @staticmethod
@@ -94,6 +175,7 @@ class TuningCache:
 
     def _write(self) -> None:
         if self.path is None:
+            self._dirty = False
             return
         directory = os.path.dirname(os.path.abspath(self.path))
         fd, tmp_path = tempfile.mkstemp(
@@ -109,16 +191,40 @@ class TuningCache:
             except OSError:
                 pass
             raise
+        self._dirty = False
+
+    def flush(self) -> None:
+        """Persist deferred state (hit/miss stats); no-op when clean."""
+        if self._dirty:
+            self._write()
+
+    def close(self) -> None:
+        self.flush()
+
+    def __enter__(self) -> "TuningCache":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def dirty(self) -> bool:
+        """True when in-memory state is ahead of the file."""
+        return self._dirty
 
     # -- access -------------------------------------------------------------
     def get(self, key: str) -> Optional[Dict]:
-        """Look up a tuning entry, updating persistent hit/miss stats."""
+        """Look up a tuning entry, updating in-memory hit/miss stats.
+
+        Lookups never touch the file — the updated stats persist with
+        the next :meth:`put` or :meth:`flush`.
+        """
         entry = self._data["entries"].get(key)
         if entry is None:
             self._data["stats"]["misses"] += 1
         else:
             self._data["stats"]["hits"] += 1
-        self._write()
+        self._dirty = True
         return json.loads(json.dumps(entry)) if entry is not None else None
 
     def put(self, key: str, entry: Dict) -> None:
@@ -128,6 +234,36 @@ class TuningCache:
     def clear(self) -> None:
         self._data = self._empty()
         self._write()
+
+    # -- cross-shape transfer ------------------------------------------------
+    def nearest_entries(self, key: str, k: int = 1) -> \
+            List[Tuple[str, Dict, float]]:
+        """The ``k`` cached problems nearest to ``key`` by shape.
+
+        Returns ``(key, entry, distance)`` tuples sorted by ascending
+        :func:`key_distance` (key string as the deterministic tiebreak),
+        considering only *transferable* entries: same family, dtype,
+        architecture, layout tag and shape axes, at a different shape
+        (an exact-key entry is an ordinary :meth:`get` hit, not a
+        transfer).  Entries whose keys fail to parse are skipped.
+        """
+        target = parse_key(key)
+        if target is None or k <= 0:
+            return []
+        scored: List[Tuple[float, str, Dict]] = []
+        for other_key, entry in self._data["entries"].items():
+            if other_key == key:
+                continue
+            parsed = parse_key(other_key)
+            if parsed is None:
+                continue
+            distance = key_distance(target, parsed)
+            if distance is None:
+                continue
+            scored.append((distance, other_key, entry))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        return [(other_key, json.loads(json.dumps(entry)), distance)
+                for distance, other_key, entry in scored[:k]]
 
     # -- statistics ---------------------------------------------------------
     @property

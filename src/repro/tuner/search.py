@@ -13,13 +13,21 @@ Two drivers are provided:
 * :func:`beam_search` first costs one representative per coarse group
   (for GEMM: per block tile), keeps the best ``beam`` groups, and only
   expands those — pruning the warp/swizzle/stage cross-product of
-  hopeless tilings.
+  hopeless tilings.  ``seeds`` transfers winners cached at neighbouring
+  shapes into the surviving set (see the function docstring).
+
+Both drivers funnel every kernel build + costing through a *batch
+evaluator* — a callable mapping a candidate batch to results in input
+order.  The default :func:`serial_evaluator` runs in-process; the
+fleet driver (:mod:`repro.tuner.fleet`) substitutes a process-pool
+evaluator, and because the drivers' control flow never depends on who
+evaluated the batch, both produce bit-identical leaderboards.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..arch.gpu import Architecture
 from ..perfmodel import CostBreakdown, estimate_kernel
@@ -58,6 +66,9 @@ class SearchResult:
     evaluated: int
     pruned: int
     skipped: List[str] = field(default_factory=list)
+    #: Labels of transfer seeds whose coarse group exists in this space
+    #: (populated by seeded :func:`beam_search` only).
+    seeded_from: List[str] = field(default_factory=list)
 
     @property
     def best(self) -> RankedCandidate:
@@ -66,29 +77,63 @@ class SearchResult:
         return self.ranked[0]
 
 
-def _evaluate(
+#: One evaluation outcome: the ranked candidate, or the skip message
+#: explaining why the build/costing rejected it.
+EvalOutcome = Tuple[Optional[RankedCandidate], Optional[str]]
+#: Batch evaluator: maps candidates to outcomes *in input order*.
+Evaluator = Callable[
+    [ConfigSpace, Sequence[Candidate], Dict[str, int], Architecture, Oracle],
+    List[EvalOutcome],
+]
+
+
+def evaluate_candidate(
     space: ConfigSpace,
     candidate: Candidate,
     shape: Dict[str, int],
     arch: Architecture,
     oracle: Oracle,
-    skipped: List[str],
-) -> Optional[RankedCandidate]:
+) -> EvalOutcome:
+    """Build + cost one candidate; skip (with the reason) on rejection."""
     try:
         kernel = space.build(candidate, shape)
         cost = oracle(kernel, arch)
     except ValueError as exc:
         # A pruning predicate missed a structural constraint; record and
         # keep searching rather than aborting the sweep.
-        skipped.append(f"{candidate.label}: {exc}")
-        return None
+        return None, f"{candidate.label}: {exc}"
     launches = space.launches(candidate, shape)
     return RankedCandidate(
         candidate=candidate,
         cost=cost,
         score_seconds=launches * cost.time_seconds,
         launches=launches,
-    )
+    ), None
+
+
+def serial_evaluator(
+    space: ConfigSpace,
+    candidates: Sequence[Candidate],
+    shape: Dict[str, int],
+    arch: Architecture,
+    oracle: Oracle,
+) -> List[EvalOutcome]:
+    """The in-process batch evaluator (the serial path)."""
+    return [evaluate_candidate(space, c, shape, arch, oracle)
+            for c in candidates]
+
+
+def _collect(outcomes: List[EvalOutcome], ranked: List[RankedCandidate],
+             skipped: List[str]) -> List[Optional[RankedCandidate]]:
+    """Split outcomes into the ranked/skipped accumulators, in order."""
+    results: List[Optional[RankedCandidate]] = []
+    for rc, skip in outcomes:
+        if rc is not None:
+            ranked.append(rc)
+        elif skip is not None:
+            skipped.append(skip)
+        results.append(rc)
+    return results
 
 
 def _sorted(ranked: List[RankedCandidate]) -> List[RankedCandidate]:
@@ -101,20 +146,19 @@ def exhaustive_search(
     shape: Dict[str, int],
     arch: Architecture,
     oracle: Optional[Oracle] = None,
+    evaluator: Optional[Evaluator] = None,
 ) -> SearchResult:
     """Cost every legal candidate of the space."""
     oracle = oracle or perfmodel_oracle
+    evaluator = evaluator or serial_evaluator
     skipped: List[str] = []
     ranked: List[RankedCandidate] = []
-    total = 0
-    for candidate in space.candidates(shape, arch):
-        total += 1
-        rc = _evaluate(space, candidate, shape, arch, oracle, skipped)
-        if rc is not None:
-            ranked.append(rc)
+    candidates = list(space.candidates(shape, arch))
+    _collect(evaluator(space, candidates, shape, arch, oracle),
+             ranked, skipped)
     return SearchResult(
-        ranked=_sorted(ranked), total_candidates=total,
-        evaluated=total - len(skipped), pruned=0, skipped=skipped,
+        ranked=_sorted(ranked), total_candidates=len(candidates),
+        evaluated=len(candidates) - len(skipped), pruned=0, skipped=skipped,
     )
 
 
@@ -124,6 +168,8 @@ def beam_search(
     arch: Architecture,
     beam: int = 6,
     oracle: Optional[Oracle] = None,
+    evaluator: Optional[Evaluator] = None,
+    seeds: Optional[Sequence[Candidate]] = None,
 ) -> SearchResult:
     """Two-stage pruned search over the space's coarse groups.
 
@@ -131,8 +177,21 @@ def beam_search(
     block tile for GEMM).  Stage 2 fully expands only the ``beam``
     groups whose representative ranked best.  With ``beam`` at least
     the group count this degenerates to :func:`exhaustive_search`.
+
+    ``seeds`` (winning candidates transferred from neighbouring cached
+    shapes) force their coarse groups into the surviving set *in
+    addition to* the ``beam`` stage-1 survivors, so at equal ``beam`` a
+    seeded search explores a superset of the cold search's candidates
+    and can never return a worse winner.  With ``beam=0`` the stage-1
+    representative scan is skipped entirely — only the seed groups are
+    expanded (the aggressive transfer mode; the correctness gate and
+    the caller's cold-search fallback backstop a bad seed).  Seeds
+    whose group does not exist in this space (an illegal tiling at this
+    shape) are dropped; ``beam=0`` with no surviving seed raises
+    :class:`ValueError`.
     """
     oracle = oracle or perfmodel_oracle
+    evaluator = evaluator or serial_evaluator
     skipped: List[str] = []
     groups: Dict[object, List[Candidate]] = {}
     order: List[object] = []
@@ -145,40 +204,69 @@ def beam_search(
             order.append(key)
         groups[key].append(candidate)
 
-    rep_by_key: Dict[object, RankedCandidate] = {}
-    for key in order:
-        rc = _evaluate(space, groups[key][0], shape, arch, oracle, skipped)
-        if rc is not None:
-            rep_by_key[key] = rc
+    seed_keys: List[object] = []
+    seeded_from: List[str] = []
+    for seed in seeds or ():
+        try:
+            key = space.coarse_key(seed)
+        except (KeyError, TypeError, ValueError):
+            continue  # stale params from an older space revision
+        if key in groups and key not in seed_keys:
+            seed_keys.append(key)
+            seeded_from.append(seed.label)
+    if beam <= 0 and not seed_keys:
+        raise ValueError(
+            "beam=0 requires at least one transfer seed whose coarse "
+            "group is legal at this shape"
+        )
 
-    by_score = sorted(
-        rep_by_key.items(),
-        key=lambda item: (item[1].score_seconds, item[1].label),
-    )
-    surviving = {key for key, _ in by_score[:beam]}
+    rep_by_key: Dict[object, RankedCandidate] = {}
+    stage1_ran = beam > 0
+    if stage1_ran:
+        # Stage 1: one representative per coarse group.
+        outcomes = evaluator(
+            space, [groups[key][0] for key in order], shape, arch, oracle)
+        stage1 = _collect(outcomes, [], skipped)
+        for key, rc in zip(order, stage1):
+            if rc is not None:
+                rep_by_key[key] = rc
+        by_score = sorted(
+            rep_by_key.items(),
+            key=lambda item: (item[1].score_seconds, item[1].label),
+        )
+        surviving = {key for key, _ in by_score[:beam]}
+        surviving.update(seed_keys)
+    else:
+        # Transfer-only mode: the seeds' groups *are* the beam; nothing
+        # else is costed, not even stage-1 representatives.
+        surviving = set(seed_keys)
+
     ranked: List[RankedCandidate] = []
-    evaluated = 0
     pruned = 0
+    expansion: List[Candidate] = []
     for key in order:
         members = groups[key]
         if key not in surviving:
             pruned += len(members)
             continue
-        ranked.append(rep_by_key[key])
-        evaluated += 1
-        for candidate in members[1:]:
-            rc = _evaluate(space, candidate, shape, arch, oracle, skipped)
-            evaluated += 1
-            if rc is not None:
-                ranked.append(rc)
+        if key in rep_by_key:
+            ranked.append(rep_by_key[key])
+        # With stage 1 run, the representative's verdict is already in
+        # (ranked or skipped) — never re-evaluate it.
+        expansion.extend(members[1:] if stage1_ran else members)
+    _collect(evaluator(space, expansion, shape, arch, oracle),
+             ranked, skipped)
+    # Like the serial accounting has always worked: evaluations that
+    # produced a ranking count, candidates a predicate skipped do not.
+    evaluated = len(rep_by_key) + len(expansion)
     # Representatives of pruned groups stay on the leaderboard so the
     # report shows *why* their tiling lost.
     for key in order:
         if key not in surviving and key in rep_by_key:
             ranked.append(rep_by_key[key])
-            evaluated += 1
             pruned -= 1
     return SearchResult(
         ranked=_sorted(ranked), total_candidates=total,
         evaluated=evaluated, pruned=pruned, skipped=skipped,
+        seeded_from=seeded_from,
     )

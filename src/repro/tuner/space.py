@@ -135,6 +135,13 @@ class ConfigSpace:
         """
         raise NotImplementedError
 
+    def verification_symbols(self, candidate: Candidate,
+                             vshape: Dict[str, int]) -> Optional[Dict[str, int]]:
+        """Symbol bindings the verification launch needs (parametric
+        kernels bind their symbolic dimensions here); ``None`` for the
+        fully static families."""
+        return None
+
 
 def swizzle_for_row(row_elems: int) -> Optional[Swizzle]:
     """Bank-spreading XOR swizzle for fp16 rows of ``row_elems`` values.

@@ -74,7 +74,9 @@ def check_candidate(
         vshape = space.verification_shape(candidate, shape)
         kernel = space.build(candidate, vshape)
         bindings, checks = space.verification_problem(candidate, vshape, seed)
-        result = Simulator(arch).run(kernel, bindings, options=options)
+        symbols = space.verification_symbols(candidate, vshape)
+        result = Simulator(arch).run(kernel, bindings, symbols,
+                                     options=options)
         kernel_profile = result.profile
     except SanitizerError as exc:
         return GateResult(candidate, False, None,

@@ -6,12 +6,15 @@ profiler's measurements within the documented tolerances, and a model
 that drifts must be *detected* (not silently reported as calibrated).
 """
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.perfmodel.calibrate import (
-    DEFAULT_TOLERANCE, CalibrationReport, CalibrationRow, calibrate,
-    calibration_cases,
+    DEFAULT_TOLERANCE, CalibrationReport, CalibrationRow, FittedCoefficients,
+    FittedOracle, calibrate, calibration_cases, fit_coefficients,
+    rank_agreement,
 )
 
 
@@ -98,3 +101,76 @@ class TestDriftDetection:
         assert 0 < DEFAULT_TOLERANCE < 1
         for _, _, smem_tol, _ in calibration_cases():
             assert smem_tol >= DEFAULT_TOLERANCE
+
+
+class TestFittedOracle:
+    """The refinement loop: profiler counters -> coefficients -> oracle."""
+
+    @pytest.fixture(scope="class")
+    def coeffs(self):
+        return fit_coefficients("ampere")
+
+    def test_coefficients_finite_positive_and_reproducible(self, coeffs):
+        for value in (coeffs.dram_scale, coeffs.smem_scale,
+                      coeffs.issue_scale):
+            assert np.isfinite(value) and value > 0
+        assert coeffs.conflict_penalty >= 0
+        assert coeffs.samples > 0
+        again = fit_coefficients("ampere")
+        assert again.as_dict() == coeffs.as_dict()
+
+    def test_scales_near_unity(self, coeffs):
+        """The default model is already calibrated: fitted corrections
+        refine it, they don't rescue it."""
+        for value in (coeffs.dram_scale, coeffs.smem_scale,
+                      coeffs.issue_scale):
+            assert 0.5 < value < 2.0
+
+    def test_oracle_pickles_for_the_fleet(self, coeffs):
+        oracle = FittedOracle(coeffs)
+        clone = pickle.loads(pickle.dumps(oracle))
+        assert clone.coefficients.as_dict() == coeffs.as_dict()
+
+    def test_oracle_ranks_whole_space(self, coeffs):
+        from repro.tuner import resolve_arch
+        from repro.tuner.search import exhaustive_search
+        from tests.tuner.conftest import tiny_gemm_space
+
+        arch = resolve_arch("ampere")
+        space = tiny_gemm_space()
+        shape = {"m": 256, "n": 256, "k": 128}
+        fitted = exhaustive_search(space, shape, arch,
+                                   oracle=FittedOracle(coeffs))
+        default = exhaustive_search(space, shape, arch)
+        assert len(fitted.ranked) == len(default.ranked)
+        assert all(rc.score_seconds > 0 for rc in fitted.ranked)
+        # Fitted scores differ from default ones (the corrections bite)
+        # but the agreement between the orders is scored, not assumed.
+        agreement = rank_agreement([rc.label for rc in default.ranked],
+                                   [rc.label for rc in fitted.ranked])
+        assert 0.0 <= agreement <= 1.0
+
+    def test_default_coefficients_are_identity(self):
+        identity = FittedCoefficients()
+        assert identity.dram_scale == identity.smem_scale == 1.0
+        assert identity.conflict_penalty == identity.issue_scale == 1.0
+        assert identity.samples == 0
+
+
+class TestRankAgreement:
+    def test_identical_orders_score_one(self):
+        assert rank_agreement(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_reversed_orders_score_zero(self):
+        assert rank_agreement(["a", "b", "c"], ["c", "b", "a"]) == 0.0
+
+    def test_symmetric(self):
+        a, b = ["a", "b", "c", "d"], ["b", "a", "d", "c"]
+        assert rank_agreement(a, b) == rank_agreement(b, a)
+
+    def test_only_common_labels_count(self):
+        assert rank_agreement(["a", "b", "x"], ["a", "b", "y"]) == 1.0
+
+    def test_degenerate_overlap_scores_one(self):
+        assert rank_agreement(["a"], ["a"]) == 1.0
+        assert rank_agreement(["a"], ["b"]) == 1.0

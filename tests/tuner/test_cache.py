@@ -7,6 +7,8 @@ import pytest
 
 from repro.tuner.cache import TuningCache
 
+pytestmark = pytest.mark.tuner
+
 
 ENTRY = {
     "family": "gemm",
@@ -149,13 +151,13 @@ class TestCorruptionRecovery:
 
 
 class TestStats:
-    def test_hit_miss_counters_persist(self, tmp_path):
+    def test_hit_miss_counters_persist_on_close(self, tmp_path):
         path = tmp_path / "cache.json"
-        cache = TuningCache(path)
-        cache.get("missing")
-        cache.put("k", ENTRY)
-        cache.get("k")
-        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+        with TuningCache(path) as cache:
+            cache.get("missing")
+            cache.put("k", ENTRY)
+            cache.get("k")
+            assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
         reloaded = TuningCache(path)
         assert reloaded.hits == 1
         assert reloaded.misses == 1

@@ -1,0 +1,119 @@
+"""Concurrency and write-amplification stress for the tuning cache.
+
+The cache's durability contract: concurrent writers on one path may
+lose each other's *entries* (atomic replace is last-writer-wins) but
+can never corrupt the file — every surviving state is some writer's
+complete, schema-valid snapshot.  And a read-heavy tuning session
+performs at most one write (the deferred-stats flush), no matter how
+many lookups it serves.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.tuner import TuningCache, tune
+from repro.tuner.cache import _SCHEMA_VERSION
+
+from .conftest import tiny_gemm_space
+
+pytestmark = pytest.mark.tuner
+
+WRITERS = 4
+ENTRIES_PER_WRITER = 25
+ROUNDS = 3
+
+
+def _hammer(path: str, writer: int, barrier) -> None:
+    """One writer process: interleaved put/get/flush traffic."""
+    barrier.wait()  # maximise overlap between writers
+    for round_no in range(ROUNDS):
+        with TuningCache(path) as cache:
+            for i in range(ENTRIES_PER_WRITER):
+                key = f"stress|w={writer},i={i}|dtype=fp16|arch=test"
+                cache.put(key, {"writer": writer, "i": i,
+                                "round": round_no})
+                cache.get(key)
+                cache.get(f"missing|{writer}|dtype=fp16|arch=test")
+
+
+class TestConcurrentWriters:
+    def test_no_corruption_under_parallel_writes(self, tmp_path):
+        path = str(tmp_path / "shared_cache.json")
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(WRITERS)
+        procs = [ctx.Process(target=_hammer, args=(path, w, barrier))
+                 for w in range(WRITERS)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+
+        # The surviving file parses, carries the schema, and every entry
+        # is exactly what some writer wrote — no interleaved garbage.
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert data["version"] == _SCHEMA_VERSION
+        assert data["entries"]
+        for key, entry in data["entries"].items():
+            assert key.startswith("stress|w=")
+            assert entry == {"writer": entry["writer"], "i": entry["i"],
+                             "round": entry["round"]}
+
+        reopened = TuningCache(path)
+        assert reopened.recovered_from_corruption is False
+        assert len(reopened) == len(data["entries"])
+
+    def test_no_stray_temp_files_after_stress(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        procs = [ctx.Process(target=_hammer, args=(path, w, barrier))
+                 for w in range(2)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+        stray = [f for f in os.listdir(tmp_path) if f != "cache.json"]
+        assert stray == []
+
+
+class TestWriteAmplification:
+    def test_tuning_session_writes_at_most_once(self, tmp_path, monkeypatch):
+        """The satellite pin: a warm tune() performs one write, total."""
+        path = str(tmp_path / "cache.json")
+        space = tiny_gemm_space()
+        shape = {"m": 256, "n": 256, "k": 128}
+        tune("gemm", shape, "ampere", space=space, cache=path, top_k=1)
+
+        writes = []
+        original = TuningCache._write
+
+        def counting_write(self):
+            writes.append(1)
+            return original(self)
+
+        monkeypatch.setattr(TuningCache, "_write", counting_write)
+        with TuningCache(path) as cache:
+            for _ in range(50):  # a read-heavy warm session
+                result = tune("gemm", shape, "ampere", space=space,
+                              cache=cache, top_k=1)
+                assert result.cache_hit
+        assert len(writes) == 1  # the single close()-time stats flush
+
+    def test_pure_reads_never_write_until_flush(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        with TuningCache(path) as cache:
+            cache.put("a|m=1|dtype=fp16|arch=test", {"x": 1})
+        stamp = os.stat(path).st_mtime_ns
+        cache = TuningCache(path)
+        for _ in range(100):
+            cache.get("a|m=1|dtype=fp16|arch=test")
+        assert os.stat(path).st_mtime_ns == stamp
+        assert cache.dirty
+        cache.flush()
+        assert not cache.dirty
+        assert os.stat(path).st_mtime_ns != stamp

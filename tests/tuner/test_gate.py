@@ -16,6 +16,8 @@ from repro.tuner.verify import GateError, check_candidate, run_gate
 
 from .conftest import TINY_SHAPE
 
+pytestmark = pytest.mark.tuner
+
 
 class RiggedGemmSpace(GemmSpace):
     """A GEMM space with one sabotaged candidate injected.

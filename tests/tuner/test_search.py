@@ -8,6 +8,8 @@ from repro.tuner.space import GemmSpace, LayernormSpace, MlpSpace, get_space
 
 from .conftest import TINY_SHAPE
 
+pytestmark = pytest.mark.tuner
+
 
 class TestDeterminism:
     def test_exhaustive_is_deterministic(self, tiny_space):

@@ -11,6 +11,8 @@ from repro.tuner.search import perfmodel_oracle
 
 from .conftest import TINY_SHAPE
 
+pytestmark = pytest.mark.tuner
+
 
 class TestTuneSmoke:
     def test_tune_returns_verified_winner(self, tiny_space):
