@@ -9,7 +9,7 @@ A reproduction of Hagedorn et al., ASPLOS 2023.  The public API:
 * :mod:`repro.frontend` — the Python kernel-authoring API;
 * :mod:`repro.codegen` — CUDA C++ generation;
 * :mod:`repro.sim` — the functional GPU simulator;
-* :mod:`repro.arch` — SM70/SM86 atomic-spec tables;
+* :mod:`repro.arch` — the architecture registry (SM70/SM86/SM90 tables);
 * :mod:`repro.perfmodel` — the analytical performance model;
 * :mod:`repro.kernels` — the paper's evaluation kernels;
 * :mod:`repro.graph` — the whole-network fusion compiler;
@@ -22,7 +22,10 @@ The stable v1 graph API is three calls::
     run = net.run()                         # execute + verify vs numpy
 """
 
-from .arch import AMPERE, ARCHITECTURES, VOLTA, Architecture
+from .arch import (
+    AMPERE, ARCHITECTURES, HOPPER, VOLTA, Architecture, architecture,
+    register, registered,
+)
 from .codegen import CudaGenerator, KernelSource
 from .frontend.builder import KernelBuilder
 from .graph import Network, network
@@ -37,7 +40,8 @@ from .threads import ThreadGroup, blocks, threads, warp
 __version__ = "1.0.0"
 
 __all__ = [
-    "AMPERE", "ARCHITECTURES", "VOLTA", "Architecture",
+    "AMPERE", "ARCHITECTURES", "HOPPER", "VOLTA", "Architecture",
+    "architecture", "register", "registered",
     "CudaGenerator", "KernelSource", "KernelBuilder",
     "Layout", "Network", "network", "Swizzle", "col_major", "row_major",
     "KernelProfile", "Machine", "RunResult", "SimulationError",

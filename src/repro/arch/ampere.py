@@ -13,7 +13,7 @@ from ..tensor.dtypes import FP16, FP32
 from ..tensor.memspace import GL, RF, SH
 from . import instructions as X
 from .atomics import common_atomics, generic_move, ldmatrix_atomics
-from .gpu import Architecture
+from .gpu import Architecture, register
 
 
 def _ampere_atomics():
@@ -50,6 +50,7 @@ def _ampere_atomics():
 #: Tensor Cores with fp32 accumulation, 38.7 TFLOP/s fp32 FMA.
 AMPERE = Architecture(
     "RTX A6000", 86, _ampere_atomics(),
+    capabilities=("tensor_core", "ldmatrix", "cp_async"),
     num_sms=84,
     tensor_fp16_tflops=154.8,
     fp32_tflops=38.7,
@@ -59,3 +60,5 @@ AMPERE = Architecture(
     smem_gbps=19_000.0,
     launch_overhead_us=5.0,
 )
+
+register(AMPERE, "ampere", aliases=("sm86", "sm80"))

@@ -87,3 +87,19 @@ def mma_884_c_coord(li: int, r: int) -> Tuple[int, int]:
 
 
 MMA_884_SHAPE = (8, 8, 4)  # (m, n, k)
+
+
+# -- Hopper wgmma.mma_async.m64nNk{16,32} ---------------------------------------
+# Executed by a full warpgroup (128 lanes / 4 warps); A and B stream from
+# shared memory, only the fp32 accumulator lives in registers.  Warp ``w``
+# owns rows ``16w..16w+15``; within a warp the 16xN accumulator repeats
+# the m16n8 C-fragment pattern across n-blocks of 8 columns, so each lane
+# holds ``N/2`` fp32 registers.
+def wgmma_c_coord(li: int, r: int) -> Tuple[int, int]:
+    """C/D-fragment of ``wgmma.m64nN``: lane ``li`` (0..127), register
+    ``r`` (0..N/2-1); returns (m, n)."""
+    warp, lane = li // 32, li % 32
+    group, tig = lane // 4, lane % 4
+    nblock, rr = r // 4, r % 4
+    q, j = rr // 2, rr % 2
+    return 16 * warp + group + 8 * q, 8 * nblock + 2 * tig + j

@@ -117,6 +117,93 @@ def _exec_mma(spec, ctx, sem: "ptx.MmaSemantics"):
         ctx.write_frag(spec.c, env, lane, d_frags[li])
 
 
+# -- Hopper warpgroup mma ---------------------------------------------------------------
+def make_exec_wgmma(instruction: str) -> Callable:
+    """Build the executor for a Hopper ``wgmma.mma_async`` instruction.
+
+    All 128 lanes of the warpgroup cooperate; the A and B operands are
+    shared-memory tiles read once for the whole group (the hardware
+    streams them through descriptors, not the register file), and only
+    the fp32 accumulator is a per-lane register fragment
+    (:func:`repro.arch.fragments.wgmma_c_coord`).
+    """
+
+    sem = ptx.semantics_for(instruction)
+
+    def execute(spec: MatMul, ctx: ExecCtx) -> None:
+        lanes = ctx.lanes
+        if len(lanes) != sem.group:
+            raise ValueError(
+                f"wgmma expects {sem.group} cooperating lanes, "
+                f"got {len(lanes)}"
+            )
+        m, n, k = sem.shape
+        lead = lanes[0]
+        env = ctx.lane_env(lead)
+        a_mat = ctx.read(spec.a, env, lead).reshape((m, k), order="F")
+        b_mat = ctx.read(spec.b, env, lead).reshape((k, n), order="F")
+        c_frags = [
+            ctx.read_frag(spec.c, ctx.lane_env(lane), lane) for lane in lanes
+        ]
+        d_frags = sem.compute_from_tiles(a_mat, b_mat, c_frags)
+        for li, lane in enumerate(lanes):
+            ctx.write_frag(spec.c, ctx.lane_env(lane), lane, d_frags[li])
+
+    return execute
+
+
+# -- Hopper TMA bulk copy -----------------------------------------------------------------
+def exec_tma_bulk_g2s(spec: Move, ctx: ExecCtx) -> None:
+    """TMA ``cp.async.bulk.tensor``: one descriptor-driven tile copy.
+
+    A single instruction issued by the warpgroup moves the whole tile
+    global-to-shared, bypassing the register file.  The copy is
+    *asynchronous*: it is committed against the machine's TMA ledger and
+    only guaranteed visible after the next barrier drains it — reading
+    the destination before that is a simulation error.
+    """
+    lanes = ctx.lanes
+    lead = lanes[0]
+    env = ctx.lane_env(lead)
+    values = ctx.read(spec.src, env, lead, bulk=True)
+    ctx.write(spec.dst, env, lead, values, bulk=True)
+    ctx.machine.tma_commit(ctx.block_id)
+
+
+# -- 2:4 structured-sparsity decompress ---------------------------------------------------
+def exec_sparse24_decompress(spec: Spec, ctx: ExecCtx) -> None:
+    """Expand a 2:4-compressed operand tile to dense in shared memory.
+
+    ``inputs[0]`` is the compressed ``(m, k/2)`` fp16 tile, ``inputs[1]``
+    the ``(m, k/2)`` metadata tile whose entry ``(i, 2g+h)`` names the
+    column (0..3) that value ``h`` of group ``g`` occupies; per group the
+    two indices must be distinct and ascending.  ``outputs[0]`` receives
+    the dense ``(m, k)`` tile with zeros in the pruned positions.
+    """
+    comp, meta = spec.inputs
+    dense = spec.outputs[0]
+    lead = ctx.lanes[0]
+    env = ctx.lane_env(lead)
+    m, half_k = tuple(it.flatten(comp.layout.shape))
+    comp_mat = ctx.read(comp, env, lead).reshape((m, half_k), order="F")
+    meta_mat = ctx.read(meta, env, lead).reshape(
+        (m, half_k), order="F").astype(np.int64)
+    if np.any(meta_mat < 0) or np.any(meta_mat > 3):
+        raise ValueError("2:4 metadata indices must be in 0..3")
+    lo, hi = meta_mat[:, 0::2], meta_mat[:, 1::2]
+    if np.any(lo >= hi):
+        raise ValueError(
+            "2:4 metadata must name two distinct ascending columns "
+            "per group of four"
+        )
+    out = np.zeros((m, 2 * half_k), dtype=comp_mat.dtype)
+    rows = np.arange(m)[:, None]
+    groups = np.arange(half_k // 2)[None, :]
+    out[rows, 4 * groups + lo] = comp_mat[:, 0::2]
+    out[rows, 4 * groups + hi] = comp_mat[:, 1::2]
+    ctx.write(dense, env, lead, np.ravel(out, order="F"))
+
+
 # -- thread-local compute ------------------------------------------------------------
 def exec_thread_matmul(spec: MatMul, ctx: ExecCtx) -> None:
     """Scalar/vector FMA: ``c[i] += a[i] * b[i]`` in fp32 math."""

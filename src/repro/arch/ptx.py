@@ -111,6 +111,22 @@ class MmaSemantics:
             ]
         raise ValueError(f"no warp partition for group size {self.group}")
 
+    def warpgroup_partition(self) -> List[List[int]]:
+        """How a 128-lane warpgroup splits into cooperating groups.
+
+        A warpgroup-scope instruction (``group == 128``) uses all four
+        warps as one group; warp- and quad-pair-scope instructions
+        replicate their :meth:`warp_partition` across the warpgroup's
+        four warps.
+        """
+        if self.group == 128:
+            return [list(range(128))]
+        return [
+            [base + pos for pos in grp]
+            for base in (0, 32, 64, 96)
+            for grp in self.warp_partition()
+        ]
+
     def compute(
         self,
         a_frags: Sequence[np.ndarray],
@@ -146,6 +162,94 @@ class MmaSemantics:
                      dtype=np.float32)
             for li in range(self.group)
         ]
+
+
+class WgmmaSemantics(MmaSemantics):
+    """Dense compute of one Hopper ``wgmma.mma_async`` instruction.
+
+    Unlike ``mma.sync``, the A and B operands are *shared-memory tiles*
+    (descriptor-addressed on hardware), not register fragments — so this
+    class has no a/b coordinate functions and computes from dense
+    ``(m, k)`` / ``(k, n)`` matrices directly.  Only the fp32
+    accumulator is register-resident, fragmented by
+    :func:`repro.arch.fragments.wgmma_c_coord` over the 128 cooperating
+    lanes.  ``in_dtype`` names the operand element format (``"f16"`` or
+    ``"e4m3"``); math is fp32 either way, matching the tensor-core
+    datapath's promote-on-load.
+    """
+
+    __slots__ = ("in_dtype",)
+
+    def __init__(self, shape: Tuple[int, int, int], in_dtype: str):
+        super().__init__(shape, None, None, frag.wgmma_c_coord, group=128)
+        self.in_dtype = in_dtype
+
+    def compute_from_tiles(
+        self,
+        a_mat: np.ndarray,
+        b_mat: np.ndarray,
+        c_frags: Sequence[np.ndarray],
+    ) -> List[np.ndarray]:
+        """``d = a @ b + c`` from dense smem tiles, refragmented.
+
+        ``a_mat``/``b_mat`` are the ``(m, k)``/``(k, n)`` operand tiles;
+        ``c_frags[li]`` lists lane ``li``'s accumulator registers.  The
+        simulator and the emulator both call this — one np.matmul on
+        the same fp32 arrays, so the two paths are bit-identical.
+        """
+        m, n, k = self.shape
+        if a_mat.shape != (m, k) or b_mat.shape != (k, n):
+            raise ValueError(
+                f"wgmma m{m}n{n}k{k} operand tiles must be "
+                f"({m},{k})/({k},{n}), got {a_mat.shape}/{b_mat.shape}"
+            )
+        if len(c_frags) != self.group:
+            raise ValueError(
+                f"wgmma expects {self.group} cooperating lanes, "
+                f"got {len(c_frags)}"
+            )
+        c = np.zeros((m, n), dtype=np.float32)
+        for li in range(self.group):
+            for r, val in enumerate(c_frags[li]):
+                c[self.c_coord(li, r)] = val
+        d = a_mat.astype(np.float32) @ b_mat.astype(np.float32) + c
+        return [
+            np.array(
+                [d[self.c_coord(li, r)] for r in range(len(c_frags[li]))],
+                dtype=np.float32,
+            )
+            for li in range(self.group)
+        ]
+
+
+class TmaSemantics:
+    """One TMA bulk tensor copy (``cp.async.bulk.tensor``).
+
+    A single warpgroup-scope instruction moves a whole 2-D tile between
+    global and shared memory through descriptor-based addressing; the
+    copy is asynchronous and must be committed/awaited before the data
+    is visible (the simulator models the commit/wait ledger in
+    :class:`repro.sim.machine.Machine`).  ``copy_tile`` is the shared
+    data movement both the simulator executor and the emulator run.
+    """
+
+    __slots__ = ("lanes",)
+
+    def __init__(self):
+        self.lanes = 128
+
+    @staticmethod
+    def copy_tile(src: np.ndarray, src_off: int, src_strides,
+                  dst: np.ndarray, dst_off: int, dst_strides,
+                  rows: int, cols: int) -> None:
+        """Copy a ``rows x cols`` tile (pure data movement, bit-exact)."""
+        s_i, s_j = src_strides
+        d_i, d_j = dst_strides
+        ii = np.arange(rows)[:, None]
+        jj = np.arange(cols)[None, :]
+        src_idx = src_off + ii * s_i + jj * s_j
+        dst_idx = dst_off + ii * d_i + jj * d_j
+        dst[dst_idx] = src[src_idx].astype(dst.dtype, copy=False)
 
 
 def shfl_bfly(values: Sequence, xor_mask: int) -> List:
@@ -185,6 +289,11 @@ def _volta_mma() -> MmaSemantics:
 PTX_SEMANTICS: Dict[str, object] = {
     "mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32": _ampere_mma(),
     "mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32": _volta_mma(),
+    "wgmma.mma_async.sync.aligned.m64n64k16.f32.f16.f16":
+        WgmmaSemantics((64, 64, 16), "f16"),
+    "wgmma.mma_async.sync.aligned.m64n64k32.f32.e4m3.e4m3":
+        WgmmaSemantics((64, 64, 32), "e4m3"),
+    "cp.async.bulk.tensor.2d.shared.global": TmaSemantics(),
 }
 for _num in (1, 2, 4):
     for _trans in (False, True):

@@ -13,7 +13,7 @@ from ..tensor.dtypes import FP16, FP32
 from ..tensor.memspace import GL, RF, SH
 from . import instructions as X
 from .atomics import common_atomics, generic_move
-from .gpu import Architecture
+from .gpu import Architecture, register
 
 
 def _volta_atomics():
@@ -56,6 +56,7 @@ def _volta_atomics():
 #: Cores, 15.7 TFLOP/s fp32 FMA.
 VOLTA = Architecture(
     "V100", 70, _volta_atomics(),
+    capabilities=("tensor_core",),
     num_sms=80,
     tensor_fp16_tflops=125.0,
     fp32_tflops=15.7,
@@ -65,3 +66,5 @@ VOLTA = Architecture(
     smem_gbps=15_700.0,
     launch_overhead_us=5.0,
 )
+
+register(VOLTA, "volta", aliases=("sm70",))

@@ -62,7 +62,16 @@ class CudaGenerator:
     # -- public API -------------------------------------------------------------
     def generate(self, kernel: Kernel) -> KernelSource:
         self._check_identifiers(kernel)
-        lines: List[str] = [_PRELUDE]
+        prelude = _PRELUDE
+        if any(
+            t.dtype.c_name.startswith("__nv_fp8")
+            for t in list(kernel.params) + list(kernel.allocations())
+        ):
+            prelude = prelude.replace(
+                "#include <cuda_fp16.h>",
+                "#include <cuda_fp16.h>\n#include <cuda_fp8.h>",
+            )
+        lines: List[str] = [prelude]
         lines.append(self._signature(kernel) + " {")
         body: List[str] = []
         smem_bytes = 0

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Tuple
 from ..ir.expr import Const, IntExpr
 from ..layout import inttuple as it
 from ..specs.base import Spec
-from ..tensor.dtypes import FP16, FP32, DType
+from ..tensor.dtypes import FP8E4M3, FP8E5M2, FP16, FP32, INT32, DType
 from ..tensor.memspace import GL, RF, SH
 from ..tensor.tensor import Tensor, Tile
 
@@ -226,6 +226,140 @@ def emit_mma(spec, atomic, ctx) -> List[str]:
     ]
 
 
+# -- Hopper warpgroup instructions ---------------------------------------------------------
+def _static_2d(tensor: Tensor, what: str) -> Tuple[int, int, int, int]:
+    """A view's static ``(rows, cols, row_stride, col_stride)``.
+
+    The Hopper bulk instructions address whole 2-D tiles through
+    descriptors; this reproduction encodes the descriptor contents
+    (base + strides) as immediate asm operands, so the tile geometry
+    must be compile-time constant.
+    """
+    if not tensor.swizzle.is_identity():
+        raise ValueError(f"{what} does not support swizzled operands")
+    shape = it.flatten(tensor.layout.shape)
+    stride = it.flatten(tensor.layout.stride)
+    dims = [(s, d) for s, d in zip(shape, stride) if s != 1]
+    if len(dims) != 2 or not all(
+        isinstance(s, int) and isinstance(d, int) for s, d in dims
+    ):
+        raise ValueError(
+            f"{what} needs a static 2-D operand tile, got shape "
+            f"{shape} / stride {stride}"
+        )
+    (rows, s_i), (cols, s_j) = dims
+    return rows, cols, s_i, s_j
+
+
+def emit_tma(spec, atomic, ctx) -> List[str]:
+    """TMA bulk tensor copy: one instruction moves the whole 2-D tile.
+
+    The hardware reads the tile geometry from a TensorMap descriptor;
+    here the descriptor fields (base addresses, extents, strides) are
+    spelled out as asm operands so the conformance emulator can execute
+    the same data movement.
+    """
+    src, dst = spec.src, spec.dst
+    rows, cols, s_i, s_j = _static_2d(src, "tma")
+    drows, dcols, d_i, d_j = _static_2d(dst, "tma")
+    if (rows, cols) != (drows, dcols):
+        raise ValueError(
+            f"tma tile mismatch: {rows}x{cols} -> {drows}x{dcols}"
+        )
+    src_base = element_offsets(src)[0][0].to_c()
+    dst_base = element_offsets(dst)[0][0].to_c()
+    addr = ctx.fresh("tma_dst")
+    return [
+        "{",
+        f"    unsigned {addr} = "
+        f"(unsigned)__cvta_generic_to_shared(&{dst.buffer}[{dst_base}]);",
+        f'    asm volatile("{atomic.instruction} '
+        '[%0], [%1], %2, %3, %4, %5, %6, %7;\\n"',
+        f'        : : "r"({addr}), "l"(&{src.buffer}[{src_base}]),',
+        f'            "n"({rows}), "n"({cols}), "n"({s_i}), "n"({s_j}), '
+        f'"n"({d_i}), "n"({d_j}));',
+        "}",
+    ]
+
+
+def emit_wgmma(spec, atomic, ctx) -> List[str]:
+    """Warpgroup mma: A and B stream from shared memory.
+
+    Only the fp32 accumulator fragment lives in registers; the smem
+    operands are descriptor-addressed (base + strides as operands, as
+    for TMA above).
+    """
+    a, b, c = spec.a, spec.b, spec.c
+    _, _, s_ai, s_aj = _static_2d(a, "wgmma")
+    _, _, s_bi, s_bj = _static_2d(b, "wgmma")
+    c_refs = [r for r, _ in element_refs(c)]
+    num = len(c_refs)
+    d_ph = ", ".join(f"%{i}" for i in range(num))
+    asm = (
+        f"{atomic.instruction} {{{d_ph}}}, %{num}, %{num + 1}, "
+        f"%{num + 2}, %{num + 3}, %{num + 4}, %{num + 5};"
+    )
+    c_constraints = ", ".join(f'"+f"({r})' for r in c_refs)
+    a_base = element_offsets(a)[0][0].to_c()
+    b_base = element_offsets(b)[0][0].to_c()
+    a_addr = ctx.fresh("wgmma_a")
+    b_addr = ctx.fresh("wgmma_b")
+    return [
+        "{",
+        f"    unsigned {a_addr} = "
+        f"(unsigned)__cvta_generic_to_shared(&{a.buffer}[{a_base}]);",
+        f"    unsigned {b_addr} = "
+        f"(unsigned)__cvta_generic_to_shared(&{b.buffer}[{b_base}]);",
+        f'    asm volatile("{asm}\\n"',
+        f"        : {c_constraints}",
+        f'        : "r"({a_addr}), "r"({b_addr}), "n"({s_ai}), '
+        f'"n"({s_aj}), "n"({s_bi}), "n"({s_bj}));',
+        "}",
+    ]
+
+
+def emit_sparse_decompress(spec, atomic, ctx) -> List[str]:
+    """Expand a 2:4-compressed smem tile to dense (plain C scatter).
+
+    One thread per row; metadata entries index the surviving columns
+    within each group of four.
+    """
+    comp, meta = spec.inputs
+    dense = spec.outputs[0]
+    rows, half_k, c_i, c_j = _static_2d(comp, "sparse24")
+    _, _, m_i, m_j = _static_2d(meta, "sparse24")
+    _, dcols, d_i, d_j = _static_2d(dense, "sparse24")
+    comp_base = element_offsets(comp)[0][0].to_c()
+    meta_base = element_offsets(meta)[0][0].to_c()
+    dense_base = element_offsets(dense)[0][0].to_c()
+    j = ctx.fresh("sj")
+    g = ctx.fresh("sg")
+    t = "threadIdx.x"
+
+    def comp_at(col: str) -> str:
+        return f"{comp.buffer}[{comp_base} + {t} * {c_i} + ({col}) * {c_j}]"
+
+    def meta_at(col: str) -> str:
+        return (f"(int){meta.buffer}[{meta_base} + {t} * {m_i} + "
+                f"({col}) * {m_j}]")
+
+    def dense_at(col: str) -> str:
+        return f"{dense.buffer}[{dense_base} + {t} * {d_i} + ({col}) * {d_j}]"
+
+    lines = [f"// {atomic.instruction}", f"if ({t} < {rows}) {{"]
+    lines.append(f"    for (int {j} = 0; {j} < {dcols}; {j} += 1) {{")
+    lines.append(f"        {dense_at(j)} = __float2half(0.0f);")
+    lines.append("    }")
+    lines.append(f"    for (int {g} = 0; {g} < {half_k // 2}; {g} += 1) {{")
+    for pos in (0, 1):
+        col = f"2 * {g} + {pos}" if pos else f"2 * {g}"
+        target = dense_at(f"4 * {g} + {meta_at(col)}")
+        lines.append(f"        {target} = {comp_at(col)};")
+    lines.append("    }")
+    lines.append("}")
+    return lines
+
+
 # -- thread-local compute ------------------------------------------------------------------
 def emit_thread_matmul(spec, atomic, ctx) -> List[str]:
     lines = []
@@ -310,3 +444,8 @@ EMITTERS: Dict[str, Callable] = {
 for _n in ("ldmatrix.x4", "ldmatrix.x2", "ldmatrix.x1",
            "ldmatrix.x4.trans", "ldmatrix.x2.trans", "ldmatrix.x1.trans"):
     EMITTERS[_n] = emit_ldmatrix
+EMITTERS["wgmma.64.64.16.f16"] = emit_wgmma
+EMITTERS["wgmma.64.64.32.e4m3"] = emit_wgmma
+EMITTERS["sparse24.decompress"] = emit_sparse_decompress
+for _dt in (FP16, FP8E4M3, FP8E5M2, INT32):
+    EMITTERS[f"tma.g2s.{_dt.name}"] = emit_tma

@@ -38,8 +38,12 @@ _INT_CTYPES = {"int", "unsigned"}
 
 #: Element dtypes allowed for pointer parameters: the float types plus
 #: integer buffers (not valid cast targets, hence kept out of
-#: CTYPE_DTYPE).
-PARAM_DTYPE = {**CTYPE_DTYPE, "int": np.int32, "unsigned": np.uint32}
+#: CTYPE_DTYPE).  The fp8 formats are fp32-backed, mirroring the
+#: simulator's round-on-store model (repro.tensor.dtypes).
+PARAM_DTYPE = {
+    **CTYPE_DTYPE, "int": np.int32, "unsigned": np.uint32,
+    "__nv_fp8_e4m3": np.float32, "__nv_fp8_e5m2": np.float32,
+}
 
 #: Byte widths for reinterpret_cast vector copies.
 _VEC_BYTES = {"float4": 16, "float2": 8, "double": 8, "float": 4,
@@ -751,9 +755,89 @@ class _Compiler:
         inputs = [self._compile_asm_operand(c, e) for c, e in node.inputs]
         if isinstance(sem, ptx.LdmatrixSemantics):
             return self._compile_ldmatrix(sem, outputs, inputs)
+        if isinstance(sem, ptx.TmaSemantics):
+            return self._compile_tma(sem, outputs, inputs)
+        # WgmmaSemantics subclasses MmaSemantics: check it first.
+        if isinstance(sem, ptx.WgmmaSemantics):
+            return self._compile_wgmma(sem, outputs, inputs)
         if isinstance(sem, ptx.MmaSemantics):
             return self._compile_mma(sem, outputs, inputs)
         raise EmulatorError(f"no emulation for asm {mnemonic!r}")
+
+    def _compile_tma(self, sem, outputs, inputs) -> Callable:
+        if outputs:
+            raise EmulatorError("tma bulk copy takes no asm outputs")
+        if len(inputs) != 8 or any(kd != "value" for kd, _ in inputs):
+            raise EmulatorError(
+                "tma bulk copy needs 8 value operands (dst, src, rows, "
+                "cols, src strides, dst strides)"
+            )
+        fns = [fn for _, fn in inputs]
+
+        def run(b, lanes):
+            for chunk in _lane_chunks(lanes, sem.lanes, "cp.async.bulk"):
+                lane0 = chunk[0]
+                dst = fns[0](b, lane0)
+                src = fns[1](b, lane0)
+                if not isinstance(dst, Pointer) or \
+                        not isinstance(src, Pointer):
+                    raise EmulatorError(
+                        "tma operand address is not a pointer"
+                    )
+                rows, cols, s_i, s_j, d_i, d_j = (
+                    int(fn(b, lane0)) for fn in fns[2:]
+                )
+                sem.copy_tile(src.array, src.offset, (s_i, s_j),
+                              dst.array, dst.offset, (d_i, d_j),
+                              rows, cols)
+
+        return run
+
+    def _compile_wgmma(self, sem, outputs, inputs) -> Callable:
+        m, n, k = sem.shape
+        c_vals = m * n // sem.group
+        if len(outputs) != c_vals or any(kd != "elem" for kd, _ in outputs):
+            raise EmulatorError(
+                f"wgmma m{m}n{n}k{k} needs {c_vals} accumulator outputs"
+            )
+        if len(inputs) != 6 or any(kd != "value" for kd, _ in inputs):
+            raise EmulatorError(
+                "wgmma needs 6 value operands (a addr, b addr, strides)"
+            )
+        c_refs = [ref for _, ref in outputs]
+        a_fn, b_fn = inputs[0][1], inputs[1][1]
+        stride_fns = [fn for _, fn in inputs[2:]]
+
+        def run(b, lanes):
+            for chunk in _lane_chunks(lanes, sem.group, "wgmma"):
+                lane0 = chunk[0]
+                a_ptr = a_fn(b, lane0)
+                b_ptr = b_fn(b, lane0)
+                if not isinstance(a_ptr, Pointer) or \
+                        not isinstance(b_ptr, Pointer):
+                    raise EmulatorError(
+                        "wgmma operand address is not a pointer"
+                    )
+                s_ai, s_aj, s_bi, s_bj = (
+                    int(fn(b, lane0)) for fn in stride_fns
+                )
+                ii = np.arange(m)[:, None]
+                jj = np.arange(k)[None, :]
+                a_mat = a_ptr.array[a_ptr.offset + ii * s_ai + jj * s_aj]
+                ii = np.arange(k)[:, None]
+                jj = np.arange(n)[None, :]
+                b_mat = b_ptr.array[b_ptr.offset + ii * s_bi + jj * s_bj]
+                c_frags = [
+                    np.array([ref.read(b, lane) for ref in c_refs],
+                             dtype=np.float32)
+                    for lane in chunk
+                ]
+                d_frags = sem.compute_from_tiles(a_mat, b_mat, c_frags)
+                for li, lane in enumerate(chunk):
+                    for j, ref in enumerate(c_refs):
+                        ref.write(b, lane, d_frags[li][j])
+
+        return run
 
     def _compile_ldmatrix(self, sem, outputs, inputs) -> Callable:
         if len(outputs) != sem.num or any(k != "pair" for k, _ in outputs):

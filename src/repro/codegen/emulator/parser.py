@@ -22,7 +22,7 @@ class ParseError(ValueError):
 
 TYPE_NAMES = {
     "void", "int", "unsigned", "float", "double", "half", "__half",
-    "float2", "float4",
+    "float2", "float4", "__nv_fp8_e4m3", "__nv_fp8_e5m2",
 }
 
 QUALIFIERS = {

@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..arch import AMPERE, VOLTA
+from ..arch import AMPERE, HOPPER, VOLTA
 from ..codegen.cuda import CudaGenerator, KernelSource
 from ..codegen.emulator import EmulatorError, emulate
 from ..kernels.epilogue import build_gemm_epilogue
@@ -36,13 +36,16 @@ from ..kernels.gemm_optimized import build_ampere_tc_gemm
 from ..kernels.gemm_parametric import build_parametric_gemm
 from ..kernels.lstm import build_fused_lstm_cell
 from ..kernels.mlp import build_fused_mlp
+from ..kernels.hopper import random_sparse24
 from ..kernels.moves import build_ldmatrix_kernel, ldmatrix_reference
 from ..kernels.config import (
-    GemmConfig, LayernormConfig, NaiveGemmConfig, SoftmaxConfig,
+    GemmConfig, HopperFp8GemmConfig, LayernormConfig, NaiveGemmConfig,
+    SoftmaxConfig, Sparse24GemmConfig,
 )
 from ..kernels import build
 from ..library import funcs
 from ..sim import RunOptions, Simulator
+from ..tensor.dtypes import FP8E4M3
 
 #: Emulator and simulator share numerics by construction; allow only
 #: fp32 round-off between them.
@@ -253,13 +256,46 @@ def default_cases(seed: int = 0) -> List[Case]:
         tol=0.02,
     ))
 
+    # Hopper fp8 warpgroup GEMM: inputs are pre-quantized onto the e4m3
+    # grid (fixed points of the round-on-store model), so the TMA stage
+    # preserves them bitwise through the fp8 staging buffers.
+    m = n = k = 64
+    a8 = FP8E4M3.quantize(
+        (rng.random((m, k)).astype(np.float32) - 0.5))
+    b8 = FP8E4M3.quantize(
+        (rng.random((k, n)).astype(np.float32) - 0.5))
+    ref = (a8.astype(np.float64) @ b8.astype(np.float64)
+           ).astype(np.float16)
+    cases.append(Case(
+        name="gemm_fp8_hopper", family="gemm_fp8", arch=HOPPER,
+        kernel=build(HopperFp8GemmConfig(m=m, n=n, k=k, block_k=32)),
+        arrays={"A": a8, "B": b8, "C": np.zeros((m, n), np.float16)},
+        outputs=["C"], reference={"C": ref}, tol=0.05,
+    ))
+
+    # Hopper 2:4 structured-sparse GEMM: compressed A + metadata through
+    # the smem decompress atomic, then the f16 wgmma.
+    m = n = k = 64
+    comp, meta, dense = random_sparse24(rng, m, k)
+    bsp = _fp16(rng, k, n)
+    ref = (dense.astype(np.float64) @ bsp.astype(np.float64)
+           ).astype(np.float16)
+    cases.append(Case(
+        name="gemm_sparse24_hopper", family="gemm_sparse24", arch=HOPPER,
+        kernel=build(Sparse24GemmConfig(m=m, n=n, k=k, block_k=32)),
+        arrays={"A_comp": comp, "A_meta": meta, "B": bsp,
+                "C": np.zeros((m, n), np.float16)},
+        outputs=["C"], reference={"C": ref}, tol=0.05,
+    ))
+
     return cases
 
 
 #: Families the default case list covers (for coverage assertions).
 FAMILIES = tuple(sorted({
     "gemm_naive", "gemm", "gemm_parametric", "gemm_epilogue", "moves",
-    "layernorm", "softmax", "mlp", "lstm", "fmha",
+    "layernorm", "softmax", "mlp", "lstm", "fmha", "gemm_fp8",
+    "gemm_sparse24",
 }))
 
 

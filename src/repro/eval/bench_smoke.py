@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..arch import ARCHITECTURES
+from ..arch import architecture
 from ..perfmodel import count_kernel, estimate_kernel
 from ..perfmodel.calibrate import (
     DEFAULT_TOLERANCE, FMHA_SMEM_TOLERANCE, CalibrationRow,
@@ -68,7 +68,7 @@ def run_family(figure: str, arch="ampere", seed: int = 0) -> dict:
     from ..sim import Simulator
 
     if isinstance(arch, str):
-        arch = ARCHITECTURES[arch]
+        arch = architecture(arch)
     cfg, smem_tol = smoke_families()[figure]
     kernel, bindings = _smoke_problem(figure, seed)
     result = Simulator(arch).run(kernel, bindings, profile=True)
@@ -136,7 +136,7 @@ def time_engines(figure: str, arch="ampere", seed: int = 0,
     from ..sim import RunOptions, Simulator
 
     if isinstance(arch, str):
-        arch = ARCHITECTURES[arch]
+        arch = architecture(arch)
     kernel, bindings = _smoke_problem(figure, seed)
 
     def timed(sim, options):
@@ -222,7 +222,7 @@ def time_plan_compile(figure: str, arch="ampere", seed: int = 0,
     from ..sim.access import TensorAccessor, index_compiler
 
     if isinstance(arch, str):
-        arch = ARCHITECTURES[arch]
+        arch = architecture(arch)
     kernel, bindings = _smoke_problem(figure, seed)
 
     with index_compiler("auto"):
@@ -428,6 +428,13 @@ def run_bench_smoke(
     if plan_compile:
         paths.append(run_plan_compile_bench(figures=names, arch=arch,
                                             outdir=outdir, seed=seed))
+    target = architecture(arch) if isinstance(arch, str) else arch
+    if target.supports("wgmma"):
+        # Hopper-capable target: also run the TMA+wgmma calibration and
+        # lowering-comparison bench (writes BENCH_hopper.json).
+        from .hopper_bench import run_hopper_bench
+
+        paths.append(run_hopper_bench(arch=arch, outdir=outdir, seed=seed))
     if figures is None:
         paths.append(run_fig15_bench(arch=arch, outdir=outdir))
         # Reduced graph phase: compile + execute one encoder and the

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..arch import AMPERE, VOLTA
+from ..arch import AMPERE, VOLTA, architecture
 from ..arch.gpu import Architecture
 from ..kernels.fmha import build_fused_fmha
 from ..kernels.gemm_optimized import build_ampere_tc_gemm, build_volta_tc_gemm
@@ -39,11 +39,9 @@ GEMM_SIZES = {
     "ampere": (5376, 5376, 2048),
 }
 
-_ARCHES = {"volta": VOLTA, "ampere": AMPERE}
-
 
 def _gemm_kernel(arch_name: str, m: int, n: int, k: int, **kw):
-    if arch_name == "ampere":
+    if architecture(arch_name).supports("cp_async"):
         return build_ampere_tc_gemm(m, n, k, block_tile=(128, 128, 32),
                                     warp_grid=(2, 2), **kw)
     return build_volta_tc_gemm(m, n, k, block_tile=(128, 128, 32),
@@ -58,7 +56,7 @@ def figure_9(arch_names=("volta", "ampere")) -> FigureReport:
          "compute_pct", "memory_pct", "paper_speedup"],
     )
     for arch_name in arch_names:
-        arch = _ARCHES[arch_name]
+        arch = architecture(arch_name)
         m, n, k = GEMM_SIZES[arch_name]
         kernel = _gemm_kernel(arch_name, m, n, k)
         graphene = estimate_kernel(kernel, arch)
@@ -99,7 +97,7 @@ def figure_9_tuned(arch_names=("ampere",), cache=False,
          "speedup_vs_default"],
     )
     for arch_name in arch_names:
-        arch = _ARCHES[arch_name]
+        arch = architecture(arch_name)
         m, n, k = GEMM_SIZES[arch_name]
         flops = 2.0 * m * n * k
 
@@ -153,14 +151,14 @@ def figure_10(arch_names=("volta", "ampere")) -> FigureReport:
         ("bias+gelu", True, "gelu"),
     ]
     for arch_name in arch_names:
-        arch = _ARCHES[arch_name]
+        arch = architecture(arch_name)
         m, n, k = GEMM_SIZES[arch_name]
         lt = CuBLASLt(arch)
         for label, bias, act in variants:
             kernel = build_gemm_epilogue(
                 m, n, k, arch_name, bias=bias, activation=act,
                 block_tile=(128, 128, 32),
-                warp_grid=(2, 2) if arch_name == "ampere" else (4, 4),
+                warp_grid=(2, 2) if arch.supports("cp_async") else (4, 4),
             )
             graphene = estimate_kernel(kernel, arch)
             baseline = lt.gemm_epilogue_estimate(m, n, k, bias, act)
@@ -188,7 +186,7 @@ def figure_11(
          "paper_max_speedup"],
     )
     for arch_name in arch_names:
-        arch = _ARCHES[arch_name]
+        arch = architecture(arch_name)
         lt = CuBLASLt(arch)
         for layers in layer_counts:
             kernel = build_fused_mlp(m, hidden, layers, block_rows=128,
@@ -223,7 +221,7 @@ def figure_12(
     )
     paper = {"volta": 1.75, "ampere": 1.82}
     for arch_name in arch_names:
-        arch = _ARCHES[arch_name]
+        arch = architecture(arch_name)
         blas = CuBLAS(arch)
         lt = CuBLASLt(arch)
         dnn = CuDNN(arch)
@@ -256,7 +254,7 @@ def figure_13(
     arch_name: str = "ampere",
 ) -> FigureReport:
     """Layernorm vs PyTorch Eager/JIT/fused and NVIDIA Apex."""
-    arch = _ARCHES[arch_name]
+    arch = architecture(arch_name)
     torch = PyTorchRef(arch)
     report = FigureReport(
         "Figure 13", "Layernorm vs PyTorch reference implementations",
@@ -295,7 +293,7 @@ def figure_14(
     arch_name: str = "ampere",
 ) -> FigureReport:
     """Fused multi-head attention vs unfused baseline and MLPerf kernel."""
-    arch = _ARCHES[arch_name]
+    arch = architecture(arch_name)
     report = FigureReport(
         "Figure 14", "FMHA (MLPerf BERT configuration)",
         ["impl", "time_us", "speedup_vs_unfused", "paper_claim"],
@@ -322,7 +320,7 @@ def figure_14(
 
 def figure_15(arch_name: str = "ampere") -> FigureReport:
     """End-to-end transformer inference with injected FMHA kernels."""
-    arch = _ARCHES[arch_name]
+    arch = architecture(arch_name)
     inference = InferenceModel(arch)
     report = FigureReport(
         "Figure 15", "Transformer inference with Graphene FMHA injected",
@@ -365,7 +363,7 @@ def figure_15_executed(arch_name: str = "ampere",
     """
     from ..graph import DECODE_SCENARIO, REDUCED_NETWORKS, network
 
-    arch = _ARCHES[arch_name]
+    arch = architecture(arch_name)
     report = FigureReport(
         "Figure 15 (executed)",
         "Whole-network fusion compiler vs library-style pipeline "

@@ -93,6 +93,14 @@ def tune_all_roster(quick: bool = False) -> List[Tuple[str, List[Dict]]]:
             {"batch_heads": 8, "seq": 128, "head_dim": 64},
         ]),
         ("moves", [{}]),
+        ("gemm_fp8", [
+            {"m": 256, "n": 256, "k": 128},
+            {"m": 512, "n": 256, "k": 128},
+        ]),
+        ("gemm_sparse24", [
+            {"m": 256, "n": 256, "k": 128},
+            {"m": 512, "n": 256, "k": 128},
+        ]),
     ]
     if quick:
         roster = [(family, shapes[:2]) for family, shapes in roster]
@@ -118,6 +126,10 @@ def _leaderboard_fingerprint(result) -> Dict:
 #: Anchor beam width for the transfer mode's cold searches.
 TRANSFER_ANCHOR_BEAM = 4
 
+#: Families whose config spaces need capabilities the roster's default
+#: architecture lacks; they tune on the named registry entry instead.
+_FAMILY_ARCH = {"gemm_fp8": "hopper", "gemm_sparse24": "hopper"}
+
 
 def _run_mode(roster, arch, *, workers: int, transfer: bool,
               search: str, top_k: int, seed: int, beam: int = 6):
@@ -128,9 +140,11 @@ def _run_mode(roster, arch, *, workers: int, transfer: bool,
     transfers: Dict[str, List[bool]] = {}
     for family, shapes in roster:
         start = time.perf_counter()
+        target = (resolve_arch(_FAMILY_ARCH[family])
+                  if family in _FAMILY_ARCH else arch)
         for index, shape in enumerate(shapes):
             result = tune(
-                family, shape, arch, cache=cache, search=search, beam=beam,
+                family, shape, target, cache=cache, search=search, beam=beam,
                 top_k=top_k, seed=seed, workers=workers, transfer=transfer,
             )
             key = (family, json.dumps(shape, sort_keys=True))

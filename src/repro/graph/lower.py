@@ -466,10 +466,10 @@ def lower_network(graph: OpGraph, arch: Union[str, Architecture] = "ampere",
     if mode not in ("auto", "fused", "unfused"):
         raise ValueError(f"unknown lowering mode {mode!r}")
     architecture = resolve_arch(arch)
-    if architecture.sm < 80:
+    if not architecture.supports("cp_async"):
         raise GraphError(
-            "graph lowering currently targets tensor-core sm80+ "
-            f"architectures only (got {architecture.name})"
+            "graph lowering currently targets cp.async-capable "
+            f"tensor-core architectures only (got {architecture.name})"
         )
     ctx = _Context(graph, architecture, tune, seed, cache)
     groups = schedule(graph, partition(graph))

@@ -16,15 +16,16 @@ from __future__ import annotations
 
 from ..specs.kernel import Kernel
 from . import (
-    epilogue, fmha, gemm, gemm_optimized, gemm_parametric, layernorm,
-    lstm, mlp, moves, pointwise, softmax,
+    epilogue, fmha, gemm, gemm_optimized, gemm_parametric, hopper,
+    layernorm, lstm, mlp, moves, pointwise, softmax,
 )
 from .config import (
     BiasActConfig, CacheAppendConfig, DecodeFmhaConfig, FmhaConfig,
-    GemmConfig, GemmEpilogueConfig, KernelConfig, LayernormConfig,
-    LdmatrixMoveConfig, LstmConfig, MergeHeadsConfig, MlpConfig,
-    NaiveGemmConfig, ParametricGemmConfig, ResidualLayernormConfig,
-    SoftmaxConfig, SplitHeadsConfig, TransposeConfig, config_summary,
+    GemmConfig, GemmEpilogueConfig, HopperFp8GemmConfig, KernelConfig,
+    LayernormConfig, LdmatrixMoveConfig, LstmConfig, MergeHeadsConfig,
+    MlpConfig, NaiveGemmConfig, ParametricGemmConfig,
+    ResidualLayernormConfig, SoftmaxConfig, Sparse24GemmConfig,
+    SplitHeadsConfig, TransposeConfig, config_summary,
 )
 
 #: Config type -> family module ``build`` function.
@@ -46,6 +47,8 @@ BUILDERS = {
     CacheAppendConfig: pointwise.build_cache_append,
     DecodeFmhaConfig: fmha.build_decode_fmha,
     ResidualLayernormConfig: layernorm.build_residual_layernorm,
+    HopperFp8GemmConfig: hopper.build_fp8,
+    Sparse24GemmConfig: hopper.build_sparse24,
 }
 
 #: Family key -> config type (the inverse view, for CLI/artifact use).
@@ -70,5 +73,6 @@ __all__ = [
     "MlpConfig", "SoftmaxConfig", "LstmConfig", "FmhaConfig",
     "LdmatrixMoveConfig", "BiasActConfig", "TransposeConfig",
     "SplitHeadsConfig", "MergeHeadsConfig", "CacheAppendConfig",
-    "DecodeFmhaConfig", "ResidualLayernormConfig",
+    "DecodeFmhaConfig", "ResidualLayernormConfig", "HopperFp8GemmConfig",
+    "Sparse24GemmConfig",
 ]

@@ -285,6 +285,31 @@ class ResidualLayernormConfig(KernelConfig):
     name: str = "graphene_residual_layernorm"
 
 
+@dataclass(frozen=True)
+class HopperFp8GemmConfig(KernelConfig):
+    """Hopper FP8 warpgroup GEMM (TMA staging + wgmma + 2x accumulation)."""
+
+    family: ClassVar[str] = "gemm_fp8"
+    m: int = 256
+    n: int = 256
+    k: int = 256
+    block_k: int = 64
+    two_stage_acc: bool = True
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Sparse24GemmConfig(KernelConfig):
+    """Hopper 2:4 structured-sparse GEMM (decompress + f16 wgmma)."""
+
+    family: ClassVar[str] = "gemm_sparse24"
+    m: int = 256
+    n: int = 256
+    k: int = 256
+    block_k: int = 32
+    name: Optional[str] = None
+
+
 def config_summary(cfg: KernelConfig) -> str:
     """One-line ``family(field=value, ...)`` rendering for reports."""
     parts = ", ".join(
@@ -299,5 +324,6 @@ __all__ = [
     "MlpConfig", "SoftmaxConfig", "LstmConfig", "FmhaConfig",
     "LdmatrixMoveConfig", "BiasActConfig", "TransposeConfig",
     "SplitHeadsConfig", "MergeHeadsConfig", "CacheAppendConfig",
-    "DecodeFmhaConfig", "ResidualLayernormConfig", "config_summary",
+    "DecodeFmhaConfig", "ResidualLayernormConfig", "HopperFp8GemmConfig",
+    "Sparse24GemmConfig", "config_summary",
 ]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from ..arch import Architecture, architecture
 from ..specs.kernel import Kernel
 from ..tensor.dtypes import FP16
 from .config import GemmEpilogueConfig
@@ -64,18 +65,20 @@ def build_gemm_epilogue(
     name: Optional[str] = None,
 ) -> Kernel:
     """A fused ``C = act(A @ B + bias)`` kernel (paper Figure 10)."""
+    target = architecture(arch) if not isinstance(arch, Architecture) \
+        else arch
     if name is None:
         suffix = ("bias_" if bias else "") + (activation or "identity")
-        name = f"graphene_gemm_{suffix}_{arch}"
+        name = f"graphene_gemm_{suffix}_{target.key}"
     epilogue = pointwise_epilogue(bias, activation)
-    if arch == "ampere":
+    # Capability dispatch: cp.async-staged ldmatrix GEMM wherever the
+    # architecture has it (Ampere, Hopper), quad-pair GEMM otherwise.
+    if target.supports("cp_async"):
         return build_ampere_tc_gemm(
             m, n, k, block_tile=block_tile, warp_grid=warp_grid,
             name=name, epilogue=epilogue,
         )
-    if arch == "volta":
-        return build_volta_tc_gemm(
-            m, n, k, block_tile=block_tile, warp_grid=warp_grid,
-            name=name, epilogue=epilogue,
-        )
-    raise ValueError(f"unknown arch {arch!r}")
+    return build_volta_tc_gemm(
+        m, n, k, block_tile=block_tile, warp_grid=warp_grid,
+        name=name, epilogue=epilogue,
+    )

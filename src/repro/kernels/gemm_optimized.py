@@ -425,32 +425,43 @@ def build(cfg: "GemmConfig") -> Kernel:
 
     if not isinstance(cfg, GemmConfig):
         raise TypeError(f"expected GemmConfig, got {type(cfg).__name__}")
+    builder = _VARIANT_BUILDERS.get(cfg.variant)
+    if builder is None:
+        raise ValueError(
+            f"unknown GemmConfig.variant {cfg.variant!r} "
+            f"(expected one of {sorted(_VARIANT_BUILDERS)})"
+        )
     common = dict(block_tile=cfg.block_tile, warp_grid=cfg.warp_grid)
     if cfg.name is not None:
         common["name"] = cfg.name
     if cfg.swizzled:
-        if cfg.variant == "volta":
+        if cfg.variant not in _SWIZZLABLE_VARIANTS:
             raise ValueError(
-                "GemmConfig.swizzled is not supported for the volta "
-                "variant (its staging buffers use per-thread moves)"
+                f"GemmConfig.swizzled is not supported for the "
+                f"{cfg.variant} variant (its staging buffers use "
+                "per-thread moves)"
             )
         from ..tuner.space import swizzle_for_row
 
         _bm, bn, bk = cfg.block_tile
         common["swizzle_a"] = swizzle_for_row(bk)
         common["swizzle_b"] = swizzle_for_row(bn)
-    if cfg.variant == "ampere":
-        return build_ampere_tc_gemm(cfg.m, cfg.n, cfg.k,
-                                    use_ldmatrix=cfg.use_ldmatrix, **common)
-    if cfg.variant == "ampere_pipelined":
-        return build_ampere_tc_gemm_pipelined(cfg.m, cfg.n, cfg.k, **common)
-    if cfg.variant == "volta":
-        return build_volta_tc_gemm(cfg.m, cfg.n, cfg.k,
-                                   qp_tile=cfg.qp_tile, **common)
-    raise ValueError(
-        f"unknown GemmConfig.variant {cfg.variant!r} "
-        "(expected 'ampere', 'ampere_pipelined' or 'volta')"
-    )
+    return builder(cfg, common)
+
+
+#: ``GemmConfig.variant`` dispatch table — a lookup, not a name
+#: comparison, so new variants slot in without editing ``build``.
+_VARIANT_BUILDERS = {
+    "ampere": lambda cfg, common: build_ampere_tc_gemm(
+        cfg.m, cfg.n, cfg.k, use_ldmatrix=cfg.use_ldmatrix, **common),
+    "ampere_pipelined": lambda cfg, common: build_ampere_tc_gemm_pipelined(
+        cfg.m, cfg.n, cfg.k, **common),
+    "volta": lambda cfg, common: build_volta_tc_gemm(
+        cfg.m, cfg.n, cfg.k, qp_tile=cfg.qp_tile, **common),
+}
+
+#: Variants whose staging buffers accept bank-spreading swizzles.
+_SWIZZLABLE_VARIANTS = frozenset({"ampere", "ampere_pipelined"})
 
 
 def from_tuned(m: int, n: int, k: int, arch="ampere", **tune_kwargs) -> Kernel:

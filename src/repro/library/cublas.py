@@ -54,8 +54,10 @@ class CuBLAS:
         counts.unique_write_bytes = m * n * elem
         # Staged tiles are written once, then read into register
         # fragments: ~0.125 B/flop via per-thread quad loads on Volta,
-        # ~0.023 B/flop via ldmatrix on Ampere.
-        frag_bytes_per_flop = 0.125 if self.arch.sm < 75 else 0.023
+        # ~0.023 B/flop via ldmatrix on Ampere and later.
+        frag_bytes_per_flop = (
+            0.023 if self.arch.supports("ldmatrix") else 0.125
+        )
         staged = counts.dram_read_bytes
         counts.smem_bytes = staged + counts.tensor_flops * frag_bytes_per_flop
         counts.smem_footprint = (bm * bk + bk * bn) * elem

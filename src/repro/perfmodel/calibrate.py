@@ -38,7 +38,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..arch import ARCHITECTURES, Architecture
+from ..arch import Architecture, architecture
 from .counts import count_kernel
 from .model import bank_conflict_degree
 
@@ -191,7 +191,7 @@ def calibrate(
     from ..sim import Simulator
 
     if isinstance(arch, str):
-        arch = ARCHITECTURES[arch]
+        arch = architecture(arch)
     report = CalibrationReport(arch=arch.name)
     for name, cfg, smem_tol, check_conflicts in (
             cases if cases is not None else calibration_cases()):
@@ -298,7 +298,7 @@ def fit_coefficients(
     from ..sim import Simulator
 
     if isinstance(arch, str):
-        arch = ARCHITECTURES[arch]
+        arch = architecture(arch)
     dram: List[Tuple[float, float]] = []
     smem: List[Tuple[float, float]] = []
     conflict: List[Tuple[float, float]] = []

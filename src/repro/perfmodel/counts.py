@@ -70,6 +70,10 @@ class KernelCounts:
 _MMA_FLOPS = {
     "mma.16816": 2 * 16 * 8 * 16,
     "mma.884": 2 * 8 * 8 * 4,
+    # Hopper warpgroup mma: one instruction instance is the whole
+    # 128-thread block's m64n64 tile at the format's K-depth.
+    "wgmma.64.64.16.f16": 2 * 64 * 64 * 16,
+    "wgmma.64.64.32.e4m3": 2 * 64 * 64 * 32,
 }
 
 
@@ -213,6 +217,14 @@ def _count_spec(spec, trips, counts, kernel, arch, env) -> None:
             moved = 32 * num * 2 * src.dtype.bytes  # 32 lanes x num x 2 vals
             counts.smem_bytes += scale * moved
             return
+        if atomic.name.startswith("tma"):
+            # TMA bulk tensor copies bypass the register file and the
+            # shared-memory bank path; the profiler accounts them in
+            # dedicated bulk counters, so the model charges only the
+            # global side of the copy.
+            counts.dram_read_bytes += \
+                scale * _view_elements(src) * src.dtype.bytes
+            return
         elements = _view_elements(src)
         nbytes = elements * src.dtype.bytes
         out_bytes = _view_elements(dst) * dst.dtype.bytes
@@ -251,3 +263,8 @@ def _count_spec(spec, trips, counts, kernel, arch, env) -> None:
     elif isinstance(spec, Init):
         counts.pointwise_flops += scale * _view_elements(spec.outputs[0])
         _charge_memory(counts, scale, (), spec.outputs)
+    else:
+        # Generic leaf specs matched by label (e.g. the Hopper
+        # sparse24.decompress expansion): charge their operand traffic
+        # the way the simulator's executors do.
+        _charge_memory(counts, scale, spec.inputs, spec.outputs)

@@ -30,10 +30,10 @@ class ServeFamily:
     """One servable kernel family: identity plus a problem generator."""
 
     __slots__ = ("name", "kernel", "arch", "symbols", "outputs",
-                 "_templates")
+                 "_templates", "_binder")
 
     def __init__(self, name, kernel, arch, symbols, outputs,
-                 templates: Dict[str, np.ndarray]):
+                 templates: Dict[str, np.ndarray], binder=None):
         self.name = name
         self.kernel = kernel
         self.arch = arch
@@ -42,6 +42,7 @@ class ServeFamily:
         self._templates = {
             k: np.asarray(v) for k, v in templates.items()
         }
+        self._binder = binder
 
     def make_bindings(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
         """Fresh random inputs (and zeroed outputs) at the family shape."""
@@ -57,6 +58,8 @@ class ServeFamily:
                 bindings[name] = rng.integers(
                     0, 8, size=template.shape
                 ).astype(template.dtype)
+        if self._binder is not None:
+            bindings = self._binder(rng, self._templates, bindings)
         return bindings
 
     def template_bindings(self) -> Dict[str, np.ndarray]:
@@ -67,6 +70,43 @@ class ServeFamily:
     def __repr__(self):
         return (f"ServeFamily({self.name}, kernel={self.kernel.name}, "
                 f"outputs={list(self.outputs)})")
+
+
+def _sparse24_binder(rng, templates, bindings):
+    """Structurally valid 2:4 compressed operand + metadata pair.
+
+    Uniform random int32 is not valid sparsity metadata (indices must be
+    ascending pairs in 0..3), so this family regenerates its compressed
+    inputs through the same helper the conformance cases use.
+    """
+    from ..kernels.hopper import random_sparse24
+
+    m, half_k = templates["A_comp"].shape
+    comp, meta, _ = random_sparse24(rng, m, 2 * half_k)
+    bindings["A_comp"] = comp.astype(templates["A_comp"].dtype)
+    bindings["A_meta"] = meta.astype(templates["A_meta"].dtype)
+    return bindings
+
+
+def _fp8_binder(rng, templates, bindings):
+    """Pre-quantize fp8 operands onto the e4m3 grid.
+
+    The fp8 parameters travel as float32 arrays; snapping them to
+    representable fp8 values keeps served problems identical to what
+    round-on-store would produce on hardware.
+    """
+    from ..tensor.dtypes import FP8E4M3
+
+    for name in ("A", "B"):
+        bindings[name] = FP8E4M3.quantize(bindings[name])
+    return bindings
+
+
+#: Families whose random inputs need structure a uniform draw lacks.
+_BINDERS = {
+    "gemm_fp8": _fp8_binder,
+    "gemm_sparse24": _sparse24_binder,
+}
 
 
 def serve_catalog(seed: int = 0, tuned: bool = False,
@@ -95,6 +135,7 @@ def serve_catalog(seed: int = 0, tuned: bool = False,
             symbols=case.symbols,
             outputs=case.outputs,
             templates=case.arrays,
+            binder=_BINDERS.get(case.family),
         ))
     missing = set(FAMILIES) - seen
     if missing:

@@ -55,10 +55,14 @@ class ExecCtx:
             min_size,
         )
 
-    def read(self, tensor: Tensor, env: dict, lane: int, fill=0) -> np.ndarray:
+    def read(self, tensor: Tensor, env: dict, lane: int, fill=0,
+             bulk: bool = False) -> np.ndarray:
         """Read the view's elements (colex order); OOB lanes read ``fill``.
 
         Guarded-out elements never touch memory (predicated loads).
+        ``bulk`` marks TMA bulk-tensor traffic: the sanitizer still sees
+        an ordinary read, but the profiler accounts it in the dedicated
+        bulk counters instead of the per-lane load path.
         """
         acc = accessor(tensor)
         offsets = acc.offsets(env)
@@ -71,24 +75,36 @@ class ExecCtx:
             if san is not None:
                 san.record(tensor, self.block_id, lane, live, "read")
             if prof is not None:
-                prof.record(tensor, lane, live, "read")
+                prof.record(tensor, lane, live,
+                            "bulk_read" if bulk else "read")
         if mask is not None:
             offsets = [o if ok else 0 for o, ok in zip(offsets, mask)]
         buf = self._buffer(tensor, lane, max(offsets) + 1)
         values = buf[offsets]
         if mask is not None:
             values = np.where(np.asarray(mask), values, fill).astype(buf.dtype)
-        if tensor.mem == SH:
+        if tensor.mem == SH and not bulk:
             self._record_smem([offsets], tensor)
         return values
 
-    def write(self, tensor: Tensor, env: dict, lane: int, values) -> None:
-        """Write elements (colex order); guarded-out elements are skipped."""
+    def write(self, tensor: Tensor, env: dict, lane: int, values,
+              bulk: bool = False) -> None:
+        """Write elements (colex order); guarded-out elements are skipped.
+
+        Stores to dtypes that declare a ``quantize`` function (bf16/fp8
+        round-on-store model) snap the values onto the format's grid
+        first.  ``bulk`` routes the profiler accounting to the TMA bulk
+        counters.
+        """
         acc = accessor(tensor)
         offsets = acc.offsets(env)
         mask = acc.mask(env)
         san = self.machine.sanitizer
         prof = self.machine.profiler
+        kind = "bulk_write" if bulk else "write"
+        if tensor.dtype.quantize is not None:
+            values = tensor.dtype.quantize(
+                np.asarray(values, dtype=np.float32))
         if mask is not None:
             live = [o for o, ok in zip(offsets, mask) if ok]
             if not live:
@@ -96,7 +112,7 @@ class ExecCtx:
             if san is not None:
                 san.record(tensor, self.block_id, lane, live, "write")
             if prof is not None:
-                prof.record(tensor, lane, live, "write")
+                prof.record(tensor, lane, live, kind)
             buf = self._buffer(tensor, lane, max(live) + 1)
             values = np.asarray(values).reshape(-1)
             for off, val, ok in zip(offsets, values, mask):
@@ -106,10 +122,10 @@ class ExecCtx:
             if san is not None:
                 san.record(tensor, self.block_id, lane, offsets, "write")
             if prof is not None:
-                prof.record(tensor, lane, offsets, "write")
+                prof.record(tensor, lane, offsets, kind)
             buf = self._buffer(tensor, lane, max(offsets) + 1)
             buf[offsets] = np.asarray(values, dtype=buf.dtype).reshape(-1)
-        if tensor.mem == SH:
+        if tensor.mem == SH and not bulk:
             self._record_smem([offsets], tensor)
 
     def read_lanes(self, tensor: Tensor, fill=0) -> List[np.ndarray]:

@@ -223,6 +223,7 @@ class Simulator:
                 self._exec_block_stmts(
                     kernel.body, env, bid, [], machine, block_size
                 )
+                machine.tma_check_drained(bid)
         if sanitizer is not None and opts.sanitize != "report":
             sanitizer.raise_if_dirty()
         kernel_profile = None
@@ -304,6 +305,9 @@ class Simulator:
                 sanitizer.barrier(stmt.scope, divergent)
             if machine.profiler is not None:
                 machine.profiler.barrier(stmt.scope)
+            # Barriers drain outstanding TMA bulk copies: after the wait,
+            # their shared-memory data is guaranteed visible.
+            machine.tma_drain(bid)
         elif isinstance(stmt, Comment):
             pass
         elif isinstance(stmt, SpecStmt):

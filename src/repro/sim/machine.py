@@ -106,6 +106,30 @@ class Machine:
         #: Optional :class:`repro.sim.profiler.Profiler` riding the same
         #: access funnel (attached by ``Simulator.run(profile=True)``).
         self.profiler = None
+        #: Outstanding (committed, un-awaited) TMA bulk copies per block.
+        self._tma_pending: Dict[int, int] = {}
+
+    # -- TMA async-copy ledger ---------------------------------------------------
+    def tma_commit(self, block: int) -> None:
+        """Record one committed ``cp.async.bulk`` whose data is not yet
+        guaranteed visible (until the next barrier drains it)."""
+        self._tma_pending[block] = self._tma_pending.get(block, 0) + 1
+
+    def tma_drain(self, block: int) -> None:
+        """A barrier waits for all of the block's outstanding TMA copies."""
+        self._tma_pending[block] = 0
+
+    def tma_check_drained(self, block: int) -> None:
+        """End-of-block check: un-awaited TMA copies are a kernel bug."""
+        pending = self._tma_pending.get(block, 0)
+        if pending:
+            from .errors import SimulationError
+
+            raise SimulationError(
+                f"block {block} ended with {pending} committed TMA bulk "
+                f"cop{'y' if pending == 1 else 'ies'} never awaited; "
+                f"insert a barrier after the last tma-labelled Move"
+            )
 
     # -- declarations -----------------------------------------------------------
     def declare(self, name: str, dtype: DType, size: int) -> None:

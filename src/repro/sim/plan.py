@@ -312,6 +312,7 @@ class _Bar:
             run.san.barrier(self.scope, divergent)
         if run.prof is not None:
             run.prof.barrier(self.scope)
+        run.machine.tma_drain(run.bid)
 
 
 class _SpecNode:
@@ -883,6 +884,9 @@ class _Replay:
         offs, mask = vp.offsets_mask(env)
         take_all = rows is self._aranges.get(offs.shape[0])
         offs_sel = offs if take_all else offs[rows]
+        if vp.tensor.dtype.quantize is not None:
+            values = vp.tensor.dtype.quantize(
+                np.asarray(values, dtype=np.float32))
         values = np.asarray(values)
         tensor = vp.tensor
         if mask is None:
@@ -1226,6 +1230,7 @@ class LaunchPlan:
             run = _Replay(self, machine, sanitizer, profiler, bid)
             self.root.execute(run, env, ())
             run.regfile.flush()
+            machine.tma_check_drained(bid)
 
 
 def plan_cache_key(kernel, arch, symbols: dict, bindings: dict) -> tuple:

@@ -118,6 +118,8 @@ class SpecCounters:
         "shared_load_bytes", "shared_store_bytes",
         "shared_load_wavefronts", "shared_store_wavefronts",
         "shared_load_bank_conflicts", "shared_store_bank_conflicts",
+        "bulk_load_transactions", "bulk_store_transactions",
+        "bulk_load_bytes", "bulk_store_bytes",
         "active_lanes", "lane_slots",
     )
 
@@ -143,6 +145,10 @@ class SpecCounters:
         self.shared_store_wavefronts = 0
         self.shared_load_bank_conflicts = 0
         self.shared_store_bank_conflicts = 0
+        self.bulk_load_transactions = 0
+        self.bulk_store_transactions = 0
+        self.bulk_load_bytes = 0
+        self.bulk_store_bytes = 0
         self.active_lanes = 0
         self.lane_slots = 0
 
@@ -173,6 +179,14 @@ class SpecCounters:
                 + self.shared_store_bank_conflicts)
 
     @property
+    def bulk_transactions(self) -> int:
+        return self.bulk_load_transactions + self.bulk_store_transactions
+
+    @property
+    def bulk_bytes(self) -> int:
+        return self.bulk_load_bytes + self.bulk_store_bytes
+
+    @property
     def conflict_degree(self) -> float:
         """Average shared transactions per wavefront (1.0 = conflict-free)."""
         if self.shared_wavefronts == 0:
@@ -190,6 +204,7 @@ class SpecCounters:
         d = {name: getattr(self, name) for name in self.__slots__}
         d["global_transactions"] = self.global_transactions
         d["shared_transactions"] = self.shared_transactions
+        d["bulk_transactions"] = self.bulk_transactions
         d["bank_conflicts"] = self.bank_conflicts
         d["conflict_degree"] = round(self.conflict_degree, 4)
         d["occupancy"] = round(self.occupancy, 4)
@@ -208,6 +223,7 @@ _EXEC_DELTA_TX = tuple(
     EXEC_DELTA_FIELDS.index(f) for f in (
         "global_load_transactions", "global_store_transactions",
         "shared_load_transactions", "shared_store_transactions",
+        "bulk_load_transactions", "bulk_store_transactions",
     )
 )
 
@@ -271,6 +287,22 @@ class KernelProfile:
         return self._total("bank_conflicts")
 
     @property
+    def bulk_transactions(self) -> int:
+        return self._total("bulk_transactions")
+
+    @property
+    def bulk_load_bytes(self) -> int:
+        return self._total("bulk_load_bytes")
+
+    @property
+    def bulk_store_bytes(self) -> int:
+        return self._total("bulk_store_bytes")
+
+    @property
+    def bulk_bytes(self) -> int:
+        return self._total("bulk_bytes")
+
+    @property
     def barrier_count(self) -> int:
         return sum(self.barriers.values())
 
@@ -295,6 +327,8 @@ class KernelProfile:
             "ldmatrix": self.issues("ldmatrix"),
             "mma": self.issues("mma"),
             "shfl": self.issues("shfl"),
+            "wgmma": self.issues("wgmma"),
+            "tma": self.issues("tma"),
         }
 
     def spec(self, label_substring: str) -> SpecCounters:
@@ -343,6 +377,9 @@ class KernelProfile:
             "shared_wavefronts": self.shared_wavefronts,
             "shared_bytes": self.shared_bytes,
             "bank_conflicts": self.bank_conflicts,
+            "bulk_transactions": self.bulk_transactions,
+            "bulk_load_bytes": self.bulk_load_bytes,
+            "bulk_store_bytes": self.bulk_store_bytes,
             "barriers": dict(self.barriers),
             "issue_counts": self.issue_counts,
             "occupancy": round(self.occupancy, 4),
@@ -540,7 +577,14 @@ class Profiler:
     def _account(self, counters: SpecCounters, records) -> int:
         """Charge one lane-group execution's records; return transactions."""
         groups: Dict[tuple, List[tuple]] = {}
+        total = 0
         for mem, buffer, itemsize, kind, lane, offsets in records:
+            if kind in ("bulk_read", "bulk_write"):
+                # TMA bulk tensor traffic: dedicated accounting, outside
+                # the warp coalescing window and the bank model.
+                total += self._charge_bulk(counters, kind, itemsize,
+                                           offsets)
+                continue
             # Identity first: tensors carry the GL/SH/RF singletons, so
             # the label-equality fallback only runs for foreign copies.
             if mem is SH:
@@ -555,7 +599,6 @@ class Profiler:
                 continue  # register-file traffic costs no memory transactions
             key = (is_shared, buffer, kind, lane // WARP_SIZE)
             groups.setdefault(key, []).append((itemsize, offsets))
-        total = 0
         for (is_shared, _buffer, kind, _warp), recs in groups.items():
             per_record = [(itemsize, _segment_runs(offsets, itemsize))
                           for itemsize, offsets in recs]
@@ -568,6 +611,23 @@ class Profiler:
                 else:
                     total += self._charge_global(counters, kind, parts)
         return total
+
+    def _charge_bulk(self, counters: SpecCounters, kind: str,
+                     itemsize: int, offsets) -> int:
+        """One TMA bulk tensor copy: count distinct 32B sectors touched."""
+        arr = np.asarray(offsets, dtype=np.int64)
+        start = arr * itemsize
+        first = start // GLOBAL_SECTOR_BYTES
+        last = (start + itemsize - 1) // GLOBAL_SECTOR_BYTES
+        sectors = int(np.unique(np.concatenate([first, last])).size)
+        nbytes = int(arr.size) * itemsize
+        if kind == "bulk_read":
+            counters.bulk_load_transactions += sectors
+            counters.bulk_load_bytes += nbytes
+        else:
+            counters.bulk_store_transactions += sectors
+            counters.bulk_store_bytes += nbytes
+        return sectors
 
     def _charge_global(self, counters: SpecCounters, kind: str,
                        parts) -> int:

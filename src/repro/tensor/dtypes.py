@@ -3,25 +3,43 @@
 The paper's ``ScalarType`` production (Figure 2): ``fp16 | fp32 | i32 | ...``.
 Each dtype carries its bit width, the CUDA C++ spelling used during code
 generation, and the numpy dtype used by the functional simulator.
+
+Narrow float formats without a numpy dtype (bf16, fp8) follow a
+*promote/round-on-store* numeric model: the simulator stores them at
+fp32 and, for dtypes that declare a ``quantize`` function, snaps every
+stored value onto the format's representable grid.  Arithmetic then
+happens at fp32 on already-quantized operands, mirroring how the
+hardware promotes narrow operands inside the tensor core datapath.
+
+New dtypes register through :func:`register_dtype`; the fp8 formats
+below use that same public extension point.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 
 class DType:
-    """A scalar element type."""
+    """A scalar element type.
 
-    __slots__ = ("name", "bits", "c_name", "np_dtype")
+    ``quantize``, when set, maps an fp32 ndarray onto the format's
+    representable value grid (round-to-nearest-even, saturating to the
+    largest finite magnitude); the simulator applies it on every store
+    to a tensor of this dtype.
+    """
 
-    def __init__(self, name: str, bits: int, c_name: str, np_dtype):
+    __slots__ = ("name", "bits", "c_name", "np_dtype", "quantize")
+
+    def __init__(self, name: str, bits: int, c_name: str, np_dtype,
+                 quantize: Optional[Callable] = None):
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "bits", bits)
         object.__setattr__(self, "c_name", c_name)
         object.__setattr__(self, "np_dtype", np.dtype(np_dtype))
+        object.__setattr__(self, "quantize", quantize)
 
     def __setattr__(self, *a):
         raise AttributeError("DType is immutable")
@@ -32,7 +50,7 @@ class DType:
 
     @property
     def bytes(self) -> int:
-        return self.bits // 8
+        return max(1, self.bits // 8)
 
     def is_float(self) -> bool:
         return self.np_dtype.kind == "f"
@@ -45,6 +63,49 @@ class DType:
 
     def __repr__(self):
         return self.name
+
+
+def _fp8_quantizer(exp_bits: int, man_bits: int, max_finite: float):
+    """Round-to-nearest-even quantizer onto an fp8 grid.
+
+    Models the saturating conversion mode (``cvt.rn.satfinite``):
+    magnitudes beyond the largest finite value clamp to it, NaN stays
+    NaN.  Subnormals use the fixed quantum ``2^(1 - bias - man_bits)``.
+    """
+    bias = 2 ** (exp_bits - 1) - 1
+    min_normal = 2.0 ** (1 - bias)
+    subnormal_quantum = 2.0 ** (1 - bias - man_bits)
+
+    def quantize(values):
+        v = np.asarray(values, dtype=np.float32)
+        out = np.array(v, dtype=np.float32, copy=True)
+        finite = np.isfinite(v)
+        mag = np.abs(v, where=finite, out=np.zeros_like(v))
+        normal = finite & (mag >= min_normal)
+        if np.any(normal):
+            exp = np.floor(np.log2(mag, where=normal,
+                                   out=np.zeros_like(mag)))
+            quantum = np.exp2(exp - man_bits)
+            out[normal] = (
+                np.round(v[normal] / quantum[normal]) * quantum[normal]
+            )
+        tiny = finite & ~normal
+        if np.any(tiny):
+            out[tiny] = (
+                np.round(v[tiny] / subnormal_quantum) * subnormal_quantum
+            ).astype(np.float32)
+        # Saturate-to-finite: +/-inf and overflowing magnitudes clamp.
+        hi = np.float32(max_finite)
+        over = np.isinf(v) | (np.abs(out) > hi)
+        out[over] = np.copysign(hi, v[over])
+        nan = np.isnan(v)
+        out[nan] = np.float32(np.nan)
+        return out if np.ndim(values) else np.float32(out[()])
+
+    quantize.exp_bits = exp_bits
+    quantize.man_bits = man_bits
+    quantize.max_finite = max_finite
+    return quantize
 
 
 FP64 = DType("fp64", 64, "double", np.float64)
@@ -62,6 +123,41 @@ _REGISTRY: Dict[str, DType] = {
     t.name: t
     for t in (FP64, FP32, FP16, BF16, INT64, INT32, INT16, INT8, UINT32, BOOL)
 }
+
+
+def register_dtype(dt: DType) -> DType:
+    """Register a dtype so ``dtype(name)`` (and pickling) can find it.
+
+    The public extension point for new scalar formats: construct a
+    :class:`DType` and register it, no module editing required.
+    Re-registering the identical singleton is a no-op; a different
+    object under an existing name is an error.
+    """
+    if not isinstance(dt, DType):
+        raise TypeError(f"register_dtype expects a DType, got {dt!r}")
+    existing = _REGISTRY.get(dt.name)
+    if existing is not None:
+        if existing is dt:
+            return dt
+        raise ValueError(
+            f"dtype name {dt.name!r} is already registered to {existing!r}"
+        )
+    _REGISTRY[dt.name] = dt
+    return dt
+
+
+#: OCP 8-bit floats (Hopper tensor-core operand formats).  No numpy
+#: dtype exists for these, so the simulator stores them at fp32 (the
+#: bf16 precedent) and quantizes on every store; ``bits`` still says 8
+#: so traffic accounting charges one byte per element.
+FP8E4M3 = register_dtype(DType(
+    "fp8e4m3", 8, "__nv_fp8_e4m3", np.float32,
+    quantize=_fp8_quantizer(exp_bits=4, man_bits=3, max_finite=448.0),
+))
+FP8E5M2 = register_dtype(DType(
+    "fp8e5m2", 8, "__nv_fp8_e5m2", np.float32,
+    quantize=_fp8_quantizer(exp_bits=5, man_bits=2, max_finite=57344.0),
+))
 
 
 def dtype(name: str) -> DType:

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from ..arch import ARCHITECTURES
+from ..arch import architecture, registered
 from ..arch.gpu import Architecture
 from ..perfmodel import CostBreakdown
 from ..specs.kernel import Kernel
@@ -41,24 +41,23 @@ from .families import (
 )
 from .verify import GateError, GateResult, check_candidate, run_gate
 
-#: Extra architecture aliases accepted anywhere an arch is named.
-ARCH_ALIASES = {"sm86": "ampere", "sm80": "ampere", "sm70": "volta"}
-
-
 class TuningError(RuntimeError):
     pass
 
 
 def resolve_arch(arch: Union[str, Architecture]) -> Architecture:
+    """Accept an :class:`Architecture` or any registered name/alias.
+
+    Delegates to the :mod:`repro.arch` registry (which owns the alias
+    table — ``sm86``/``sm80`` → ampere, ``sm90`` → hopper, ...).
+    """
     if isinstance(arch, Architecture):
         return arch
-    name = ARCH_ALIASES.get(str(arch).lower(), str(arch).lower())
     try:
-        return ARCHITECTURES[name]
+        return architecture(str(arch))
     except KeyError:
-        known = sorted(ARCHITECTURES) + sorted(ARCH_ALIASES)
         raise TuningError(
-            f"unknown architecture {arch!r}; known: {known}"
+            f"unknown architecture {arch!r}; known: {list(registered())}"
         ) from None
 
 
@@ -264,7 +263,7 @@ class _null_context:
 
 
 __all__ = [
-    "ARCH_ALIASES", "Candidate", "ConfigSpace", "FmhaSpace", "GateError",
+    "Candidate", "ConfigSpace", "FmhaSpace", "GateError",
     "GateResult", "GemmEpilogueSpace", "GemmSpace", "LayernormSpace",
     "LstmSpace", "MlpSpace", "MovesSpace", "NaiveGemmSpace", "Oracle",
     "ParametricGemmSpace", "RankedCandidate", "SPACES", "SearchResult",

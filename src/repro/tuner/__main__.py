@@ -96,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
 _DEFAULT_SHAPES = {
     ("gemm", "ampere"): {"m": 5376, "n": 5376, "k": 2048},
     ("gemm", "volta"): {"m": 5120, "n": 5120, "k": 2048},
+    ("gemm", "hopper"): {"m": 5376, "n": 5376, "k": 2048},
     ("gemm_epilogue", None): {"m": 2048, "n": 2048, "k": 512},
     ("gemm_naive", None): {"m": 512, "n": 512, "k": 128},
     ("gemm_parametric", None): {"m": 1000, "n": 256, "k": 128},
@@ -105,13 +106,14 @@ _DEFAULT_SHAPES = {
     ("softmax", None): {"rows": 4096, "cols": 1024},
     ("fmha", None): {"batch_heads": 16, "seq": 512, "head_dim": 64},
     ("moves", None): {},
+    ("gemm_fp8", None): {"m": 4096, "n": 4096, "k": 2048},
+    ("gemm_sparse24", None): {"m": 4096, "n": 4096, "k": 2048},
 }
 
 
 def _shape_from_args(args, arch) -> dict:
-    family_arch = "ampere" if arch.sm >= 80 else "volta"
     defaults = (
-        _DEFAULT_SHAPES.get((args.family, family_arch))
+        _DEFAULT_SHAPES.get((args.family, arch.key))
         or _DEFAULT_SHAPES.get((args.family, None), {})
     )
     provided = {

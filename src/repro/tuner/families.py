@@ -385,7 +385,7 @@ class GemmEpilogueSpace(ConfigSpace):
         self.activation = activation
 
     def candidates(self, shape, arch) -> Iterator[Candidate]:
-        if arch.sm < 80:
+        if not arch.supports("cp_async"):
             return
         for base in self._gemm._ampere_candidates(shape, arch):
             yield Candidate(self.family,
@@ -394,7 +394,7 @@ class GemmEpilogueSpace(ConfigSpace):
 
     def default(self, shape, arch) -> Candidate:
         m, n, k = shape["m"], shape["n"], shape["k"]
-        if arch.sm >= 80 and self._gemm._ampere_valid(
+        if arch.supports("cp_async") and self._gemm._ampere_valid(
                 m, n, k, (128, 128, 32), (2, 2), 1, arch):
             return Candidate(self.family, block_tile=(128, 128, 32),
                              warp_grid=(2, 2))

@@ -22,6 +22,10 @@ from ..kernels.gemm_optimized import (
     build_volta_tc_gemm, validate_gemm_config,
 )
 from ..kernels.config import LayernormConfig
+from ..kernels.hopper import (
+    WG_K_F16, WG_K_FP8, WG_M, WG_N, build_hopper_fp8_gemm,
+    build_hopper_sparse24_gemm, validate_hopper_gemm_config,
+)
 from ..kernels.layernorm import build as build_layernorm_cfg
 from ..kernels.mlp import build_fused_mlp
 from ..layout.linear import (
@@ -224,7 +228,9 @@ class GemmSpace(ConfigSpace):
 
     # -- enumeration ------------------------------------------------------------
     def candidates(self, shape, arch) -> Iterator[Candidate]:
-        if arch.sm >= 80:
+        # Capability split, not a name check: cp.async staging is what
+        # the Ampere-style decomposition needs (Hopper inherits it).
+        if arch.supports("cp_async"):
             yield from self._ampere_candidates(shape, arch)
         else:
             yield from self._volta_candidates(shape, arch)
@@ -325,7 +331,7 @@ class GemmSpace(ConfigSpace):
     # -- construction -----------------------------------------------------------
     def default(self, shape, arch) -> Candidate:
         m, n, k = shape["m"], shape["n"], shape["k"]
-        if arch.sm >= 80:
+        if arch.supports("cp_async"):
             cand = Candidate(self.family, block_tile=(128, 128, 32),
                              warp_grid=(2, 2), swizzle=False, stages=1)
             ok = self._ampere_valid(m, n, k, (128, 128, 32), (2, 2), 1, arch)
@@ -542,10 +548,162 @@ class MlpSpace(ConfigSpace):
         return bindings, [("Y", ref, 0.05)]
 
 
+class HopperFp8GemmSpace(ConfigSpace):
+    """Hopper fp8 warpgroup GEMM decompositions.
+
+    The wgmma instruction shape is fixed (m64n64k32), so the space
+    varies the TMA staging depth ``block_k`` and whether the kernel
+    runs the 2x-accumulation recipe (a zeroed partial tile folded into
+    the running fp32 accumulator per K-slice).  Candidates only exist
+    on architectures carrying the ``wgmma`` + ``fp8`` capabilities.
+    """
+
+    family = "gemm_fp8"
+    shape_keys = ("m", "n", "k")
+    dtype = "fp8e4m3"
+
+    BLOCK_KS = (32, 64, 128)
+
+    def __init__(self, block_ks: Optional[Sequence[int]] = None,
+                 acc_modes: Sequence[bool] = (True, False)):
+        self.block_ks = tuple(block_ks or self.BLOCK_KS)
+        self.acc_modes = tuple(acc_modes)
+
+    def candidates(self, shape, arch) -> Iterator[Candidate]:
+        if not (arch.supports("wgmma") and arch.supports("fp8")):
+            return
+        m, n, k = shape["m"], shape["n"], shape["k"]
+        for block_k in self.block_ks:
+            try:
+                validate_hopper_gemm_config(m, n, k, block_k, WG_K_FP8)
+            except ValueError:
+                continue
+            smem = (WG_M * block_k + block_k * WG_N) * 2
+            if smem > arch.smem_bytes_per_sm:
+                continue
+            for two_stage in self.acc_modes:
+                yield Candidate(self.family, block_k=block_k,
+                                two_stage_acc=two_stage)
+
+    def default(self, shape, arch) -> Candidate:
+        for block_k in (64, 32):
+            try:
+                validate_hopper_gemm_config(
+                    shape["m"], shape["n"], shape["k"], block_k, WG_K_FP8)
+            except ValueError:
+                continue
+            return Candidate(self.family, block_k=block_k,
+                             two_stage_acc=True)
+        raise ValueError(
+            f"no legal fp8 warpgroup GEMM configuration for shape {shape}"
+        )
+
+    def build(self, candidate, shape) -> Kernel:
+        return build_hopper_fp8_gemm(
+            shape["m"], shape["n"], shape["k"],
+            block_k=candidate.params["block_k"],
+            two_stage_acc=candidate.params["two_stage_acc"],
+        )
+
+    def coarse_key(self, candidate):
+        return ("block_k", candidate.params["block_k"])
+
+    def verification_shape(self, candidate, shape):
+        return {"m": WG_M, "n": WG_N,
+                "k": 2 * candidate.params["block_k"]}
+
+    def verification_problem(self, candidate, vshape, seed):
+        from ..tensor.dtypes import FP8E4M3
+
+        rng = np.random.default_rng(seed)
+        m, n, k = vshape["m"], vshape["n"], vshape["k"]
+        a = FP8E4M3.quantize(
+            (rng.random((m, k), dtype=np.float64) - 0.5).astype(np.float32))
+        b = FP8E4M3.quantize(
+            (rng.random((k, n), dtype=np.float64) - 0.5).astype(np.float32))
+        c = np.zeros((m, n), dtype=np.float16)
+        ref = (a.astype(np.float64) @ b.astype(np.float64)
+               ).astype(np.float16)
+        return {"A": a, "B": b, "C": c}, [("C", ref, 0.05)]
+
+
+class Sparse24GemmSpace(ConfigSpace):
+    """Hopper 2:4 structured-sparse GEMM decompositions.
+
+    Varies the TMA staging depth of the compressed operand; the
+    decompress-to-shared + f16 wgmma pipeline is otherwise fixed.
+    """
+
+    family = "gemm_sparse24"
+    shape_keys = ("m", "n", "k")
+
+    BLOCK_KS = (16, 32, 64)
+
+    def __init__(self, block_ks: Optional[Sequence[int]] = None):
+        self.block_ks = tuple(block_ks or self.BLOCK_KS)
+
+    def candidates(self, shape, arch) -> Iterator[Candidate]:
+        if not arch.supports("sparse_24"):
+            return
+        m, n, k = shape["m"], shape["n"], shape["k"]
+        for block_k in self.block_ks:
+            try:
+                validate_hopper_gemm_config(m, n, k, block_k, WG_K_F16,
+                                            sparse=True)
+            except ValueError:
+                continue
+            smem = (WG_M * block_k // 2) * (2 + 4) \
+                + (WG_M * block_k + block_k * WG_N) * 2
+            if smem > arch.smem_bytes_per_sm:
+                continue
+            yield Candidate(self.family, block_k=block_k)
+
+    def default(self, shape, arch) -> Candidate:
+        for block_k in (32, 16):
+            try:
+                validate_hopper_gemm_config(
+                    shape["m"], shape["n"], shape["k"], block_k, WG_K_F16,
+                    sparse=True)
+            except ValueError:
+                continue
+            return Candidate(self.family, block_k=block_k)
+        raise ValueError(
+            f"no legal 2:4-sparse GEMM configuration for shape {shape}"
+        )
+
+    def build(self, candidate, shape) -> Kernel:
+        return build_hopper_sparse24_gemm(
+            shape["m"], shape["n"], shape["k"],
+            block_k=candidate.params["block_k"],
+        )
+
+    def coarse_key(self, candidate):
+        return ("block_k", candidate.params["block_k"])
+
+    def verification_shape(self, candidate, shape):
+        return {"m": WG_M, "n": WG_N,
+                "k": 2 * candidate.params["block_k"]}
+
+    def verification_problem(self, candidate, vshape, seed):
+        from ..kernels.hopper import random_sparse24
+
+        rng = np.random.default_rng(seed)
+        m, n, k = vshape["m"], vshape["n"], vshape["k"]
+        comp, meta, dense = random_sparse24(rng, m, k)
+        b = _random_fp16(rng, k, n)
+        c = np.zeros((m, n), dtype=np.float16)
+        ref = (dense.astype(np.float64) @ b.astype(np.float64)
+               ).astype(np.float16)
+        bindings = {"A_comp": comp, "A_meta": meta, "B": b, "C": c}
+        return bindings, [("C", ref, 0.05)]
+
+
 SPACES = {
     GemmSpace.family: GemmSpace,
     LayernormSpace.family: LayernormSpace,
     MlpSpace.family: MlpSpace,
+    HopperFp8GemmSpace.family: HopperFp8GemmSpace,
+    Sparse24GemmSpace.family: Sparse24GemmSpace,
 }
 
 

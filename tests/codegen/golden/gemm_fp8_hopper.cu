@@ -1,0 +1,167 @@
+#include <cuda_fp16.h>
+#include <cuda_fp8.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void graphene_gemm_fp8_sm90(const __nv_fp8_e4m3 *__restrict__ A, const __nv_fp8_e4m3 *__restrict__ B, half *__restrict__ C) {
+    __shared__ __nv_fp8_e4m3 smem_a[2048];
+    __shared__ __nv_fp8_e4m3 smem_b[2048];
+    float acc[32];
+    float partial[32];
+    acc[0] = 0.0f;
+    acc[8] = 0.0f;
+    acc[16] = 0.0f;
+    acc[24] = 0.0f;
+    acc[1] = 0.0f;
+    acc[9] = 0.0f;
+    acc[17] = 0.0f;
+    acc[25] = 0.0f;
+    acc[2] = 0.0f;
+    acc[10] = 0.0f;
+    acc[18] = 0.0f;
+    acc[26] = 0.0f;
+    acc[3] = 0.0f;
+    acc[11] = 0.0f;
+    acc[19] = 0.0f;
+    acc[27] = 0.0f;
+    acc[4] = 0.0f;
+    acc[12] = 0.0f;
+    acc[20] = 0.0f;
+    acc[28] = 0.0f;
+    acc[5] = 0.0f;
+    acc[13] = 0.0f;
+    acc[21] = 0.0f;
+    acc[29] = 0.0f;
+    acc[6] = 0.0f;
+    acc[14] = 0.0f;
+    acc[22] = 0.0f;
+    acc[30] = 0.0f;
+    acc[7] = 0.0f;
+    acc[15] = 0.0f;
+    acc[23] = 0.0f;
+    acc[31] = 0.0f;
+    for (int kt = 0; kt < 2; kt += 1) {
+        // TMA: bulk-copy the A and B K-slices into shared memory
+        {
+            unsigned __tma_dst0 = (unsigned)__cvta_generic_to_shared(&smem_a[0]);
+            asm volatile("cp.async.bulk.tensor.2d.shared.global [%0], [%1], %2, %3, %4, %5, %6, %7;\n"
+                : : "r"(__tma_dst0), "l"(&A[kt * 32]),
+                    "n"(64), "n"(32), "n"(64), "n"(1), "n"(32), "n"(1));
+        }
+        {
+            unsigned __tma_dst1 = (unsigned)__cvta_generic_to_shared(&smem_b[0]);
+            asm volatile("cp.async.bulk.tensor.2d.shared.global [%0], [%1], %2, %3, %4, %5, %6, %7;\n"
+                : : "r"(__tma_dst1), "l"(&B[kt * 2048]),
+                    "n"(32), "n"(64), "n"(64), "n"(1), "n"(64), "n"(1));
+        }
+        __syncthreads();
+        // 2x accumulation: zero the per-slice partial tile
+        partial[0] = 0.0f;
+        partial[8] = 0.0f;
+        partial[16] = 0.0f;
+        partial[24] = 0.0f;
+        partial[1] = 0.0f;
+        partial[9] = 0.0f;
+        partial[17] = 0.0f;
+        partial[25] = 0.0f;
+        partial[2] = 0.0f;
+        partial[10] = 0.0f;
+        partial[18] = 0.0f;
+        partial[26] = 0.0f;
+        partial[3] = 0.0f;
+        partial[11] = 0.0f;
+        partial[19] = 0.0f;
+        partial[27] = 0.0f;
+        partial[4] = 0.0f;
+        partial[12] = 0.0f;
+        partial[20] = 0.0f;
+        partial[28] = 0.0f;
+        partial[5] = 0.0f;
+        partial[13] = 0.0f;
+        partial[21] = 0.0f;
+        partial[29] = 0.0f;
+        partial[6] = 0.0f;
+        partial[14] = 0.0f;
+        partial[22] = 0.0f;
+        partial[30] = 0.0f;
+        partial[7] = 0.0f;
+        partial[15] = 0.0f;
+        partial[23] = 0.0f;
+        partial[31] = 0.0f;
+        {
+            unsigned __wgmma_a2 = (unsigned)__cvta_generic_to_shared(&smem_a[0]);
+            unsigned __wgmma_b3 = (unsigned)__cvta_generic_to_shared(&smem_b[0]);
+            asm volatile("wgmma.mma_async.sync.aligned.m64n64k32.f32.e4m3.e4m3 {%0, %1, %2, %3, %4, %5, %6, %7, %8, %9, %10, %11, %12, %13, %14, %15, %16, %17, %18, %19, %20, %21, %22, %23, %24, %25, %26, %27, %28, %29, %30, %31}, %32, %33, %34, %35, %36, %37;\n"
+                : "+f"(partial[0]), "+f"(partial[8]), "+f"(partial[16]), "+f"(partial[24]), "+f"(partial[1]), "+f"(partial[9]), "+f"(partial[17]), "+f"(partial[25]), "+f"(partial[2]), "+f"(partial[10]), "+f"(partial[18]), "+f"(partial[26]), "+f"(partial[3]), "+f"(partial[11]), "+f"(partial[19]), "+f"(partial[27]), "+f"(partial[4]), "+f"(partial[12]), "+f"(partial[20]), "+f"(partial[28]), "+f"(partial[5]), "+f"(partial[13]), "+f"(partial[21]), "+f"(partial[29]), "+f"(partial[6]), "+f"(partial[14]), "+f"(partial[22]), "+f"(partial[30]), "+f"(partial[7]), "+f"(partial[15]), "+f"(partial[23]), "+f"(partial[31])
+                : "r"(__wgmma_a2), "r"(__wgmma_b3), "n"(32), "n"(1), "n"(64), "n"(1));
+        }
+        acc[0] = (acc[0] + partial[0]);
+        acc[8] = (acc[8] + partial[8]);
+        acc[16] = (acc[16] + partial[16]);
+        acc[24] = (acc[24] + partial[24]);
+        acc[1] = (acc[1] + partial[1]);
+        acc[9] = (acc[9] + partial[9]);
+        acc[17] = (acc[17] + partial[17]);
+        acc[25] = (acc[25] + partial[25]);
+        acc[2] = (acc[2] + partial[2]);
+        acc[10] = (acc[10] + partial[10]);
+        acc[18] = (acc[18] + partial[18]);
+        acc[26] = (acc[26] + partial[26]);
+        acc[3] = (acc[3] + partial[3]);
+        acc[11] = (acc[11] + partial[11]);
+        acc[19] = (acc[19] + partial[19]);
+        acc[27] = (acc[27] + partial[27]);
+        acc[4] = (acc[4] + partial[4]);
+        acc[12] = (acc[12] + partial[12]);
+        acc[20] = (acc[20] + partial[20]);
+        acc[28] = (acc[28] + partial[28]);
+        acc[5] = (acc[5] + partial[5]);
+        acc[13] = (acc[13] + partial[13]);
+        acc[21] = (acc[21] + partial[21]);
+        acc[29] = (acc[29] + partial[29]);
+        acc[6] = (acc[6] + partial[6]);
+        acc[14] = (acc[14] + partial[14]);
+        acc[22] = (acc[22] + partial[22]);
+        acc[30] = (acc[30] + partial[30]);
+        acc[7] = (acc[7] + partial[7]);
+        acc[15] = (acc[15] + partial[15]);
+        acc[23] = (acc[23] + partial[23]);
+        acc[31] = (acc[31] + partial[31]);
+        __syncthreads();
+    }
+    // epilogue: write fp32 accumulators back as fp16
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + threadIdx.x % 32 % 4 * 2] = __float2half(acc[0]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc[8]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (4 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[1]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (4 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[9]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (8 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[2]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (8 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[10]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (12 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[3]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (12 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[11]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (16 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[4]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (16 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[12]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (20 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[5]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (20 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[13]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (24 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[6]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (24 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[14]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (28 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[7]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (28 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[15]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + threadIdx.x % 32 % 4 * 2] = __float2half(acc[16]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc[24]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (4 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[17]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (4 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[25]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (8 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[18]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (8 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[26]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (12 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[19]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (12 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[27]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (16 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[20]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (16 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[28]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (20 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[21]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (20 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[29]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (24 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[22]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (24 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[30]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (28 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[23]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (28 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[31]);
+}

@@ -1,0 +1,127 @@
+#include <cuda_fp16.h>
+
+__device__ __forceinline__ float gelu(float x) {
+    return 0.5f * x * (1.0f + tanhf(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+__global__ void graphene_gemm_sparse24_sm90(const half *__restrict__ A_comp, const int *__restrict__ A_meta, const half *__restrict__ B, half *__restrict__ C) {
+    __shared__ half smem_comp[1024];
+    __shared__ int smem_meta[1024];
+    __shared__ half smem_dense[2048];
+    __shared__ half smem_b[2048];
+    float acc[32];
+    acc[0] = 0.0f;
+    acc[8] = 0.0f;
+    acc[16] = 0.0f;
+    acc[24] = 0.0f;
+    acc[1] = 0.0f;
+    acc[9] = 0.0f;
+    acc[17] = 0.0f;
+    acc[25] = 0.0f;
+    acc[2] = 0.0f;
+    acc[10] = 0.0f;
+    acc[18] = 0.0f;
+    acc[26] = 0.0f;
+    acc[3] = 0.0f;
+    acc[11] = 0.0f;
+    acc[19] = 0.0f;
+    acc[27] = 0.0f;
+    acc[4] = 0.0f;
+    acc[12] = 0.0f;
+    acc[20] = 0.0f;
+    acc[28] = 0.0f;
+    acc[5] = 0.0f;
+    acc[13] = 0.0f;
+    acc[21] = 0.0f;
+    acc[29] = 0.0f;
+    acc[6] = 0.0f;
+    acc[14] = 0.0f;
+    acc[22] = 0.0f;
+    acc[30] = 0.0f;
+    acc[7] = 0.0f;
+    acc[15] = 0.0f;
+    acc[23] = 0.0f;
+    acc[31] = 0.0f;
+    for (int kt = 0; kt < 2; kt += 1) {
+        // TMA: bulk-copy compressed A, metadata and B slices
+        {
+            unsigned __tma_dst0 = (unsigned)__cvta_generic_to_shared(&smem_comp[0]);
+            asm volatile("cp.async.bulk.tensor.2d.shared.global [%0], [%1], %2, %3, %4, %5, %6, %7;\n"
+                : : "r"(__tma_dst0), "l"(&A_comp[kt * 16]),
+                    "n"(64), "n"(16), "n"(32), "n"(1), "n"(16), "n"(1));
+        }
+        {
+            unsigned __tma_dst1 = (unsigned)__cvta_generic_to_shared(&smem_meta[0]);
+            asm volatile("cp.async.bulk.tensor.2d.shared.global [%0], [%1], %2, %3, %4, %5, %6, %7;\n"
+                : : "r"(__tma_dst1), "l"(&A_meta[kt * 16]),
+                    "n"(64), "n"(16), "n"(32), "n"(1), "n"(16), "n"(1));
+        }
+        {
+            unsigned __tma_dst2 = (unsigned)__cvta_generic_to_shared(&smem_b[0]);
+            asm volatile("cp.async.bulk.tensor.2d.shared.global [%0], [%1], %2, %3, %4, %5, %6, %7;\n"
+                : : "r"(__tma_dst2), "l"(&B[kt * 2048]),
+                    "n"(32), "n"(64), "n"(64), "n"(1), "n"(64), "n"(1));
+        }
+        __syncthreads();
+        // expand the 2:4-compressed slice to a dense smem tile
+        // sparse24.decompress [smem expand]
+        if (threadIdx.x < 64) {
+            for (int __sj3 = 0; __sj3 < 32; __sj3 += 1) {
+                smem_dense[0 + threadIdx.x * 32 + (__sj3) * 1] = __float2half(0.0f);
+            }
+            for (int __sg4 = 0; __sg4 < 8; __sg4 += 1) {
+                smem_dense[0 + threadIdx.x * 32 + (4 * __sg4 + (int)smem_meta[0 + threadIdx.x * 16 + (2 * __sg4) * 1]) * 1] = smem_comp[0 + threadIdx.x * 16 + (2 * __sg4) * 1];
+                smem_dense[0 + threadIdx.x * 32 + (4 * __sg4 + (int)smem_meta[0 + threadIdx.x * 16 + (2 * __sg4 + 1) * 1]) * 1] = smem_comp[0 + threadIdx.x * 16 + (2 * __sg4 + 1) * 1];
+            }
+        }
+        __syncthreads();
+        {
+            unsigned __wgmma_a5 = (unsigned)__cvta_generic_to_shared(&smem_dense[0]);
+            unsigned __wgmma_b6 = (unsigned)__cvta_generic_to_shared(&smem_b[0]);
+            asm volatile("wgmma.mma_async.sync.aligned.m64n64k16.f32.f16.f16 {%0, %1, %2, %3, %4, %5, %6, %7, %8, %9, %10, %11, %12, %13, %14, %15, %16, %17, %18, %19, %20, %21, %22, %23, %24, %25, %26, %27, %28, %29, %30, %31}, %32, %33, %34, %35, %36, %37;\n"
+                : "+f"(acc[0]), "+f"(acc[8]), "+f"(acc[16]), "+f"(acc[24]), "+f"(acc[1]), "+f"(acc[9]), "+f"(acc[17]), "+f"(acc[25]), "+f"(acc[2]), "+f"(acc[10]), "+f"(acc[18]), "+f"(acc[26]), "+f"(acc[3]), "+f"(acc[11]), "+f"(acc[19]), "+f"(acc[27]), "+f"(acc[4]), "+f"(acc[12]), "+f"(acc[20]), "+f"(acc[28]), "+f"(acc[5]), "+f"(acc[13]), "+f"(acc[21]), "+f"(acc[29]), "+f"(acc[6]), "+f"(acc[14]), "+f"(acc[22]), "+f"(acc[30]), "+f"(acc[7]), "+f"(acc[15]), "+f"(acc[23]), "+f"(acc[31])
+                : "r"(__wgmma_a5), "r"(__wgmma_b6), "n"(32), "n"(1), "n"(64), "n"(1));
+        }
+        {
+            unsigned __wgmma_a7 = (unsigned)__cvta_generic_to_shared(&smem_dense[16]);
+            unsigned __wgmma_b8 = (unsigned)__cvta_generic_to_shared(&smem_b[1024]);
+            asm volatile("wgmma.mma_async.sync.aligned.m64n64k16.f32.f16.f16 {%0, %1, %2, %3, %4, %5, %6, %7, %8, %9, %10, %11, %12, %13, %14, %15, %16, %17, %18, %19, %20, %21, %22, %23, %24, %25, %26, %27, %28, %29, %30, %31}, %32, %33, %34, %35, %36, %37;\n"
+                : "+f"(acc[0]), "+f"(acc[8]), "+f"(acc[16]), "+f"(acc[24]), "+f"(acc[1]), "+f"(acc[9]), "+f"(acc[17]), "+f"(acc[25]), "+f"(acc[2]), "+f"(acc[10]), "+f"(acc[18]), "+f"(acc[26]), "+f"(acc[3]), "+f"(acc[11]), "+f"(acc[19]), "+f"(acc[27]), "+f"(acc[4]), "+f"(acc[12]), "+f"(acc[20]), "+f"(acc[28]), "+f"(acc[5]), "+f"(acc[13]), "+f"(acc[21]), "+f"(acc[29]), "+f"(acc[6]), "+f"(acc[14]), "+f"(acc[22]), "+f"(acc[30]), "+f"(acc[7]), "+f"(acc[15]), "+f"(acc[23]), "+f"(acc[31])
+                : "r"(__wgmma_a7), "r"(__wgmma_b8), "n"(32), "n"(1), "n"(64), "n"(1));
+        }
+        __syncthreads();
+    }
+    // epilogue: write fp32 accumulators back as fp16
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + threadIdx.x % 32 % 4 * 2] = __float2half(acc[0]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc[8]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (4 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[1]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (4 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[9]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (8 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[2]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (8 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[10]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (12 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[3]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (12 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[11]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (16 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[4]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (16 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[12]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (20 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[5]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (20 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[13]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (24 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[6]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (24 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[14]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (28 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[7]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4) * 64 + (28 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[15]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + threadIdx.x % 32 % 4 * 2] = __float2half(acc[16]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + threadIdx.x % 32 % 4 * 2 + 1] = __float2half(acc[24]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (4 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[17]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (4 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[25]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (8 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[18]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (8 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[26]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (12 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[19]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (12 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[27]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (16 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[20]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (16 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[28]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (20 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[21]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (20 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[29]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (24 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[22]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (24 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[30]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (28 + threadIdx.x % 32 % 4) * 2] = __float2half(acc[23]);
+    C[(threadIdx.x / 32 * 16 + threadIdx.x % 32 / 4 + 8) * 64 + (28 + threadIdx.x % 32 % 4) * 2 + 1] = __float2half(acc[31]);
+}

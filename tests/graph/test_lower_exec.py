@@ -146,7 +146,7 @@ class TestDecodeKVCache:
 
 class TestLoweringRejections:
     def test_pre_ampere_arch_rejected(self):
-        with pytest.raises(GraphError, match="sm"):
+        with pytest.raises(GraphError, match="cp.async"):
             lower_network(network("DistilBERT").graph, "volta")
 
     def test_bad_mode_rejected(self):

@@ -8,7 +8,7 @@ file stays well under the five-second budget.
 import numpy as np
 import pytest
 
-from repro.arch import ARCHITECTURES
+from repro.arch import architecture
 from repro.kernels.config import NaiveGemmConfig
 from repro.kernels.gemm import build
 from repro.serve import CapturedGraph, GraphCache, KernelServer, graph_key
@@ -16,7 +16,7 @@ from repro.sim import RunOptions, Simulator
 
 pytestmark = pytest.mark.serve
 
-ARCH = ARCHITECTURES["ampere"]
+ARCH = architecture("ampere")
 
 
 def _small_gemm():

@@ -11,12 +11,12 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 import pytest
 
-from repro.arch import ARCHITECTURES
+from repro.arch import architecture
 from repro.kernels.config import NaiveGemmConfig
 from repro.kernels.gemm import build
 from repro.sim import RunOptions, Simulator
 
-ARCH = ARCHITECTURES["ampere"]
+ARCH = architecture("ampere")
 
 
 def _kernel(m=16):

@@ -8,7 +8,9 @@ workload, so any future shim has to be introduced deliberately.
 """
 
 import importlib
+import pathlib
 import pkgutil
+import re
 import warnings
 
 import numpy as np
@@ -54,6 +56,56 @@ class TestNoDeprecationWarnings:
             result = sim.run(kernel, arrays, sanitize=True, profile=True,
                              engine="reference")
             assert result.profile is not None
+
+
+class TestArchRegistrySurface:
+    """The capability-registry redesign: names stay inside repro.arch."""
+
+    def test_architectures_view_is_deprecated(self):
+        from repro.arch import ARCHITECTURES, architecture
+
+        with pytest.deprecated_call():
+            assert ARCHITECTURES["hopper"] is architecture("hopper")
+        with pytest.deprecated_call():
+            len(ARCHITECTURES)
+
+    def test_architectures_view_is_read_only(self):
+        from repro.arch import ARCHITECTURES
+
+        with pytest.raises(TypeError):
+            ARCHITECTURES["pascal"] = object()
+        with pytest.raises(TypeError):
+            del ARCHITECTURES["ampere"]
+
+    def test_no_arch_name_comparisons_outside_repro_arch(self):
+        """Feature dispatch goes through ``arch.supports(...)``.
+
+        A new generation must be a registration in ``repro.arch``, not
+        a grep: no module outside it may compare against architecture
+        name strings or branch on SM version numbers.
+        """
+        src = pathlib.Path(repro.__file__).resolve().parent
+        names = r"(?:ampere|volta|hopper|sm[0-9]{2})"
+        quoted = rf"""["']{names}["']"""
+        patterns = [
+            re.compile(rf"[=!]=\s*{quoted}"),
+            re.compile(rf"{quoted}\s*[=!]="),
+            re.compile(rf"\bin\s*[\(\[\{{]\s*{quoted}"),
+            re.compile(r"\.sm\s*(?:[<>]=?|[=!]=)"),
+        ]
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            rel = path.relative_to(src)
+            if rel.parts[0] == "arch":
+                continue
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if any(p.search(line) for p in patterns):
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "architecture-name string comparisons outside repro/arch/ "
+            "(use arch.supports(...) instead):\n" + "\n".join(offenders)
+        )
 
 
 class TestRetiredSurface:

@@ -2,17 +2,52 @@
 
 import pytest
 
-from repro.arch import AMPERE, ARCHITECTURES, VOLTA
+from repro.arch import (
+    AMPERE, ARCHITECTURES, HOPPER, VOLTA, architecture, registered,
+)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert architecture("volta") is VOLTA
+        assert architecture("ampere") is AMPERE
+        assert architecture("hopper") is HOPPER
+
+    def test_aliases(self):
+        assert architecture("sm70") is VOLTA
+        assert architecture("sm86") is AMPERE
+        assert architecture("sm80") is AMPERE
+        assert architecture("sm90") is HOPPER
+
+    def test_registered_enumerates_canonical_names(self):
+        names = list(registered())
+        assert set(names) >= {"volta", "ampere", "hopper"}
+        # Aliases resolve but are not enumerated twice.
+        assert len(names) == len(set(names))
+        assert "sm86" not in names
+
+    def test_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            architecture("kepler")
+
+    def test_deprecated_view_still_serves(self):
+        with pytest.deprecated_call():
+            assert ARCHITECTURES["volta"] is VOLTA
+        with pytest.deprecated_call():
+            assert ARCHITECTURES["ampere"] is AMPERE
+        with pytest.deprecated_call():
+            assert set(ARCHITECTURES) >= {"volta", "ampere", "hopper"}
+
+    def test_deprecated_view_is_read_only(self):
+        with pytest.raises(TypeError):
+            ARCHITECTURES["turing"] = AMPERE
 
 
 class TestArchitectures:
-    def test_registry(self):
-        assert ARCHITECTURES["volta"] is VOLTA
-        assert ARCHITECTURES["ampere"] is AMPERE
-
     def test_sm_versions(self):
         assert VOLTA.sm == 70
         assert AMPERE.sm == 86
+        assert HOPPER.sm == 90
 
     def test_published_specs(self):
         assert VOLTA.num_sms == 80
@@ -20,10 +55,27 @@ class TestArchitectures:
         assert VOLTA.dram_gbps == 900.0
         assert AMPERE.num_sms == 84
         assert AMPERE.dram_gbps == 768.0
+        assert HOPPER.num_sms == 132
+        assert HOPPER.dram_gbps > AMPERE.dram_gbps
 
     def test_immutable(self):
         with pytest.raises(AttributeError):
             AMPERE.num_sms = 1
+
+
+class TestCapabilities:
+    def test_generation_capability_tokens(self):
+        assert VOLTA.supports("tensor_core")
+        assert not VOLTA.supports("cp_async")
+        assert AMPERE.supports("cp_async")
+        assert AMPERE.supports("ldmatrix")
+        for feature in ("tma", "wgmma", "fp8", "sparse_24"):
+            assert HOPPER.supports(feature), feature
+            assert not AMPERE.supports(feature), feature
+            assert not VOLTA.supports(feature), feature
+
+    def test_unknown_feature_is_false_not_error(self):
+        assert not HOPPER.supports("quantum_annealing")
 
 
 class TestInstructionSets:
@@ -37,9 +89,12 @@ class TestInstructionSets:
         assert AMPERE.supports("mma.16816")
         assert AMPERE.supports("ldmatrix.x4")
         assert not AMPERE.supports("mma.884")
+        assert HOPPER.supports("wgmma.64.64.16.f16")
+        assert HOPPER.supports("tma.g2s.fp16")
+        assert not AMPERE.supports("wgmma.64.64.16.f16")
 
     def test_shared_atomics(self):
-        for arch in (VOLTA, AMPERE):
+        for arch in (VOLTA, AMPERE, HOPPER):
             assert arch.supports("hfma")
             assert arch.supports("shfl.bfly")
             assert arch.supports("move.thread.generic")
@@ -51,10 +106,10 @@ class TestInstructionSets:
             AMPERE.atomic("nope")
 
     def test_tables_end_with_generic_fallback(self):
-        assert VOLTA.atomics[-1].name == "move.thread.generic"
-        assert AMPERE.atomics[-1].name == "move.thread.generic"
+        for arch in (VOLTA, AMPERE, HOPPER):
+            assert arch.atomics[-1].name == "move.thread.generic"
 
     def test_every_atomic_has_simulator_semantics(self):
-        for arch in (VOLTA, AMPERE):
+        for arch in (VOLTA, AMPERE, HOPPER):
             for atomic in arch.atomics:
                 assert atomic.execute is not None, atomic.name

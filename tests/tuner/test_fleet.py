@@ -39,7 +39,19 @@ FAMILY_SHAPES = {
     "softmax": {"rows": 512, "cols": 64},
     "fmha": {"batch_heads": 2, "seq": 64, "head_dim": 32},
     "moves": {},
+    "gemm_fp8": {"m": 64, "n": 64, "k": 128},
+    "gemm_sparse24": {"m": 64, "n": 64, "k": 128},
 }
+
+#: Families whose capabilities only the Hopper target carries.
+FAMILY_ARCH = {
+    "gemm_fp8": resolve_arch("hopper"),
+    "gemm_sparse24": resolve_arch("hopper"),
+}
+
+
+def _arch_for(family):
+    return FAMILY_ARCH.get(family, ARCH)
 
 
 def _board(result):
@@ -80,18 +92,20 @@ class TestLeaderboardIdentity:
     @pytest.mark.parametrize("family", sorted(FAMILY_SHAPES))
     def test_exhaustive_identical(self, family):
         space = get_space(family)
+        arch = _arch_for(family)
         shape = space.validate_shape(FAMILY_SHAPES[family])
-        serial = exhaustive_search(space, shape, ARCH)
+        serial = exhaustive_search(space, shape, arch)
         with FleetEvaluator(workers=2) as fleet:
-            sharded = exhaustive_search(space, shape, ARCH, evaluator=fleet)
+            sharded = exhaustive_search(space, shape, arch, evaluator=fleet)
         assert _board(sharded) == _board(serial)
 
     @pytest.mark.parametrize("family", sorted(FAMILY_SHAPES))
     def test_beam_identical(self, family):
         space = get_space(family)
+        arch = _arch_for(family)
         shape = space.validate_shape(FAMILY_SHAPES[family])
-        serial = beam_search(space, shape, ARCH, beam=2)
-        sharded = parallel_beam_search(space, shape, ARCH, beam=2, workers=2)
+        serial = beam_search(space, shape, arch, beam=2)
+        sharded = parallel_beam_search(space, shape, arch, beam=2, workers=2)
         assert _board(sharded) == _board(serial)
 
     def test_wrapper_owns_and_releases_pool(self, tiny_space):
